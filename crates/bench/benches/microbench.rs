@@ -1,0 +1,211 @@
+//! Criterion microbenchmarks of the performance-sensitive primitives:
+//! the Blink flow selector (must run at line rate in a real data plane),
+//! the event queue, the attack theory's binomial math, the PCC controller
+//! step, the Pytheas bandit, and the NetHide solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dui_core::blink::fastsim::{AttackSim, AttackSimConfig};
+use dui_core::blink::selector::{BlinkParams, FlowSelector};
+use dui_core::blink::theory::{AttackModel, FixedKeysModel};
+use dui_core::nethide::obfuscate::{obfuscate, ObfuscationConfig};
+use dui_core::netsim::event::{Event, EventQueue};
+use dui_core::netsim::packet::{Addr, FlowKey};
+use dui_core::netsim::time::{SimDuration, SimTime};
+use dui_core::netsim::topology::{NodeId, Routing};
+use dui_core::pcc::control::{ControlConfig, Controller};
+use dui_core::pytheas::e2::DiscountedUcb;
+use dui_core::scenario::topologies;
+use dui_core::stats::{Binomial, Rng};
+use std::hint::black_box;
+
+fn bench_flow_selector(c: &mut Criterion) {
+    let keys: Vec<FlowKey> = (0..1024u16)
+        .map(|i| {
+            FlowKey::tcp(
+                Addr::new(198, 18, (i >> 8) as u8, i as u8),
+                i,
+                Addr::new(10, 0, 0, 1),
+                80,
+            )
+        })
+        .collect();
+    c.bench_function("blink_selector_on_packet", |b| {
+        let mut s = FlowSelector::new(BlinkParams::default());
+        let mut t = 0u64;
+        let mut i = 0usize;
+        b.iter(|| {
+            t += 1_000_000; // 1 ms
+            i = (i + 1) % keys.len();
+            black_box(s.on_packet(SimTime(t), keys[i], t as u32, false))
+        });
+    });
+    c.bench_function("blink_selector_failure_check", |b| {
+        let mut s = FlowSelector::new(BlinkParams::default());
+        for (i, k) in keys.iter().enumerate() {
+            s.on_packet(SimTime(i as u64), *k, 1, false);
+        }
+        b.iter(|| black_box(s.retransmitting_flows(SimTime(2_000_000))));
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop", |b| {
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 17;
+            q.schedule(
+                SimTime(t % 1_000_000),
+                Event::Timer {
+                    node: NodeId(0),
+                    token: t,
+                },
+            );
+            black_box(q.pop())
+        });
+    });
+}
+
+fn bench_theory(c: &mut Criterion) {
+    c.bench_function("binomial_quantile_n64", |b| {
+        let bin = Binomial::new(64, 0.37);
+        b.iter(|| black_box(bin.quantile(0.95)));
+    });
+    c.bench_function("iid_model_mean_takeover", |b| {
+        let m = AttackModel::fig2();
+        b.iter(|| black_box(m.mean_takeover_time()));
+    });
+    c.bench_function("fixed_keys_mean_takeover", |b| {
+        let m = FixedKeysModel::fig2();
+        b.iter(|| black_box(m.mean_takeover_time()));
+    });
+}
+
+fn bench_pcc_controller(c: &mut Criterion) {
+    c.bench_function("pcc_controller_mi_cycle", |b| {
+        let mut ctl = Controller::new(ControlConfig::default(), 1e6, 1);
+        let mut u = 0.0f64;
+        b.iter(|| {
+            let r = ctl.next_mi_rate();
+            u = (u + 1.0) % 7.0;
+            ctl.on_report(u);
+            black_box(r)
+        });
+    });
+}
+
+fn bench_pytheas_ucb(c: &mut Criterion) {
+    c.bench_function("ucb_pick_update_8arms", |b| {
+        let mut ucb = DiscountedUcb::new(8, 0.995, 0.3);
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let a = ucb.pick(&mut rng);
+            ucb.update(a, 0.5);
+            black_box(a)
+        });
+    });
+}
+
+fn bench_nethide_solver(c: &mut Criterion) {
+    let (topo, flows, core) = topologies::bowtie(6);
+    let routing = Routing::shortest_paths(&topo);
+    let c1 = topo.node(core.0).addr;
+    let c2 = topo.node(core.1).addr;
+    c.bench_function("nethide_solver_bowtie6", |b| {
+        b.iter(|| {
+            black_box(obfuscate(
+                &topo,
+                &routing,
+                &flows,
+                &ObfuscationConfig {
+                    max_density: 3,
+                    ..Default::default()
+                },
+                &[(c1, c2)],
+            ))
+        });
+    });
+}
+
+fn bench_survey(c: &mut Criterion) {
+    use dui_core::survey::flowradar::FlowRadar;
+    use dui_core::survey::sp_pifo::SpPifo;
+    c.bench_function("sp_pifo_enqueue_dequeue", |b| {
+        let mut sp = SpPifo::new(8, 1024);
+        let mut r = 0u64;
+        b.iter(|| {
+            r = (r.wrapping_mul(6364136223846793005).wrapping_add(1)) >> 40;
+            sp.enqueue(r);
+            black_box(sp.dequeue())
+        });
+    });
+    c.bench_function("flowradar_on_packet", |b| {
+        let mut fr = FlowRadar::new(65_536, 4096, 3, 7);
+        let keys: Vec<FlowKey> = (0..4096u16)
+            .map(|i| {
+                FlowKey::tcp(
+                    Addr::new(198, 18, (i >> 8) as u8, i as u8),
+                    i,
+                    Addr::new(10, 0, 0, 1),
+                    443,
+                )
+            })
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            fr.on_packet(black_box(&keys[i]))
+        });
+    });
+    c.bench_function("flowradar_decode_1k_flows", |b| {
+        let mut fr = FlowRadar::new(65_536, 4096, 3, 7);
+        for i in 0..1000u16 {
+            let k = FlowKey::tcp(
+                Addr::new(198, 18, (i >> 8) as u8, i as u8),
+                i,
+                Addr::new(10, 0, 0, 1),
+                443,
+            );
+            fr.on_packet(&k);
+        }
+        b.iter(|| black_box(fr.decode()));
+    });
+}
+
+fn bench_fastsim(c: &mut Criterion) {
+    c.bench_function("blink_fastsim_400flows_30s", |b| {
+        let cfg = AttackSimConfig {
+            legit_flows: 400,
+            malicious_flows: 21,
+            horizon: SimDuration::from_secs(30),
+            ..AttackSimConfig::fig2()
+        };
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(AttackSim::run(&cfg, seed))
+        });
+    });
+}
+
+fn short() -> Criterion {
+    // The suite is run on every `cargo bench --workspace`; 20 samples give
+    // stable medians for these micro-operations at a fraction of the
+    // default wall time.
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets =
+    bench_flow_selector,
+    bench_event_queue,
+    bench_theory,
+    bench_pcc_controller,
+    bench_pytheas_ucb,
+    bench_nethide_solver,
+    bench_survey,
+    bench_fastsim
+}
+criterion_main!(benches);

@@ -1,0 +1,496 @@
+//! The Blink flow selector: a fixed array of cells monitoring a small
+//! sample of a prefix's flows.
+//!
+//! Faithful to the mechanism the HotNets'19 attack exploits (§3.1 of the
+//! paper, after the Blink NSDI'19 design):
+//!
+//! * hash of the 5-tuple indexes one of `n` cells (several flows may
+//!   collide; only one occupies the cell at a time);
+//! * the occupant is evicted when it FINs/RSTs, when it has been silent for
+//!   the eviction timeout (2 s), or when the periodic sample reset (8.5
+//!   min) clears everything;
+//! * when a cell is free, the *next flow that hashes into it* is sampled —
+//!   this is the resampling step whose bias toward always-active malicious
+//!   flows the attack weaponizes;
+//! * each cell tracks the last TCP sequence seen; seeing the same sequence
+//!   again is counted as a retransmission event.
+//!
+//! All time-based transitions are applied lazily against the packet
+//! timestamp, as a real data-plane pipeline would do with a timestamp
+//! metadata field; harness code that samples state between packets first
+//! calls [`FlowSelector::apply_time`].
+
+use dui_netsim::packet::FlowKey;
+use dui_netsim::time::{SimDuration, SimTime};
+
+/// Selector parameters (defaults are the Blink paper constants the
+/// HotNets'19 analysis assumes).
+#[derive(Debug, Clone, Copy)]
+pub struct BlinkParams {
+    /// Number of cells (monitored flows) per prefix.
+    pub cells: usize,
+    /// Evict an occupant silent for this long.
+    pub eviction_timeout: SimDuration,
+    /// Clear the whole sample this often (`tB`).
+    pub reset_interval: SimDuration,
+    /// Sliding window for counting retransmitting flows.
+    pub retx_window: SimDuration,
+    /// Flows with a retransmission in-window needed to infer failure.
+    pub threshold: usize,
+    /// Hash salt (a secret of the switch; Kerckhoff-wise the attacker knows
+    /// the algorithm but not necessarily this value).
+    pub salt: u64,
+}
+
+impl Default for BlinkParams {
+    fn default() -> Self {
+        BlinkParams {
+            cells: 64,
+            eviction_timeout: SimDuration::from_secs(2),
+            reset_interval: SimDuration::from_millis(510_000), // 8.5 min
+            retx_window: SimDuration::from_millis(800),
+            threshold: 32,
+            salt: 0,
+        }
+    }
+}
+
+/// One monitored flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// The monitored 5-tuple.
+    pub flow: FlowKey,
+    /// Last packet time from this flow.
+    pub last_seen: SimTime,
+    /// When the flow was sampled into the cell.
+    pub sampled_at: SimTime,
+    /// Last TCP sequence number observed.
+    pub last_seq: u32,
+    /// Time of the most recent retransmission event, if any.
+    pub last_retx: Option<SimTime>,
+    /// Gap between the most recent retransmission and the packet before it
+    /// — for real RTO-driven retransmissions this is the flow's RTO; the
+    /// §5 countermeasure checks its plausibility.
+    pub last_retx_gap: Option<SimDuration>,
+}
+
+/// What the selector observed for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observation {
+    /// The packet's flow was newly sampled into a free cell.
+    Sampled,
+    /// The packet belonged to the monitored flow; no retransmission.
+    Monitored,
+    /// The packet belonged to the monitored flow and repeated its last
+    /// sequence number — a retransmission event.
+    Retransmission,
+    /// The packet's cell is occupied by a different, still-live flow.
+    NotMonitored,
+    /// The packet ended its flow (FIN/RST) and freed its cell.
+    Evicted,
+}
+
+/// The per-prefix flow selector.
+///
+/// ```
+/// use dui_blink::selector::{BlinkParams, FlowSelector, Observation};
+/// use dui_netsim::packet::{Addr, FlowKey};
+/// use dui_netsim::time::SimTime;
+///
+/// let mut s = FlowSelector::new(BlinkParams::default());
+/// let flow = FlowKey::tcp(Addr::new(198, 18, 0, 1), 42, Addr::new(10, 0, 0, 1), 80);
+/// assert_eq!(s.on_packet(SimTime::ZERO, flow, 1000, false), Observation::Sampled);
+/// // The same sequence number again is a retransmission — Blink's signal.
+/// assert_eq!(
+///     s.on_packet(SimTime::from_secs_f64(0.2), flow, 1000, false),
+///     Observation::Retransmission
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowSelector {
+    params: BlinkParams,
+    cells: Vec<Option<Cell>>,
+    last_reset: SimTime,
+    /// Number of sample resets performed.
+    pub resets: u64,
+    /// Completed occupancy durations, recorded when occupants are evicted
+    /// or replaced (enable with [`FlowSelector::record_residencies`]).
+    residencies: Option<Vec<SimDuration>>,
+}
+
+impl FlowSelector {
+    /// New selector with the given parameters.
+    pub fn new(params: BlinkParams) -> Self {
+        assert!(params.cells > 0, "need at least one cell");
+        assert!(
+            params.threshold <= params.cells,
+            "threshold cannot exceed cell count"
+        );
+        FlowSelector {
+            params,
+            cells: vec![None; params.cells],
+            last_reset: SimTime::ZERO,
+            resets: 0,
+            residencies: None,
+        }
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &BlinkParams {
+        &self.params
+    }
+
+    /// Start recording occupancy durations (for the residency experiment).
+    pub fn record_residencies(&mut self) {
+        self.residencies = Some(Vec::new());
+    }
+
+    /// Completed occupancy durations recorded so far.
+    pub fn residencies(&self) -> &[SimDuration] {
+        self.residencies.as_deref().unwrap_or(&[])
+    }
+
+    fn log_residency(&mut self, cell: &Cell, end: SimTime) {
+        if let Some(log) = &mut self.residencies {
+            log.push(end.since(cell.sampled_at));
+        }
+    }
+
+    /// Cell index a flow hashes to.
+    pub fn index_of(&self, key: &FlowKey) -> usize {
+        (key.digest(self.params.salt) % self.params.cells as u64) as usize
+    }
+
+    /// Apply lazy time-based state transitions up to `now`: periodic sample
+    /// reset and idle evictions.
+    pub fn apply_time(&mut self, now: SimTime) {
+        if now.since(self.last_reset) >= self.params.reset_interval {
+            for i in 0..self.cells.len() {
+                if let Some(cell) = self.cells[i] {
+                    self.log_residency(&cell, now);
+                }
+                self.cells[i] = None;
+            }
+            self.last_reset = now;
+            self.resets += 1;
+        }
+        for i in 0..self.cells.len() {
+            if let Some(cell) = self.cells[i] {
+                if now.since(cell.last_seen) >= self.params.eviction_timeout {
+                    self.log_residency(&cell, cell.last_seen + self.params.eviction_timeout);
+                    self.cells[i] = None;
+                }
+            }
+        }
+    }
+
+    /// Process one TCP packet of the monitored prefix.
+    ///
+    /// `seq` is the TCP sequence number; `ends_flow` marks FIN/RST.
+    pub fn on_packet(
+        &mut self,
+        now: SimTime,
+        key: FlowKey,
+        seq: u32,
+        ends_flow: bool,
+    ) -> Observation {
+        self.apply_time(now);
+        let idx = self.index_of(&key);
+        match &mut self.cells[idx] {
+            Some(cell) if cell.flow == key => {
+                let prev_seen = cell.last_seen;
+                cell.last_seen = now;
+                if ends_flow {
+                    let cell = *cell;
+                    self.log_residency(&cell, now);
+                    self.cells[idx] = None;
+                    return Observation::Evicted;
+                }
+                if seq == cell.last_seq {
+                    cell.last_retx_gap = Some(now.since(prev_seen));
+                    cell.last_retx = Some(now);
+                    Observation::Retransmission
+                } else {
+                    cell.last_seq = seq;
+                    Observation::Monitored
+                }
+            }
+            Some(_) => Observation::NotMonitored,
+            None => {
+                if ends_flow {
+                    // A terminating packet is not worth sampling.
+                    return Observation::NotMonitored;
+                }
+                self.cells[idx] = Some(Cell {
+                    flow: key,
+                    last_seen: now,
+                    sampled_at: now,
+                    last_seq: seq,
+                    last_retx: None,
+                    last_retx_gap: None,
+                });
+                Observation::Sampled
+            }
+        }
+    }
+
+    /// Number of occupied cells (after applying time transitions — callers
+    /// sampling between packets should `apply_time` first).
+    pub fn occupied(&self) -> usize {
+        self.cells.iter().flatten().count()
+    }
+
+    /// Count occupied cells whose flow satisfies `pred` (e.g. "is one of
+    /// the attacker's 5-tuples").
+    pub fn count_matching(&self, mut pred: impl FnMut(&FlowKey) -> bool) -> usize {
+        self.cells
+            .iter()
+            .flatten()
+            .filter(|c| pred(&c.flow))
+            .count()
+    }
+
+    /// Number of monitored flows with a retransmission inside the sliding
+    /// window ending at `now`.
+    pub fn retransmitting_flows(&self, now: SimTime) -> usize {
+        self.cells
+            .iter()
+            .flatten()
+            .filter(|c| match c.last_retx {
+                Some(t) => now.since(t) <= self.params.retx_window,
+                None => false,
+            })
+            .count()
+    }
+
+    /// Does the retransmitting-flow count reach the failure threshold?
+    pub fn failure_indicated(&self, now: SimTime) -> bool {
+        self.retransmitting_flows(now) >= self.params.threshold
+    }
+
+    /// The monitored flows (for inspection).
+    pub fn cells(&self) -> &[Option<Cell>] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dui_netsim::packet::Addr;
+
+    fn key(i: u16) -> FlowKey {
+        FlowKey::tcp(Addr::new(198, 18, 0, 1), i, Addr::new(10, 0, 0, 5), 80)
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn selector() -> FlowSelector {
+        FlowSelector::new(BlinkParams::default())
+    }
+
+    #[test]
+    fn first_packet_samples_flow() {
+        let mut s = selector();
+        assert_eq!(s.on_packet(t(0), key(1), 100, false), Observation::Sampled);
+        assert_eq!(s.occupied(), 1);
+    }
+
+    #[test]
+    fn colliding_flow_not_monitored_while_occupant_live() {
+        let mut s = FlowSelector::new(BlinkParams {
+            cells: 1,
+            threshold: 1,
+            ..Default::default()
+        });
+        s.on_packet(t(0), key(1), 100, false);
+        assert_eq!(
+            s.on_packet(t(100), key(2), 1, false),
+            Observation::NotMonitored
+        );
+        // Occupant keeps the cell.
+        assert_eq!(
+            s.on_packet(t(200), key(1), 101, false),
+            Observation::Monitored
+        );
+    }
+
+    #[test]
+    fn repeated_sequence_is_retransmission() {
+        let mut s = selector();
+        s.on_packet(t(0), key(1), 500, false);
+        assert_eq!(
+            s.on_packet(t(100), key(1), 501, false),
+            Observation::Monitored
+        );
+        assert_eq!(
+            s.on_packet(t(200), key(1), 501, false),
+            Observation::Retransmission
+        );
+        assert_eq!(s.retransmitting_flows(t(200)), 1);
+    }
+
+    #[test]
+    fn retx_window_expires() {
+        let mut s = selector();
+        s.on_packet(t(0), key(1), 500, false);
+        s.on_packet(t(10), key(1), 500, false); // retx at t=10ms
+        assert_eq!(s.retransmitting_flows(t(400)), 1);
+        assert_eq!(s.retransmitting_flows(t(900)), 0, "800ms window passed");
+    }
+
+    #[test]
+    fn idle_flow_evicted_and_cell_resampled() {
+        let mut s = FlowSelector::new(BlinkParams {
+            cells: 1,
+            threshold: 1,
+            ..Default::default()
+        });
+        s.on_packet(t(0), key(1), 1, false);
+        // key(2) arrives after occupant idled 2s: takes the cell.
+        assert_eq!(s.on_packet(t(2500), key(2), 7, false), Observation::Sampled);
+        assert_eq!(s.cells()[0].unwrap().flow, key(2));
+    }
+
+    #[test]
+    fn fin_frees_cell() {
+        let mut s = selector();
+        s.on_packet(t(0), key(1), 1, false);
+        assert_eq!(s.on_packet(t(100), key(1), 2, true), Observation::Evicted);
+        assert_eq!(s.occupied(), 0);
+    }
+
+    #[test]
+    fn fin_of_unmonitored_flow_does_not_sample() {
+        let mut s = selector();
+        assert_eq!(
+            s.on_packet(t(0), key(1), 1, true),
+            Observation::NotMonitored
+        );
+        assert_eq!(s.occupied(), 0);
+    }
+
+    #[test]
+    fn periodic_reset_clears_sample() {
+        let mut s = selector();
+        for i in 0..32 {
+            s.on_packet(t(i), key(i as u16), 1, false);
+        }
+        assert!(s.occupied() > 0);
+        s.apply_time(t(510_000));
+        assert_eq!(s.occupied(), 0);
+        assert_eq!(s.resets, 1);
+    }
+
+    #[test]
+    fn keepalives_prevent_eviction_across_reset_period() {
+        // A malicious always-active flow is only ever cleared by the reset.
+        let mut s = FlowSelector::new(BlinkParams {
+            cells: 1,
+            threshold: 1,
+            ..Default::default()
+        });
+        let mut now = 0u64;
+        s.on_packet(t(0), key(9), 1, false);
+        while now < 509_000 {
+            now += 500;
+            s.on_packet(t(now), key(9), 1, false); // same seq: keepalive+retx
+        }
+        assert_eq!(s.cells()[0].unwrap().flow, key(9));
+        s.apply_time(t(510_500));
+        assert_eq!(s.occupied(), 0, "reset evicts even always-active flows");
+    }
+
+    #[test]
+    fn failure_indicated_at_threshold() {
+        let mut s = FlowSelector::new(BlinkParams {
+            cells: 64,
+            threshold: 32,
+            salt: 1,
+            ..Default::default()
+        });
+        // Fill distinct cells with distinct flows until 40 cells occupied.
+        let mut filled = Vec::new();
+        let mut i = 0u16;
+        while filled.len() < 40 {
+            i += 1;
+            let k = key(i);
+            if s.on_packet(t(0), k, 1, false) == Observation::Sampled {
+                filled.push(k);
+            }
+        }
+        // 31 retransmitting flows: below threshold.
+        for k in filled.iter().take(31) {
+            s.on_packet(t(100), *k, 1, false);
+        }
+        assert!(!s.failure_indicated(t(100)));
+        // The 32nd tips it.
+        s.on_packet(t(110), filled[31], 1, false);
+        assert!(s.failure_indicated(t(110)));
+    }
+
+    #[test]
+    fn count_matching_classifies_occupants() {
+        let mut s = selector();
+        for i in 1..=20 {
+            s.on_packet(t(0), key(i), 1, false);
+        }
+        let evil = s.count_matching(|k| k.sport <= 10);
+        let good = s.count_matching(|k| k.sport > 10);
+        assert_eq!(evil + good, s.occupied());
+    }
+
+    #[test]
+    fn residency_recording() {
+        let mut s = selector();
+        s.record_residencies();
+        s.on_packet(t(0), key(1), 1, false);
+        s.on_packet(t(5000), key(1), 2, false); // still alive (packet before idle check? no: 5s > 2s timeout)
+                                                // The 5 s gap exceeded the 2 s timeout: flow was evicted at t=2 s and
+                                                // the packet at t=5 s re-sampled it.
+        assert_eq!(s.residencies().len(), 1);
+        assert_eq!(s.residencies()[0], SimDuration::from_secs(2));
+        s.on_packet(t(5500), key(1), 3, true); // FIN at 5.5s: residency 0.5s
+        assert_eq!(s.residencies().len(), 2);
+        assert_eq!(s.residencies()[1], SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn retx_gap_recorded() {
+        let mut s = selector();
+        s.on_packet(t(0), key(1), 500, false);
+        s.on_packet(t(300), key(1), 501, false);
+        s.on_packet(t(1300), key(1), 501, false); // retx 1 s after previous
+        let cell = s.cells()[s.index_of(&key(1))].unwrap();
+        assert_eq!(cell.last_retx_gap, Some(SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn hash_spreads_flows() {
+        let s = selector();
+        let mut hit = [false; 64];
+        for i in 0..1000 {
+            hit[s.index_of(&key(i))] = true;
+        }
+        let covered = hit.iter().filter(|&&h| h).count();
+        assert!(covered > 55, "only {covered}/64 cells covered");
+    }
+
+    #[test]
+    fn salt_changes_mapping() {
+        let a = FlowSelector::new(BlinkParams {
+            salt: 1,
+            ..Default::default()
+        });
+        let b = FlowSelector::new(BlinkParams {
+            salt: 2,
+            ..Default::default()
+        });
+        let moved = (0..200)
+            .filter(|&i| a.index_of(&key(i)) != b.index_of(&key(i)))
+            .count();
+        assert!(moved > 150, "salt should remap most flows, moved {moved}");
+    }
+}

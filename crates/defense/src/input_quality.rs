@@ -1,0 +1,89 @@
+//! Point I of §5: improving input quality.
+//!
+//! The paper lists three input-side levers: (i) authenticating inputs,
+//! (ii) deciding on many *independent* inputs, (iii) verifying inputs by
+//! active probing. This module provides small, composable versions of (i)
+//! and (ii); active probing is application-specific (Blink's backup-path
+//! probing plays that role in `dui-blink`).
+
+use dui_stats::summary::median;
+
+/// An input value tagged with an authenticity bit — standing in for a MAC
+/// or signature check. Systems consuming only `authenticated()` values are
+/// immune to *injected* (spoofed) inputs, though not to compromised-but-
+/// genuine sources; the paper notes the deployment cost is what makes this
+/// hard, not the cryptography.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaggedInput {
+    /// The value.
+    pub value: f64,
+    /// Did it carry a valid authenticator?
+    pub authentic: bool,
+}
+
+/// Keep only authenticated inputs.
+pub fn authenticated(inputs: &[TaggedInput]) -> Vec<f64> {
+    inputs
+        .iter()
+        .filter(|i| i.authentic)
+        .map(|i| i.value)
+        .collect()
+}
+
+/// Robust fusion of several independent measurements of the same
+/// quantity: the median tolerates up to ⌈n/2⌉−1 arbitrarily-corrupted
+/// inputs. Returns `None` below `min_signals` (refusing to decide on too
+/// few inputs is itself a §5 recommendation).
+pub fn fuse_independent(signals: &[f64], min_signals: usize) -> Option<f64> {
+    if signals.len() < min_signals.max(1) {
+        return None;
+    }
+    Some(median(signals))
+}
+
+/// Breakdown point check: with `n` signals of which `k` are adversarial,
+/// can median fusion still be trusted?
+pub fn fusion_tolerates(n: usize, k: usize) -> bool {
+    2 * k < n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn authentication_filters_spoofed() {
+        let inputs = [
+            TaggedInput {
+                value: 1.0,
+                authentic: true,
+            },
+            TaggedInput {
+                value: 99.0,
+                authentic: false,
+            },
+            TaggedInput {
+                value: 2.0,
+                authentic: true,
+            },
+        ];
+        assert_eq!(authenticated(&inputs), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn median_fusion_survives_minority_corruption() {
+        // 5 honest readings near 10, 2 adversarial at 1000.
+        let signals = [10.0, 10.2, 9.9, 10.1, 10.0, 1000.0, 1000.0];
+        let fused = fuse_independent(&signals, 3).unwrap();
+        assert!((fused - 10.05).abs() < 0.2, "fused = {fused}");
+        assert!(fusion_tolerates(7, 2));
+        assert!(!fusion_tolerates(7, 4));
+    }
+
+    #[test]
+    fn refuses_to_decide_on_too_few() {
+        assert_eq!(fuse_independent(&[1.0], 3), None);
+        assert_eq!(fuse_independent(&[], 1), None);
+        assert!(fuse_independent(&[1.0, 2.0, 3.0], 3).is_some());
+    }
+}

@@ -1,0 +1,31 @@
+//! # dui-defense
+//!
+//! The §5 countermeasures of *"(Self) Driving Under the Influence"*
+//! (HotNets'19): a generic **driver / supervisor** architecture (the
+//! paper's Fig. 3) plus the three concrete defenses the paper sketches
+//! for its case studies.
+//!
+//! | Module | Paper point | Defends |
+//! |---|---|---|
+//! | [`supervisor`] | Fig. 3, points III–IV | generic: plausibility models + allowed operating ranges |
+//! | [`blink_guard`] | "Blink could monitor the RTT distribution … approximate the expected RTO distribution upon a failure" | Blink (§3.1 attack) |
+//! | [`pytheas_guard`] | "look at the distribution of throughput across all clients in a group … the low-throughput clients can be tackled separately" | Pytheas (§4.1 attack) |
+//! | [`pcc_guard`] | "monitor when packets are dropped in every +ε or −ε phase as well as limit the amplitude of the oscillations" | PCC (§4.2 attack) |
+//! | [`input_quality`] | point I: "improving input quality by using many independent inputs" | generic |
+//! | [`fuzzing`] | point II: "fuzzing techniques that enable auto-generation of (realistic) adversarial inputs" | testing Blink |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blink_guard;
+pub mod fuzzing;
+pub mod input_quality;
+pub mod pcc_guard;
+pub mod pytheas_guard;
+pub mod supervisor;
+
+pub use blink_guard::BlinkRtoGuard;
+pub use fuzzing::{BlinkFuzzer, FuzzConfig};
+pub use pcc_guard::PccLossPatternMonitor;
+pub use pytheas_guard::MadReportFilter;
+pub use supervisor::{OperatingRange, Risk, Supervised, Supervisor};

@@ -1,0 +1,95 @@
+//! Prefix populations with Zipf popularity.
+//!
+//! Backbone traffic concentrates heavily on few destination prefixes; the
+//! paper analyzes the *top-20 prefixes* of each CAIDA trace. We model a
+//! population of /24s whose traffic shares follow Zipf.
+
+use dui_netsim::packet::{Addr, Prefix};
+use dui_stats::dist::Zipf;
+
+/// A ranked set of destination prefixes with Zipf traffic shares.
+#[derive(Debug, Clone)]
+pub struct PrefixPopulation {
+    prefixes: Vec<Prefix>,
+    zipf: Zipf,
+}
+
+impl PrefixPopulation {
+    /// `n` /24 prefixes carved from `10.0.0.0/8`, popularity exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0 && n < 65_536, "prefix count out of range");
+        let prefixes = (0..n)
+            .map(|i| {
+                let b = ((i >> 8) & 0xFF) as u8;
+                let c = (i & 0xFF) as u8;
+                Prefix::new(Addr::new(10, b, c, 0), 24)
+            })
+            .collect();
+        PrefixPopulation {
+            prefixes,
+            zipf: Zipf::new(n, s),
+        }
+    }
+
+    /// Number of prefixes.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// True if empty (never, per constructor).
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    /// Prefix at popularity rank `i` (0 = most popular).
+    pub fn prefix(&self, i: usize) -> Prefix {
+        self.prefixes[i]
+    }
+
+    /// Traffic share of rank `i`.
+    pub fn share(&self, i: usize) -> f64 {
+        self.zipf.pmf(i)
+    }
+
+    /// Per-prefix flow arrival rates that sum to `total_rate`.
+    pub fn arrival_rates(&self, total_rate: f64) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| total_rate * self.share(i))
+            .collect()
+    }
+
+    /// All prefixes in rank order.
+    pub fn prefixes(&self) -> &[Prefix] {
+        &self.prefixes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_are_distinct() {
+        let p = PrefixPopulation::new(300, 1.1);
+        let set: std::collections::HashSet<_> = p.prefixes().iter().collect();
+        assert_eq!(set.len(), 300);
+    }
+
+    #[test]
+    fn shares_sum_to_one_and_decay() {
+        let p = PrefixPopulation::new(20, 1.0);
+        let total: f64 = (0..20).map(|i| p.share(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(p.share(0) > p.share(1));
+        assert!(p.share(1) > p.share(19));
+    }
+
+    #[test]
+    fn arrival_rates_scale() {
+        let p = PrefixPopulation::new(10, 1.0);
+        let rates = p.arrival_rates(100.0);
+        let total: f64 = rates.iter().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!(rates[0] > rates[9]);
+    }
+}

@@ -1,0 +1,165 @@
+//! NetHide's evaluation metrics: accuracy, utility, and the flow-density
+//! security measure.
+
+use dui_netsim::packet::Addr;
+use std::collections::HashMap;
+
+/// Levenshtein distance between two hop sequences.
+pub fn levenshtein(a: &[Addr], b: &[Addr]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Path accuracy: `1 − lev(p, v) / max(|p|, |v|)` (NetHide's per-flow
+/// accuracy definition); 1.0 for identical paths.
+pub fn path_accuracy(physical: &[Addr], virtual_: &[Addr]) -> f64 {
+    let denom = physical.len().max(virtual_.len());
+    if denom == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(physical, virtual_) as f64 / denom as f64
+}
+
+/// Mean accuracy over pairs of `(physical, virtual)` paths.
+pub fn accuracy(pairs: &[(Vec<Addr>, Vec<Addr>)]) -> f64 {
+    if pairs.is_empty() {
+        return 1.0;
+    }
+    pairs.iter().map(|(p, v)| path_accuracy(p, v)).sum::<f64>() / pairs.len() as f64
+}
+
+/// Edges of a hop sequence (undirected, normalized order), including the
+/// implicit first hop from the (omitted) source.
+fn edges(path: &[Addr]) -> Vec<(Addr, Addr)> {
+    path.windows(2)
+        .map(|w| {
+            if w[0] <= w[1] {
+                (w[0], w[1])
+            } else {
+                (w[1], w[0])
+            }
+        })
+        .collect()
+}
+
+/// Per-flow utility: the fraction of the virtual path's edges that also
+/// exist on the physical path — how much of what the user debugs against
+/// is real. 1.0 when the virtual path *is* the physical path.
+pub fn path_utility(physical: &[Addr], virtual_: &[Addr]) -> f64 {
+    let ve = edges(virtual_);
+    if ve.is_empty() {
+        return 1.0;
+    }
+    let pe: std::collections::HashSet<_> = edges(physical).into_iter().collect();
+    ve.iter().filter(|e| pe.contains(e)).count() as f64 / ve.len() as f64
+}
+
+/// Mean utility over pairs.
+pub fn utility(pairs: &[(Vec<Addr>, Vec<Addr>)]) -> f64 {
+    if pairs.is_empty() {
+        return 1.0;
+    }
+    pairs.iter().map(|(p, v)| path_utility(p, v)).sum::<f64>() / pairs.len() as f64
+}
+
+/// Flow density: how many paths cross each (undirected) edge. The NetHide
+/// security goal is keeping the maximum observable density low, so an
+/// attacker studying traceroutes cannot find a link shared by many flows
+/// to target.
+pub fn flow_density(paths: &[Vec<Addr>]) -> HashMap<(Addr, Addr), usize> {
+    let mut density = HashMap::new();
+    for p in paths {
+        for e in edges(p) {
+            *density.entry(e).or_insert(0) += 1;
+        }
+    }
+    density
+}
+
+/// The maximum flow density over all edges (0 if no paths).
+pub fn max_flow_density(paths: &[Vec<Addr>]) -> usize {
+    flow_density(paths).values().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(x: u8) -> Addr {
+        Addr::new(10, 0, 0, x)
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein(&[], &[]), 0);
+        assert_eq!(levenshtein(&[a(1)], &[]), 1);
+        assert_eq!(levenshtein(&[a(1), a(2)], &[a(1), a(2)]), 0);
+        assert_eq!(levenshtein(&[a(1), a(2)], &[a(1), a(3)]), 1);
+        assert_eq!(levenshtein(&[a(1), a(2), a(3)], &[a(2), a(3)]), 1);
+    }
+
+    #[test]
+    fn accuracy_identical_is_one() {
+        let p = vec![a(1), a(2), a(3)];
+        assert_eq!(path_accuracy(&p, &p), 1.0);
+    }
+
+    #[test]
+    fn accuracy_disjoint_is_zero() {
+        let p = vec![a(1), a(2)];
+        let v = vec![a(3), a(4)];
+        assert_eq!(path_accuracy(&p, &v), 0.0);
+    }
+
+    #[test]
+    fn accuracy_partial() {
+        let p = vec![a(1), a(2), a(3), a(4)];
+        let v = vec![a(1), a(9), a(3), a(4)];
+        assert!((path_accuracy(&p, &v) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_counts_real_edges() {
+        let p = vec![a(1), a(2), a(3)];
+        let v = vec![a(1), a(2), a(9)];
+        // virtual edges: (1,2) real, (2,9) fictitious -> 0.5
+        assert!((path_utility(&p, &v) - 0.5).abs() < 1e-12);
+        assert_eq!(path_utility(&p, &p), 1.0);
+    }
+
+    #[test]
+    fn density_counts_shared_edges() {
+        let paths = vec![
+            vec![a(1), a(2), a(3)],
+            vec![a(4), a(2), a(3)],
+            vec![a(5), a(6)],
+        ];
+        let d = flow_density(&paths);
+        assert_eq!(d[&(a(2), a(3))], 2);
+        assert_eq!(d[&(a(1), a(2))], 1);
+        assert_eq!(max_flow_density(&paths), 2);
+    }
+
+    #[test]
+    fn edge_order_normalized() {
+        let d = flow_density(&[vec![a(2), a(1)], vec![a(1), a(2)]]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[&(a(1), a(2))], 2);
+    }
+}

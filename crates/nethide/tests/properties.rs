@@ -1,0 +1,111 @@
+//! Property-based tests of the NetHide metrics and solver.
+
+use dui_nethide::metrics::{
+    flow_density, levenshtein, max_flow_density, path_accuracy, path_utility,
+};
+use dui_nethide::obfuscate::{obfuscate, ObfuscationConfig};
+use dui_netsim::packet::Addr;
+use dui_netsim::time::{Bandwidth, SimDuration};
+use dui_netsim::topology::{Routing, TopologyBuilder};
+use proptest::prelude::*;
+
+fn addrs(xs: &[u8]) -> Vec<Addr> {
+    xs.iter().map(|&x| Addr::new(10, 0, 0, x)).collect()
+}
+
+proptest! {
+    #[test]
+    fn levenshtein_is_metric(
+        a in proptest::collection::vec(0u8..8, 0..12),
+        b in proptest::collection::vec(0u8..8, 0..12),
+        c in proptest::collection::vec(0u8..8, 0..12)
+    ) {
+        let (a, b, c) = (addrs(&a), addrs(&b), addrs(&c));
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        // Triangle inequality.
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn accuracy_and_utility_in_unit_interval(
+        p in proptest::collection::vec(0u8..10, 1..10),
+        v in proptest::collection::vec(0u8..10, 1..10)
+    ) {
+        let (p, v) = (addrs(&p), addrs(&v));
+        let acc = path_accuracy(&p, &v);
+        let util = path_utility(&p, &v);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((0.0..=1.0).contains(&util));
+        prop_assert!((path_accuracy(&p, &p) - 1.0).abs() < 1e-12);
+        prop_assert!((path_utility(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_total_equals_edge_count(paths in proptest::collection::vec(proptest::collection::vec(0u8..12, 2..8), 1..10)) {
+        // Deduplicate consecutive repeats to avoid degenerate zero-length edges.
+        let paths: Vec<Vec<Addr>> = paths
+            .into_iter()
+            .map(|p| {
+                let mut v = addrs(&p);
+                v.dedup();
+                v
+            })
+            .filter(|v| v.len() >= 2)
+            .collect();
+        prop_assume!(!paths.is_empty());
+        let total_edges: usize = paths.iter().map(|p| p.len() - 1).sum();
+        let density = flow_density(&paths);
+        let counted: usize = density.values().sum();
+        prop_assert_eq!(counted, total_edges);
+        prop_assert!(max_flow_density(&paths) <= total_edges);
+    }
+
+    #[test]
+    fn solver_contract_on_random_ring(n in 4usize..8, seed in 0u64..50) {
+        // A ring with one chord: flows between random host pairs.
+        let mut b = TopologyBuilder::new();
+        let routers: Vec<_> = (0..n).map(|i| b.router(&format!("r{i}"))).collect();
+        for i in 0..n {
+            b.link(routers[i], routers[(i + 1) % n], Bandwidth::mbps(10), SimDuration::from_millis(1), 8);
+        }
+        b.link(routers[0], routers[n / 2], Bandwidth::mbps(10), SimDuration::from_millis(1), 8);
+        let mut hosts = Vec::new();
+        for (i, &r) in routers.iter().enumerate() {
+            let h = b.host(&format!("h{i}"), Addr::new(10, 9, i as u8, 1));
+            b.link(h, r, Bandwidth::mbps(10), SimDuration::from_millis(1), 8);
+            hosts.push(h);
+        }
+        let topo = b.build();
+        let routing = Routing::shortest_paths(&topo);
+        let mut rng = dui_stats::Rng::new(seed);
+        let mut flows = Vec::new();
+        for _ in 0..6 {
+            let a = rng.below_usize(hosts.len());
+            let mut c = rng.below_usize(hosts.len());
+            if c == a {
+                c = (c + 1) % hosts.len();
+            }
+            flows.push((hosts[a], hosts[c]));
+        }
+        for budget in [8usize, 4, 2, 1] {
+            let cfg = ObfuscationConfig { max_density: budget, max_extra_hops: 3, ..Default::default() };
+            let (_vt, rep) = obfuscate(&topo, &routing, &flows, &cfg, &[]);
+            // The solver's contract: a within-budget report really is
+            // within budget, accuracy is a valid fraction and is perfect
+            // when no lying was needed, and the whole thing is
+            // deterministic.
+            if rep.within_budget {
+                prop_assert!(rep.achieved_max_density <= budget);
+            }
+            prop_assert!((0.0..=1.0).contains(&rep.accuracy));
+            prop_assert!((0.0..=1.0).contains(&rep.utility));
+            if budget >= rep.physical_max_density {
+                prop_assert!((rep.accuracy - 1.0).abs() < 1e-12, "no lying needed");
+            }
+            let (_vt2, rep2) = obfuscate(&topo, &routing, &flows, &cfg, &[]);
+            prop_assert_eq!(rep2.achieved_max_density, rep.achieved_max_density);
+            prop_assert_eq!(rep2.accuracy, rep.accuracy);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The discrete-event queue.
+//!
+//! A binary min-heap ordered by `(time, sequence)`. The monotone sequence
+//! number makes event ordering at equal timestamps FIFO and therefore the
+//! whole simulation deterministic.
+
+use crate::link::Dir;
+use crate::packet::Packet;
+use crate::time::SimTime;
+use crate::topology::{LinkId, NodeId};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// Things that can happen.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A packet arrives at a node (after crossing a link).
+    Deliver {
+        /// Receiving node.
+        node: NodeId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A link direction finished serializing its in-flight packet.
+    TxComplete {
+        /// The link.
+        link: LinkId,
+        /// Direction that completed.
+        dir: Dir,
+    },
+    /// A node timer fired.
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// Opaque token chosen by the node when arming the timer.
+        token: u64,
+    },
+    /// A (tap-delayed) packet is re-offered to a link queue. Re-offers skip
+    /// fault injection and taps — the tap already ruled on this packet.
+    Offer {
+        /// The link.
+        link: LinkId,
+        /// Direction.
+        dir: Dir,
+        /// The packet.
+        pkt: Packet,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Deterministic FIFO-at-equal-time event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq, event }));
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+
+    /// Pop the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse(s)| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize, token: u64) -> Event {
+        Event::Timer {
+            node: NodeId(node),
+            token,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), timer(0, 3));
+        q.schedule(SimTime::from_secs(1), timer(0, 1));
+        q.schedule(SimTime::from_secs(2), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, timer(0, i));
+        }
+        for i in 0..100 {
+            let (_, e) = q.pop().unwrap();
+            match e {
+                Event::Timer { token, .. } => assert_eq!(token, i),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(5), timer(0, 0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

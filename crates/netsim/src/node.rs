@@ -1,0 +1,325 @@
+//! Node behaviors: the [`NodeLogic`] trait, the generic [`RouterLogic`]
+//! with its data-plane program hook (our stand-in for a P4-programmable
+//! switch), and a simple [`SinkHost`].
+
+use crate::packet::{Addr, Header, Packet, Prefix, DEFAULT_TTL};
+use crate::sim::Ctx;
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Behavior attached to a node. Implementations live in higher crates
+/// (TCP hosts in `dui-tcp`, PCC endpoints in `dui-pcc`, …); `dui-netsim`
+/// itself ships [`RouterLogic`] and [`SinkHost`].
+pub trait NodeLogic {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+
+    /// A packet arrived at this node.
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet);
+
+    /// A timer armed via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx, _token: u64) {}
+
+    /// Downcasting hook so tests and harnesses can inspect concrete state.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// What a data-plane program decides for a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forward to this adjacent next hop.
+    Forward(NodeId),
+    /// Drop the packet.
+    Drop,
+}
+
+/// A program running in the forwarding pipeline of a [`RouterLogic`] — our
+/// abstraction of a P4 program on a programmable switch. Blink implements
+/// this trait in `dui-blink`.
+///
+/// Programs see every transiting packet *after* TTL handling and may
+/// override the routing table's default next hop. They keep arbitrary
+/// mutable state (the "stateful data plane" whose expanded attack surface
+/// §3 of the paper is about) but are only consulted on packet arrival:
+/// time-based state transitions must be implemented lazily against `now`,
+/// exactly as real data-plane programs read a timestamp metadata field.
+pub trait DataPlaneProgram {
+    /// Inspect (and possibly steer) one transiting packet.
+    /// `default_next` is the routing table's choice, if the destination is
+    /// routable. Return `None` to express no opinion.
+    fn process(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+        default_next: Option<NodeId>,
+    ) -> Option<Verdict>;
+
+    /// Label for traces.
+    fn label(&self) -> &str {
+        "program"
+    }
+
+    /// Downcasting hook for harness inspection.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Decides what ICMP time-exceeded reply (if any) a router sends when a
+/// probe expires at it. The honest behavior reports the router's own
+/// address; NetHide-style deployments (and malicious operators — §4.3)
+/// substitute a virtual hop address or stay silent.
+pub trait IcmpRewriter {
+    /// `probe` expired at this router. Return the address the time-exceeded
+    /// reply should claim, or `None` to suppress the reply.
+    fn report_address(&mut self, router: NodeId, probe: &Packet) -> Option<Addr>;
+
+    /// `probe` is about to be forwarded to its destination host (this is
+    /// the last router). Return `Some(addr)` to swallow it and reply with
+    /// a time-exceeded claiming `addr` instead — how an edge deployment
+    /// presents *virtual paths longer than the physical one* (extra
+    /// fictitious hops must be answered before the real destination gets
+    /// the probe). Default: let it through.
+    fn capture_at_edge(&mut self, _router: NodeId, _probe: &Packet) -> Option<Addr> {
+        None
+    }
+
+    /// Downcasting hook.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A forwarding device: decrements TTL, answers expired traceroute probes
+/// with ICMP time-exceeded, runs data-plane programs, forwards.
+pub struct RouterLogic {
+    programs: Vec<Box<dyn DataPlaneProgram>>,
+    icmp_rewriter: Option<Box<dyn IcmpRewriter>>,
+    /// Whether to emit ICMP time-exceeded at all (real routers often rate
+    /// limit or disable this).
+    pub respond_time_exceeded: bool,
+}
+
+impl Default for RouterLogic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouterLogic {
+    /// Plain honest router.
+    pub fn new() -> Self {
+        RouterLogic {
+            programs: Vec::new(),
+            icmp_rewriter: None,
+            respond_time_exceeded: true,
+        }
+    }
+
+    /// Attach a data-plane program (operator-privilege action).
+    pub fn with_program(mut self, program: Box<dyn DataPlaneProgram>) -> Self {
+        self.programs.push(program);
+        self
+    }
+
+    /// Attach an ICMP rewriter (operator-privilege action; used by NetHide
+    /// and by the malicious-operator attack).
+    pub fn with_icmp_rewriter(mut self, rw: Box<dyn IcmpRewriter>) -> Self {
+        self.icmp_rewriter = Some(rw);
+        self
+    }
+
+    /// Borrow program `i`, downcast to its concrete type.
+    pub fn program_mut<T: DataPlaneProgram + 'static>(&mut self, i: usize) -> &mut T {
+        self.programs[i]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("program has a different concrete type")
+    }
+
+    fn handle_local(&mut self, ctx: &mut Ctx, pkt: Packet) {
+        // The only local traffic routers answer is ping.
+        if let Header::IcmpEchoRequest { ident, seq } = pkt.header {
+            let mut reply = Packet {
+                id: 0,
+                key: pkt.key.reversed(),
+                header: Header::IcmpEchoReply { ident, seq },
+                size: 64,
+                ttl: DEFAULT_TTL,
+                sent_at: SimTime::ZERO,
+                payload: 0,
+            };
+            reply.key.src = ctx.addr();
+            ctx.send(reply);
+        }
+    }
+}
+
+impl NodeLogic for RouterLogic {
+    fn on_packet(&mut self, ctx: &mut Ctx, mut pkt: Packet) {
+        if pkt.key.dst == ctx.addr() {
+            self.handle_local(ctx, pkt);
+            return;
+        }
+        // TTL expiry — the mechanism traceroute exploits (paper §4.3).
+        if pkt.ttl <= 1 {
+            ctx.count_ttl_drop();
+            if self.respond_time_exceeded {
+                if let Header::IcmpEchoRequest { ident, seq } = pkt.header {
+                    let me = ctx.node;
+                    let claimed = match &mut self.icmp_rewriter {
+                        Some(rw) => rw.report_address(me, &pkt),
+                        None => Some(ctx.addr()),
+                    };
+                    if let Some(claimed) = claimed {
+                        let reply = Packet {
+                            id: 0,
+                            key: crate::packet::FlowKey {
+                                src: claimed,
+                                dst: pkt.key.src,
+                                sport: 0,
+                                dport: 0,
+                                proto: crate::packet::Proto::Icmp,
+                            },
+                            header: Header::IcmpTimeExceeded {
+                                reported_by: claimed,
+                                probe_ident: ident,
+                                probe_seq: seq,
+                            },
+                            size: 56,
+                            ttl: DEFAULT_TTL,
+                            sent_at: SimTime::ZERO,
+                            payload: 0,
+                        };
+                        ctx.send(reply);
+                    }
+                }
+            }
+            return;
+        }
+        pkt.ttl -= 1;
+        let dst_node = ctx.resolve_dst(pkt.key.dst);
+        let default_next = dst_node.and_then(|d| ctx.routing().next_hop(ctx.node, d));
+        // Edge capture: a rewriter may answer probes that would otherwise
+        // reach the destination, extending the apparent path.
+        if let (Header::IcmpEchoRequest { ident, seq }, Some(rw)) =
+            (&pkt.header, &mut self.icmp_rewriter)
+        {
+            if dst_node.is_some() && default_next == dst_node {
+                let me = ctx.node;
+                if let Some(claimed) = rw.capture_at_edge(me, &pkt) {
+                    let reply = Packet {
+                        id: 0,
+                        key: crate::packet::FlowKey {
+                            src: claimed,
+                            dst: pkt.key.src,
+                            sport: 0,
+                            dport: 0,
+                            proto: crate::packet::Proto::Icmp,
+                        },
+                        header: Header::IcmpTimeExceeded {
+                            reported_by: claimed,
+                            probe_ident: *ident,
+                            probe_seq: *seq,
+                        },
+                        size: 56,
+                        ttl: DEFAULT_TTL,
+                        sent_at: SimTime::ZERO,
+                        payload: 0,
+                    };
+                    ctx.send(reply);
+                    return;
+                }
+            }
+        }
+        let mut verdict = default_next.map(Verdict::Forward);
+        let now = ctx.now();
+        for prog in &mut self.programs {
+            if let Some(v) = prog.process(now, &pkt, default_next) {
+                verdict = Some(v);
+            }
+        }
+        match verdict {
+            Some(Verdict::Forward(next)) => ctx.send_via(next, pkt),
+            Some(Verdict::Drop) => ctx.count_program_drop(),
+            None => ctx.count_no_route(),
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Per-flow delivery accounting kept by [`SinkHost`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkFlowStats {
+    /// Packets received.
+    pub packets: u64,
+    /// Payload bytes received.
+    pub bytes: u64,
+}
+
+/// A host that consumes everything sent to it (answering pings), keeping
+/// per-flow statistics. Useful as a traffic sink and as the victim-prefix
+/// endpoint in the Blink experiments.
+#[derive(Default)]
+pub struct SinkHost {
+    flows: HashMap<crate::packet::FlowKey, SinkFlowStats>,
+    /// Total payload bytes received.
+    pub total_bytes: u64,
+    /// Total packets received.
+    pub total_packets: u64,
+}
+
+impl SinkHost {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stats for one flow key, if seen.
+    pub fn flow(&self, key: &crate::packet::FlowKey) -> Option<SinkFlowStats> {
+        self.flows.get(key).copied()
+    }
+
+    /// Number of distinct flows seen.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+impl NodeLogic for SinkHost {
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+        if let Header::IcmpEchoRequest { ident, seq } = pkt.header {
+            let mut reply = Packet {
+                id: 0,
+                key: pkt.key.reversed(),
+                header: Header::IcmpEchoReply { ident, seq },
+                size: 64,
+                ttl: DEFAULT_TTL,
+                sent_at: SimTime::ZERO,
+                payload: 0,
+            };
+            reply.key.src = ctx.addr();
+            ctx.send(reply);
+            return;
+        }
+        let e = self.flows.entry(pkt.key).or_default();
+        e.packets += 1;
+        e.bytes += pkt.payload as u64;
+        self.total_bytes += pkt.payload as u64;
+        self.total_packets += 1;
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Announce helper: a `(prefix, node)` pair bundled for scenario builders.
+#[derive(Debug, Clone, Copy)]
+pub struct Announcement {
+    /// The prefix.
+    pub prefix: Prefix,
+    /// The sink node.
+    pub node: NodeId,
+}

@@ -1,0 +1,512 @@
+//! The simulation engine: core state, the node-facing [`Ctx`] handle, and
+//! the top-level [`Simulator`].
+
+use crate::event::{Event, EventQueue};
+use crate::link::{Dir, FaultConfig, LinkRuntime, LinkTap, TapAction};
+use crate::node::NodeLogic;
+use crate::packet::{Addr, Packet, Prefix};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{LinkId, NodeId, PrefixTable, Routing, Topology};
+use crate::trace::{Counters, Trace, TraceEvent, TraceKind};
+use dui_stats::Rng;
+
+/// Engine state shared with node logic through [`Ctx`]. Node behaviors are
+/// stored *outside* this struct so a node can freely send packets / arm
+/// timers while its own `&mut self` is live.
+pub struct SimCore {
+    now: SimTime,
+    queue: EventQueue,
+    topo: Topology,
+    routing: Routing,
+    prefixes: PrefixTable,
+    links: Vec<LinkRuntime>,
+    pub(crate) counters: Counters,
+    trace: Trace,
+    rng: Rng,
+    next_pkt_id: u64,
+}
+
+impl SimCore {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The (immutable) topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Read the routing tables.
+    pub fn routing(&self) -> &Routing {
+        &self.routing
+    }
+
+    /// Mutate the routing tables. This is an **operator-privilege** action
+    /// in the paper's threat model (§2.1) — only code standing in for the
+    /// operator (or for the legitimate control plane) should call it.
+    pub fn routing_mut(&mut self) -> &mut Routing {
+        &mut self.routing
+    }
+
+    /// Read announced destination prefixes.
+    pub fn prefixes(&self) -> &PrefixTable {
+        &self.prefixes
+    }
+
+    /// Global counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Resolve a destination address to its sink node: exact host address
+    /// first, then longest-prefix match on announced prefixes.
+    pub fn resolve_dst(&self, addr: Addr) -> Option<NodeId> {
+        self.topo
+            .node_by_addr(addr)
+            .or_else(|| self.prefixes.lookup(addr).map(|(_, n)| n))
+    }
+
+    fn assign_id(&mut self, pkt: &mut Packet) {
+        if pkt.id == 0 {
+            self.next_pkt_id += 1;
+            pkt.id = self.next_pkt_id;
+            pkt.sent_at = self.now;
+        }
+    }
+
+    /// Route a packet out of `from` toward its destination address.
+    fn route_and_send(&mut self, from: NodeId, pkt: Packet) {
+        let Some(dst_node) = self.resolve_dst(pkt.key.dst) else {
+            self.counters.dropped_no_route += 1;
+            self.trace
+                .record(self.now, TraceKind::NoRoute, Some(from), &pkt);
+            return;
+        };
+        if dst_node == from {
+            // Local delivery (e.g. a router pinging itself) — deliver now.
+            self.queue
+                .schedule(self.now, Event::Deliver { node: from, pkt });
+            return;
+        }
+        let Some(next) = self.routing.next_hop(from, dst_node) else {
+            self.counters.dropped_no_route += 1;
+            self.trace
+                .record(self.now, TraceKind::NoRoute, Some(from), &pkt);
+            return;
+        };
+        self.send_via(from, next, pkt);
+    }
+
+    /// Send a packet from `from` to adjacent node `next`.
+    fn send_via(&mut self, from: NodeId, next: NodeId, mut pkt: Packet) {
+        self.assign_id(&mut pkt);
+        let Some(link) = self.topo.link_between(from, next) else {
+            panic!(
+                "send_via: {} and {} are not adjacent",
+                self.topo.node(from).name,
+                self.topo.node(next).name
+            );
+        };
+        let dir = self.links[link.0].dir_from(from);
+        self.offer_link(link, dir, pkt);
+    }
+
+    /// Offer a packet to a link direction: faults → taps → queue.
+    fn offer_link(&mut self, link: LinkId, dir: Dir, mut pkt: Packet) {
+        self.links[link.0].stats_mut(dir).offered += 1;
+        // 1. link up / fault injection
+        let mut extra = SimDuration::ZERO;
+        if !self.links[link.0].apply_fault(dir, &mut self.rng, &mut extra) {
+            self.counters.dropped_fault += 1;
+            self.trace
+                .record(self.now, TraceKind::FaultDrop, None, &pkt);
+            return;
+        }
+        // 2. taps (MitM)
+        let mut taps = std::mem::take(self.links[link.0].taps_mut(dir));
+        let mut verdict = TapAction::Forward;
+        let mut injected = Vec::new();
+        for tap in &mut taps {
+            match tap.intercept(self.now, dir, &mut pkt, &mut injected) {
+                TapAction::Forward => {}
+                other => {
+                    verdict = other;
+                    break;
+                }
+            }
+        }
+        *self.links[link.0].taps_mut(dir) = taps;
+        for extra_pkt in injected {
+            let mut p = extra_pkt;
+            self.assign_id(&mut p);
+            self.queue
+                .schedule(self.now, Event::Offer { link, dir, pkt: p });
+        }
+        match verdict {
+            TapAction::Forward => {}
+            TapAction::Drop => {
+                self.links[link.0].stats_mut(dir).dropped_tap += 1;
+                self.counters.dropped_tap += 1;
+                self.trace.record(self.now, TraceKind::TapDrop, None, &pkt);
+                return;
+            }
+            TapAction::Delay(d) => {
+                self.queue
+                    .schedule(self.now + d, Event::Offer { link, dir, pkt });
+                return;
+            }
+        }
+        // 3. jitter re-offers later, bypassing faults/taps
+        if extra > SimDuration::ZERO {
+            self.queue
+                .schedule(self.now + extra, Event::Offer { link, dir, pkt });
+            return;
+        }
+        self.enqueue_link(link, dir, pkt);
+    }
+
+    /// DropTail enqueue + transmitter start.
+    pub(crate) fn enqueue_link(&mut self, link: LinkId, dir: Dir, pkt: Packet) {
+        let cap = self.links[link.0].info.queue_cap;
+        let lr = &mut self.links[link.0];
+        let st = lr.dir_state(dir);
+        if st.in_flight.is_some() {
+            if st.queue.len() >= cap {
+                lr.stats_mut(dir).dropped_queue += 1;
+                self.counters.dropped_queue += 1;
+                self.trace
+                    .record(self.now, TraceKind::QueueDrop, None, &pkt);
+                return;
+            }
+            st.queue.push_back(pkt);
+        } else {
+            self.start_tx(link, dir, pkt);
+        }
+    }
+
+    fn start_tx(&mut self, link: LinkId, dir: Dir, pkt: Packet) {
+        let bw = self.links[link.0].info.bandwidth;
+        let ser = bw.serialization_delay(pkt.size);
+        self.trace.record(self.now, TraceKind::TxStart, None, &pkt);
+        self.links[link.0].dir_state(dir).in_flight = Some(pkt);
+        self.queue
+            .schedule(self.now + ser, Event::TxComplete { link, dir });
+    }
+
+    pub(crate) fn tx_complete(&mut self, link: LinkId, dir: Dir) {
+        let prop = self.links[link.0].info.delay;
+        let dst = self.links[link.0].dst_node(dir);
+        let lr = &mut self.links[link.0];
+        let pkt = lr
+            .dir_state(dir)
+            .in_flight
+            .take()
+            .expect("tx_complete with no in-flight packet");
+        let stats = lr.stats_mut(dir);
+        stats.delivered += 1;
+        stats.bytes_delivered += pkt.size as u64;
+        self.queue
+            .schedule(self.now + prop, Event::Deliver { node: dst, pkt });
+        // Start next queued packet, if any.
+        if let Some(next) = self.links[link.0].dir_state(dir).queue.pop_front() {
+            self.start_tx(link, dir, next);
+        }
+    }
+}
+
+/// Handle given to node logic while it runs. Everything a host or router may
+/// legitimately do — read the clock, send packets, arm timers, draw
+/// randomness — goes through here.
+pub struct Ctx<'a> {
+    core: &'a mut SimCore,
+    /// The node this context belongs to.
+    pub node: NodeId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> Addr {
+        self.core.topo.node(self.node).addr
+    }
+
+    /// The topology (read-only).
+    pub fn topo(&self) -> &Topology {
+        self.core.topo()
+    }
+
+    /// The routing tables (read-only; routing changes are operator actions
+    /// done through [`Simulator::core_mut`]).
+    pub fn routing(&self) -> &Routing {
+        self.core.routing()
+    }
+
+    /// Resolve a destination address to its sink node.
+    pub fn resolve_dst(&self, addr: Addr) -> Option<NodeId> {
+        self.core.resolve_dst(addr)
+    }
+
+    /// Send a packet, routed from this node toward `pkt.key.dst`.
+    pub fn send(&mut self, pkt: Packet) {
+        self.core.route_and_send(self.node, pkt);
+    }
+
+    /// Send a packet to a specific adjacent next hop (used by routers whose
+    /// data-plane programs override the routing table).
+    pub fn send_via(&mut self, next: NodeId, pkt: Packet) {
+        self.core.send_via(self.node, next, pkt);
+    }
+
+    /// Arm a one-shot timer delivering `token` to this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let node = self.node;
+        self.core
+            .queue
+            .schedule(self.core.now + delay, Event::Timer { node, token });
+    }
+
+    /// Deterministic randomness.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.core.rng
+    }
+
+    /// Count a TTL-expiry drop (used by router logic).
+    pub fn count_ttl_drop(&mut self) {
+        self.core.counters.dropped_ttl += 1;
+    }
+
+    /// Count a drop decided by a data-plane program.
+    pub fn count_program_drop(&mut self) {
+        self.core.counters.dropped_program += 1;
+    }
+
+    /// Count a packet that reached a node with no local consumer.
+    pub fn count_no_route(&mut self) {
+        self.core.counters.dropped_no_route += 1;
+    }
+}
+
+/// The top-level simulator: topology + per-node behavior + event loop.
+pub struct Simulator {
+    core: SimCore,
+    logics: Vec<Option<Box<dyn NodeLogic>>>,
+    started: bool,
+}
+
+impl Simulator {
+    /// Build a simulator over `topo` with shortest-path routing and a
+    /// deterministic RNG seeded by `seed`.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        let routing = Routing::shortest_paths(&topo);
+        let links = topo.links().iter().cloned().map(LinkRuntime::new).collect();
+        let n = topo.node_count();
+        Simulator {
+            core: SimCore {
+                now: SimTime::ZERO,
+                queue: EventQueue::new(),
+                topo,
+                routing,
+                prefixes: PrefixTable::new(),
+                links,
+                counters: Counters::default(),
+                trace: Trace::disabled(),
+                rng: Rng::new(seed),
+                next_pkt_id: 0,
+            },
+            logics: (0..n).map(|_| None).collect(),
+            started: false,
+        }
+    }
+
+    /// Install behavior for a node (replacing any previous behavior).
+    pub fn set_logic(&mut self, node: NodeId, logic: Box<dyn NodeLogic>) {
+        self.logics[node.0] = Some(logic);
+    }
+
+    /// Borrow a node's behavior, downcast to its concrete type. Panics if
+    /// the node has no logic or the type does not match — both are test/
+    /// harness programming errors.
+    pub fn logic_mut<T: NodeLogic + 'static>(&mut self, node: NodeId) -> &mut T {
+        self.logics[node.0]
+            .as_mut()
+            .expect("node has no logic installed")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node logic has a different concrete type")
+    }
+
+    /// Shared read access to the engine core.
+    pub fn core(&self) -> &SimCore {
+        &self.core
+    }
+
+    /// Mutable access to the engine core (routing changes, etc.). This is
+    /// the operator-privilege surface.
+    pub fn core_mut(&mut self) -> &mut SimCore {
+        &mut self.core
+    }
+
+    /// Announce a destination prefix as sunk by `node`.
+    pub fn announce_prefix(&mut self, prefix: Prefix, node: NodeId) {
+        self.core.prefixes.announce(prefix, node);
+    }
+
+    /// Install a MitM tap on one direction of a link.
+    pub fn install_tap(&mut self, link: LinkId, dir: Dir, tap: Box<dyn LinkTap>) {
+        self.core.links[link.0].taps_mut(dir).push(tap);
+    }
+
+    /// Configure benign fault injection on one direction of a link.
+    pub fn set_fault(&mut self, link: LinkId, dir: Dir, fault: FaultConfig) {
+        self.core.links[link.0].dir_state(dir).fault = fault;
+    }
+
+    /// Administratively fail / restore a link (both directions).
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.core.links[link.0].up = up;
+    }
+
+    /// Is the link currently up?
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.core.links[link.0].up
+    }
+
+    /// Per-direction link statistics.
+    pub fn link_stats(&self, link: LinkId, dir: Dir) -> crate::link::LinkDirStats {
+        *self.core.links[link.0].stats(dir)
+    }
+
+    /// Enable bounded in-memory tracing (for examples / debugging).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.core.trace = Trace::enabled(capacity);
+    }
+
+    /// Recorded trace events.
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.core.trace.events()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Global counters.
+    pub fn counters(&self) -> &Counters {
+        &self.core.counters
+    }
+
+    /// Inject a packet at a node as if its application sent it.
+    pub fn inject(&mut self, node: NodeId, pkt: Packet) {
+        self.start_if_needed();
+        self.core.route_and_send(node, pkt);
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.logics.len() {
+            if let Some(mut logic) = self.logics[i].take() {
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node: NodeId(i),
+                };
+                logic.on_start(&mut ctx);
+                self.logics[i] = Some(logic);
+            }
+        }
+    }
+
+    /// Run the event loop until simulated time `t` (inclusive of events at
+    /// exactly `t`). Time then rests at `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.start_if_needed();
+        while let Some(et) = self.core.queue.peek_time() {
+            if et > t {
+                break;
+            }
+            let (time, event) = self.core.queue.pop().expect("peeked");
+            debug_assert!(time >= self.core.now, "time went backwards");
+            self.core.now = time;
+            match event {
+                Event::Deliver { node, pkt } => {
+                    self.core.counters.delivered += 1;
+                    self.core
+                        .trace
+                        .record(time, TraceKind::Deliver, Some(node), &pkt);
+                    if let Some(mut logic) = self.logics[node.0].take() {
+                        let mut ctx = Ctx {
+                            core: &mut self.core,
+                            node,
+                        };
+                        logic.on_packet(&mut ctx, pkt);
+                        self.logics[node.0] = Some(logic);
+                    } else {
+                        // No behavior installed: node is a pure sink.
+                        self.core.counters.sunk += 1;
+                    }
+                }
+                Event::TxComplete { link, dir } => self.core.tx_complete(link, dir),
+                Event::Timer { node, token } => {
+                    if let Some(mut logic) = self.logics[node.0].take() {
+                        let mut ctx = Ctx {
+                            core: &mut self.core,
+                            node,
+                        };
+                        logic.on_timer(&mut ctx, token);
+                        self.logics[node.0] = Some(logic);
+                    }
+                }
+                Event::Offer { link, dir, pkt } => self.core.enqueue_link(link, dir, pkt),
+            }
+        }
+        self.core.now = t;
+    }
+
+    /// Run until the event queue drains (or `max` events, as a hang guard).
+    /// Returns the number of events processed.
+    pub fn run_to_quiescence(&mut self, max: u64) -> u64 {
+        self.start_if_needed();
+        let mut n = 0;
+        while let Some((time, event)) = self.core.queue.pop() {
+            self.core.now = time;
+            n += 1;
+            assert!(n <= max, "simulation did not quiesce within {max} events");
+            match event {
+                Event::Deliver { node, pkt } => {
+                    self.core.counters.delivered += 1;
+                    if let Some(mut logic) = self.logics[node.0].take() {
+                        let mut ctx = Ctx {
+                            core: &mut self.core,
+                            node,
+                        };
+                        logic.on_packet(&mut ctx, pkt);
+                        self.logics[node.0] = Some(logic);
+                    } else {
+                        self.core.counters.sunk += 1;
+                    }
+                }
+                Event::TxComplete { link, dir } => self.core.tx_complete(link, dir),
+                Event::Timer { node, token } => {
+                    if let Some(mut logic) = self.logics[node.0].take() {
+                        let mut ctx = Ctx {
+                            core: &mut self.core,
+                            node,
+                        };
+                        logic.on_timer(&mut ctx, token);
+                        self.logics[node.0] = Some(logic);
+                    }
+                }
+                Event::Offer { link, dir, pkt } => self.core.enqueue_link(link, dir, pkt),
+            }
+        }
+        n
+    }
+}

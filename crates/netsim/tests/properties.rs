@@ -1,0 +1,107 @@
+//! Property-based tests of the simulator substrate: prefixes, flow keys,
+//! event ordering, and routing invariants.
+
+use dui_netsim::event::{Event, EventQueue};
+use dui_netsim::packet::{Addr, FlowKey, Prefix};
+use dui_netsim::time::{Bandwidth, SimDuration, SimTime};
+use dui_netsim::topology::{NodeId, Routing, TopologyBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn prefix_contains_its_network_address(addr: u32, len in 0u8..=32) {
+        let p = Prefix::new(Addr(addr), len);
+        prop_assert!(p.contains(p.addr));
+    }
+
+    #[test]
+    fn prefix_longer_is_subset(addr: u32, len in 0u8..=31, probe: u32) {
+        let longer = Prefix::new(Addr(addr), len + 1);
+        let shorter = Prefix::new(Addr(addr), len);
+        if longer.contains(Addr(probe)) {
+            prop_assert!(shorter.contains(Addr(probe)));
+        }
+    }
+
+    #[test]
+    fn flowkey_reverse_involution(src: u32, dst: u32, sport: u16, dport: u16) {
+        let k = FlowKey::tcp(Addr(src), sport, Addr(dst), dport);
+        prop_assert_eq!(k.reversed().reversed(), k);
+    }
+
+    #[test]
+    fn flowkey_digest_deterministic(src: u32, dst: u32, sport: u16, dport: u16, salt: u64) {
+        let k = FlowKey::tcp(Addr(src), sport, Addr(dst), dport);
+        prop_assert_eq!(k.digest(salt), k.digest(salt));
+    }
+
+    #[test]
+    fn event_queue_pops_in_time_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), Event::Timer { node: NodeId(0), token: i as u64 });
+        }
+        let mut prev = SimTime(0);
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn event_queue_fifo_at_equal_times(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime(42), Event::Timer { node: NodeId(0), token: i as u64 });
+        }
+        for i in 0..n {
+            match q.pop() {
+                Some((_, Event::Timer { token, .. })) => prop_assert_eq!(token, i as u64),
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_delay_monotone_in_size(bw in 1_000u64..10_000_000_000, a: u16, b: u16) {
+        let bw = Bandwidth::bps(bw);
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bw.serialization_delay(small as u32) <= bw.serialization_delay(large as u32));
+    }
+
+    #[test]
+    fn ring_routing_is_loop_free_and_symmetric_in_length(n in 3usize..12) {
+        // Build a ring of routers and check every pair routes with a path
+        // no longer than ceil(n/2) hops and no repeated nodes.
+        let mut b = TopologyBuilder::new();
+        let nodes: Vec<NodeId> = (0..n).map(|i| b.router(&format!("r{i}"))).collect();
+        for i in 0..n {
+            b.link(
+                nodes[i],
+                nodes[(i + 1) % n],
+                Bandwidth::mbps(10),
+                SimDuration::from_millis(1),
+                8,
+            );
+        }
+        let topo = b.build();
+        let routing = Routing::shortest_paths(&topo);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let path = routing.path(nodes[i], nodes[j]).expect("ring is connected");
+                let distinct: std::collections::HashSet<_> = path.iter().collect();
+                prop_assert_eq!(distinct.len(), path.len(), "loop-free");
+                prop_assert!(path.len() - 1 <= n / 2 + 1, "near-shortest");
+                // Path lengths are symmetric on a uniform ring.
+                let back = routing.path(nodes[j], nodes[i]).expect("connected");
+                prop_assert_eq!(back.len(), path.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of PCC: utility-function shape, controller
+//! invariants, and monitor-interval accounting.
+
+use dui_netsim::time::{SimDuration, SimTime};
+use dui_pcc::control::{ControlConfig, Controller};
+use dui_pcc::monitor::MonitorAccounting;
+use dui_pcc::utility::{allegro_utility, equalizing_drop_rate, UtilityParams};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn utility_increasing_in_rate_at_low_loss(x in 0.1f64..1000.0, dx in 0.001f64..100.0, loss in 0.0f64..0.02) {
+        let p = UtilityParams::default();
+        prop_assert!(allegro_utility(x + dx, loss, &p) > allegro_utility(x, loss, &p));
+    }
+
+    #[test]
+    fn utility_decreasing_in_loss(x in 0.1f64..1000.0, l in 0.0f64..0.9, dl in 0.001f64..0.1) {
+        let p = UtilityParams::default();
+        prop_assert!(allegro_utility(x, (l + dl).min(1.0), &p) <= allegro_utility(x, l, &p) + 1e-9);
+    }
+
+    #[test]
+    fn equalizer_root_actually_equalizes(rate in 1.0f64..100.0, eps in 0.005f64..0.3) {
+        let p = UtilityParams::default();
+        if let Some(d) = equalizing_drop_rate(rate, eps, 0.0, &p) {
+            let u_hi = allegro_utility(rate * (1.0 + eps), d, &p);
+            let u_lo = allegro_utility(rate * (1.0 - eps), 0.0, &p);
+            prop_assert!((u_hi - u_lo).abs() <= 1e-5 * (1.0 + u_lo.abs()), "{u_hi} vs {u_lo}");
+        }
+    }
+
+    #[test]
+    fn controller_rates_always_within_bounds(seed: u64, utilities in proptest::collection::vec(-10.0f64..10.0, 1..200)) {
+        let cfg = ControlConfig::default();
+        let mut c = Controller::new(cfg, 1e6, seed);
+        for u in utilities {
+            let r = c.next_mi_rate();
+            prop_assert!(r >= cfg.min_rate && r <= cfg.max_rate);
+            c.on_report(u);
+            prop_assert!(c.base_rate() >= cfg.min_rate && c.base_rate() <= cfg.max_rate);
+            prop_assert!(c.epsilon() >= cfg.eps_min - 1e-12 && c.epsilon() <= cfg.eps_max + 1e-12);
+        }
+    }
+
+    #[test]
+    fn controller_trial_rates_bracket_base(seed: u64) {
+        let cfg = ControlConfig::default();
+        let mut c = Controller::new(cfg, 1e6, seed);
+        // Exit Starting.
+        let _ = c.next_mi_rate();
+        c.on_report(1.0);
+        let _ = c.next_mi_rate();
+        c.on_report(0.5);
+        for _ in 0..40 {
+            let base = c.base_rate();
+            let r = c.next_mi_rate();
+            c.on_report(5.0); // constant => inconclusive forever
+            let dev = (r - base).abs() / base;
+            prop_assert!(dev <= cfg.eps_max + 1e-9, "trials stay within ±eps_max of base");
+        }
+    }
+
+    #[test]
+    fn accounting_loss_fraction_valid(
+        sends in proptest::collection::vec(0u64..50, 1..20),
+        ack_mask: u64
+    ) {
+        let mut acc = MonitorAccounting::new();
+        let mut seq = 0u64;
+        for (i, &n) in sends.iter().enumerate() {
+            let mi = acc.open_mi(
+                SimTime(i as u64 * 1_000_000),
+                SimTime(i as u64 * 1_000_000 + 900_000),
+                1e6,
+            );
+            for _ in 0..n {
+                acc.on_send(mi, seq);
+                if ack_mask & (1 << (seq % 64)) != 0 {
+                    acc.on_ack(seq);
+                }
+                seq += 1;
+            }
+        }
+        let reports = acc.finalize_due(SimTime(u64::MAX / 2), SimDuration::ZERO);
+        prop_assert_eq!(reports.len(), sends.len());
+        for r in reports {
+            prop_assert!((0.0..=1.0).contains(&r.loss));
+            prop_assert!(r.delivered <= r.sent);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Ground-truth QoE model and client reports.
+//!
+//! Each arm (CDN / server choice) has a true quality per group —
+//! throughput-like, in `[0, 1]` after normalization. An honest session
+//! experiences `quality + noise` and reports what it experienced. An
+//! attacker-controlled session reports whatever serves the attack
+//! (§4.1: "a botnet can pollute measurements … by reporting low
+//! throughput and poor QoE"). A MitM variant instead degrades the
+//! *experienced* quality of victim sessions on one arm (throttling),
+//! which poisons even honest reports.
+
+use dui_stats::Rng;
+
+/// One QoE report received by the frontend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Report {
+    /// Arm the session was assigned.
+    pub arm: usize,
+    /// Reported QoE value.
+    pub value: f64,
+    /// Whether the reporting session is attacker-controlled (ground truth
+    /// for evaluation only — the system cannot see this bit).
+    pub malicious: bool,
+}
+
+/// Ground-truth per-arm quality with observation noise.
+#[derive(Debug, Clone)]
+pub struct QoeModel {
+    /// True mean quality per arm, in `[0, 1]`.
+    pub qualities: Vec<f64>,
+    /// Gaussian observation noise sigma.
+    pub noise: f64,
+}
+
+impl QoeModel {
+    /// New model; panics unless qualities are in `[0, 1]`.
+    pub fn new(qualities: Vec<f64>, noise: f64) -> Self {
+        assert!(!qualities.is_empty(), "need at least one arm");
+        assert!(
+            qualities.iter().all(|q| (0.0..=1.0).contains(q)),
+            "qualities are normalized to [0,1]"
+        );
+        assert!(noise >= 0.0);
+        QoeModel { qualities, noise }
+    }
+
+    /// Number of arms.
+    pub fn arms(&self) -> usize {
+        self.qualities.len()
+    }
+
+    /// The genuinely best arm.
+    pub fn best_arm(&self) -> usize {
+        (0..self.arms())
+            .max_by(|&a, &b| {
+                self.qualities[a]
+                    .partial_cmp(&self.qualities[b])
+                    .expect("no NaN")
+            })
+            .unwrap_or(0)
+    }
+
+    /// Sample the QoE a session truly experiences on `arm` (clamped to
+    /// `[0, 1]`).
+    pub fn experience(&self, arm: usize, rng: &mut Rng) -> f64 {
+        let v = self.qualities[arm] + dui_stats::dist::normal(rng, 0.0, self.noise);
+        v.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_arm_is_argmax() {
+        let m = QoeModel::new(vec![0.3, 0.9, 0.5], 0.0);
+        assert_eq!(m.best_arm(), 1);
+    }
+
+    #[test]
+    fn experience_centers_on_quality() {
+        let m = QoeModel::new(vec![0.6], 0.05);
+        let mut rng = Rng::new(1);
+        let mean: f64 = (0..10_000).map(|_| m.experience(0, &mut rng)).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.6).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn experience_clamped() {
+        let m = QoeModel::new(vec![0.99], 0.5);
+        let mut rng = Rng::new(2);
+        for _ in 0..1000 {
+            let v = m.experience(0, &mut rng);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_quality_rejected() {
+        QoeModel::new(vec![1.5], 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Session features and grouping.
+//!
+//! Pytheas groups sessions by the features that determine which decisions
+//! affect their QoE. The paper's attack note (§4.1): "group membership
+//! will not be hard to ascertain even for external parties, as it is
+//! typically based on features like autonomous system, IP prefix and
+//! location" — our group key is exactly that triple, so an attacker can
+//! place bot sessions into a victim group by matching those features.
+
+use std::fmt;
+
+/// Features of one client session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionFeatures {
+    /// Autonomous system number.
+    pub asn: u32,
+    /// /16 prefix identifier of the client address.
+    pub prefix16: u16,
+    /// Coarse geographic location id.
+    pub location: u16,
+    /// Content/video id class (not part of the default group key).
+    pub content: u16,
+}
+
+/// The group a session belongs to (ASN, /16 prefix, location).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupKey {
+    /// Autonomous system number.
+    pub asn: u32,
+    /// /16 prefix identifier.
+    pub prefix16: u16,
+    /// Location id.
+    pub location: u16,
+}
+
+impl SessionFeatures {
+    /// The session's group key.
+    pub fn group_key(&self) -> GroupKey {
+        GroupKey {
+            asn: self.asn,
+            prefix16: self.prefix16,
+            location: self.location,
+        }
+    }
+}
+
+impl fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}/{:04x}@{}", self.asn, self.prefix16, self.location)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_features_same_group() {
+        let a = SessionFeatures {
+            asn: 3303,
+            prefix16: 0x0a00,
+            location: 1,
+            content: 7,
+        };
+        let b = SessionFeatures { content: 99, ..a };
+        assert_eq!(a.group_key(), b.group_key(), "content is not in the key");
+    }
+
+    #[test]
+    fn different_asn_different_group() {
+        let a = SessionFeatures {
+            asn: 3303,
+            prefix16: 0,
+            location: 0,
+            content: 0,
+        };
+        let b = SessionFeatures { asn: 6830, ..a };
+        assert_ne!(a.group_key(), b.group_key());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let k = GroupKey {
+            asn: 3303,
+            prefix16: 0x0a00,
+            location: 2,
+        };
+        assert_eq!(k.to_string(), "AS3303/0a00@2");
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests of Pytheas: bandit invariants and engine
+//! bookkeeping.
+
+use dui_pytheas::e2::DiscountedUcb;
+use dui_pytheas::engine::{make_groups, AcceptAll, EngineConfig, PytheasEngine};
+use dui_pytheas::qoe::QoeModel;
+use dui_stats::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ucb_pick_always_valid(seed: u64, k in 1usize..16, rounds in 1usize..200) {
+        let mut ucb = DiscountedUcb::new(k, 0.99, 0.5);
+        let mut rng = Rng::new(seed);
+        for i in 0..rounds {
+            let a = ucb.pick(&mut rng);
+            prop_assert!(a < k);
+            ucb.update(a, (i % 7) as f64 / 7.0);
+        }
+    }
+
+    #[test]
+    fn ucb_mean_bounded_by_reward_range(seed: u64, rewards in proptest::collection::vec(0.0f64..1.0, 1..100)) {
+        let mut ucb = DiscountedUcb::new(3, 0.95, 0.5);
+        let mut rng = Rng::new(seed);
+        for &r in &rewards {
+            let a = ucb.pick(&mut rng);
+            ucb.update(a, r);
+        }
+        for a in 0..3 {
+            let m = ucb.mean(a);
+            prop_assert!((0.0..=1.0).contains(&m) || m == 0.0);
+        }
+    }
+
+    #[test]
+    fn ucb_total_decays_or_grows_sanely(gamma in 0.5f64..1.0, n in 1usize..200) {
+        let mut ucb = DiscountedUcb::new(2, gamma, 0.5);
+        for _ in 0..n {
+            ucb.update(0, 1.0);
+        }
+        // Discounted total is bounded by the geometric series limit.
+        let bound = if gamma < 1.0 { 1.0 / (1.0 - gamma) } else { n as f64 };
+        prop_assert!(ucb.total() <= bound + 1e-6);
+    }
+
+    #[test]
+    fn engine_round_shares_sum_to_one(seed: u64, groups in 1usize..5, sessions in 1usize..40) {
+        let cfg = EngineConfig {
+            sessions_per_round: sessions,
+            ..Default::default()
+        };
+        let model = QoeModel::new(vec![0.4, 0.85, 0.7], 0.05);
+        let mut e = PytheasEngine::new(model, cfg, &make_groups(groups), seed);
+        let stats = e.run_round(&mut AcceptAll);
+        let total: f64 = stats.arm_share.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&stats.on_best_fraction));
+        prop_assert!((0.0..=1.0).contains(&stats.honest_qoe));
+    }
+
+    #[test]
+    fn engine_deterministic_per_seed(seed: u64) {
+        let cfg = EngineConfig::default();
+        let model = || QoeModel::new(vec![0.4, 0.85, 0.7], 0.05);
+        let mut a = PytheasEngine::new(model(), cfg.clone(), &make_groups(2), seed);
+        let mut b = PytheasEngine::new(model(), cfg, &make_groups(2), seed);
+        let qa = a.run(30, &mut AcceptAll);
+        let qb = b.run(30, &mut AcceptAll);
+        prop_assert_eq!(qa, qb);
+    }
+}

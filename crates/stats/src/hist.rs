@@ -1,0 +1,190 @@
+//! Fixed-bin histograms.
+//!
+//! Used for RTT/RTO distribution modelling (the Blink countermeasure in §5
+//! compares observed retransmission timing against an expected RTO
+//! distribution) and for reporting flow-residency distributions.
+
+/// A histogram with uniform bins over `[lo, hi)` plus underflow/overflow.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create with `n_bins` uniform bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n_bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(n_bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; n_bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Fraction of in-range observations in bin `i` (0 if histogram empty).
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / self.count as f64
+        }
+    }
+
+    /// Empirical CDF value at the upper edge of bin `i`.
+    pub fn cdf_at_bin(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self.underflow + self.bins[..=i].iter().sum::<u64>();
+        cum as f64 / self.count as f64
+    }
+
+    /// Total-variation distance to another histogram with identical binning.
+    ///
+    /// Used by plausibility supervisors: TV distance between the observed
+    /// signal distribution and the expected one is the "under the influence"
+    /// risk score.
+    pub fn tv_distance(&self, other: &Histogram) -> f64 {
+        assert_eq!(self.bins.len(), other.bins.len(), "binning must match");
+        assert!(
+            (self.lo - other.lo).abs() < 1e-12 && (self.hi - other.hi).abs() < 1e-12,
+            "ranges must match"
+        );
+        if self.count == 0 || other.count == 0 {
+            return if self.count == other.count { 0.0 } else { 1.0 };
+        }
+        let mut d = (self.underflow as f64 / self.count as f64
+            - other.underflow as f64 / other.count as f64)
+            .abs()
+            + (self.overflow as f64 / self.count as f64
+                - other.overflow as f64 / other.count as f64)
+                .abs();
+        for i in 0..self.bins.len() {
+            d += (self.fraction(i) - other.fraction(i)).abs();
+        }
+        d / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_capture_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        assert_eq!(h.count(), 10);
+        assert!(h.bins().iter().all(|&b| b == 1));
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(2.0);
+        h.add(1.0); // hi edge is exclusive -> overflow
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn bin_center_positions() {
+        let h = Histogram::new(0.0, 10.0, 10);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [1.0, 3.0, 5.0, 7.0, 9.0, 9.5] {
+            h.add(x);
+        }
+        let mut prev = 0.0;
+        for i in 0..5 {
+            let c = h.cdf_at_bin(i);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_distance_identical_zero_disjoint_one() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..100 {
+            a.add(1.5);
+            b.add(1.5);
+        }
+        assert!(a.tv_distance(&b) < 1e-12);
+        let mut c = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..100 {
+            c.add(8.5);
+        }
+        assert!((a.tv_distance(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tv_distance_mismatched_bins_panics() {
+        let a = Histogram::new(0.0, 10.0, 10);
+        let b = Histogram::new(0.0, 10.0, 5);
+        a.tv_distance(&b);
+    }
+}

@@ -1,0 +1,39 @@
+//! # dui-stats
+//!
+//! Deterministic randomness and statistics substrate for the `dui`
+//! reproduction of *"(Self) Driving Under the Influence"* (HotNets'19).
+//!
+//! Every stochastic component in the workspace (traffic generation, flow
+//! sampling, attack timing, exploration noise) draws from [`rng::Rng`], a
+//! seedable xoshiro256++ generator. Using our own generator rather than an
+//! external crate guarantees that a given seed reproduces the same experiment
+//! bit-for-bit forever, which the experiment harness relies on: the paper's
+//! Fig. 2 overlays 50 *specific* simulation runs on the analytic curves, and
+//! we want those runs to be stable artifacts.
+//!
+//! The crate also provides:
+//!
+//! * [`dist`] — samplers (exponential, Pareto, lognormal, Zipf, binomial,
+//!   …) and exact binomial pmf/cdf/quantile used by the Blink attack theory
+//!   (§3.1 of the paper: the number of attacker-occupied selector cells is
+//!   `Binomial(n, 1-(1-qm)^(t/tR))`).
+//! * [`summary`] — streaming and batch summary statistics (mean, variance,
+//!   percentiles, confidence intervals).
+//! * [`series`] — time-series recording used to emit the figure data.
+//! * [`hist`] — fixed-bin histograms.
+//! * [`table`] — CSV/markdown emission for the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod hist;
+pub mod rng;
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use dist::Binomial;
+pub use rng::Rng;
+pub use series::TimeSeries;
+pub use summary::Summary;

@@ -1,0 +1,176 @@
+//! Result emission: CSV files and aligned text tables.
+//!
+//! The experiment harness writes one CSV per figure/claim into `results/`
+//! and prints a human-readable table to stdout, mirroring how the paper
+//! reports its numbers.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-oriented results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create with column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of pre-formatted cells; panics on arity mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Append a row of f64 values formatted with `precision` decimals.
+    pub fn row_f64(&mut self, values: &[f64], precision: usize) {
+        self.row(values.iter().map(|v| format!("{v:.precision$}")));
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV (RFC-4180-style quoting of commas/quotes/newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for c in cells {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                if c.contains([',', '"', '\n']) {
+                    out.push('"');
+                    out.push_str(&c.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(c);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        for r in &self.rows {
+            write_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Render as an aligned text table for stdout.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:>width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            fmt_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Write the CSV rendering to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_basics() {
+        let mut t = Table::new(["t", "value"]);
+        t.row(["0", "1.5"]);
+        t.row(["1", "2.5"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "t,value\n0,1.5\n1,2.5\n");
+    }
+
+    #[test]
+    fn csv_quotes_special_chars() {
+        let mut t = Table::new(["a"]);
+        t.row(["hello, world"]);
+        t.row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"hello, world\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn text_is_aligned() {
+        let mut t = Table::new(["x", "longheader"]);
+        t.row(["1", "2"]);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn row_f64_formats() {
+        let mut t = Table::new(["a", "b"]);
+        t.row_f64(&[1.23456, 2.0], 2);
+        assert!(t.to_csv().contains("1.23,2.00"));
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("dui_stats_table_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        let mut t = Table::new(["h"]);
+        t.row(["v"]);
+        t.write_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "h\nv\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,264 @@
+//! FlowRadar-style flow telemetry (Li et al., NSDI'16): a Bloom filter to
+//! detect new flows plus an IBLT-like *counting table* whose cells each
+//! hold `(flow-xor, flow-count, packet-count)`; flow sets are recovered
+//! by peeling singleton cells.
+//!
+//! The HotNets'19 survey (§3.2): "these data structures are vulnerable
+//! against adversarial inputs because they are often dimensioned for the
+//! average case, rather than the worst case. An attacker can pollute, or
+//! even saturate a bloom filter, resulting in inaccurate network
+//! statistics." [`saturation_flows`] builds exactly that attack: a swarm
+//! of spoofed 5-tuples that drives the decode success rate to the floor
+//! while legitimate traffic alone decodes perfectly.
+
+use dui_netsim::packet::FlowKey;
+use dui_stats::rng::mix64;
+
+/// One counting-table cell.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    flow_xor: u64,
+    flow_count: u64,
+    packet_count: u64,
+}
+
+/// The FlowRadar encoder/decoder.
+#[derive(Debug, Clone)]
+pub struct FlowRadar {
+    bloom: Vec<bool>,
+    cells: Vec<Cell>,
+    hashes: usize,
+    salt: u64,
+    /// Distinct flows inserted (ground truth, for evaluation).
+    pub flows_inserted: u64,
+}
+
+/// Outcome of decoding.
+#[derive(Debug, Clone)]
+pub struct DecodeResult {
+    /// Fully peeled `(flow digest, packet count)` pairs.
+    pub decoded: Vec<(u64, u64)>,
+    /// Flows left entangled in the table (decode failure mass).
+    pub undecoded_flows: u64,
+}
+
+impl FlowRadar {
+    /// `bloom_bits` Bloom bits, `cells` counting cells, `hashes` hash
+    /// functions, keyed by `salt`.
+    pub fn new(bloom_bits: usize, cells: usize, hashes: usize, salt: u64) -> Self {
+        assert!(bloom_bits > 0 && cells > 0 && hashes > 0);
+        FlowRadar {
+            bloom: vec![false; bloom_bits],
+            cells: vec![Cell::default(); cells],
+            hashes,
+            salt,
+            flows_inserted: 0,
+        }
+    }
+
+    fn digest(&self, key: &FlowKey) -> u64 {
+        key.digest(self.salt)
+    }
+
+    fn cell_index(&self, digest: u64, i: usize) -> usize {
+        (mix64(digest, i as u64 + 1) % self.cells.len() as u64) as usize
+    }
+
+    fn bloom_index(&self, digest: u64, i: usize) -> usize {
+        (mix64(digest, 0xB100_0000 + i as u64) % self.bloom.len() as u64) as usize
+    }
+
+    /// Is the flow already present in the Bloom filter?
+    pub fn seen(&self, key: &FlowKey) -> bool {
+        let d = self.digest(key);
+        (0..self.hashes).all(|i| self.bloom[self.bloom_index(d, i)])
+    }
+
+    /// Record one packet of `key`.
+    pub fn on_packet(&mut self, key: &FlowKey) {
+        let d = self.digest(key);
+        let is_new = !self.seen(key);
+        if is_new {
+            self.flows_inserted += 1;
+            for i in 0..self.hashes {
+                let b = self.bloom_index(d, i);
+                self.bloom[b] = true;
+            }
+            for i in 0..self.hashes {
+                let c = self.cell_index(d, i);
+                self.cells[c].flow_xor ^= d;
+                self.cells[c].flow_count += 1;
+            }
+        }
+        for i in 0..self.hashes {
+            let c = self.cell_index(d, i);
+            self.cells[c].packet_count += 1;
+        }
+    }
+
+    /// Fraction of Bloom bits set (saturation indicator).
+    pub fn bloom_fill(&self) -> f64 {
+        self.bloom.iter().filter(|&&b| b).count() as f64 / self.bloom.len() as f64
+    }
+
+    /// Peel the counting table: repeatedly find a singleton cell
+    /// (`flow_count == 1`), emit its flow, and remove it from its other
+    /// cells. Standard IBLT decode; fails (leaves flows entangled) once
+    /// load exceeds the peeling threshold.
+    pub fn decode(&self) -> DecodeResult {
+        let mut cells = self.cells.clone();
+        let mut decoded = Vec::new();
+        while let Some(idx) = cells.iter().position(|c| c.flow_count == 1) {
+            let d = cells[idx].flow_xor;
+            // The packet count attributed to this flow: divide the
+            // singleton's packets... in real FlowRadar, packet counts are
+            // solved jointly; here the singleton's count is exact only if
+            // no other flow shares the cell, which peeling guarantees.
+            let pkts = cells[idx].packet_count;
+            decoded.push((d, pkts));
+            for i in 0..self.hashes {
+                let c = self.cell_index(d, i);
+                cells[c].flow_xor ^= d;
+                cells[c].flow_count = cells[c].flow_count.saturating_sub(1);
+                cells[c].packet_count = cells[c].packet_count.saturating_sub(pkts);
+            }
+        }
+        let undecoded = self.flows_inserted.saturating_sub(decoded.len() as u64);
+        DecodeResult {
+            decoded,
+            undecoded_flows: undecoded,
+        }
+    }
+
+    /// Decode success rate in `[0, 1]`.
+    pub fn decode_rate(&self) -> f64 {
+        if self.flows_inserted == 0 {
+            return 1.0;
+        }
+        let r = self.decode();
+        r.decoded.len() as f64 / self.flows_inserted as f64
+    }
+}
+
+/// The §3.2 saturation attack: `n` spoofed flows (distinct 5-tuples from
+/// one host's address block — cheap to fabricate, no connections needed).
+pub fn saturation_flows(n: usize, seed: u64) -> Vec<FlowKey> {
+    use dui_netsim::packet::Addr;
+    let mut rng = dui_stats::Rng::new(seed);
+    (0..n)
+        .map(|i| {
+            FlowKey::tcp(
+                Addr(0xCB00_0000 | rng.next_u32() & 0xFFFF),
+                (1024 + (i % 60_000)) as u16,
+                Addr(0x0A00_0000 | (rng.next_u32() & 0xFFFF)),
+                80,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dui_netsim::packet::Addr;
+
+    fn legit_flows(n: usize) -> Vec<FlowKey> {
+        (0..n)
+            .map(|i| {
+                FlowKey::tcp(
+                    Addr::new(198, 18, (i >> 8) as u8, i as u8),
+                    5000 + (i % 1000) as u16,
+                    Addr::new(10, 0, 0, 1),
+                    443,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dimensioned_for_average_case_decodes_fully() {
+        // 200 flows into 600 cells (k=3): classic IBLT load ~0.33, decodes.
+        let mut fr = FlowRadar::new(4096, 600, 3, 7);
+        for k in legit_flows(200) {
+            for _ in 0..5 {
+                fr.on_packet(&k);
+            }
+        }
+        // A Bloom false positive can absorb the odd flow (~0.25% FP rate
+        // here) — that is the filter working as designed.
+        assert!(fr.flows_inserted >= 198);
+        let r = fr.decode();
+        assert_eq!(r.undecoded_flows, 0, "average-case load decodes fully");
+        assert_eq!(r.decoded.len() as u64, fr.flows_inserted);
+    }
+
+    #[test]
+    fn packet_counts_recovered_exactly() {
+        let mut fr = FlowRadar::new(4096, 600, 3, 7);
+        let flows = legit_flows(50);
+        for (i, k) in flows.iter().enumerate() {
+            for _ in 0..=(i % 7) {
+                fr.on_packet(k);
+            }
+        }
+        let r = fr.decode();
+        assert_eq!(r.decoded.len() as u64, fr.flows_inserted);
+        if fr.flows_inserted == 50 {
+            let total: u64 = r.decoded.iter().map(|&(_, c)| c).sum();
+            let expected: u64 = (0..50).map(|i| (i % 7) as u64 + 1).sum();
+            assert_eq!(total, expected);
+        }
+    }
+
+    #[test]
+    fn bloom_dedupes_flows() {
+        let mut fr = FlowRadar::new(4096, 600, 3, 7);
+        let k = legit_flows(1)[0];
+        for _ in 0..100 {
+            fr.on_packet(&k);
+        }
+        assert_eq!(fr.flows_inserted, 1);
+    }
+
+    #[test]
+    fn saturation_attack_destroys_decoding() {
+        let mut fr = FlowRadar::new(4096, 600, 3, 7);
+        for k in legit_flows(200) {
+            fr.on_packet(&k);
+        }
+        assert!(fr.decode_rate() > 0.99);
+        // The attacker pours in 2000 spoofed flows: the structure is
+        // dimensioned for ~hundreds, and peeling collapses.
+        for k in saturation_flows(2000, 1) {
+            fr.on_packet(&k);
+        }
+        let rate = fr.decode_rate();
+        assert!(
+            rate < 0.10,
+            "saturated table must fail to decode: rate {rate}"
+        );
+        assert!(fr.bloom_fill() > 0.5, "bloom driven toward saturation");
+    }
+
+    #[test]
+    fn attack_cost_scales_with_cells() {
+        // Doubling the table raises the flows needed — quantifying the
+        // "dimensioned for the average case" observation.
+        let rate_after = |cells: usize, attack: usize| {
+            let mut fr = FlowRadar::new(8192, cells, 3, 7);
+            for k in legit_flows(100) {
+                fr.on_packet(&k);
+            }
+            for k in saturation_flows(attack, 2) {
+                fr.on_packet(&k);
+            }
+            fr.decode_rate()
+        };
+        let small = rate_after(600, 1200);
+        let big = rate_after(2400, 1200);
+        assert!(
+            big > small + 0.2,
+            "bigger table resists the same attack: {small:.2} vs {big:.2}"
+        );
+    }
+}

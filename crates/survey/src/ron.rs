@@ -1,0 +1,237 @@
+//! RON-style resilient overlay routing (Andersen et al., SOSP'01): a
+//! small overlay of nodes that continuously probe each other and steer
+//! traffic either directly or via a one-hop relay, whichever the probes
+//! say is healthier.
+//!
+//! The HotNets'19 survey (§3.2): "an attacker in the path between two
+//! nodes could drop or delay RON's probes, so as to divert traffic to
+//! another next-hop." The decision state is reconstructed here exactly:
+//! per-path loss estimated from an exponentially-weighted window of probe
+//! outcomes, route = argmin over {direct, via r} of loss-then-latency —
+//! so a MitM dropping only *probes* (a few tiny packets!) moves entire
+//! traffic aggregates onto a path of the attacker's choosing.
+
+use dui_stats::Rng;
+
+/// Probe-derived state of one overlay path.
+#[derive(Debug, Clone)]
+pub struct PathStats {
+    /// EWMA probe loss in `[0, 1]`.
+    pub loss: f64,
+    /// EWMA probe RTT (seconds).
+    pub rtt: f64,
+    alpha: f64,
+}
+
+impl PathStats {
+    fn new(rtt0: f64) -> Self {
+        PathStats {
+            loss: 0.0,
+            rtt: rtt0,
+            alpha: 0.1,
+        }
+    }
+
+    fn observe(&mut self, delivered: bool, rtt: f64) {
+        self.loss = (1.0 - self.alpha) * self.loss + self.alpha * f64::from(!delivered as u8);
+        if delivered {
+            self.rtt = (1.0 - self.alpha) * self.rtt + self.alpha * rtt;
+        }
+    }
+
+    /// RON's routing score: loss dominates, latency tie-breaks.
+    fn score(&self) -> f64 {
+        self.loss * 1000.0 + self.rtt
+    }
+}
+
+/// Route choice for one ordered node pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Direct Internet path.
+    Direct,
+    /// Via the given relay node.
+    Relay(usize),
+}
+
+/// A RON overlay over `n` nodes with ground-truth path qualities and an
+/// optional probe-dropping MitM.
+pub struct RonOverlay {
+    n: usize,
+    /// Ground truth loss of the direct path i→j (row-major n×n).
+    true_loss: Vec<f64>,
+    /// Ground truth RTT of the direct path i→j (seconds).
+    true_rtt: Vec<f64>,
+    /// Probe-estimated stats per ordered pair.
+    stats: Vec<PathStats>,
+    /// MitM: extra probability that a *probe* (not data) on path i→j is
+    /// dropped by the attacker.
+    probe_drop: Vec<f64>,
+    rng: Rng,
+}
+
+impl RonOverlay {
+    /// Build an overlay: all direct paths healthy with `base_rtt` seconds
+    /// RTT and zero loss.
+    pub fn new(n: usize, base_rtt: f64, seed: u64) -> Self {
+        assert!(n >= 3, "RON needs at least 3 nodes for relaying");
+        RonOverlay {
+            n,
+            true_loss: vec![0.0; n * n],
+            true_rtt: vec![base_rtt; n * n],
+            stats: (0..n * n).map(|_| PathStats::new(base_rtt)).collect(),
+            probe_drop: vec![0.0; n * n],
+            rng: Rng::new(seed),
+        }
+    }
+
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.n + j
+    }
+
+    /// Set the genuine quality of the direct path `i → j`.
+    pub fn set_true_path(&mut self, i: usize, j: usize, loss: f64, rtt: f64) {
+        let idx = self.idx(i, j);
+        self.true_loss[idx] = loss;
+        self.true_rtt[idx] = rtt;
+    }
+
+    /// The MitM: drop probes on `i → j` with probability `p` (data
+    /// untouched — the whole point of the attack's stealth).
+    pub fn set_probe_drop(&mut self, i: usize, j: usize, p: f64) {
+        let idx = self.idx(i, j);
+        self.probe_drop[idx] = p;
+    }
+
+    /// Run one round of all-pairs probing.
+    pub fn probe_round(&mut self) {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j {
+                    continue;
+                }
+                let idx = self.idx(i, j);
+                let genuine_ok = !self.rng.chance(self.true_loss[idx]);
+                let attacker_ok = !self.rng.chance(self.probe_drop[idx]);
+                let delivered = genuine_ok && attacker_ok;
+                let rtt = self.true_rtt[idx];
+                self.stats[idx].observe(delivered, rtt);
+            }
+        }
+    }
+
+    /// Estimated stats of path `i → j`.
+    pub fn path(&self, i: usize, j: usize) -> &PathStats {
+        &self.stats[self.idx(i, j)]
+    }
+
+    /// RON's route decision for `src → dst`: direct vs best one-hop relay.
+    pub fn route(&self, src: usize, dst: usize) -> Route {
+        let direct = self.path(src, dst).score();
+        let mut best = Route::Direct;
+        let mut best_score = direct;
+        for r in 0..self.n {
+            if r == src || r == dst {
+                continue;
+            }
+            let via = self.path(src, r).score() + self.path(r, dst).score();
+            if via < best_score {
+                best_score = via;
+                best = Route::Relay(r);
+            }
+        }
+        best
+    }
+
+    /// Ground-truth delivery probability of the route currently chosen
+    /// for `src → dst` (what users actually experience).
+    pub fn true_delivery(&self, src: usize, dst: usize) -> f64 {
+        match self.route(src, dst) {
+            Route::Direct => 1.0 - self.true_loss[self.idx(src, dst)],
+            Route::Relay(r) => {
+                (1.0 - self.true_loss[self.idx(src, r)]) * (1.0 - self.true_loss[self.idx(r, dst)])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_overlay_routes_direct() {
+        let mut ron = RonOverlay::new(4, 0.02, 1);
+        for _ in 0..200 {
+            ron.probe_round();
+        }
+        assert_eq!(ron.route(0, 1), Route::Direct);
+        assert!((ron.true_delivery(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn genuine_failure_recovered_via_relay() {
+        // The legitimate use case RON exists for: the direct path really
+        // degrades, and the overlay reroutes around it.
+        let mut ron = RonOverlay::new(4, 0.02, 2);
+        ron.set_true_path(0, 1, 0.5, 0.02);
+        for _ in 0..300 {
+            ron.probe_round();
+        }
+        match ron.route(0, 1) {
+            Route::Relay(_) => {}
+            Route::Direct => panic!("RON should route around 50% loss"),
+        }
+        assert!(ron.true_delivery(0, 1) > 0.95, "relay path is clean");
+    }
+
+    #[test]
+    fn probe_dropping_diverts_healthy_traffic() {
+        // The §3.2 attack: the direct path is PERFECT; the MitM drops only
+        // probes. RON diverts to a relay of the attacker's choosing.
+        let mut ron = RonOverlay::new(4, 0.02, 3);
+        ron.set_probe_drop(0, 1, 0.6);
+        for _ in 0..300 {
+            ron.probe_round();
+        }
+        match ron.route(0, 1) {
+            Route::Relay(_) => {}
+            Route::Direct => panic!("probe dropping must divert the route"),
+        }
+        // The direct path was genuinely fine: pure manipulation.
+        assert!(
+            (ron.path(0, 1).loss - 0.6).abs() < 0.15,
+            "estimate poisoned"
+        );
+    }
+
+    #[test]
+    fn attacker_can_steer_toward_a_specific_relay() {
+        // Degrade probe estimates of every relay except the one the
+        // attacker controls (node 2): traffic herds through it.
+        let mut ron = RonOverlay::new(5, 0.02, 4);
+        ron.set_probe_drop(0, 1, 0.6);
+        for r in [3usize, 4] {
+            ron.set_probe_drop(0, r, 0.5); // poison alternative first legs
+        }
+        for _ in 0..400 {
+            ron.probe_round();
+        }
+        assert_eq!(ron.route(0, 1), Route::Relay(2), "herded through node 2");
+    }
+
+    #[test]
+    fn latency_tiebreak_prefers_faster_relay() {
+        let mut ron = RonOverlay::new(4, 0.02, 5);
+        ron.set_probe_drop(0, 1, 0.9);
+        // Relay 2 legs are faster than relay 3 legs.
+        ron.set_true_path(0, 2, 0.0, 0.01);
+        ron.set_true_path(2, 1, 0.0, 0.01);
+        ron.set_true_path(0, 3, 0.0, 0.05);
+        ron.set_true_path(3, 1, 0.0, 0.05);
+        for _ in 0..400 {
+            ron.probe_round();
+        }
+        assert_eq!(ron.route(0, 1), Route::Relay(2));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the survey systems.
+
+use dui_netsim::packet::{Addr, FlowKey};
+use dui_survey::flowradar::FlowRadar;
+use dui_survey::sp_pifo::SpPifo;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sp_pifo_conserves_packets(ranks in proptest::collection::vec(0u64..10_000, 0..300)) {
+        let mut sp = SpPifo::new(8, 16);
+        for &r in &ranks {
+            sp.enqueue(r);
+        }
+        let mut dequeued = 0u64;
+        while sp.dequeue().is_some() {
+            dequeued += 1;
+        }
+        prop_assert_eq!(sp.admitted, dequeued);
+        prop_assert_eq!(sp.admitted + sp.dropped, ranks.len() as u64);
+        prop_assert!(sp.is_empty());
+    }
+
+    #[test]
+    fn sp_pifo_dequeues_respect_queue_order(ranks in proptest::collection::vec(0u64..1_000, 1..100)) {
+        // Whatever the admission pattern, strict priority means a dequeue
+        // never serves a lower-priority queue while a higher one is
+        // non-empty — observable as: draining yields each queue's FIFO
+        // subsequences in queue order. Weak check: fully drained output
+        // has the same multiset as admitted input.
+        let mut sp = SpPifo::new(4, 1024);
+        for &r in &ranks {
+            sp.enqueue(r);
+        }
+        let mut out = Vec::new();
+        while let Some(r) = sp.dequeue() {
+            out.push(r);
+        }
+        let mut a = out.clone();
+        let mut b = ranks.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "no packet invented or lost below capacity");
+    }
+
+    #[test]
+    fn sp_pifo_min_rank_is_true_min(ranks in proptest::collection::vec(0u64..500, 1..50)) {
+        let mut sp = SpPifo::new(4, 1024);
+        for &r in &ranks {
+            sp.enqueue(r);
+        }
+        let min = sp.min_rank().unwrap();
+        prop_assert_eq!(min, *ranks.iter().min().unwrap());
+    }
+
+    #[test]
+    fn flowradar_decode_never_exceeds_inserted(
+        n_flows in 1usize..300,
+        pkts_per_flow in 1u32..5
+    ) {
+        let mut fr = FlowRadar::new(2048, 256, 3, 7);
+        for i in 0..n_flows {
+            let k = FlowKey::tcp(
+                Addr::new(198, 18, (i >> 8) as u8, i as u8),
+                (1024 + i % 60_000) as u16,
+                Addr::new(10, 0, 0, 1),
+                443,
+            );
+            for _ in 0..pkts_per_flow {
+                fr.on_packet(&k);
+            }
+        }
+        let r = fr.decode();
+        prop_assert!(r.decoded.len() as u64 <= fr.flows_inserted);
+        prop_assert_eq!(
+            r.decoded.len() as u64 + r.undecoded_flows,
+            fr.flows_inserted
+        );
+        // Decoded digests are distinct.
+        let distinct: std::collections::HashSet<u64> =
+            r.decoded.iter().map(|&(d, _)| d).collect();
+        prop_assert_eq!(distinct.len(), r.decoded.len());
+    }
+
+    #[test]
+    fn flowradar_bloom_fill_monotone(n_a in 1usize..200, extra in 0usize..200) {
+        let insert = |n: usize| {
+            let mut fr = FlowRadar::new(1024, 256, 3, 7);
+            for i in 0..n {
+                let k = FlowKey::tcp(
+                    Addr::new(198, 18, (i >> 8) as u8, i as u8),
+                    (1024 + i % 60_000) as u16,
+                    Addr::new(10, 0, 0, 1),
+                    443,
+                );
+                fr.on_packet(&k);
+            }
+            fr.bloom_fill()
+        };
+        prop_assert!(insert(n_a + extra) >= insert(n_a) - 1e-12);
+    }
+}

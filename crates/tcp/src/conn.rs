@@ -1,0 +1,835 @@
+//! Sans-I/O TCP sender and receiver state machines.
+//!
+//! Both machines consume events (`on_segment`, `on_tick`) and produce
+//! outgoing packets into an internal buffer drained with `take_out`, plus a
+//! `next_event_time` deadline the host must arm a timer for. No simulator
+//! types beyond `Packet`/`SimTime` leak in, so every protocol behavior is
+//! unit-testable below without an event loop.
+
+use crate::reno::Reno;
+use crate::rtt::RttEstimator;
+use crate::seq::{seq_dist, seq_ge, seq_gt, seq_lt};
+use dui_netsim::packet::{FlowKey, Header, Packet, TcpFlags};
+use dui_netsim::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap};
+
+/// Sender configuration.
+#[derive(Debug, Clone)]
+pub struct TcpSenderConfig {
+    /// Maximum segment size (payload bytes per packet).
+    pub mss: u32,
+    /// Total application bytes to transfer; `None` = unbounded stream.
+    pub total_bytes: Option<u64>,
+    /// Application pacing in bytes/second; `None` = send as fast as the
+    /// window allows. Pacing models app-limited flows (video, interactive),
+    /// which dominate the CAIDA-like workloads.
+    pub app_rate: Option<u64>,
+    /// Initial congestion window (segments).
+    pub initial_cwnd: f64,
+}
+
+impl Default for TcpSenderConfig {
+    fn default() -> Self {
+        TcpSenderConfig {
+            mss: 1460,
+            total_bytes: None,
+            app_rate: None,
+            initial_cwnd: 10.0,
+        }
+    }
+}
+
+/// Sender-side statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SenderStats {
+    /// Application bytes acknowledged.
+    pub bytes_acked: u64,
+    /// Data segments sent (including retransmissions).
+    pub segments_sent: u64,
+    /// Retransmitted segments (fast retransmit + RTO).
+    pub retransmissions: u64,
+    /// Fast retransmissions (3 dup ACKs).
+    pub fast_retransmits: u64,
+    /// RTO events.
+    pub timeouts: u64,
+    /// When the FIN was acknowledged, if the flow completed.
+    pub completed_at: Option<SimTime>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SenderState {
+    Idle,
+    Established,
+    FinSent,
+    Closed,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SegmentRecord {
+    sent_at: SimTime,
+    retransmitted: bool,
+    len: u32,
+}
+
+/// The TCP sender: Reno + RFC 6298 timers + fast retransmit.
+#[derive(Debug)]
+pub struct TcpSender {
+    key: FlowKey,
+    cfg: TcpSenderConfig,
+    cc: Reno,
+    rtt: RttEstimator,
+    isn: u32,
+    snd_una: u32,
+    snd_nxt: u32,
+    app_sent: u64,
+    started_at: SimTime,
+    segments: HashMap<u32, SegmentRecord>,
+    dupacks: u32,
+    rto_deadline: Option<SimTime>,
+    pace_deadline: Option<SimTime>,
+    peer_rwnd: u32,
+    fin_seq: Option<u32>,
+    /// NewReno-style recovery: while `Some(r)`, every partial ACK below `r`
+    /// immediately retransmits the new head instead of waiting an RTO.
+    recovery_until: Option<u32>,
+    state: SenderState,
+    out: Vec<Packet>,
+    /// Statistics.
+    pub stats: SenderStats,
+}
+
+impl TcpSender {
+    /// Create a sender for the forward-direction flow `key`.
+    pub fn new(key: FlowKey, cfg: TcpSenderConfig, isn: u32) -> Self {
+        let cc = Reno::new(cfg.initial_cwnd);
+        TcpSender {
+            key,
+            cfg,
+            cc,
+            rtt: RttEstimator::default(),
+            isn,
+            snd_una: isn,
+            snd_nxt: isn,
+            app_sent: 0,
+            started_at: SimTime::ZERO,
+            segments: HashMap::new(),
+            dupacks: 0,
+            rto_deadline: None,
+            pace_deadline: None,
+            peer_rwnd: u32::MAX,
+            fin_seq: None,
+            recovery_until: None,
+            state: SenderState::Idle,
+            out: Vec::new(),
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// Flow key (forward direction).
+    pub fn key(&self) -> FlowKey {
+        self.key
+    }
+
+    /// Begin transmitting.
+    pub fn on_start(&mut self, now: SimTime) {
+        assert_eq!(self.state, SenderState::Idle, "already started");
+        self.state = SenderState::Established;
+        self.started_at = now;
+        self.try_send(now);
+    }
+
+    /// Flow finished (FIN acknowledged)?
+    pub fn is_done(&self) -> bool {
+        self.state == SenderState::Closed
+    }
+
+    /// Bytes currently in flight.
+    pub fn in_flight(&self) -> u32 {
+        seq_dist(self.snd_una, self.snd_nxt)
+    }
+
+    /// Current congestion window in segments.
+    pub fn cwnd_segments(&self) -> u32 {
+        self.cc.cwnd_segments()
+    }
+
+    /// Smoothed RTT, if measured.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.rtt.srtt()
+    }
+
+    /// Drain outgoing packets.
+    pub fn take_out(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Earliest time this sender needs a tick (RTO or pacing wake).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        match (self.rto_deadline, self.pace_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// A segment for this connection arrived (we only care about ACKs).
+    pub fn on_segment(&mut self, now: SimTime, pkt: &Packet) {
+        let Header::Tcp {
+            ack, flags, window, ..
+        } = pkt.header
+        else {
+            return;
+        };
+        if !flags.ack || self.state == SenderState::Idle || self.state == SenderState::Closed {
+            return;
+        }
+        self.peer_rwnd = window;
+        if seq_gt(ack, self.snd_una) {
+            // New data acknowledged.
+            let advanced = seq_dist(self.snd_una, ack);
+            // RTT sample from the segment that started at old snd_una,
+            // if it was never retransmitted (Karn's rule).
+            if let Some(rec) = self.segments.get(&self.snd_una) {
+                if !rec.retransmitted {
+                    self.rtt.sample(now.since(rec.sent_at));
+                }
+            }
+            // ACK counting: one on_ack per fully-acked segment.
+            let mut cursor = self.snd_una;
+            while seq_lt(cursor, ack) {
+                let len = self
+                    .segments
+                    .get(&cursor)
+                    .map(|r| r.len)
+                    .unwrap_or(self.cfg.mss);
+                self.segments.remove(&cursor);
+                self.cc.on_ack();
+                cursor = cursor.wrapping_add(len.max(1));
+            }
+            self.snd_una = ack;
+            self.dupacks = 0;
+            // Don't count the FIN's phantom byte as application data.
+            let fin_bytes = match self.fin_seq {
+                Some(f) if seq_ge(ack, f.wrapping_add(1)) => 1,
+                _ => 0,
+            };
+            self.stats.bytes_acked = self
+                .stats
+                .bytes_acked
+                .saturating_add(advanced as u64)
+                .saturating_sub(fin_bytes);
+            if let Some(fin) = self.fin_seq {
+                if seq_ge(ack, fin.wrapping_add(1)) {
+                    self.state = SenderState::Closed;
+                    self.stats.completed_at = Some(now);
+                    self.rto_deadline = None;
+                    self.pace_deadline = None;
+                    return;
+                }
+            }
+            // NewReno partial-ACK handling: if we are recovering from loss
+            // and this ACK does not cover the recovery point, the next hole
+            // starts at the new head — retransmit it immediately.
+            match self.recovery_until {
+                Some(r) if seq_lt(ack, r) => {
+                    self.retransmit_head(now);
+                }
+                Some(_) => self.recovery_until = None,
+                None => {}
+            }
+            self.rearm_rto(now);
+            self.try_send(now);
+        } else if ack == self.snd_una && self.in_flight() > 0 {
+            self.dupacks += 1;
+            if self.dupacks == 3 {
+                self.fast_retransmit(now);
+            }
+        }
+    }
+
+    /// Clock tick: check RTO and pacing deadlines.
+    pub fn on_tick(&mut self, now: SimTime) {
+        if self.state == SenderState::Closed || self.state == SenderState::Idle {
+            return;
+        }
+        if let Some(d) = self.rto_deadline {
+            if now >= d && self.in_flight() > 0 {
+                self.on_rto(now);
+            }
+        }
+        if let Some(d) = self.pace_deadline {
+            if now >= d {
+                self.pace_deadline = None;
+                self.try_send(now);
+            }
+        }
+    }
+
+    fn on_rto(&mut self, now: SimTime) {
+        self.stats.timeouts += 1;
+        self.cc.on_timeout();
+        self.rtt.on_timeout();
+        self.dupacks = 0;
+        self.recovery_until = Some(self.snd_nxt);
+        self.retransmit_head(now);
+        self.rearm_rto(now);
+    }
+
+    fn fast_retransmit(&mut self, now: SimTime) {
+        self.stats.fast_retransmits += 1;
+        self.cc.on_fast_retransmit();
+        self.recovery_until = Some(self.snd_nxt);
+        self.retransmit_head(now);
+        self.rearm_rto(now);
+    }
+
+    fn retransmit_head(&mut self, now: SimTime) {
+        let head = self.snd_una;
+        let Some(rec) = self.segments.get_mut(&head) else {
+            return;
+        };
+        rec.retransmitted = true;
+        rec.sent_at = now;
+        let len = rec.len;
+        self.stats.retransmissions += 1;
+        self.stats.segments_sent += 1;
+        let is_fin = self.fin_seq == Some(head);
+        let flags = TcpFlags {
+            fin: is_fin,
+            ..TcpFlags::default()
+        };
+        let payload = if is_fin { 0 } else { len };
+        self.out
+            .push(Packet::tcp(self.key, head, 0, flags, payload));
+    }
+
+    fn rearm_rto(&mut self, now: SimTime) {
+        self.rto_deadline = if self.in_flight() > 0 {
+            Some(now + self.rtt.rto())
+        } else {
+            None
+        };
+    }
+
+    /// Application bytes available to transmit by `now` under pacing.
+    fn app_available(&self, now: SimTime) -> u64 {
+        let offered = match self.cfg.app_rate {
+            None => u64::MAX,
+            Some(rate) => {
+                let elapsed = now.since(self.started_at).as_secs_f64();
+                (rate as f64 * elapsed) as u64
+            }
+        };
+        match self.cfg.total_bytes {
+            Some(total) => offered.min(total),
+            None => offered,
+        }
+    }
+
+    fn try_send(&mut self, now: SimTime) {
+        if self.state != SenderState::Established {
+            return;
+        }
+        let win_bytes =
+            (self.cc.cwnd_segments() as u64 * self.cfg.mss as u64).min(self.peer_rwnd as u64);
+        let available = self.app_available(now);
+        loop {
+            let in_flight = self.in_flight() as u64;
+            if in_flight + self.cfg.mss as u64 > win_bytes {
+                break; // window-limited
+            }
+            let remaining_now = available.saturating_sub(self.app_sent);
+            let total_remaining = self
+                .cfg
+                .total_bytes
+                .map(|t| t.saturating_sub(self.app_sent))
+                .unwrap_or(u64::MAX);
+            if total_remaining == 0 {
+                // All data queued; send FIN once.
+                if self.fin_seq.is_none() {
+                    let fin = self.snd_nxt;
+                    self.fin_seq = Some(fin);
+                    self.segments.insert(
+                        fin,
+                        SegmentRecord {
+                            sent_at: now,
+                            retransmitted: false,
+                            len: 1, // FIN occupies one sequence number
+                        },
+                    );
+                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                    self.state = SenderState::FinSent;
+                    self.stats.segments_sent += 1;
+                    self.out.push(Packet::tcp(
+                        self.key,
+                        fin,
+                        0,
+                        TcpFlags {
+                            fin: true,
+                            ..TcpFlags::default()
+                        },
+                        0,
+                    ));
+                    self.rearm_rto(now);
+                }
+                break;
+            }
+            // Send whole MSS segments only (or the flow's final short
+            // tail); partial credit waits for the pacing clock, otherwise
+            // ACK-triggered sends would fragment the stream into sub-MSS
+            // packets and inflate the packet rate.
+            let len = (self.cfg.mss as u64).min(total_remaining) as u32;
+            if remaining_now < len as u64 {
+                // App-limited: schedule a pacing wake for this segment.
+                if let Some(rate) = self.cfg.app_rate {
+                    let next_bytes = self.app_sent + len as u64;
+                    let at = self.started_at
+                        + SimDuration::from_secs_f64(next_bytes as f64 / rate as f64);
+                    self.pace_deadline = Some(at.max(now + SimDuration::from_nanos(1)));
+                }
+                break;
+            }
+            let seq = self.snd_nxt;
+            self.segments.insert(
+                seq,
+                SegmentRecord {
+                    sent_at: now,
+                    retransmitted: false,
+                    len,
+                },
+            );
+            self.snd_nxt = self.snd_nxt.wrapping_add(len);
+            self.app_sent += len as u64;
+            self.stats.segments_sent += 1;
+            self.out
+                .push(Packet::tcp(self.key, seq, 0, TcpFlags::default(), len));
+        }
+        if self.in_flight() > 0 && self.rto_deadline.is_none() {
+            self.rearm_rto(now);
+        }
+    }
+
+    /// Initial sequence number.
+    pub fn isn(&self) -> u32 {
+        self.isn
+    }
+}
+
+/// Receiver-side statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReceiverStats {
+    /// In-order application bytes delivered.
+    pub bytes_delivered: u64,
+    /// Segments that arrived already-acknowledged (spurious retransmits or
+    /// network duplicates).
+    pub duplicate_segments: u64,
+    /// Segments buffered out of order.
+    pub out_of_order_segments: u64,
+    /// When the FIN was consumed.
+    pub finished_at: Option<SimTime>,
+}
+
+/// The TCP receiver: cumulative ACKs + out-of-order reassembly buffer.
+#[derive(Debug)]
+pub struct TcpReceiver {
+    /// Forward-direction flow key (data flows along `key`, ACKs along
+    /// `key.reversed()`).
+    key: FlowKey,
+    rcv_nxt: u32,
+    /// Out-of-order segments keyed by absolute sequence number. Segment
+    /// boundaries from a single sender are stable, so exact-key lookup at
+    /// `rcv_nxt` drains the buffer without wrap-sensitive ordering.
+    ooo: BTreeMap<u32, u32>,
+    fin_seq: Option<u32>,
+    done: bool,
+    advertised_window: u32,
+    out: Vec<Packet>,
+    /// Statistics.
+    pub stats: ReceiverStats,
+}
+
+impl TcpReceiver {
+    /// Create a receiver expecting first byte `isn`.
+    pub fn new(key: FlowKey, isn: u32) -> Self {
+        TcpReceiver {
+            key,
+            rcv_nxt: isn,
+            ooo: BTreeMap::new(),
+            fin_seq: None,
+            done: false,
+            advertised_window: 1 << 20,
+            out: Vec::new(),
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// Override the advertised receive window (used by the endpoint-attack
+    /// experiments: a MitM shrinking the window throttles the sender).
+    pub fn set_advertised_window(&mut self, w: u32) {
+        self.advertised_window = w;
+    }
+
+    /// FIN consumed?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Drain outgoing (ACK) packets.
+    pub fn take_out(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// A data segment arrived.
+    pub fn on_segment(&mut self, now: SimTime, pkt: &Packet) {
+        let Header::Tcp { seq, flags, .. } = pkt.header else {
+            return;
+        };
+        if flags.ack && pkt.payload == 0 && !flags.fin {
+            return; // pure ACK (e.g. misdelivered); receivers ignore
+        }
+        let len = if flags.fin { 1 } else { pkt.payload };
+        if flags.fin {
+            self.fin_seq = Some(seq);
+        }
+        if len == 0 {
+            self.emit_ack();
+            return;
+        }
+        if seq_lt(seq, self.rcv_nxt) {
+            // Entirely old segment: duplicate.
+            self.stats.duplicate_segments += 1;
+            self.emit_ack();
+            return;
+        }
+        if seq == self.rcv_nxt {
+            let fin_here = flags.fin;
+            self.advance(len, fin_here, now);
+            // Drain buffered segments that are now contiguous.
+            while let Some(blen) = self.ooo.remove(&self.rcv_nxt) {
+                let fin_here = self.fin_seq == Some(self.rcv_nxt);
+                self.advance(blen, fin_here, now);
+            }
+        } else {
+            // Future segment: buffer by absolute sequence.
+            if self.ooo.insert(seq, len).is_none() {
+                self.stats.out_of_order_segments += 1;
+            } else {
+                self.stats.duplicate_segments += 1;
+            }
+        }
+        self.emit_ack();
+    }
+
+    fn advance(&mut self, len: u32, fin: bool, now: SimTime) {
+        self.rcv_nxt = self.rcv_nxt.wrapping_add(len);
+        if fin {
+            self.done = true;
+            self.stats.finished_at = Some(now);
+        } else {
+            self.stats.bytes_delivered += len as u64;
+        }
+    }
+
+    fn emit_ack(&mut self) {
+        let ack_pkt = Packet::tcp(
+            self.key.reversed(),
+            0,
+            self.rcv_nxt,
+            TcpFlags {
+                ack: true,
+                ..TcpFlags::default()
+            },
+            0,
+        );
+        let mut p = ack_pkt;
+        if let Header::Tcp { window, .. } = &mut p.header {
+            *window = self.advertised_window;
+        }
+        self.out.push(p);
+    }
+
+    /// Next expected sequence number.
+    pub fn rcv_nxt(&self) -> u32 {
+        self.rcv_nxt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dui_netsim::packet::Addr;
+
+    fn key() -> FlowKey {
+        FlowKey::tcp(Addr::new(10, 0, 0, 1), 1000, Addr::new(10, 0, 0, 2), 80)
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    /// Pipe sender output into receiver and return receiver ACKs.
+    fn exchange(s: &mut TcpSender, r: &mut TcpReceiver, now: SimTime) -> Vec<Packet> {
+        let mut acks = Vec::new();
+        for pkt in s.take_out() {
+            r.on_segment(now, &pkt);
+            acks.extend(r.take_out());
+        }
+        acks
+    }
+
+    #[test]
+    fn lossless_transfer_completes() {
+        let cfg = TcpSenderConfig {
+            total_bytes: Some(10_000),
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(key(), cfg, 1);
+        let mut r = TcpReceiver::new(key(), 1);
+        s.on_start(t(0));
+        let mut now = 0;
+        for _ in 0..100 {
+            now += 10;
+            let acks = exchange(&mut s, &mut r, t(now));
+            for a in &acks {
+                s.on_segment(t(now), a);
+            }
+            if s.is_done() {
+                break;
+            }
+        }
+        assert!(s.is_done());
+        assert!(r.is_done());
+        assert_eq!(r.stats.bytes_delivered, 10_000);
+        assert_eq!(s.stats.bytes_acked, 10_000);
+        assert_eq!(s.stats.retransmissions, 0);
+        assert!(s.stats.completed_at.is_some());
+    }
+
+    #[test]
+    fn initial_burst_respects_cwnd() {
+        let cfg = TcpSenderConfig {
+            total_bytes: Some(1_000_000),
+            initial_cwnd: 4.0,
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(key(), cfg, 1);
+        s.on_start(t(0));
+        assert_eq!(s.take_out().len(), 4, "IW=4 segments");
+    }
+
+    #[test]
+    fn lost_segment_recovered_by_fast_retransmit() {
+        let cfg = TcpSenderConfig {
+            total_bytes: Some(1460 * 10),
+            initial_cwnd: 10.0,
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(key(), cfg, 1);
+        let mut r = TcpReceiver::new(key(), 1);
+        s.on_start(t(0));
+        let mut pkts = s.take_out();
+        assert!(pkts.len() >= 4);
+        // Drop the first data segment; deliver the rest -> dup ACKs.
+        pkts.remove(0);
+        for p in &pkts {
+            r.on_segment(t(5), p);
+        }
+        let acks = r.take_out();
+        for a in &acks {
+            s.on_segment(t(10), a);
+        }
+        assert_eq!(s.stats.fast_retransmits, 1, "3rd dup ACK triggers");
+        // The retransmission carries the original (head) sequence number.
+        let rtx = s.take_out();
+        assert_eq!(rtx.len(), 1);
+        assert_eq!(rtx[0].tcp_seq(), Some(1));
+        // Deliver it; receiver now has everything contiguous.
+        r.on_segment(t(15), &rtx[0]);
+        let acks = r.take_out();
+        let last = acks.last().unwrap();
+        if let Header::Tcp { ack, .. } = last.header {
+            assert_eq!(seq_dist(1, ack), 1460 * 10); // all data, FIN not yet sent
+        }
+    }
+
+    #[test]
+    fn rto_fires_when_all_acks_lost() {
+        let cfg = TcpSenderConfig {
+            total_bytes: Some(1460),
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(key(), cfg, 1);
+        s.on_start(t(0));
+        let first = s.take_out();
+        assert!(!first.is_empty());
+        let deadline = s.next_event_time().unwrap();
+        assert_eq!(deadline, t(1000), "initial RTO is 1s");
+        // Nothing arrives; fire the RTO.
+        s.on_tick(deadline);
+        assert_eq!(s.stats.timeouts, 1);
+        let rtx = s.take_out();
+        assert!(rtx.iter().any(|p| p.tcp_seq() == Some(1)));
+        // Backoff doubled.
+        assert_eq!(
+            s.next_event_time().unwrap(),
+            deadline + SimDuration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn rto_retransmission_reuses_sequence_number() {
+        // This is the Blink-visible signature: same 5-tuple, same seq.
+        let cfg = TcpSenderConfig {
+            total_bytes: Some(1460),
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(key(), cfg, 1);
+        s.on_start(t(0));
+        let orig = s.take_out();
+        s.on_tick(t(1000));
+        let rtx = s.take_out();
+        assert_eq!(orig[0].tcp_seq(), rtx[0].tcp_seq());
+        assert_eq!(orig[0].key, rtx[0].key);
+    }
+
+    #[test]
+    fn out_of_order_segments_reassembled() {
+        let mut r = TcpReceiver::new(key(), 1);
+        let p1 = Packet::tcp(key(), 1, 0, TcpFlags::default(), 1000);
+        let p2 = Packet::tcp(key(), 1001, 0, TcpFlags::default(), 1000);
+        let p3 = Packet::tcp(key(), 2001, 0, TcpFlags::default(), 1000);
+        r.on_segment(t(0), &p3);
+        r.on_segment(t(1), &p2);
+        assert_eq!(r.stats.bytes_delivered, 0);
+        assert_eq!(r.stats.out_of_order_segments, 2);
+        r.on_segment(t(2), &p1);
+        assert_eq!(r.stats.bytes_delivered, 3000);
+        assert_eq!(r.rcv_nxt(), 3001);
+        // Last ACK acknowledges everything.
+        let acks = r.take_out();
+        if let Header::Tcp { ack, .. } = acks.last().unwrap().header {
+            assert_eq!(ack, 3001);
+        }
+    }
+
+    #[test]
+    fn duplicate_data_detected() {
+        let mut r = TcpReceiver::new(key(), 1);
+        let p1 = Packet::tcp(key(), 1, 0, TcpFlags::default(), 1000);
+        r.on_segment(t(0), &p1);
+        r.on_segment(t(1), &p1);
+        assert_eq!(r.stats.duplicate_segments, 1);
+        assert_eq!(r.stats.bytes_delivered, 1000);
+    }
+
+    #[test]
+    fn paced_sender_spreads_transmissions() {
+        let cfg = TcpSenderConfig {
+            total_bytes: Some(14_600),
+            app_rate: Some(14_600), // 10 MSS over 1 second
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(key(), cfg, 1);
+        s.on_start(t(0));
+        // At t=0 nothing is available yet.
+        assert!(s.take_out().is_empty());
+        let wake = s.next_event_time().expect("pacing wake armed");
+        assert!(wake > t(0) && wake <= t(150));
+        s.on_tick(t(100)); // 1460 bytes available
+        let sent = s.take_out();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].payload, 1460);
+    }
+
+    #[test]
+    fn receiver_window_throttles_sender() {
+        let cfg = TcpSenderConfig {
+            total_bytes: Some(1_000_000),
+            initial_cwnd: 100.0,
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(key(), cfg, 1);
+        let mut r = TcpReceiver::new(key(), 1);
+        r.set_advertised_window(2 * 1460); // 2 segments
+        s.on_start(t(0));
+        let first_burst = s.take_out(); // full IW before any ACK
+        assert_eq!(first_burst.len(), 100);
+        // Deliver + ACK: sender learns the tiny window.
+        for p in &first_burst {
+            r.on_segment(t(5), p);
+        }
+        for a in r.take_out() {
+            s.on_segment(t(10), &a);
+        }
+        // All data ACKed, so in_flight = 0; next burst limited to 2 segments.
+        let next = s.take_out();
+        assert!(
+            next.len() <= 2,
+            "window clamp must limit burst, got {}",
+            next.len()
+        );
+    }
+
+    #[test]
+    fn unbounded_flow_never_finishes() {
+        let cfg = TcpSenderConfig {
+            total_bytes: None,
+            app_rate: Some(100_000),
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(key(), cfg, 1);
+        let mut r = TcpReceiver::new(key(), 1);
+        s.on_start(t(0));
+        for ms in (100..5000).step_by(100) {
+            s.on_tick(t(ms));
+            for a in exchange(&mut s, &mut r, t(ms)) {
+                s.on_segment(t(ms), &a);
+            }
+        }
+        assert!(!s.is_done());
+        assert!(s.stats.bytes_acked > 100_000);
+    }
+
+    #[test]
+    fn karn_rule_skips_retransmitted_samples() {
+        let cfg = TcpSenderConfig {
+            total_bytes: Some(1460),
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(key(), cfg, 1);
+        let mut r = TcpReceiver::new(key(), 1);
+        s.on_start(t(0));
+        let _ = s.take_out(); // lost
+        s.on_tick(t(1000)); // RTO
+        let rtx = s.take_out();
+        r.on_segment(t(1005), &rtx[0]);
+        for a in r.take_out() {
+            s.on_segment(t(1010), &a);
+        }
+        // The only ACK covered a retransmitted segment: no RTT sample.
+        assert!(s.srtt().is_none());
+    }
+
+    #[test]
+    fn fin_completes_stream() {
+        let cfg = TcpSenderConfig {
+            total_bytes: Some(100),
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(key(), cfg, 1);
+        let mut r = TcpReceiver::new(key(), 1);
+        s.on_start(t(0));
+        for step in 1..20 {
+            let now = t(step * 10);
+            for a in exchange(&mut s, &mut r, now) {
+                s.on_segment(now, &a);
+            }
+            if s.is_done() {
+                break;
+            }
+        }
+        assert!(s.is_done());
+        assert!(r.is_done());
+        assert_eq!(s.stats.bytes_acked, 100);
+        assert_eq!(r.stats.bytes_delivered, 100);
+    }
+}

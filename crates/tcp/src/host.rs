@@ -1,0 +1,242 @@
+//! [`TcpHost`]: adapts the sans-I/O TCP machines to the `dui-netsim`
+//! event loop. One host can source and sink many connections (the Blink
+//! packet-level experiment runs thousands of flows across a handful of
+//! hosts).
+
+use crate::conn::{ReceiverStats, SenderStats, TcpReceiver, TcpSender, TcpSenderConfig};
+use dui_netsim::packet::{FlowKey, Header, Packet};
+use dui_netsim::prelude::{Ctx, NodeLogic};
+use dui_netsim::time::{SimDuration, SimTime};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Declarative description of a flow a host should source.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Forward-direction 5-tuple (src must be this host's address).
+    pub key: FlowKey,
+    /// When to start.
+    pub start: SimTime,
+    /// Sender parameters.
+    pub config: TcpSenderConfig,
+}
+
+enum Endpoint {
+    // Boxed: a sender (congestion state, segment map, timers) is ~3x the
+    // size of a receiver, and hosts hold thousands of endpoints.
+    Sender(Box<TcpSender>),
+    Receiver(TcpReceiver),
+}
+
+/// A host that runs TCP senders (from [`FlowSpec`]s) and spawns receivers
+/// on demand for incoming flows.
+pub struct TcpHost {
+    /// Flows to source, sorted by start time at `on_start`.
+    pending: Vec<FlowSpec>,
+    endpoints: HashMap<FlowKey, Endpoint>,
+    /// Order senders were created, for stable iteration in stats.
+    order: Vec<FlowKey>,
+    /// Sender key -> index in `order` (timer token routing).
+    sender_index: HashMap<FlowKey, usize>,
+    /// Initial sequence number assigned to each new sender.
+    next_isn: u32,
+}
+
+/// Timer token asking the host to start newly-due flows.
+const TOKEN_WAKE: u64 = 1;
+/// Sender-specific tokens are `TOKEN_SENDER_BASE + index` into `order`, so
+/// a timer wake only ticks the one sender that asked for it.
+const TOKEN_SENDER_BASE: u64 = 2;
+
+impl TcpHost {
+    /// A host with no outgoing flows (pure receiver).
+    pub fn new() -> Self {
+        TcpHost {
+            pending: Vec::new(),
+            endpoints: HashMap::new(),
+            order: Vec::new(),
+            sender_index: HashMap::new(),
+            next_isn: 1,
+        }
+    }
+
+    /// A host that will source the given flows.
+    pub fn with_flows(mut flows: Vec<FlowSpec>) -> Self {
+        flows.sort_by_key(|f| f.start);
+        TcpHost {
+            pending: flows,
+            endpoints: HashMap::new(),
+            order: Vec::new(),
+            sender_index: HashMap::new(),
+            next_isn: 1,
+        }
+    }
+
+    /// Queue another outgoing flow (must be called before the simulation
+    /// reaches `spec.start`).
+    pub fn add_flow(&mut self, spec: FlowSpec) {
+        self.pending.push(spec);
+        self.pending.sort_by_key(|f| f.start);
+    }
+
+    /// Sender statistics for a flow sourced by this host.
+    pub fn sender_stats(&self, key: &FlowKey) -> Option<SenderStats> {
+        match self.endpoints.get(key) {
+            Some(Endpoint::Sender(s)) => Some(s.stats),
+            _ => None,
+        }
+    }
+
+    /// Receiver statistics for a flow sunk by this host.
+    pub fn receiver_stats(&self, key: &FlowKey) -> Option<ReceiverStats> {
+        match self.endpoints.get(key) {
+            Some(Endpoint::Receiver(r)) => Some(r.stats),
+            _ => None,
+        }
+    }
+
+    /// All sender stats, in flow creation order.
+    pub fn all_sender_stats(&self) -> Vec<(FlowKey, SenderStats)> {
+        self.order
+            .iter()
+            .filter_map(|k| match self.endpoints.get(k) {
+                Some(Endpoint::Sender(s)) => Some((*k, s.stats)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total bytes delivered across all receivers on this host.
+    pub fn total_bytes_received(&self) -> u64 {
+        self.endpoints
+            .values()
+            .filter_map(|e| match e {
+                Endpoint::Receiver(r) => Some(r.stats.bytes_delivered),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of sourced flows that have completed.
+    pub fn completed_senders(&self) -> usize {
+        self.endpoints
+            .values()
+            .filter(|e| matches!(e, Endpoint::Sender(s) if s.is_done()))
+            .count()
+    }
+
+    fn start_due_flows(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        while let Some(spec) = self.pending.first() {
+            if spec.start > now {
+                break;
+            }
+            let spec = self.pending.remove(0);
+            let isn = self.next_isn;
+            // Spread ISNs so sequence numbers do not collide across flows.
+            self.next_isn = self.next_isn.wrapping_add(0x0100_0000).wrapping_add(1);
+            let mut sender = TcpSender::new(spec.key, spec.config, isn);
+            sender.on_start(now);
+            for pkt in sender.take_out() {
+                ctx.send(pkt);
+            }
+            let idx = self.order.len();
+            Self::arm_for(idx, &sender, ctx);
+            self.order.push(spec.key);
+            self.sender_index.insert(spec.key, idx);
+            self.endpoints.insert(spec.key, Endpoint::Sender(Box::new(sender)));
+        }
+        if let Some(next) = self.pending.first() {
+            let delay = next.start.since(now).max(SimDuration::from_nanos(1));
+            ctx.set_timer(delay, TOKEN_WAKE);
+        }
+    }
+
+    fn arm_for(idx: usize, sender: &TcpSender, ctx: &mut Ctx) {
+        if let Some(at) = sender.next_event_time() {
+            let delay = at.since(ctx.now()).max(SimDuration::from_nanos(1));
+            ctx.set_timer(delay, TOKEN_SENDER_BASE + idx as u64);
+        }
+    }
+}
+
+impl Default for TcpHost {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NodeLogic for TcpHost {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.start_due_flows(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+        let Header::Tcp { seq, flags, .. } = pkt.header else {
+            return; // hosts here only speak TCP
+        };
+        let now = ctx.now();
+        // An incoming packet belongs to a sender if its *reverse* key is a
+        // sender's forward key (it is an ACK), otherwise it is data for a
+        // receiver keyed by the forward direction.
+        let fwd = pkt.key;
+        let rev = pkt.key.reversed();
+        if let Some(Endpoint::Sender(s)) = self.endpoints.get_mut(&rev) {
+            s.on_segment(now, &pkt);
+            let out = s.take_out();
+            let rearm = s.next_event_time();
+            let idx = self.sender_index[&rev];
+            for p in out {
+                ctx.send(p);
+            }
+            if let Some(at) = rearm {
+                let delay = at.since(now).max(SimDuration::from_nanos(1));
+                ctx.set_timer(delay, TOKEN_SENDER_BASE + idx as u64);
+            }
+            return;
+        }
+        let recv = self.endpoints.entry(fwd).or_insert_with(|| {
+            if flags.ack && pkt.payload == 0 && !flags.fin {
+                // Stray pure ACK with no matching sender: make a receiver
+                // anyway; it will ignore the segment.
+                Endpoint::Receiver(TcpReceiver::new(fwd, seq))
+            } else {
+                Endpoint::Receiver(TcpReceiver::new(fwd, seq))
+            }
+        });
+        if let Endpoint::Receiver(r) = recv {
+            r.on_segment(now, &pkt);
+            for p in r.take_out() {
+                ctx.send(p);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        let now = ctx.now();
+        if token == TOKEN_WAKE {
+            self.start_due_flows(ctx);
+            return;
+        }
+        let idx = (token - TOKEN_SENDER_BASE) as usize;
+        let Some(key) = self.order.get(idx).copied() else {
+            return;
+        };
+        if let Some(Endpoint::Sender(s)) = self.endpoints.get_mut(&key) {
+            s.on_tick(now);
+            let out = s.take_out();
+            let rearm = s.next_event_time();
+            for p in out {
+                ctx.send(p);
+            }
+            if let Some(at) = rearm {
+                let delay = at.since(now).max(SimDuration::from_nanos(1));
+                ctx.set_timer(delay, TOKEN_SENDER_BASE + idx as u64);
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,39 @@
+//! # dui-tcp
+//!
+//! A compact TCP model: Reno congestion control, Jacobson/Karn RTT
+//! estimation, fast retransmit and RTO with exponential backoff, cumulative
+//! ACKs with out-of-order buffering.
+//!
+//! Two roles in the `dui` reproduction of *"(Self) Driving Under the
+//! Influence"* (HotNets'19):
+//!
+//! 1. **Signal source for Blink** (§3.1): on a real path failure, every TCP
+//!    flow starts retransmitting on RTO — exactly the data-plane signal
+//!    Blink infers failures from, and the signal the attack forges.
+//! 2. **Baseline for PCC** (§4.2): PCC's paper positions it against
+//!    hard-coded-rule TCP; our PCC experiments compare against this Reno.
+//!
+//! The connection state machines are *sans-I/O*: they consume segments and
+//! clock ticks, and emit outgoing packets into an internal queue plus a
+//! "next timer deadline". [`host::TcpHost`] adapts them to the
+//! `dui-netsim` event loop. This keeps the protocol logic directly
+//! unit-testable.
+//!
+//! Simplifications (documented per DESIGN.md): no three-way handshake (the
+//! systems under study act on data segments), segment-granularity windows
+//! (MSS-sized), no SACK/Nagle/delayed-ACK. None of these affect the
+//! retransmission *timing* signals the paper's attacks target.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod host;
+pub mod reno;
+pub mod rtt;
+pub mod seq;
+
+pub use conn::{TcpReceiver, TcpSender, TcpSenderConfig};
+pub use host::{FlowSpec, TcpHost};
+pub use reno::Reno;
+pub use rtt::RttEstimator;

@@ -1,0 +1,70 @@
+//! Wrapping 32-bit sequence-number arithmetic (RFC 793 style).
+//!
+//! TCP sequence numbers live on a mod-2³² circle; comparisons are defined
+//! relative to a window of less than 2³¹. Blink's retransmission detector
+//! and our receiver both rely on these comparisons being wrap-safe.
+
+/// `a < b` on the sequence circle.
+#[inline]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `a <= b` on the sequence circle.
+#[inline]
+pub fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// `a > b` on the sequence circle.
+#[inline]
+pub fn seq_gt(a: u32, b: u32) -> bool {
+    seq_lt(b, a)
+}
+
+/// `a >= b` on the sequence circle.
+#[inline]
+pub fn seq_ge(a: u32, b: u32) -> bool {
+    a == b || seq_gt(a, b)
+}
+
+/// Forward distance from `a` to `b` (how many bytes ahead `b` is of `a`).
+#[inline]
+pub fn seq_dist(a: u32, b: u32) -> u32 {
+    b.wrapping_sub(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ordering() {
+        assert!(seq_lt(1, 2));
+        assert!(!seq_lt(2, 1));
+        assert!(seq_le(2, 2));
+        assert!(seq_gt(5, 3));
+        assert!(seq_ge(5, 5));
+    }
+
+    #[test]
+    fn wrapping_ordering() {
+        let near_max = u32::MAX - 10;
+        let wrapped = 5u32;
+        assert!(seq_lt(near_max, wrapped), "wrapped value is 'after'");
+        assert!(seq_gt(wrapped, near_max));
+    }
+
+    #[test]
+    fn distance_wraps() {
+        assert_eq!(seq_dist(10, 20), 10);
+        assert_eq!(seq_dist(u32::MAX, 4), 5);
+    }
+
+    #[test]
+    fn antisymmetric() {
+        for (a, b) in [(0u32, 1u32), (100, 200), (u32::MAX, 0), (u32::MAX - 5, 10)] {
+            assert_ne!(seq_lt(a, b), seq_lt(b, a));
+        }
+    }
+}

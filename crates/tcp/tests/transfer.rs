@@ -1,0 +1,195 @@
+//! End-to-end TCP transfers over the `dui-netsim` simulator: completion,
+//! loss recovery, congestion sharing, and the retransmission signal Blink
+//! consumes.
+
+use dui_netsim::prelude::*;
+use dui_tcp::{FlowSpec, TcpHost, TcpSenderConfig};
+
+fn dumbbell(
+    bw_mbps: u64,
+    delay_ms: u64,
+    queue: usize,
+) -> (Topology, NodeId, NodeId, NodeId, NodeId) {
+    // h1 - r1 === r2 - h2 (bottleneck between routers)
+    let mut b = TopologyBuilder::new();
+    let h1 = b.host("h1", Addr::new(10, 0, 0, 1));
+    let r1 = b.router("r1");
+    let r2 = b.router("r2");
+    let h2 = b.host("h2", Addr::new(10, 0, 0, 2));
+    b.link(h1, r1, Bandwidth::gbps(1), SimDuration::from_millis(1), 256);
+    b.link(
+        r1,
+        r2,
+        Bandwidth::mbps(bw_mbps),
+        SimDuration::from_millis(delay_ms),
+        queue,
+    );
+    b.link(r2, h2, Bandwidth::gbps(1), SimDuration::from_millis(1), 256);
+    (b.build(), h1, r1, r2, h2)
+}
+
+fn key(sport: u16) -> FlowKey {
+    FlowKey::tcp(Addr::new(10, 0, 0, 1), sport, Addr::new(10, 0, 0, 2), 80)
+}
+
+fn spec(sport: u16, bytes: u64) -> FlowSpec {
+    FlowSpec {
+        key: key(sport),
+        start: SimTime::ZERO,
+        config: TcpSenderConfig {
+            total_bytes: Some(bytes),
+            ..Default::default()
+        },
+    }
+}
+
+#[test]
+fn single_flow_completes_over_network() {
+    let (topo, h1, r1, r2, h2) = dumbbell(100, 10, 64);
+    let mut sim = Simulator::new(topo, 1);
+    sim.set_logic(r1, Box::new(RouterLogic::new()));
+    sim.set_logic(r2, Box::new(RouterLogic::new()));
+    sim.set_logic(h1, Box::new(TcpHost::with_flows(vec![spec(1000, 500_000)])));
+    sim.set_logic(h2, Box::new(TcpHost::new()));
+    sim.run_until(SimTime::from_secs(30));
+    let src: &mut TcpHost = sim.logic_mut(h1);
+    let stats = src.sender_stats(&key(1000)).unwrap();
+    assert!(
+        stats.completed_at.is_some(),
+        "transfer must finish: {stats:?}"
+    );
+    assert_eq!(stats.bytes_acked, 500_000);
+    let dst: &mut TcpHost = sim.logic_mut(h2);
+    assert_eq!(dst.total_bytes_received(), 500_000);
+}
+
+#[test]
+fn transfer_survives_random_loss() {
+    let (topo, h1, r1, r2, h2) = dumbbell(50, 5, 64);
+    let mut sim = Simulator::new(topo, 7);
+    sim.set_logic(r1, Box::new(RouterLogic::new()));
+    sim.set_logic(r2, Box::new(RouterLogic::new()));
+    sim.set_fault(
+        LinkId(1),
+        Dir::AtoB,
+        FaultConfig {
+            drop_prob: 0.05,
+            jitter_max: None,
+        },
+    );
+    sim.set_logic(h1, Box::new(TcpHost::with_flows(vec![spec(1000, 200_000)])));
+    sim.set_logic(h2, Box::new(TcpHost::new()));
+    sim.run_until(SimTime::from_secs(120));
+    let src: &mut TcpHost = sim.logic_mut(h1);
+    let stats = src.sender_stats(&key(1000)).unwrap();
+    assert!(
+        stats.completed_at.is_some(),
+        "loss must be recovered: {stats:?}"
+    );
+    assert!(stats.retransmissions > 0, "5% loss must cause retransmits");
+    let dst: &mut TcpHost = sim.logic_mut(h2);
+    assert_eq!(dst.total_bytes_received(), 200_000);
+}
+
+#[test]
+fn link_failure_triggers_rto_retransmissions() {
+    // This is exactly the signal Blink watches for: a blackholed path makes
+    // every flow retransmit on timeout.
+    let (topo, h1, r1, r2, h2) = dumbbell(100, 5, 64);
+    let mut sim = Simulator::new(topo, 3);
+    sim.set_logic(r1, Box::new(RouterLogic::new()));
+    sim.set_logic(r2, Box::new(RouterLogic::new()));
+    let flows: Vec<FlowSpec> = (0..20)
+        .map(|i| FlowSpec {
+            key: key(1000 + i),
+            start: SimTime::ZERO,
+            config: TcpSenderConfig {
+                total_bytes: None,
+                app_rate: Some(50_000),
+                ..Default::default()
+            },
+        })
+        .collect();
+    sim.set_logic(h1, Box::new(TcpHost::with_flows(flows)));
+    sim.set_logic(h2, Box::new(TcpHost::new()));
+    // Let flows run cleanly for 10 s.
+    sim.run_until(SimTime::from_secs(10));
+    let src: &mut TcpHost = sim.logic_mut(h1);
+    let before: u64 = src
+        .all_sender_stats()
+        .iter()
+        .map(|(_, s)| s.retransmissions)
+        .sum();
+    // Fail the bottleneck for 5 s.
+    sim.set_link_up(LinkId(1), false);
+    sim.run_until(SimTime::from_secs(15));
+    let src: &mut TcpHost = sim.logic_mut(h1);
+    let during: u64 = src
+        .all_sender_stats()
+        .iter()
+        .map(|(_, s)| s.retransmissions)
+        .sum();
+    assert!(
+        during > before + 15,
+        "most of the 20 flows should have RTO-retransmitted (before={before}, during={during})"
+    );
+    // Heal and verify traffic resumes.
+    sim.set_link_up(LinkId(1), true);
+    let dst_before = {
+        let dst: &mut TcpHost = sim.logic_mut(h2);
+        dst.total_bytes_received()
+    };
+    sim.run_until(SimTime::from_secs(30));
+    let dst: &mut TcpHost = sim.logic_mut(h2);
+    assert!(dst.total_bytes_received() > dst_before + 100_000);
+}
+
+#[test]
+fn two_flows_share_bottleneck_roughly_fairly() {
+    let (topo, h1, r1, r2, h2) = dumbbell(20, 10, 32);
+    let mut sim = Simulator::new(topo, 5);
+    sim.set_logic(r1, Box::new(RouterLogic::new()));
+    sim.set_logic(r2, Box::new(RouterLogic::new()));
+    sim.set_logic(
+        h1,
+        Box::new(TcpHost::with_flows(vec![
+            spec(1000, 4_000_000),
+            spec(2000, 4_000_000),
+        ])),
+    );
+    sim.set_logic(h2, Box::new(TcpHost::new()));
+    sim.run_until(SimTime::from_secs(20));
+    let src: &mut TcpHost = sim.logic_mut(h1);
+    let a = src.sender_stats(&key(1000)).unwrap().bytes_acked as f64;
+    let b = src.sender_stats(&key(2000)).unwrap().bytes_acked as f64;
+    let ratio = a.max(b) / a.min(b).max(1.0);
+    assert!(ratio < 3.0, "gross unfairness: {a} vs {b}");
+    // Both 4 MB transfers fit comfortably in 20 s at 20 Mbps; they must
+    // finish despite competing for the bottleneck.
+    assert_eq!(a + b, 8_000_000.0, "both transfers should complete");
+}
+
+#[test]
+fn many_short_flows_all_complete() {
+    let (topo, h1, r1, r2, h2) = dumbbell(100, 2, 128);
+    let mut sim = Simulator::new(topo, 11);
+    sim.set_logic(r1, Box::new(RouterLogic::new()));
+    sim.set_logic(r2, Box::new(RouterLogic::new()));
+    let flows: Vec<FlowSpec> = (0..100)
+        .map(|i| FlowSpec {
+            key: key(1000 + i),
+            start: SimTime::from_secs_f64(i as f64 * 0.05),
+            config: TcpSenderConfig {
+                total_bytes: Some(10_000),
+                ..Default::default()
+            },
+        })
+        .collect();
+    sim.set_logic(h1, Box::new(TcpHost::with_flows(flows)));
+    sim.set_logic(h2, Box::new(TcpHost::new()));
+    sim.run_until(SimTime::from_secs(60));
+    let src: &mut TcpHost = sim.logic_mut(h1);
+    assert_eq!(src.completed_senders(), 100);
+    let dst: &mut TcpHost = sim.logic_mut(h2);
+    assert_eq!(dst.total_bytes_received(), 100 * 10_000);
+}

@@ -1,0 +1,90 @@
+//! The §4.2 PCC oscillation attack end to end: a clean PCC flow converges
+//! near the bottleneck capacity; under the MitM utility-equalizer it is
+//! pinned into perpetual ±5% experiments; the §5 ε clamp bounds the
+//! damage.
+//!
+//! ```sh
+//! cargo run --release --example pcc_tug_of_war
+//! ```
+
+use dui::netsim::time::SimTime;
+use dui::pcc::control::ControlConfig;
+use dui::scenario::{PccScenario, PccScenarioConfig};
+use dui::stats::table::Table;
+
+fn run(label: &str, attacked: bool, eps_max: f64, seed: u64) -> (String, f64, f64, f64) {
+    let cfg = PccScenarioConfig {
+        flows: 1,
+        attacked,
+        // The attacker pins the flow at 25 Mbps — half the fair rate.
+        pin_to: attacked.then_some(25.0 * 125_000.0),
+        control: ControlConfig {
+            eps_max,
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    };
+    let mut sc = PccScenario::build(&cfg);
+    sc.sim.run_until(SimTime::from_secs(150));
+    let amp = sc.oscillation_amplitude(0, 110.0);
+    let trace = sc.rate_trace(0);
+    let tail: Vec<f64> = trace
+        .points()
+        .iter()
+        .filter(|(t, _)| *t > 120.0)
+        .map(|&(_, v)| v)
+        .collect();
+    let mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
+    // Delivered (destination) throughput over the same window.
+    let receiver = sc.receiver;
+    let rx: &mut dui::pcc::endpoint::PccReceiver = sc.sim.logic_mut(receiver);
+    let ts = rx.throughput_series(SimTime::from_secs(150));
+    let deliv: Vec<f64> = ts
+        .points()
+        .iter()
+        .filter(|(t, _)| *t > 120.0)
+        .map(|&(_, v)| v)
+        .collect();
+    let goodput = deliv.iter().sum::<f64>() / deliv.len().max(1) as f64;
+    (
+        label.to_string(),
+        mean / 125_000.0,
+        goodput / 125_000.0,
+        amp,
+    )
+}
+
+fn main() {
+    println!("One PCC flow over a 50 Mbps bottleneck, 150 simulated seconds;\nthe attacker pins the flow at 25 Mbps — half its fair share.\n");
+    let rows = vec![
+        run("clean", false, 0.05, 3),
+        run("attacked (equalizer MitM)", true, 0.05, 3),
+        run("attacked + §5 ε clamp (1%)", true, 0.01, 3),
+    ];
+    let mut t = Table::new([
+        "scenario",
+        "sent rate [Mbps]",
+        "delivered [Mbps]",
+        "oscillation",
+    ]);
+    for (label, sent, deliv, amp) in &rows {
+        t.row([
+            label.clone(),
+            format!("{sent:.1}"),
+            format!("{deliv:.1}"),
+            format!("±{:.1}%", amp * 100.0),
+        ]);
+    }
+    println!("{}", t.to_text());
+    println!(
+        "\nThe attacker never congests the path — it surgically drops packets\n\
+         during above-target monitor intervals so PCC's A/B experiments stop\n\
+         pointing at the true capacity. The flow never converges: it is dragged\n\
+         toward the attacker's 25 Mbps target and yo-yos as escape attempts are\n\
+         re-captured (at the controller level the pin is an exact ±5%% — see\n\
+         dui-pcc's `equalized_utilities_pin_epsilon_at_cap` test). The §5 ε\n\
+         clamp shrinks the controller's step size, which also slows the\n\
+         attacker's drag — narrowing the driver's authority cuts both ways."
+    );
+}

@@ -1,0 +1,119 @@
+//! The paper's §3.2 survey, live: four more data-driven systems, each
+//! fooled by the attack the paper sketches in one sentence.
+//!
+//! ```sh
+//! cargo run --release --example survey_attacks
+//! ```
+
+use dui::netsim::packet::{Addr, FlowKey, Header, Packet, TcpFlags};
+use dui::netsim::time::{SimDuration, SimTime};
+use dui::stats::Rng;
+use dui::survey::dapper::DapperDiagnoser;
+use dui::survey::flowradar::{saturation_flows, FlowRadar};
+use dui::survey::ron::{RonOverlay, Route};
+use dui::survey::sp_pifo::{adversarial_sequence, measure_inversions, shuffled_sequence};
+
+fn main() {
+    println!("== SP-PIFO: \"packet sequences of particular ranks\" ==\n");
+    let (teeth, run, max_rank) = (200, 24, 10_000);
+    let adv = adversarial_sequence(teeth, run, 0, max_rank);
+    let rnd = shuffled_sequence(teeth, run, 0, max_rank, &mut Rng::new(5));
+    let (ai, asrv, _) = measure_inversions(&adv, 8, 64, 12);
+    let (ri, rsrv, _) = measure_inversions(&rnd, 8, 64, 12);
+    println!(
+        "same rank distribution, different order:\n\
+         random order:      {:.1}% of services invert priority\n\
+         crafted descending runs: {:.1}% of services invert priority\n",
+        100.0 * ri as f64 / rsrv as f64,
+        100.0 * ai as f64 / asrv as f64
+    );
+
+    println!("== FlowRadar: \"pollute, or even saturate, a bloom filter\" ==\n");
+    let mut fr = FlowRadar::new(4096, 600, 3, 7);
+    for i in 0..200u32 {
+        let k = FlowKey::tcp(
+            Addr::new(198, 18, (i >> 8) as u8, i as u8),
+            (5000 + i % 1000) as u16,
+            Addr::new(10, 0, 0, 1),
+            443,
+        );
+        fr.on_packet(&k);
+    }
+    println!(
+        "200 legitimate flows: decode rate {:.0}%",
+        100.0 * fr.decode_rate()
+    );
+    for k in saturation_flows(2000, 1) {
+        fr.on_packet(&k);
+    }
+    println!(
+        "+2000 spoofed flows:  decode rate {:.0}%, bloom {:.0}% full\n\
+         (the telemetry system silently loses the network's flow set)\n",
+        100.0 * fr.decode_rate(),
+        100.0 * fr.bloom_fill()
+    );
+
+    println!("== DAPPER: \"implicate either of these three\" ==\n");
+    let diagnose = |clamp: Option<u32>| {
+        let key = FlowKey::tcp(Addr::new(1, 1, 1, 1), 100, Addr::new(2, 2, 2, 2), 80);
+        let mut d = DapperDiagnoser::new();
+        let (mut seq, mut acked) = (1u32, 1u32);
+        for i in 0..100u32 {
+            let pkt = Packet::tcp(key, seq, 0, TcpFlags::default(), 1000);
+            d.on_packet(
+                SimTime::ZERO + SimDuration::from_millis(i as u64 * 10),
+                &pkt,
+                true,
+            );
+            seq = seq.wrapping_add(1000);
+            if i > 0 {
+                acked = acked.wrapping_add(1000);
+            }
+            let mut a = Packet::tcp(
+                key.reversed(),
+                0,
+                acked,
+                TcpFlags {
+                    ack: true,
+                    ..TcpFlags::default()
+                },
+                0,
+            );
+            if let Header::Tcp { window, .. } = &mut a.header {
+                *window = clamp.unwrap_or(1 << 20);
+            }
+            d.on_packet(
+                SimTime::ZERO + SimDuration::from_millis(i as u64 * 10 + 5),
+                &a,
+                false,
+            );
+        }
+        d.diagnose()
+    };
+    println!(
+        "healthy connection, honest headers:      {:?}\n\
+         same connection, MitM clamps rwnd field: {:?}\n\
+         (an innocent receiver gets blamed — and \"the recourses suggested\n\
+         by the authors\" fire against it)\n",
+        diagnose(None),
+        diagnose(Some(2000))
+    );
+
+    println!("== RON: \"drop or delay RON's probes\" ==\n");
+    let mut ron = RonOverlay::new(4, 0.02, 3);
+    ron.set_probe_drop(0, 1, 0.6); // probes only; data path is perfect
+    for _ in 0..300 {
+        ron.probe_round();
+    }
+    println!(
+        "direct path 0->1 true loss: 0%  |  RON's probe-based estimate: {:.0}%",
+        100.0 * ron.path(0, 1).loss
+    );
+    match ron.route(0, 1) {
+        Route::Relay(r) => println!(
+            "RON diverts all 0->1 traffic via node {r} — a few dropped probe\n\
+             packets moved an entire traffic aggregate."
+        ),
+        Route::Direct => println!("no diversion (unexpected)"),
+    }
+}

@@ -1,0 +1,16 @@
+//! # dui — (Self) Driving Under the Influence, reproduced in Rust
+//!
+//! Workspace umbrella: re-exports [`dui_core`] (which in turn re-exports
+//! every subsystem crate). The interesting entry points:
+//!
+//! * [`dui_core::scenario`] — one-call builders for the paper's case
+//!   studies (Blink §3.1, Pytheas §4.1, PCC §4.2, NetHide §4.3);
+//! * [`dui_core::threat`] — the attacker taxonomy of §2;
+//! * the `examples/` directory — runnable walkthroughs of each attack and
+//!   countermeasure;
+//! * `dui-bench`'s `experiments` binary — regenerates the paper's Fig. 2
+//!   and every quantitative claim (see EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+
+pub use dui_core::*;

@@ -1,0 +1,111 @@
+//! Cross-crate integration: the §3.1 Blink case study at packet level —
+//! the C4 claim of DESIGN.md. Legitimate TCP traffic, the spoofing
+//! attacker, the Blink pipeline on a netsim router, and the §5 guard,
+//! all together.
+
+use dui::netsim::time::{SimDuration, SimTime};
+use dui::scenario::{BlinkScenario, BlinkScenarioConfig};
+
+fn base_cfg() -> BlinkScenarioConfig {
+    BlinkScenarioConfig {
+        legit_flows: 200,
+        malicious_flows: 64,
+        horizon: SimDuration::from_secs(100),
+        seed: 11,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn real_failure_detected_and_rerouted() {
+    let mut sc = BlinkScenario::build(&base_cfg());
+    sc.sim.run_until(SimTime::from_secs(20));
+    assert!(sc.on_primary());
+    sc.fail_primary_forward();
+    sc.sim.run_until(SimTime::from_secs(28));
+    assert!(
+        !sc.on_primary(),
+        "Blink must reroute around a real failure within seconds"
+    );
+    assert_eq!(sc.reroutes(), 1);
+}
+
+#[test]
+fn attacker_flows_capture_cells_over_time() {
+    let mut sc = BlinkScenario::build(&base_cfg());
+    sc.sim.run_until(SimTime::from_secs(15));
+    let early = sc.malicious_cells();
+    sc.sim.run_until(SimTime::from_secs(80));
+    let late = sc.malicious_cells();
+    assert!(late > early, "occupancy must grow: {early} -> {late}");
+    assert!(
+        late >= 32,
+        "64 spoofed flows should capture a majority: {late}"
+    );
+}
+
+#[test]
+fn fake_retransmission_burst_triggers_spurious_reroute() {
+    let cfg = BlinkScenarioConfig {
+        trigger_at: Some(SimTime::from_secs(70)),
+        ..base_cfg()
+    };
+    let mut sc = BlinkScenario::build(&cfg);
+    sc.sim.run_until(SimTime::from_secs(69));
+    assert!(sc.on_primary(), "no reroute before the trigger");
+    assert!(sc.malicious_cells() >= 32, "attack prerequisites met");
+    sc.sim.run_until(SimTime::from_secs(73));
+    assert!(
+        sc.reroutes() >= 1,
+        "the burst must look like a failure to Blink"
+    );
+    // Before the 5 s hold-down admits a second event, traffic sits on the
+    // backup (later triggers cycle the two-entry next-hop list).
+    assert!(!sc.on_primary(), "traffic steered off the healthy path");
+}
+
+#[test]
+fn rto_guard_vetoes_fake_but_passes_real() {
+    // Guarded, attacked.
+    let cfg = BlinkScenarioConfig {
+        trigger_at: Some(SimTime::from_secs(70)),
+        guarded: true,
+        ..base_cfg()
+    };
+    let mut sc = BlinkScenario::build(&cfg);
+    sc.sim.run_until(SimTime::from_secs(80));
+    assert!(sc.on_primary(), "guarded Blink must not fall for the burst");
+    assert!(sc.vetoed() > 0, "the guard must have actually vetoed");
+
+    // Guarded, real failure.
+    let cfg = BlinkScenarioConfig {
+        guarded: true,
+        malicious_flows: 1,
+        ..base_cfg()
+    };
+    let mut sc = BlinkScenario::build(&cfg);
+    sc.sim.run_until(SimTime::from_secs(20));
+    sc.fail_primary_forward();
+    sc.sim.run_until(SimTime::from_secs(30));
+    assert!(
+        !sc.on_primary(),
+        "the guard must not suppress genuine failure recovery"
+    );
+}
+
+#[test]
+fn scenario_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let cfg = BlinkScenarioConfig {
+            legit_flows: 80,
+            horizon: SimDuration::from_secs(40),
+            seed,
+            ..base_cfg()
+        };
+        let mut sc = BlinkScenario::build(&cfg);
+        sc.sim.run_until(SimTime::from_secs(40));
+        (sc.malicious_cells(), sc.sim.counters().delivered)
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration: the §4 endpoint attacks that don't get their
+//! own case-study section — "performance loss (e.g., manipulated window
+//! size in TCP)" — exercised end to end over the simulator.
+
+use dui::attacks::primitives::{flow_filter, WindowClamper};
+use dui::attacks::BounceProgram;
+use dui::netsim::node::RouterLogic;
+use dui::netsim::prelude::*;
+use dui::tcp::{FlowSpec, TcpHost, TcpSenderConfig};
+
+fn key() -> FlowKey {
+    FlowKey::tcp(Addr::new(10, 0, 0, 1), 1000, Addr::new(10, 0, 0, 2), 80)
+}
+
+fn line() -> (Topology, NodeId, NodeId, NodeId, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let h1 = b.host("h1", Addr::new(10, 0, 0, 1));
+    let r1 = b.router("r1");
+    let r2 = b.router("r2");
+    let h2 = b.host("h2", Addr::new(10, 0, 0, 2));
+    b.link(
+        h1,
+        r1,
+        Bandwidth::mbps(100),
+        SimDuration::from_millis(5),
+        256,
+    );
+    b.link(
+        r1,
+        r2,
+        Bandwidth::mbps(100),
+        SimDuration::from_millis(10),
+        256,
+    );
+    b.link(
+        r2,
+        h2,
+        Bandwidth::mbps(100),
+        SimDuration::from_millis(5),
+        256,
+    );
+    (b.build(), h1, r1, r2, h2)
+}
+
+fn throughput_with(clamp: Option<u32>) -> f64 {
+    let (topo, h1, r1, r2, h2) = line();
+    let mut sim = Simulator::new(topo, 9);
+    sim.set_logic(r1, Box::new(RouterLogic::new()));
+    sim.set_logic(r2, Box::new(RouterLogic::new()));
+    sim.set_logic(
+        h1,
+        Box::new(TcpHost::with_flows(vec![FlowSpec {
+            key: key(),
+            start: SimTime::ZERO,
+            config: TcpSenderConfig {
+                total_bytes: Some(20_000_000),
+                ..Default::default()
+            },
+        }])),
+    );
+    sim.set_logic(h2, Box::new(TcpHost::new()));
+    if let Some(w) = clamp {
+        // ACKs flow h2 -> h1; clamp them on the middle link (MitM).
+        sim.install_tap(
+            LinkId(1),
+            Dir::BtoA,
+            Box::new(WindowClamper::new(flow_filter(key()), w)),
+        );
+    }
+    sim.run_until(SimTime::from_secs(10));
+    let src: &mut TcpHost = sim.logic_mut(h1);
+    src.sender_stats(&key()).unwrap().bytes_acked as f64 / 10.0
+}
+
+#[test]
+fn window_clamping_collapses_throughput_without_any_loss() {
+    let honest = throughput_with(None);
+    // 2 segments per 40 ms RTT ≈ 73 kB/s ceiling.
+    let clamped = throughput_with(Some(2 * 1460));
+    assert!(
+        honest > 1_000_000.0,
+        "honest flow should exceed 1 MB/s: {honest:.0}"
+    );
+    assert!(
+        clamped < honest / 10.0,
+        "window clamp must throttle ≥10x: {honest:.0} -> {clamped:.0} B/s"
+    );
+    // The sender behaves exactly as specified — "applications typically
+    // trust the data that they receive from the network".
+    let expected_ceiling = 2.0 * 1460.0 / 0.040 * 1.5; // generous margin
+    assert!(
+        clamped < expected_ceiling,
+        "clamped rate {clamped:.0} bounded by window/RTT"
+    );
+}
+
+#[test]
+fn operator_bounce_inflates_tcp_latency_and_cuts_throughput() {
+    // Same transfer, but the operator's data-plane program bounces the
+    // flow's packets between r1 and r2 four extra legs — latency-based
+    // throttling with zero loss signature (§4.1's operator attack).
+    let run = |bounce: bool| {
+        let (topo, h1, r1, r2, h2) = line();
+        let mut sim = Simulator::new(topo, 9);
+        if bounce {
+            let matcher = |p: &Packet| p.key.dport == 80 || p.key.sport == 80;
+            sim.set_logic(
+                r1,
+                Box::new(RouterLogic::new().with_program(Box::new(BounceProgram::new(
+                    Box::new(matcher),
+                    r2,
+                    6,
+                )))),
+            );
+            sim.set_logic(
+                r2,
+                Box::new(RouterLogic::new().with_program(Box::new(BounceProgram::new(
+                    Box::new(matcher),
+                    r1,
+                    6,
+                )))),
+            );
+        } else {
+            sim.set_logic(r1, Box::new(RouterLogic::new()));
+            sim.set_logic(r2, Box::new(RouterLogic::new()));
+        }
+        sim.set_logic(
+            h1,
+            Box::new(TcpHost::with_flows(vec![FlowSpec {
+                key: key(),
+                start: SimTime::ZERO,
+                config: TcpSenderConfig {
+                    total_bytes: Some(5_000_000),
+                    ..Default::default()
+                },
+            }])),
+        );
+        sim.set_logic(h2, Box::new(TcpHost::new()));
+        sim.run_until(SimTime::from_secs(10));
+        let src: &mut TcpHost = sim.logic_mut(h1);
+        src.sender_stats(&key()).unwrap().bytes_acked as f64
+    };
+    let honest = run(false);
+    let bounced = run(true);
+    assert!(
+        bounced < honest * 0.7,
+        "latency inflation must cut ACK-clocked throughput: {honest:.0} -> {bounced:.0}"
+    );
+}
