@@ -1,9 +1,14 @@
-//! Criterion microbenchmarks of the performance-sensitive primitives:
-//! the Blink flow selector (must run at line rate in a real data plane),
-//! the event queue, the attack theory's binomial math, the PCC controller
-//! step, the Pytheas bandit, and the NetHide solver.
+//! Microbenchmarks of the performance-sensitive primitives on the
+//! in-tree timer harness (`dui_bench::harness` — no criterion, no
+//! registry access): the Blink flow selector (must run at line rate in
+//! a real data plane), the event queue, the attack theory's binomial
+//! math, the PCC controller step, the Pytheas bandit, and the NetHide
+//! solver.
+//!
+//! Run with `cargo bench -p dui-bench`; each line reports per-iteration
+//! median / p95 / min. Pass `--quick` for a fast smoke run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dui_bench::harness::{BenchConfig, Suite};
 use dui_core::blink::fastsim::{AttackSim, AttackSimConfig};
 use dui_core::blink::selector::{BlinkParams, FlowSelector};
 use dui_core::blink::theory::{AttackModel, FixedKeysModel};
@@ -16,196 +21,177 @@ use dui_core::pcc::control::{ControlConfig, Controller};
 use dui_core::pytheas::e2::DiscountedUcb;
 use dui_core::scenario::topologies;
 use dui_core::stats::{Binomial, Rng};
-use std::hint::black_box;
 
-fn bench_flow_selector(c: &mut Criterion) {
-    let keys: Vec<FlowKey> = (0..1024u16)
+fn tcp_keys(n: u16, dport: u16) -> Vec<FlowKey> {
+    (0..n)
         .map(|i| {
             FlowKey::tcp(
                 Addr::new(198, 18, (i >> 8) as u8, i as u8),
                 i,
                 Addr::new(10, 0, 0, 1),
-                80,
+                dport,
             )
         })
-        .collect();
-    c.bench_function("blink_selector_on_packet", |b| {
-        let mut s = FlowSelector::new(BlinkParams::default());
+        .collect()
+}
+
+fn bench_flow_selector(s: &mut Suite) {
+    let keys = tcp_keys(1024, 80);
+    {
+        let mut sel = FlowSelector::new(BlinkParams::default());
         let mut t = 0u64;
         let mut i = 0usize;
-        b.iter(|| {
+        s.bench("blink_selector_on_packet", move || {
             t += 1_000_000; // 1 ms
-            i = (i + 1) % keys.len();
-            black_box(s.on_packet(SimTime(t), keys[i], t as u32, false))
+            i = (i + 1) % 1024;
+            sel.on_packet(SimTime(t), keys[i], t as u32, false)
         });
-    });
-    c.bench_function("blink_selector_failure_check", |b| {
-        let mut s = FlowSelector::new(BlinkParams::default());
-        for (i, k) in keys.iter().enumerate() {
-            s.on_packet(SimTime(i as u64), *k, 1, false);
+    }
+    {
+        let mut sel = FlowSelector::new(BlinkParams::default());
+        for (i, k) in tcp_keys(1024, 80).iter().enumerate() {
+            sel.on_packet(SimTime(i as u64), *k, 1, false);
         }
-        b.iter(|| black_box(s.retransmitting_flows(SimTime(2_000_000))));
-    });
-}
-
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_pop", |b| {
-        let mut q = EventQueue::new();
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 17;
-            q.schedule(
-                SimTime(t % 1_000_000),
-                Event::Timer {
-                    node: NodeId(0),
-                    token: t,
-                },
-            );
-            black_box(q.pop())
+        s.bench("blink_selector_failure_check", move || {
+            sel.retransmitting_flows(SimTime(2_000_000))
         });
+    }
+}
+
+fn bench_event_queue(s: &mut Suite) {
+    let mut q = EventQueue::new();
+    let mut t = 0u64;
+    s.bench("event_queue_schedule_pop", move || {
+        t += 17;
+        q.schedule(
+            SimTime(t % 1_000_000),
+            Event::Timer {
+                node: NodeId(0),
+                token: t,
+            },
+        );
+        q.pop()
     });
 }
 
-fn bench_theory(c: &mut Criterion) {
-    c.bench_function("binomial_quantile_n64", |b| {
-        let bin = Binomial::new(64, 0.37);
-        b.iter(|| black_box(bin.quantile(0.95)));
-    });
-    c.bench_function("iid_model_mean_takeover", |b| {
-        let m = AttackModel::fig2();
-        b.iter(|| black_box(m.mean_takeover_time()));
-    });
-    c.bench_function("fixed_keys_mean_takeover", |b| {
-        let m = FixedKeysModel::fig2();
-        b.iter(|| black_box(m.mean_takeover_time()));
+fn bench_theory(s: &mut Suite) {
+    let bin = Binomial::new(64, 0.37);
+    s.bench("binomial_quantile_n64", move || bin.quantile(0.95));
+    let m = AttackModel::fig2();
+    s.bench("iid_model_mean_takeover", move || m.mean_takeover_time());
+    let fm = FixedKeysModel::fig2();
+    s.bench("fixed_keys_mean_takeover", move || fm.mean_takeover_time());
+}
+
+fn bench_pcc_controller(s: &mut Suite) {
+    let mut ctl = Controller::new(ControlConfig::default(), 1e6, 1);
+    let mut u = 0.0f64;
+    s.bench("pcc_controller_mi_cycle", move || {
+        let r = ctl.next_mi_rate();
+        u = (u + 1.0) % 7.0;
+        ctl.on_report(u);
+        r
     });
 }
 
-fn bench_pcc_controller(c: &mut Criterion) {
-    c.bench_function("pcc_controller_mi_cycle", |b| {
-        let mut ctl = Controller::new(ControlConfig::default(), 1e6, 1);
-        let mut u = 0.0f64;
-        b.iter(|| {
-            let r = ctl.next_mi_rate();
-            u = (u + 1.0) % 7.0;
-            ctl.on_report(u);
-            black_box(r)
-        });
+fn bench_pytheas_ucb(s: &mut Suite) {
+    let mut ucb = DiscountedUcb::new(8, 0.995, 0.3);
+    let mut rng = Rng::new(1);
+    s.bench("ucb_pick_update_8arms", move || {
+        let a = ucb.pick(&mut rng);
+        ucb.update(a, 0.5);
+        a
     });
 }
 
-fn bench_pytheas_ucb(c: &mut Criterion) {
-    c.bench_function("ucb_pick_update_8arms", |b| {
-        let mut ucb = DiscountedUcb::new(8, 0.995, 0.3);
-        let mut rng = Rng::new(1);
-        b.iter(|| {
-            let a = ucb.pick(&mut rng);
-            ucb.update(a, 0.5);
-            black_box(a)
-        });
-    });
-}
-
-fn bench_nethide_solver(c: &mut Criterion) {
+fn bench_nethide_solver(s: &mut Suite) {
     let (topo, flows, core) = topologies::bowtie(6);
     let routing = Routing::shortest_paths(&topo);
     let c1 = topo.node(core.0).addr;
     let c2 = topo.node(core.1).addr;
-    c.bench_function("nethide_solver_bowtie6", |b| {
-        b.iter(|| {
-            black_box(obfuscate(
-                &topo,
-                &routing,
-                &flows,
-                &ObfuscationConfig {
-                    max_density: 3,
-                    ..Default::default()
-                },
-                &[(c1, c2)],
-            ))
-        });
+    s.bench("nethide_solver_bowtie6", move || {
+        obfuscate(
+            &topo,
+            &routing,
+            &flows,
+            &ObfuscationConfig {
+                max_density: 3,
+                ..Default::default()
+            },
+            &[(c1, c2)],
+        )
     });
 }
 
-fn bench_survey(c: &mut Criterion) {
+fn bench_survey(s: &mut Suite) {
     use dui_core::survey::flowradar::FlowRadar;
     use dui_core::survey::sp_pifo::SpPifo;
-    c.bench_function("sp_pifo_enqueue_dequeue", |b| {
+    {
         let mut sp = SpPifo::new(8, 1024);
         let mut r = 0u64;
-        b.iter(|| {
+        s.bench("sp_pifo_enqueue_dequeue", move || {
             r = (r.wrapping_mul(6364136223846793005).wrapping_add(1)) >> 40;
             sp.enqueue(r);
-            black_box(sp.dequeue())
+            sp.dequeue()
         });
-    });
-    c.bench_function("flowradar_on_packet", |b| {
+    }
+    {
         let mut fr = FlowRadar::new(65_536, 4096, 3, 7);
-        let keys: Vec<FlowKey> = (0..4096u16)
-            .map(|i| {
-                FlowKey::tcp(
-                    Addr::new(198, 18, (i >> 8) as u8, i as u8),
-                    i,
-                    Addr::new(10, 0, 0, 1),
-                    443,
-                )
-            })
-            .collect();
+        let keys = tcp_keys(4096, 443);
         let mut i = 0usize;
-        b.iter(|| {
+        s.bench("flowradar_on_packet", move || {
             i = (i + 1) % keys.len();
-            fr.on_packet(black_box(&keys[i]))
+            fr.on_packet(&keys[i])
         });
-    });
-    c.bench_function("flowradar_decode_1k_flows", |b| {
+    }
+    {
         let mut fr = FlowRadar::new(65_536, 4096, 3, 7);
-        for i in 0..1000u16 {
-            let k = FlowKey::tcp(
-                Addr::new(198, 18, (i >> 8) as u8, i as u8),
-                i,
-                Addr::new(10, 0, 0, 1),
-                443,
-            );
+        for k in tcp_keys(1000, 443) {
             fr.on_packet(&k);
         }
-        b.iter(|| black_box(fr.decode()));
+        s.bench("flowradar_decode_1k_flows", move || fr.decode());
+    }
+}
+
+fn bench_fastsim(s: &mut Suite) {
+    let cfg = AttackSimConfig {
+        legit_flows: 400,
+        malicious_flows: 21,
+        horizon: SimDuration::from_secs(30),
+        ..AttackSimConfig::fig2()
+    };
+    let mut seed = 0;
+    s.bench("blink_fastsim_400flows_30s", move || {
+        seed += 1;
+        AttackSim::run(&cfg, seed)
     });
 }
 
-fn bench_fastsim(c: &mut Criterion) {
-    c.bench_function("blink_fastsim_400flows_30s", |b| {
-        let cfg = AttackSimConfig {
-            legit_flows: 400,
-            malicious_flows: 21,
-            horizon: SimDuration::from_secs(30),
-            ..AttackSimConfig::fig2()
-        };
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(AttackSim::run(&cfg, seed))
-        });
-    });
+fn main() {
+    // `cargo bench` forwards unknown flags here; honour --quick and
+    // ignore libtest-style arguments like --bench.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        BenchConfig {
+            warmup_ms: 5,
+            samples: 7,
+            min_batch_us: 200,
+        }
+    } else {
+        BenchConfig::default()
+    };
+    println!(
+        "microbench (in-tree harness): {} samples, {} ms warmup, ≥{} µs batches\n",
+        cfg.samples, cfg.warmup_ms, cfg.min_batch_us
+    );
+    let mut s = Suite::new(cfg);
+    bench_flow_selector(&mut s);
+    bench_event_queue(&mut s);
+    bench_theory(&mut s);
+    bench_pcc_controller(&mut s);
+    bench_pytheas_ucb(&mut s);
+    bench_nethide_solver(&mut s);
+    bench_survey(&mut s);
+    bench_fastsim(&mut s);
+    println!("\n{} benchmarks done.", s.results().len());
 }
-
-fn short() -> Criterion {
-    // The suite is run on every `cargo bench --workspace`; 20 samples give
-    // stable medians for these micro-operations at a fraction of the
-    // default wall time.
-    Criterion::default().sample_size(20)
-}
-
-criterion_group! {
-    name = benches;
-    config = short();
-    targets =
-    bench_flow_selector,
-    bench_event_queue,
-    bench_theory,
-    bench_pcc_controller,
-    bench_pytheas_ucb,
-    bench_nethide_solver,
-    bench_survey,
-    bench_fastsim
-}
-criterion_main!(benches);

@@ -4,1001 +4,127 @@
 //!
 //! ```sh
 //! cargo run --release -p dui-bench --bin experiments -- all
-//! cargo run --release -p dui-bench --bin experiments -- fig2
+//! cargo run --release -p dui-bench --bin experiments -- fig2 --jobs 4
 //! ```
 //!
-//! Every subcommand prints its table(s) and writes CSV into `results/`.
+//! Every subcommand prints its table(s) and writes CSV into `results/`;
+//! `all` additionally writes `results/experiments_all.txt` with the full
+//! report and per-stage wall-clock timings. `--jobs N` sets the worker
+//! thread count (default: all cores); the CSVs are byte-identical for
+//! every `N` — see `dui_bench::par` for the determinism contract.
 
-use dui_bench::{mean, measure_residencies};
-use dui_core::blink::fastsim::{AttackSim, AttackSimConfig};
-use dui_core::blink::selector::BlinkParams;
-use dui_core::blink::theory::{effective_qm, AttackModel, FixedKeysModel};
-use dui_core::defense::pcc_guard::PccLossPatternMonitor;
-use dui_core::flowgen::{CaidaLikeConfig, CaidaLikeTrace};
-use dui_core::nethide::obfuscate::{obfuscate, ObfuscationConfig};
-use dui_core::netsim::time::{SimDuration, SimTime};
-use dui_core::netsim::topology::Routing;
-use dui_core::pcc::control::ControlConfig;
-use dui_core::pcc::endpoint::PccSender;
-use dui_core::pytheas::engine::{EngineConfig, PoisonStrategy, Throttle};
-use dui_core::scenario::{
-    pytheas_run, topologies, BlinkScenario, BlinkScenarioConfig, PccScenario, PccScenarioConfig,
-};
-use dui_core::stats::series::envelope;
-use dui_core::stats::table::Table;
-use dui_core::stats::Rng;
+use dui_bench::par::default_jobs;
+use dui_bench::stages::{run_stage, StageOutput, STAGE_NAMES};
+use std::fmt::Write as _;
 use std::path::Path;
 
 fn results_dir() -> &'static Path {
     Path::new("results")
 }
 
-fn save(table: &Table, name: &str) {
-    let path = results_dir().join(name);
-    table.write_csv(&path).expect("write results CSV");
-    println!("[saved {}]", path.display());
+fn emit(out: &StageOutput) {
+    print!("{}", out.report);
+    for (name, table) in &out.tables {
+        let path = results_dir().join(name);
+        table.write_csv(&path).expect("write results CSV");
+        println!("[saved {}]", path.display());
+    }
 }
 
-/// F2 — Fig. 2: malicious flows sampled by Blink over time. Theory (the
-/// paper's printed iid formula and our fixed-keys refinement) overlaid
-/// with 50 seeded simulations.
-fn fig2() {
-    println!("== F2: Fig. 2 — Blink flow-selector takeover ==\n");
-    let cfg = AttackSimConfig::fig2();
-    println!(
-        "{} legit + {} malicious flows (qm={:.4}), 64 cells, threshold 32, horizon 500 s, 50 runs",
-        cfg.legit_flows,
-        cfg.malicious_flows,
-        cfg.q_m()
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [{} | all] [--jobs N]",
+        STAGE_NAMES.join(" | ")
     );
-    let runs = AttackSim::run_many(&cfg, 1, 50);
-    let series: Vec<_> = runs.iter().map(|r| r.series.clone()).collect();
-    let env = envelope(&series, 5.0, 95.0);
-    let t_r = mean(
-        &runs
-            .iter()
-            .filter_map(|r| r.achieved_t_r)
-            .collect::<Vec<_>>(),
-    );
-    println!("achieved tR = {t_r:.2} s (paper example: 8.37 s)\n");
-    let iid = AttackModel {
-        t_r,
-        ..AttackModel::fig2()
-    };
-    let fixed = FixedKeysModel {
-        t_r,
-        ..FixedKeysModel::fig2()
-    };
-    let mut rng = Rng::new(99);
-    let mut csv = Table::new([
-        "t_s",
-        "iid_mean",
-        "iid_p05",
-        "iid_p95",
-        "fixed_mean",
-        "fixed_p05",
-        "fixed_p95",
-        "sim_mean",
-        "sim_p05",
-        "sim_p95",
-    ]);
-    let mut show = Table::new([
-        "t [s]",
-        "iid mean",
-        "fixed-keys mean",
-        "sim mean",
-        "sim p5..p95",
-    ]);
-    for (i, &t) in env.times.iter().enumerate() {
-        if !(t as u64).is_multiple_of(10) {
-            continue;
-        }
-        let row = [
-            t,
-            iid.mean(t),
-            iid.quantile(t, 0.05) as f64,
-            iid.quantile(t, 0.95) as f64,
-            fixed.mean(t),
-            fixed.quantile_mc(t, 0.05, 1500, &mut rng) as f64,
-            fixed.quantile_mc(t, 0.95, 1500, &mut rng) as f64,
-            env.mean[i],
-            env.lo[i],
-            env.hi[i],
-        ];
-        csv.row_f64(&row, 2);
-        if (t as u64).is_multiple_of(50) {
-            show.row([
-                format!("{t:.0}"),
-                format!("{:.1}", row[1]),
-                format!("{:.1}", row[4]),
-                format!("{:.1}", row[7]),
-                format!("{:.0}..{:.0}", row[8], row[9]),
-            ]);
-        }
-    }
-    println!("{}", show.to_text());
-    save(&csv, "fig2.csv");
-
-    let takeovers: Vec<f64> = runs.iter().filter_map(|r| r.takeover_time).collect();
-    println!(
-        "takeover (≥32 cells): iid mean-crossing {:.0} s | fixed-keys {:.0} s | simulated mean {:.0} s over {}/50 runs (paper caption: ≈172 s)\n",
-        iid.mean_takeover_time().unwrap_or(f64::NAN),
-        fixed.mean_takeover_time().unwrap_or(f64::NAN),
-        mean(&takeovers),
-        takeovers.len()
-    );
-}
-
-/// F2b — rate-asymmetry ablation: attacker keep-alive rate vs takeover
-/// time, reconciling the printed formula with the quoted 172 s.
-fn fig2_rates() {
-    println!("== F2b: rate-asymmetry ablation (attacker pps / legit pps) ==\n");
-    let mut csv = Table::new(["rate_ratio", "effective_qm", "mean_takeover_s"]);
-    let mut show = Table::new(["ratio r", "qm_eff", "mean takeover [s]"]);
-    for r in [0.4, 0.5, 0.63, 0.8, 1.0, 1.5, 2.0] {
-        let qm = effective_qm(0.0525, r);
-        let m = AttackModel {
-            q_m: qm,
-            ..AttackModel::fig2()
-        };
-        let t = m.mean_takeover_time();
-        csv.row([
-            format!("{r}"),
-            format!("{qm:.4}"),
-            t.map(|t| format!("{t:.1}")).unwrap_or("never".into()),
-        ]);
-        show.row([
-            format!("{r:.2}"),
-            format!("{qm:.4}"),
-            t.map(|t| format!("{t:.0}")).unwrap_or("never".into()),
-        ]);
-    }
-    println!("{}", show.to_text());
-    println!("(r ≈ 0.63 reproduces the paper's quoted ≈172 s takeover)\n");
-    save(&csv, "fig2_rates.csv");
-}
-
-/// C2 — attack-feasibility sweep over (tR, qm): mean takeover time from
-/// the paper's formula, plus the fixed-keys saturation constraint on the
-/// malicious flow count.
-fn blink_sweep() {
-    println!("== C2: takeover time vs (tR, qm) — \"with longer tR, the attack is harder\" ==\n");
-    let qms = [0.01, 0.02, 0.0525, 0.10, 0.20];
-    let mut csv = Table::new(["t_r_s", "q_m", "mean_takeover_s", "min_feasible_qm"]);
-    let mut show = Table::new([
-        "tR [s]".to_string(),
-        "min qm".to_string(),
-        qms[0].to_string(),
-        qms[1].to_string(),
-        qms[2].to_string(),
-        qms[3].to_string(),
-        qms[4].to_string(),
-    ]);
-    for t_r in [2.0, 5.0, 8.37, 15.0, 30.0, 60.0] {
-        let mut cells = Vec::new();
-        for &q_m in &qms {
-            let m = AttackModel {
-                t_r,
-                q_m,
-                ..AttackModel::fig2()
-            };
-            let t = m.mean_takeover_time();
-            csv.row([
-                format!("{t_r}"),
-                format!("{q_m}"),
-                t.map(|t| format!("{t:.1}")).unwrap_or("never".into()),
-                format!("{:.4}", m.min_feasible_qm()),
-            ]);
-            cells.push(t.map(|t| format!("{t:.0}s")).unwrap_or("-".into()));
-        }
-        let min_qm = AttackModel {
-            t_r,
-            ..AttackModel::fig2()
-        }
-        .min_feasible_qm();
-        show.row([
-            format!("{t_r:.1}"),
-            format!("{min_qm:.3}"),
-            cells[0].clone(),
-            cells[1].clone(),
-            cells[2].clone(),
-            cells[3].clone(),
-            cells[4].clone(),
-        ]);
-    }
-    println!("{}", show.to_text());
-    save(&csv, "blink_sweep.csv");
-
-    // Selector-size ablation: cells/threshold.
-    println!("\n-- ablation: selector size (threshold = cells/2, fig2 qm/tR) --\n");
-    let mut ab = Table::new(["cells", "threshold", "mean_takeover_s", "saturation_cells"]);
-    for cells in [32u32, 64, 128, 256] {
-        let m = FixedKeysModel {
-            cells,
-            threshold: cells / 2,
-            ..FixedKeysModel::fig2()
-        };
-        ab.row([
-            cells.to_string(),
-            (cells / 2).to_string(),
-            m.mean_takeover_time()
-                .map(|t| format!("{t:.0}"))
-                .unwrap_or("never".into()),
-            format!("{:.1}", m.saturation()),
-        ]);
-    }
-    println!("{}", ab.to_text());
-    save(&ab, "blink_cells_ablation.csv");
-
-    // §5-V ablation: obfuscating the selector hash (secret salt) raises
-    // the attacker's flow budget for cell coverage.
-    println!("\n-- ablation: hash-salt secrecy (§5-V) — flows needed to cover N cells --\n");
-    use dui_core::attacks::blink_takeover::flows_needed_for_coverage;
-    use dui_core::netsim::packet::{Addr, Prefix};
-    let prefix = Prefix::new(Addr::new(10, 0, 0, 0), 16);
-    let params = BlinkParams::default();
-    let mut salt = Table::new(["target_cells", "salt_known", "salt_secret"]);
-    for target in [16usize, 32, 48, 64] {
-        let known: f64 = (0..10)
-            .map(|s| flows_needed_for_coverage(&params, prefix, target, true, s) as f64)
-            .sum::<f64>()
-            / 10.0;
-        let secret: f64 = (0..10)
-            .map(|s| flows_needed_for_coverage(&params, prefix, target, false, s) as f64)
-            .sum::<f64>()
-            / 10.0;
-        salt.row([
-            target.to_string(),
-            format!("{known:.0}"),
-            format!("{secret:.0}"),
-        ]);
-    }
-    println!("{}", salt.to_text());
-    save(&salt, "blink_salt_ablation.csv");
-}
-
-/// C3 — per-prefix residency on the CAIDA-like synthetic trace: median
-/// ≈5 s across top prefixes, half of the top-20 ≥10 s (paper's reported
-/// statistics).
-fn caida_residency() {
-    println!("== C3: flow-selector residency across top-20 prefixes (synthetic CAIDA-like) ==\n");
-    let trace = CaidaLikeTrace::generate(&CaidaLikeConfig::default(), &mut Rng::new(7));
-    let mut per_prefix_mean = Vec::new();
-    let mut all_residencies = Vec::new();
-    let mut csv = Table::new([
-        "prefix_rank",
-        "flows",
-        "mean_residency_s",
-        "median_residency_s",
-    ]);
-    for (rank, pop) in trace.populations.iter().enumerate() {
-        let res = measure_residencies(pop, BlinkParams::default());
-        if res.is_empty() {
-            continue;
-        }
-        let m = mean(&res);
-        let med = dui_core::stats::summary::median(&res);
-        per_prefix_mean.push(m);
-        all_residencies.extend_from_slice(&res);
-        csv.row([
-            rank.to_string(),
-            pop.flows.len().to_string(),
-            format!("{m:.2}"),
-            format!("{med:.2}"),
-        ]);
-    }
-    save(&csv, "caida_residency.csv");
-    let median_of_means = dui_core::stats::summary::median(&per_prefix_mean);
-    let median_flow = dui_core::stats::summary::median(&all_residencies);
-    let frac_ge_10 = per_prefix_mean.iter().filter(|&&m| m >= 10.0).count() as f64
-        / per_prefix_mean.len() as f64;
-    // The paper's sentence mixes two statistics ("for half of them the
-    // average time a flow remains sampled is 10 s (the median is ∼5 s)");
-    // we report both readings.
-    let mut show = Table::new(["statistic", "measured", "paper"]);
-    show.row([
-        "median residency across flows".to_string(),
-        format!("{median_flow:.1} s"),
-        "≈5 s".to_string(),
-    ]);
-    show.row([
-        "median of per-prefix mean residencies".to_string(),
-        format!("{median_of_means:.1} s"),
-        "(5-10 s range)".to_string(),
-    ]);
-    show.row([
-        "fraction of prefixes with mean tR ≥ 10 s".to_string(),
-        format!("{:.0}%", frac_ge_10 * 100.0),
-        "≈50%".to_string(),
-    ]);
-    show.row([
-        "worked-example prefix tR".to_string(),
-        format!(
-            "{:.1} s (closest prefix)",
-            per_prefix_mean
-                .iter()
-                .cloned()
-                .min_by(|a, b| (a - 8.37).abs().partial_cmp(&(b - 8.37).abs()).unwrap())
-                .unwrap_or(f64::NAN)
-        ),
-        "8.37 s".to_string(),
-    ]);
-    println!("{}", show.to_text());
-}
-
-/// C4 — the packet-level Blink experiment (the paper's mininet+P4 run):
-/// 2000 legitimate + 105 malicious flows, occupancy over time, then the
-/// trigger and the reroute; guarded variant alongside.
-fn blink_packet() {
-    println!("== C4: packet-level Blink takeover (2000 legit + 105 malicious TCP flows) ==\n");
-    let run = |guarded: bool| {
-        let cfg = BlinkScenarioConfig {
-            legit_flows: 2000,
-            malicious_flows: 105,
-            mean_lifetime_secs: 6.37,
-            trigger_at: Some(SimTime::from_secs(260)),
-            guarded,
-            horizon: SimDuration::from_secs(300),
-            seed: 21,
-            ..Default::default()
-        };
-        let mut sc = BlinkScenario::build(&cfg);
-        let mut occupancy = Vec::new();
-        for t in (0..=250).step_by(25) {
-            sc.sim.run_until(SimTime::from_secs(t));
-            occupancy.push((t, sc.malicious_cells()));
-        }
-        sc.sim.run_until(SimTime::from_secs(280));
-        (occupancy, sc.reroutes(), sc.vetoed(), sc.on_primary())
-    };
-    let (occ, reroutes, _, on_primary) = run(false);
-    let mut csv = Table::new(["t_s", "malicious_cells"]);
-    let mut show = Table::new(["t [s]", "malicious cells (of 64)"]);
-    for (t, c) in &occ {
-        csv.row([t.to_string(), c.to_string()]);
-        show.row([t.to_string(), c.to_string()]);
-    }
-    println!("{}", show.to_text());
-    println!(
-        "unguarded: trigger at t=260 s -> reroutes={reroutes}, on_primary={on_primary} \
-         (paper: takeover ≈200 s, spurious reroute follows)\n"
-    );
-    let (_, g_reroutes, g_vetoed, g_on_primary) = run(true);
-    println!(
-        "guarded (§5 RTO check): reroutes={g_reroutes}, vetoed={g_vetoed}, on_primary={g_on_primary}\n"
-    );
-    save(&csv, "blink_packet.csv");
-}
-
-/// C5 — Pytheas poisoning and herding sweeps, with and without the §5
-/// outlier filter.
-fn pytheas() {
-    println!("== C5: Pytheas group poisoning / CDN herding ==\n");
-    let mut csv = Table::new([
-        "poison_fraction",
-        "honest_qoe_undefended",
-        "honest_qoe_defended",
-        "on_best_undefended",
-        "filter_precision",
-    ]);
-    let mut show = Table::new([
-        "bots",
-        "QoE (no defense)",
-        "QoE (MAD filter)",
-        "on-best (no defense)",
-    ]);
-    for f in [0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5] {
-        let cfg = EngineConfig {
-            poison_fraction: f,
-            poison: PoisonStrategy::Promote { down: 1, up: 2 },
-            ..Default::default()
-        };
-        let u = pytheas_run(cfg.clone(), 3, 400, false, 42);
-        let d = pytheas_run(cfg, 3, 400, true, 42);
-        csv.row([
-            format!("{f}"),
-            format!("{:.4}", u.honest_qoe),
-            format!("{:.4}", d.honest_qoe),
-            format!("{:.4}", u.on_best),
-            format!("{:.3}", d.filter_precision),
-        ]);
-        show.row([
-            format!("{:.0}%", f * 100.0),
-            format!("{:.3}", u.honest_qoe),
-            format!("{:.3}", d.honest_qoe),
-            format!("{:.2}", u.on_best),
-        ]);
-    }
-    println!("{}", show.to_text());
-    save(&csv, "pytheas_poison.csv");
-
-    println!("\n-- CDN throttle / herding (MitM) --\n");
-    let mut csv = Table::new([
-        "factor",
-        "share_throttled_arm",
-        "max_share_other",
-        "honest_qoe",
-    ]);
-    let mut show = Table::new([
-        "throttle",
-        "share on arm 1",
-        "max other share",
-        "honest QoE",
-    ]);
-    for factor in [1.0, 0.8, 0.6, 0.4, 0.2] {
-        let cfg = EngineConfig {
-            throttle: Some(Throttle {
-                arm: 1,
-                factor,
-                affected_fraction: 1.0,
-            }),
-            ..Default::default()
-        };
-        let out = pytheas_run(cfg, 3, 400, false, 43);
-        let other = out
-            .arm_share
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != 1)
-            .map(|(_, &s)| s)
-            .fold(0.0f64, f64::max);
-        csv.row([
-            format!("{factor}"),
-            format!("{:.4}", out.arm_share[1]),
-            format!("{other:.4}"),
-            format!("{:.4}", out.honest_qoe),
-        ]);
-        show.row([
-            format!("{factor:.1}"),
-            format!("{:.2}", out.arm_share[1]),
-            format!("{other:.2}"),
-            format!("{:.3}", out.honest_qoe),
-        ]);
-    }
-    println!("{}", show.to_text());
-    save(&csv, "pytheas_throttle.csv");
-}
-
-/// C6 — PCC: clean convergence, the equalizer/pin attack, the ε-clamp
-/// defense, and the destination-fluctuation aggregation.
-fn pcc() {
-    println!("== C6: PCC under the §4.2 MitM ==\n");
-    let run = |attacked: bool, pin: Option<f64>, eps_max: f64, seed: u64| {
-        let mut sc = PccScenario::build(&PccScenarioConfig {
-            flows: 1,
-            attacked,
-            pin_to: pin,
-            control: ControlConfig {
-                eps_max,
-                ..Default::default()
-            },
-            seed,
-            ..Default::default()
-        });
-        sc.sim.run_until(SimTime::from_secs(120));
-        let trace = sc.rate_trace(0);
-        let tail: Vec<f64> = trace
-            .points()
-            .iter()
-            .filter(|(t, _)| *t > 90.0)
-            .map(|&(_, v)| v)
-            .collect();
-        let amp = sc.oscillation_amplitude(0, 90.0);
-        let node = sc.senders[0];
-        let s: &mut PccSender = sc.sim.logic_mut(node);
-        let inconclusive = s
-            .decisions()
-            .iter()
-            .filter(|d| matches!(d, dui_core::pcc::control::Decision::Inconclusive(_)))
-            .count();
-        // §5 monitor risk.
-        let meta: std::collections::HashMap<u64, f64> =
-            s.mi_meta.iter().map(|&(id, _, base)| (id, base)).collect();
-        let mut mon = PccLossPatternMonitor::new();
-        for r in s.mi_history() {
-            if let Some(&base) = meta.get(&r.id) {
-                mon.observe(r, base);
-            }
-        }
-        (
-            mean(&tail) / 125_000.0,
-            amp,
-            inconclusive,
-            s.decisions().len(),
-            mon.risk().0,
-        )
-    };
-    let mut csv = Table::new([
-        "scenario",
-        "mean_rate_mbps",
-        "oscillation",
-        "inconclusive",
-        "decisions",
-        "monitor_risk",
-    ]);
-    let mut show = Table::new([
-        "scenario",
-        "rate [Mbps]",
-        "oscillation",
-        "inconclusive/decisions",
-        "§5 risk",
-    ]);
-    for (label, attacked, pin, eps) in [
-        ("clean", false, None, 0.05),
-        ("mirror equalizer", true, None, 0.05),
-        ("pin to 25 Mbps", true, Some(25.0 * 125_000.0), 0.05),
-        ("pin + eps clamp 1%", true, Some(25.0 * 125_000.0), 0.01),
-    ] {
-        let (rate, amp, inc, dec, risk) = run(attacked, pin, eps, 3);
-        csv.row([
-            label.to_string(),
-            format!("{rate:.2}"),
-            format!("{amp:.4}"),
-            inc.to_string(),
-            dec.to_string(),
-            format!("{risk:.3}"),
-        ]);
-        show.row([
-            label.to_string(),
-            format!("{rate:.1}"),
-            format!("±{:.1}%", amp * 100.0),
-            format!("{inc}/{dec}"),
-            format!("{risk:.2}"),
-        ]);
-    }
-    println!("{}", show.to_text());
-    save(&csv, "pcc_single.csv");
-
-    println!("\n-- destination fluctuation vs number of attacked flows (coherent sway) --\n");
-    let mut csv = Table::new(["flows", "clean_cv", "attacked_cv"]);
-    let mut show = Table::new(["flows", "clean CV", "attacked CV"]);
-    for flows in [2usize, 4, 8] {
-        let cv = |attacked: bool| {
-            let mut sc = PccScenario::build(&PccScenarioConfig {
-                flows,
-                attacked,
-                pin_to: attacked.then_some(3.0 * 125_000.0),
-                sway: attacked.then_some((0.5, SimDuration::from_secs(50))),
-                seed: 5,
-                ..Default::default()
-            });
-            sc.sim.run_until(SimTime::from_secs(180));
-            sc.destination_cv(SimTime::from_secs(180), 60.0)
-        };
-        let c = cv(false);
-        let a = cv(true);
-        csv.row([flows.to_string(), format!("{c:.4}"), format!("{a:.4}")]);
-        show.row([flows.to_string(), format!("{c:.3}"), format!("{a:.3}")]);
-    }
-    println!("{}", show.to_text());
-    save(&csv, "pcc_destination.csv");
-}
-
-/// C7 — NetHide: security (density) vs accuracy/utility across budgets
-/// and topologies.
-fn nethide() {
-    println!("== C7: NetHide obfuscation trade-off ==\n");
-    let mut csv = Table::new([
-        "topology",
-        "budget",
-        "physical_density",
-        "achieved_density",
-        "accuracy",
-        "utility",
-    ]);
-    let mut show = Table::new(["topology", "budget", "density", "accuracy", "utility"]);
-    // Bowtie with protected core.
-    {
-        let (topo, flows, core) = topologies::bowtie(6);
-        let routing = Routing::shortest_paths(&topo);
-        let c1 = topo.node(core.0).addr;
-        let c2 = topo.node(core.1).addr;
-        for budget in [6usize, 4, 3, 2] {
-            let (_vt, rep) = obfuscate(
-                &topo,
-                &routing,
-                &flows,
-                &ObfuscationConfig {
-                    max_density: budget,
-                    ..Default::default()
-                },
-                &[(c1, c2)],
-            );
-            csv.row([
-                "bowtie-6".to_string(),
-                budget.to_string(),
-                rep.physical_max_density.to_string(),
-                rep.achieved_max_density.to_string(),
-                format!("{:.4}", rep.accuracy),
-                format!("{:.4}", rep.utility),
-            ]);
-            show.row([
-                "bowtie-6".to_string(),
-                budget.to_string(),
-                format!("{}->{}", rep.physical_max_density, rep.achieved_max_density),
-                format!("{:.2}", rep.accuracy),
-                format!("{:.2}", rep.utility),
-            ]);
-        }
-    }
-    // Chorded ring, all edges protected.
-    {
-        let (topo, hosts) = topologies::chorded_ring(10, 3);
-        let routing = Routing::shortest_paths(&topo);
-        let mut flows = Vec::new();
-        for i in 0..hosts.len() {
-            for j in (i + 1)..hosts.len() {
-                flows.push((hosts[i], hosts[j]));
-            }
-        }
-        for budget in [16usize, 10, 7, 5] {
-            let (_vt, rep) = obfuscate(
-                &topo,
-                &routing,
-                &flows,
-                &ObfuscationConfig {
-                    max_density: budget,
-                    max_extra_hops: 3,
-                    ..Default::default()
-                },
-                &[],
-            );
-            csv.row([
-                "chorded-ring-10".to_string(),
-                budget.to_string(),
-                rep.physical_max_density.to_string(),
-                rep.achieved_max_density.to_string(),
-                format!("{:.4}", rep.accuracy),
-                format!("{:.4}", rep.utility),
-            ]);
-            show.row([
-                "chorded-ring-10".to_string(),
-                budget.to_string(),
-                format!("{}->{}", rep.physical_max_density, rep.achieved_max_density),
-                format!("{:.2}", rep.accuracy),
-                format!("{:.2}", rep.utility),
-            ]);
-        }
-    }
-    println!("{}", show.to_text());
-    save(&csv, "nethide_tradeoff.csv");
-}
-
-/// C8 — the defenses ablation: each attack with / without its §5
-/// countermeasure, one row per case study.
-fn defenses() {
-    println!("== C8: countermeasure ablation ==\n");
-    let mut show = Table::new(["case study", "metric", "attacked", "defended"]);
-    let mut csv = Table::new(["case", "metric", "attacked", "defended"]);
-
-    // Blink: spurious reroutes with / without the RTO guard.
-    let blink = |guarded: bool| {
-        let cfg = BlinkScenarioConfig {
-            legit_flows: 300,
-            malicious_flows: 64,
-            trigger_at: Some(SimTime::from_secs(60)),
-            guarded,
-            horizon: SimDuration::from_secs(80),
-            seed: 7,
-            ..Default::default()
-        };
-        let mut sc = BlinkScenario::build(&cfg);
-        sc.sim.run_until(SimTime::from_secs(70));
-        sc.reroutes()
-    };
-    let (a, d) = (blink(false), blink(true));
-    show.row([
-        "Blink (§3.1)".to_string(),
-        "spurious reroutes".to_string(),
-        a.to_string(),
-        d.to_string(),
-    ]);
-    csv.row([
-        "blink".to_string(),
-        "spurious_reroutes".to_string(),
-        a.to_string(),
-        d.to_string(),
-    ]);
-
-    // Pytheas: honest QoE under 20% poisoning.
-    let cfg = EngineConfig {
-        poison_fraction: 0.2,
-        poison: PoisonStrategy::Promote { down: 1, up: 2 },
-        ..Default::default()
-    };
-    let u = pytheas_run(cfg.clone(), 3, 400, false, 42);
-    let dq = pytheas_run(cfg, 3, 400, true, 42);
-    show.row([
-        "Pytheas (§4.1)".to_string(),
-        "honest QoE @20% bots".to_string(),
-        format!("{:.3}", u.honest_qoe),
-        format!("{:.3}", dq.honest_qoe),
-    ]);
-    csv.row([
-        "pytheas".to_string(),
-        "honest_qoe".to_string(),
-        format!("{:.4}", u.honest_qoe),
-        format!("{:.4}", dq.honest_qoe),
-    ]);
-
-    // PCC: delivered rate under the pin attack, ε_max 5% vs clamped 1%.
-    let pcc_rate = |eps_max: f64| {
-        let mut sc = PccScenario::build(&PccScenarioConfig {
-            flows: 1,
-            attacked: true,
-            pin_to: Some(25.0 * 125_000.0),
-            control: ControlConfig {
-                eps_max,
-                ..Default::default()
-            },
-            seed: 3,
-            ..Default::default()
-        });
-        sc.sim.run_until(SimTime::from_secs(120));
-        let trace = sc.rate_trace(0);
-        let tail: Vec<f64> = trace
-            .points()
-            .iter()
-            .filter(|(t, _)| *t > 90.0)
-            .map(|&(_, v)| v)
-            .collect();
-        mean(&tail) / 125_000.0
-    };
-    let (a, d) = (pcc_rate(0.05), pcc_rate(0.01));
-    show.row([
-        "PCC (§4.2)".to_string(),
-        "rate under pin-to-25Mbps [Mbps]".to_string(),
-        format!("{a:.1}"),
-        format!("{d:.1}"),
-    ]);
-    csv.row([
-        "pcc".to_string(),
-        "pinned_rate_mbps".to_string(),
-        format!("{a:.2}"),
-        format!("{d:.2}"),
-    ]);
-
-    println!("{}", show.to_text());
-    save(&csv, "defenses.csv");
-}
-
-/// C9 — the §3.2 survey systems: each with its sketched attack,
-/// adversarial vs benign inputs side by side.
-fn survey() {
-    println!("== C9: the §3.2 survey systems under their sketched attacks ==\n");
-    let mut csv = Table::new(["system", "metric", "benign", "adversarial"]);
-    let mut show = Table::new(["system", "metric", "benign", "adversarial"]);
-
-    // SP-PIFO: inversion rate, random vs crafted rank order.
-    {
-        use dui_core::survey::sp_pifo::{
-            adversarial_sequence, measure_inversions, shuffled_sequence,
-        };
-        let (teeth, run, max_rank) = (200usize, 24usize, 10_000u64);
-        let adv = adversarial_sequence(teeth, run, 0, max_rank);
-        let mut rng = Rng::new(5);
-        let rnd = shuffled_sequence(teeth, run, 0, max_rank, &mut rng);
-        let (ai, asrv, _) = measure_inversions(&adv, 8, 64, 12);
-        let (ri, rsrv, _) = measure_inversions(&rnd, 8, 64, 12);
-        let (a, b) = (
-            ri as f64 / rsrv.max(1) as f64,
-            ai as f64 / asrv.max(1) as f64,
-        );
-        show.row([
-            "SP-PIFO".into(),
-            "inversion rate".into(),
-            format!("{a:.3}"),
-            format!("{b:.3}"),
-        ]);
-        csv.row([
-            "sp-pifo".into(),
-            "inversion_rate".into(),
-            format!("{a:.4}"),
-            format!("{b:.4}"),
-        ]);
-    }
-
-    // FlowRadar: decode rate before/after saturation.
-    {
-        use dui_core::netsim::packet::{Addr, FlowKey};
-        use dui_core::survey::flowradar::{saturation_flows, FlowRadar};
-        let mut fr = FlowRadar::new(4096, 600, 3, 7);
-        for i in 0..200u32 {
-            let k = FlowKey::tcp(
-                Addr::new(198, 18, (i >> 8) as u8, i as u8),
-                (5000 + i % 1000) as u16,
-                Addr::new(10, 0, 0, 1),
-                443,
-            );
-            fr.on_packet(&k);
-        }
-        let before = fr.decode_rate();
-        for k in saturation_flows(2000, 1) {
-            fr.on_packet(&k);
-        }
-        let after = fr.decode_rate();
-        show.row([
-            "FlowRadar".into(),
-            "flow-set decode rate".into(),
-            format!("{before:.2}"),
-            format!("{after:.2}"),
-        ]);
-        csv.row([
-            "flowradar".into(),
-            "decode_rate".into(),
-            format!("{before:.4}"),
-            format!("{after:.4}"),
-        ]);
-        show.row([
-            "FlowRadar".into(),
-            "bloom fill".into(),
-            "-".into(),
-            format!("{:.2}", fr.bloom_fill()),
-        ]);
-        csv.row([
-            "flowradar".into(),
-            "bloom_fill".into(),
-            "".into(),
-            format!("{:.4}", fr.bloom_fill()),
-        ]);
-    }
-
-    // DAPPER: diagnosis of a healthy connection, honest vs window-clamped.
-    {
-        use dui_core::netsim::packet::{Addr, FlowKey, Header, Packet, TcpFlags};
-        use dui_core::survey::dapper::DapperDiagnoser;
-        let run = |clamp: Option<u32>| {
-            let key = FlowKey::tcp(Addr::new(1, 1, 1, 1), 100, Addr::new(2, 2, 2, 2), 80);
-            let mut d = DapperDiagnoser::new();
-            let mut seq = 1u32;
-            let mut acked = 1u32;
-            for i in 0..100u32 {
-                let pkt = Packet::tcp(key, seq, 0, TcpFlags::default(), 1000);
-                d.on_packet(
-                    SimTime::ZERO + SimDuration::from_millis(i as u64 * 10),
-                    &pkt,
-                    true,
-                );
-                seq = seq.wrapping_add(1000);
-                // Healthy receiver: cumulative ACK tracks the data, with a
-                // one-segment lag so some flight always exists.
-                if i > 0 {
-                    acked = acked.wrapping_add(1000);
-                }
-                let mut a = Packet::tcp(
-                    key.reversed(),
-                    0,
-                    acked,
-                    TcpFlags {
-                        ack: true,
-                        ..TcpFlags::default()
-                    },
-                    0,
-                );
-                if let Header::Tcp { window, .. } = &mut a.header {
-                    *window = clamp.unwrap_or(1 << 20);
-                }
-                d.on_packet(
-                    SimTime::ZERO + SimDuration::from_millis(i as u64 * 10 + 5),
-                    &a,
-                    false,
-                );
-            }
-            format!("{:?}", d.diagnose())
-        };
-        let (honest, attacked) = (run(None), run(Some(2000)));
-        show.row([
-            "DAPPER".into(),
-            "diagnosis (healthy conn)".into(),
-            honest.clone(),
-            attacked.clone(),
-        ]);
-        csv.row(["dapper".into(), "diagnosis".into(), honest, attacked]);
-    }
-
-    // RON: route + true delivery with probe-dropping MitM on a clean path.
-    {
-        use dui_core::survey::ron::{RonOverlay, Route};
-        let run = |probe_drop: f64| {
-            let mut ron = RonOverlay::new(4, 0.02, 3);
-            ron.set_probe_drop(0, 1, probe_drop);
-            for _ in 0..300 {
-                ron.probe_round();
-            }
-            let diverted = !matches!(ron.route(0, 1), Route::Direct);
-            (diverted, ron.path(0, 1).loss)
-        };
-        let (benign_div, benign_est) = run(0.0);
-        let (attacked_div, attacked_est) = run(0.6);
-        show.row([
-            "RON".into(),
-            "route diverted off a clean path".into(),
-            format!("{benign_div} (est. loss {benign_est:.2})"),
-            format!("{attacked_div} (est. loss {attacked_est:.2})"),
-        ]);
-        csv.row([
-            "ron".into(),
-            "diverted".into(),
-            format!("{benign_div}"),
-            format!("{attacked_div}"),
-        ]);
-    }
-
-    println!("{}", show.to_text());
-    save(&csv, "survey.csv");
-}
-
-/// §5-II — automated adversarial-input discovery: the fuzzer rediscovers
-/// the Blink trigger from scratch.
-fn fuzz() {
-    use dui_core::defense::fuzzing::{BlinkFuzzer, FuzzConfig};
-    println!("== §5-II: fuzzing rediscovers the Blink trigger ==\n");
-    let mut show = Table::new(["seed", "peak retransmitting flows", "triggered (≥32)", "found at iter"]);
-    let mut csv = Table::new(["seed", "peak", "triggered", "found_at"]);
-    for seed in 1..=5u64 {
-        let mut f = BlinkFuzzer::new(FuzzConfig {
-            sequence_len: 800,
-            iterations: 4000,
-            seed,
-            ..Default::default()
-        });
-        let r = f.search();
-        show.row([
-            seed.to_string(),
-            r.peak_retransmitting.to_string(),
-            r.triggered.to_string(),
-            r.found_at.to_string(),
-        ]);
-        csv.row([
-            seed.to_string(),
-            r.peak_retransmitting.to_string(),
-            r.triggered.to_string(),
-            r.found_at.to_string(),
-        ]);
-    }
-    println!("{}", show.to_text());
-    println!(
-        "The search starts from random benign-looking traffic and climbs the\n\
-         victim's own internal counters — no attack knowledge encoded.\n"
-    );
-    save(&csv, "fuzz.csv");
+    std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(|s| s.as_str()).unwrap_or("all");
-    let t0 = std::time::Instant::now();
-    match which {
-        "fig2" => fig2(),
-        "fig2-rates" => fig2_rates(),
-        "blink-sweep" => blink_sweep(),
-        "caida-residency" => caida_residency(),
-        "blink-packet" => blink_packet(),
-        "pytheas" => pytheas(),
-        "pcc" => pcc(),
-        "nethide" => nethide(),
-        "defenses" => defenses(),
-        "survey" => survey(),
-        "fuzz" => fuzz(),
-        "all" => {
-            fig2();
-            fig2_rates();
-            blink_sweep();
-            caida_residency();
-            blink_packet();
-            pytheas();
-            pcc();
-            nethide();
-            defenses();
-            survey();
-            fuzz();
+    let mut which: Option<String> = None;
+    let mut jobs = default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                jobs = v.parse().unwrap_or_else(|_| usage());
+                if jobs == 0 {
+                    usage();
+                }
+            }
+            s if s.starts_with("--jobs=") => {
+                jobs = s["--jobs=".len()..].parse().unwrap_or_else(|_| usage());
+                if jobs == 0 {
+                    usage();
+                }
+            }
+            s if which.is_none() && !s.starts_with('-') => which = Some(s.to_string()),
+            _ => usage(),
         }
-        other => {
-            eprintln!(
-                "unknown experiment '{other}'. Available: fig2 fig2-rates blink-sweep \
-                 caida-residency blink-packet pytheas pcc nethide defenses survey fuzz all"
+    }
+    let which = which.unwrap_or_else(|| "all".to_string());
+    let t0 = std::time::Instant::now();
+    if which == "all" {
+        let mut log = String::new();
+        let _ = writeln!(
+            log,
+            "experiments all --jobs {jobs} ({} cores available)\n",
+            default_jobs()
+        );
+        let mut timings: Vec<(&str, f64)> = Vec::new();
+        for &name in STAGE_NAMES {
+            let ts = std::time::Instant::now();
+            let out = run_stage(name, jobs).expect("known stage");
+            timings.push((name, ts.elapsed().as_secs_f64()));
+            emit(&out);
+            log.push_str(&out.report);
+        }
+        let total = t0.elapsed().as_secs_f64();
+        let mut wall = String::new();
+        let _ = writeln!(wall, "== wall-clock per stage (jobs={jobs}) ==\n");
+        for (name, secs) in &timings {
+            let _ = writeln!(wall, "{name:<16} {secs:8.1} s");
+        }
+        let _ = writeln!(wall, "{:<16} {total:8.1} s", "total");
+        if jobs > 1 {
+            // Speedup check: rerun the two replicate-heavy stages
+            // sequentially and compare wall-clock (results are
+            // byte-identical by construction; see dui_bench::par).
+            let _ = writeln!(
+                wall,
+                "\n== sequential baseline (jobs=1) for the replicated stages ==\n"
             );
-            std::process::exit(2);
+            for &name in &["fig2", "blink-sweep"] {
+                let ts = std::time::Instant::now();
+                run_stage(name, 1).expect("known stage");
+                let seq = ts.elapsed().as_secs_f64();
+                let par = timings
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|&(_, s)| s)
+                    .unwrap_or(f64::NAN);
+                let _ = writeln!(
+                    wall,
+                    "{name:<16} {seq:8.1} s sequential vs {par:8.1} s at jobs={jobs}  (speedup {:.2}x)",
+                    seq / par
+                );
+            }
+        }
+        print!("{wall}");
+        log.push_str(&wall);
+        let path = results_dir().join("experiments_all.txt");
+        std::fs::write(&path, log).expect("write experiments_all.txt");
+        println!("[saved {}]", path.display());
+    } else {
+        match run_stage(&which, jobs) {
+            Some(out) => emit(&out),
+            None => {
+                eprintln!(
+                    "unknown experiment '{which}'. Available: {} all",
+                    STAGE_NAMES.join(" ")
+                );
+                std::process::exit(2);
+            }
         }
     }
     println!("[done in {:.1} s]", t0.elapsed().as_secs_f64());

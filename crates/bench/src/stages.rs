@@ -1,0 +1,1220 @@
+//! The experiment stages behind the `experiments` binary: every figure
+//! and numeric claim of the paper, each as a pure function
+//! `(options, jobs) -> StageOutput`.
+//!
+//! A stage returns its human-readable report plus the named tables to
+//! write under `results/` — it performs no I/O itself, so the
+//! determinism test can compare CSV bytes across `jobs` values
+//! in-process. Replicated work inside a stage fans out with
+//! [`crate::par::run_indexed`], so thread count never changes results
+//! (see the crate-level docs for the seeding contract).
+
+use crate::par::{run_indexed, task_seed};
+use crate::{mean, measure_residencies};
+use dui_core::blink::fastsim::{AttackSim, AttackSimConfig};
+use dui_core::blink::selector::BlinkParams;
+use dui_core::blink::theory::{effective_qm, AttackModel, FixedKeysModel};
+use dui_core::defense::pcc_guard::PccLossPatternMonitor;
+use dui_core::flowgen::{CaidaLikeConfig, CaidaLikeTrace};
+use dui_core::nethide::obfuscate::{obfuscate, ObfuscationConfig};
+use dui_core::netsim::time::{SimDuration, SimTime};
+use dui_core::netsim::topology::Routing;
+use dui_core::pcc::control::ControlConfig;
+use dui_core::pcc::endpoint::PccSender;
+use dui_core::pytheas::engine::{EngineConfig, PoisonStrategy, Throttle};
+use dui_core::scenario::{
+    pytheas_run, topologies, BlinkScenario, BlinkScenarioConfig, PccScenario, PccScenarioConfig,
+};
+use dui_core::stats::series::envelope;
+use dui_core::stats::table::Table;
+use dui_core::stats::Rng;
+use std::fmt::Write as _;
+
+/// What a stage produced: a report for stdout and tables destined for
+/// `results/<name>`.
+#[derive(Debug, Default)]
+pub struct StageOutput {
+    /// Human-readable report (tables + commentary), ready to print.
+    pub report: String,
+    /// `(file name, table)` pairs; the binary writes each as CSV.
+    pub tables: Vec<(String, Table)>,
+}
+
+impl StageOutput {
+    fn table(&mut self, name: &str, t: Table) {
+        self.tables.push((name.to_string(), t));
+    }
+}
+
+/// Every stage name the CLI accepts, in `all` execution order.
+pub const STAGE_NAMES: &[&str] = &[
+    "fig2",
+    "fig2-rates",
+    "blink-sweep",
+    "caida-residency",
+    "blink-packet",
+    "pytheas",
+    "pcc",
+    "nethide",
+    "defenses",
+    "survey",
+    "fuzz",
+];
+
+/// Run one stage by CLI name with `jobs` worker threads. `None` for an
+/// unknown name.
+pub fn run_stage(name: &str, jobs: usize) -> Option<StageOutput> {
+    Some(match name {
+        "fig2" => fig2(jobs),
+        "fig2-rates" => fig2_rates(jobs),
+        "blink-sweep" => blink_sweep(jobs),
+        "caida-residency" => caida_residency(jobs),
+        "blink-packet" => blink_packet(jobs),
+        "pytheas" => pytheas(jobs),
+        "pcc" => pcc(jobs),
+        "nethide" => nethide(jobs),
+        "defenses" => defenses(jobs),
+        "survey" => survey(jobs),
+        "fuzz" => fuzz(jobs),
+        _ => return None,
+    })
+}
+
+/// Options for the Fig. 2 stage: replicate count and master seed are
+/// exposed so tests can shrink the workload without touching the
+/// paper-scale defaults.
+#[derive(Debug, Clone)]
+pub struct Fig2Opts {
+    /// Per-run simulation configuration.
+    pub cfg: AttackSimConfig,
+    /// Number of replicate simulations (paper: 50).
+    pub replicates: usize,
+    /// Master seed; replicate `i` runs with `task_seed(master_seed, i)`.
+    pub master_seed: u64,
+}
+
+impl Fig2Opts {
+    /// The paper-scale configuration: 50 replicates of the Fig. 2
+    /// scenario under master seed 1.
+    pub fn paper() -> Self {
+        Fig2Opts {
+            cfg: AttackSimConfig::fig2(),
+            replicates: 50,
+            master_seed: 1,
+        }
+    }
+}
+
+/// F2 — Fig. 2: malicious flows sampled by Blink over time. Theory (the
+/// paper's printed iid formula and our fixed-keys refinement) overlaid
+/// with the replicate simulations.
+pub fn fig2(jobs: usize) -> StageOutput {
+    fig2_with(&Fig2Opts::paper(), jobs)
+}
+
+/// [`fig2`] with explicit options (replicates, horizon, master seed).
+pub fn fig2_with(opts: &Fig2Opts, jobs: usize) -> StageOutput {
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let _ = writeln!(r, "== F2: Fig. 2 — Blink flow-selector takeover ==\n");
+    let cfg = &opts.cfg;
+    let _ = writeln!(
+        r,
+        "{} legit + {} malicious flows (qm={:.4}), 64 cells, threshold 32, horizon {:.0} s, {} runs (master seed {})",
+        cfg.legit_flows,
+        cfg.malicious_flows,
+        cfg.q_m(),
+        cfg.horizon.as_secs_f64(),
+        opts.replicates,
+        opts.master_seed,
+    );
+    let runs = run_indexed(opts.replicates, jobs, |i| {
+        AttackSim::run(cfg, task_seed(opts.master_seed, i as u64))
+    });
+    let series: Vec<_> = runs.iter().map(|res| res.series.clone()).collect();
+    let env = envelope(&series, 5.0, 95.0);
+    let t_r = mean(
+        &runs
+            .iter()
+            .filter_map(|res| res.achieved_t_r)
+            .collect::<Vec<_>>(),
+    );
+    let _ = writeln!(r, "achieved tR = {t_r:.2} s (paper example: 8.37 s)\n");
+    let iid = AttackModel {
+        t_r,
+        ..AttackModel::fig2()
+    };
+    let fixed = FixedKeysModel {
+        t_r,
+        ..FixedKeysModel::fig2()
+    };
+    let mut rng = Rng::new(99);
+    let mut csv = Table::new([
+        "t_s",
+        "iid_mean",
+        "iid_p05",
+        "iid_p95",
+        "fixed_mean",
+        "fixed_p05",
+        "fixed_p95",
+        "sim_mean",
+        "sim_p05",
+        "sim_p95",
+    ]);
+    let mut show = Table::new([
+        "t [s]",
+        "iid mean",
+        "fixed-keys mean",
+        "sim mean",
+        "sim p5..p95",
+    ]);
+    for (i, &t) in env.times.iter().enumerate() {
+        if !(t as u64).is_multiple_of(10) {
+            continue;
+        }
+        let row = [
+            t,
+            iid.mean(t),
+            iid.quantile(t, 0.05) as f64,
+            iid.quantile(t, 0.95) as f64,
+            fixed.mean(t),
+            fixed.quantile_mc(t, 0.05, 1500, &mut rng) as f64,
+            fixed.quantile_mc(t, 0.95, 1500, &mut rng) as f64,
+            env.mean[i],
+            env.lo[i],
+            env.hi[i],
+        ];
+        csv.row_f64(&row, 2);
+        if (t as u64).is_multiple_of(50) {
+            show.row([
+                format!("{t:.0}"),
+                format!("{:.1}", row[1]),
+                format!("{:.1}", row[4]),
+                format!("{:.1}", row[7]),
+                format!("{:.0}..{:.0}", row[8], row[9]),
+            ]);
+        }
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    let takeovers: Vec<f64> = runs.iter().filter_map(|res| res.takeover_time).collect();
+    let _ = writeln!(
+        r,
+        "takeover (≥32 cells): iid mean-crossing {:.0} s | fixed-keys {:.0} s | simulated mean {:.0} s over {}/{} runs (paper caption: ≈172 s)\n",
+        iid.mean_takeover_time().unwrap_or(f64::NAN),
+        fixed.mean_takeover_time().unwrap_or(f64::NAN),
+        mean(&takeovers),
+        takeovers.len(),
+        opts.replicates,
+    );
+    out.table("fig2.csv", csv);
+    out.report = report;
+    out
+}
+
+/// F2b — rate-asymmetry ablation: attacker keep-alive rate vs takeover
+/// time, reconciling the printed formula with the quoted 172 s.
+pub fn fig2_rates(_jobs: usize) -> StageOutput {
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let _ = writeln!(
+        r,
+        "== F2b: rate-asymmetry ablation (attacker pps / legit pps) ==\n"
+    );
+    let mut csv = Table::new(["rate_ratio", "effective_qm", "mean_takeover_s"]);
+    let mut show = Table::new(["ratio r", "qm_eff", "mean takeover [s]"]);
+    for ratio in [0.4, 0.5, 0.63, 0.8, 1.0, 1.5, 2.0] {
+        let qm = effective_qm(0.0525, ratio);
+        let m = AttackModel {
+            q_m: qm,
+            ..AttackModel::fig2()
+        };
+        let t = m.mean_takeover_time();
+        csv.row([
+            format!("{ratio}"),
+            format!("{qm:.4}"),
+            t.map(|t| format!("{t:.1}")).unwrap_or("never".into()),
+        ]);
+        show.row([
+            format!("{ratio:.2}"),
+            format!("{qm:.4}"),
+            t.map(|t| format!("{t:.0}")).unwrap_or("never".into()),
+        ]);
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    let _ = writeln!(
+        r,
+        "(r ≈ 0.63 reproduces the paper's quoted ≈172 s takeover)\n"
+    );
+    out.table("fig2_rates.csv", csv);
+    out.report = report;
+    out
+}
+
+/// C2 — attack-feasibility sweep over (tR, qm): mean takeover time from
+/// the paper's formula, plus the fixed-keys saturation constraint on the
+/// malicious flow count. The `(tR, qm)` grid rows and the salt-ablation
+/// targets each run as parallel tasks.
+pub fn blink_sweep(jobs: usize) -> StageOutput {
+    blink_sweep_with(10, jobs)
+}
+
+/// [`blink_sweep`] with an explicit salt-ablation seed count (tests use
+/// a smaller one).
+pub fn blink_sweep_with(salt_seeds: u64, jobs: usize) -> StageOutput {
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let _ = writeln!(
+        r,
+        "== C2: takeover time vs (tR, qm) — \"with longer tR, the attack is harder\" ==\n"
+    );
+    let qms = [0.01, 0.02, 0.0525, 0.10, 0.20];
+    let t_rs = [2.0, 5.0, 8.37, 15.0, 30.0, 60.0];
+    let mut csv = Table::new(["t_r_s", "q_m", "mean_takeover_s", "min_feasible_qm"]);
+    let mut show = Table::new([
+        "tR [s]".to_string(),
+        "min qm".to_string(),
+        qms[0].to_string(),
+        qms[1].to_string(),
+        qms[2].to_string(),
+        qms[3].to_string(),
+        qms[4].to_string(),
+    ]);
+    // One task per tR row of the grid.
+    let rows = run_indexed(t_rs.len(), jobs, |ti| {
+        let t_r = t_rs[ti];
+        let mut csv_rows: Vec<[String; 4]> = Vec::new();
+        let mut cells = Vec::new();
+        for &q_m in &qms {
+            let m = AttackModel {
+                t_r,
+                q_m,
+                ..AttackModel::fig2()
+            };
+            let t = m.mean_takeover_time();
+            csv_rows.push([
+                format!("{t_r}"),
+                format!("{q_m}"),
+                t.map(|t| format!("{t:.1}")).unwrap_or("never".into()),
+                format!("{:.4}", m.min_feasible_qm()),
+            ]);
+            cells.push(t.map(|t| format!("{t:.0}s")).unwrap_or("-".into()));
+        }
+        let min_qm = AttackModel {
+            t_r,
+            ..AttackModel::fig2()
+        }
+        .min_feasible_qm();
+        let show_row = [
+            format!("{t_r:.1}"),
+            format!("{min_qm:.3}"),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+            cells[3].clone(),
+            cells[4].clone(),
+        ];
+        (csv_rows, show_row)
+    });
+    for (csv_rows, show_row) in rows {
+        for row in csv_rows {
+            csv.row(row);
+        }
+        show.row(show_row);
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    out.table("blink_sweep.csv", csv);
+
+    // Selector-size ablation: cells/threshold.
+    let _ = writeln!(
+        r,
+        "\n-- ablation: selector size (threshold = cells/2, fig2 qm/tR) --\n"
+    );
+    let mut ab = Table::new(["cells", "threshold", "mean_takeover_s", "saturation_cells"]);
+    for cells in [32u32, 64, 128, 256] {
+        let m = FixedKeysModel {
+            cells,
+            threshold: cells / 2,
+            ..FixedKeysModel::fig2()
+        };
+        ab.row([
+            cells.to_string(),
+            (cells / 2).to_string(),
+            m.mean_takeover_time()
+                .map(|t| format!("{t:.0}"))
+                .unwrap_or("never".into()),
+            format!("{:.1}", m.saturation()),
+        ]);
+    }
+    let _ = writeln!(r, "{}", ab.to_text());
+    out.table("blink_cells_ablation.csv", ab);
+
+    // §5-V ablation: obfuscating the selector hash (secret salt) raises
+    // the attacker's flow budget for cell coverage.
+    let _ = writeln!(
+        r,
+        "\n-- ablation: hash-salt secrecy (§5-V) — flows needed to cover N cells --\n"
+    );
+    use dui_core::attacks::blink_takeover::flows_needed_for_coverage;
+    use dui_core::netsim::packet::{Addr, Prefix};
+    let prefix = Prefix::new(Addr::new(10, 0, 0, 0), 16);
+    let params = BlinkParams::default();
+    let targets = [16usize, 32, 48, 64];
+    let mut salt = Table::new(["target_cells", "salt_known", "salt_secret"]);
+    // One task per coverage target; each averages over the salt seeds.
+    let salt_rows = run_indexed(targets.len(), jobs, |ti| {
+        let target = targets[ti];
+        let avg = |salt_known: bool| {
+            (0..salt_seeds)
+                .map(|s| flows_needed_for_coverage(&params, prefix, target, salt_known, s) as f64)
+                .sum::<f64>()
+                / salt_seeds as f64
+        };
+        (target, avg(true), avg(false))
+    });
+    for (target, known, secret) in salt_rows {
+        salt.row([
+            target.to_string(),
+            format!("{known:.0}"),
+            format!("{secret:.0}"),
+        ]);
+    }
+    let _ = writeln!(r, "{}", salt.to_text());
+    out.table("blink_salt_ablation.csv", salt);
+    out.report = report;
+    out
+}
+
+/// C3 — per-prefix residency on the CAIDA-like synthetic trace: median
+/// ≈5 s across top prefixes, half of the top-20 ≥10 s (paper's reported
+/// statistics). Prefixes are replayed in parallel.
+pub fn caida_residency(jobs: usize) -> StageOutput {
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let _ = writeln!(
+        r,
+        "== C3: flow-selector residency across top-20 prefixes (synthetic CAIDA-like) ==\n"
+    );
+    let trace = CaidaLikeTrace::generate(&CaidaLikeConfig::default(), &mut Rng::new(7));
+    // One task per prefix: replay its population through a real selector.
+    let per_prefix = run_indexed(trace.populations.len(), jobs, |rank| {
+        let pop = &trace.populations[rank];
+        let res = measure_residencies(pop, BlinkParams::default());
+        (rank, pop.flows.len(), res)
+    });
+    let mut per_prefix_mean = Vec::new();
+    let mut all_residencies = Vec::new();
+    let mut csv = Table::new([
+        "prefix_rank",
+        "flows",
+        "mean_residency_s",
+        "median_residency_s",
+    ]);
+    for (rank, n_flows, res) in per_prefix {
+        if res.is_empty() {
+            continue;
+        }
+        let m = mean(&res);
+        let med = dui_core::stats::summary::median(&res);
+        per_prefix_mean.push(m);
+        all_residencies.extend_from_slice(&res);
+        csv.row([
+            rank.to_string(),
+            n_flows.to_string(),
+            format!("{m:.2}"),
+            format!("{med:.2}"),
+        ]);
+    }
+    out.table("caida_residency.csv", csv);
+    let median_of_means = dui_core::stats::summary::median(&per_prefix_mean);
+    let median_flow = dui_core::stats::summary::median(&all_residencies);
+    let frac_ge_10 = per_prefix_mean.iter().filter(|&&m| m >= 10.0).count() as f64
+        / per_prefix_mean.len() as f64;
+    // The paper's sentence mixes two statistics ("for half of them the
+    // average time a flow remains sampled is 10 s (the median is ∼5 s)");
+    // we report both readings.
+    let mut show = Table::new(["statistic", "measured", "paper"]);
+    show.row([
+        "median residency across flows".to_string(),
+        format!("{median_flow:.1} s"),
+        "≈5 s".to_string(),
+    ]);
+    show.row([
+        "median of per-prefix mean residencies".to_string(),
+        format!("{median_of_means:.1} s"),
+        "(5-10 s range)".to_string(),
+    ]);
+    show.row([
+        "fraction of prefixes with mean tR ≥ 10 s".to_string(),
+        format!("{:.0}%", frac_ge_10 * 100.0),
+        "≈50%".to_string(),
+    ]);
+    show.row([
+        "worked-example prefix tR".to_string(),
+        format!(
+            "{:.1} s (closest prefix)",
+            per_prefix_mean
+                .iter()
+                .cloned()
+                .min_by(|a, b| (a - 8.37).abs().partial_cmp(&(b - 8.37).abs()).unwrap())
+                .unwrap_or(f64::NAN)
+        ),
+        "8.37 s".to_string(),
+    ]);
+    let _ = writeln!(r, "{}", show.to_text());
+    out.report = report;
+    out
+}
+
+/// C4 — the packet-level Blink experiment (the paper's mininet+P4 run):
+/// 2000 legitimate + 105 malicious flows, occupancy over time, then the
+/// trigger and the reroute; guarded variant alongside (the two
+/// simulations run concurrently).
+pub fn blink_packet(jobs: usize) -> StageOutput {
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let _ = writeln!(
+        r,
+        "== C4: packet-level Blink takeover (2000 legit + 105 malicious TCP flows) ==\n"
+    );
+    let run = |guarded: bool| {
+        let cfg = BlinkScenarioConfig {
+            legit_flows: 2000,
+            malicious_flows: 105,
+            mean_lifetime_secs: 6.37,
+            trigger_at: Some(SimTime::from_secs(260)),
+            guarded,
+            horizon: SimDuration::from_secs(300),
+            seed: 21,
+            ..Default::default()
+        };
+        let mut sc = BlinkScenario::build(&cfg);
+        let mut occupancy = Vec::new();
+        for t in (0..=250).step_by(25) {
+            sc.sim.run_until(SimTime::from_secs(t));
+            occupancy.push((t, sc.malicious_cells()));
+        }
+        sc.sim.run_until(SimTime::from_secs(280));
+        (occupancy, sc.reroutes(), sc.vetoed(), sc.on_primary())
+    };
+    let mut both = run_indexed(2, jobs, |i| run(i == 1));
+    let (_, g_reroutes, g_vetoed, g_on_primary) = both.pop().expect("guarded run");
+    let (occ, reroutes, _, on_primary) = both.pop().expect("unguarded run");
+    let mut csv = Table::new(["t_s", "malicious_cells"]);
+    let mut show = Table::new(["t [s]", "malicious cells (of 64)"]);
+    for (t, c) in &occ {
+        csv.row([t.to_string(), c.to_string()]);
+        show.row([t.to_string(), c.to_string()]);
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    let _ = writeln!(
+        r,
+        "unguarded: trigger at t=260 s -> reroutes={reroutes}, on_primary={on_primary} \
+         (paper: takeover ≈200 s, spurious reroute follows)\n"
+    );
+    let _ = writeln!(
+        r,
+        "guarded (§5 RTO check): reroutes={g_reroutes}, vetoed={g_vetoed}, on_primary={g_on_primary}\n"
+    );
+    out.table("blink_packet.csv", csv);
+    out.report = report;
+    out
+}
+
+/// C5 — Pytheas poisoning and herding sweeps, with and without the §5
+/// outlier filter. Each sweep point is an independent parallel task.
+pub fn pytheas(jobs: usize) -> StageOutput {
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let _ = writeln!(r, "== C5: Pytheas group poisoning / CDN herding ==\n");
+    let fractions = [0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5];
+    let mut csv = Table::new([
+        "poison_fraction",
+        "honest_qoe_undefended",
+        "honest_qoe_defended",
+        "on_best_undefended",
+        "filter_precision",
+    ]);
+    let mut show = Table::new([
+        "bots",
+        "QoE (no defense)",
+        "QoE (MAD filter)",
+        "on-best (no defense)",
+    ]);
+    let poison_rows = run_indexed(fractions.len(), jobs, |fi| {
+        let f = fractions[fi];
+        let cfg = EngineConfig {
+            poison_fraction: f,
+            poison: PoisonStrategy::Promote { down: 1, up: 2 },
+            ..Default::default()
+        };
+        let u = pytheas_run(cfg.clone(), 3, 400, false, 42);
+        let d = pytheas_run(cfg, 3, 400, true, 42);
+        (f, u, d)
+    });
+    for (f, u, d) in poison_rows {
+        csv.row([
+            format!("{f}"),
+            format!("{:.4}", u.honest_qoe),
+            format!("{:.4}", d.honest_qoe),
+            format!("{:.4}", u.on_best),
+            format!("{:.3}", d.filter_precision),
+        ]);
+        show.row([
+            format!("{:.0}%", f * 100.0),
+            format!("{:.3}", u.honest_qoe),
+            format!("{:.3}", d.honest_qoe),
+            format!("{:.2}", u.on_best),
+        ]);
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    out.table("pytheas_poison.csv", csv);
+
+    let _ = writeln!(r, "\n-- CDN throttle / herding (MitM) --\n");
+    let factors = [1.0, 0.8, 0.6, 0.4, 0.2];
+    let mut csv = Table::new([
+        "factor",
+        "share_throttled_arm",
+        "max_share_other",
+        "honest_qoe",
+    ]);
+    let mut show = Table::new([
+        "throttle",
+        "share on arm 1",
+        "max other share",
+        "honest QoE",
+    ]);
+    let throttle_rows = run_indexed(factors.len(), jobs, |fi| {
+        let factor = factors[fi];
+        let cfg = EngineConfig {
+            throttle: Some(Throttle {
+                arm: 1,
+                factor,
+                affected_fraction: 1.0,
+            }),
+            ..Default::default()
+        };
+        (factor, pytheas_run(cfg, 3, 400, false, 43))
+    });
+    for (factor, run) in throttle_rows {
+        let other = run
+            .arm_share
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, &s)| s)
+            .fold(0.0f64, f64::max);
+        csv.row([
+            format!("{factor}"),
+            format!("{:.4}", run.arm_share[1]),
+            format!("{other:.4}"),
+            format!("{:.4}", run.honest_qoe),
+        ]);
+        show.row([
+            format!("{factor:.1}"),
+            format!("{:.2}", run.arm_share[1]),
+            format!("{other:.2}"),
+            format!("{:.3}", run.honest_qoe),
+        ]);
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    out.table("pytheas_throttle.csv", csv);
+    out.report = report;
+    out
+}
+
+/// C6 — PCC: clean convergence, the equalizer/pin attack, the ε-clamp
+/// defense, and the destination-fluctuation aggregation. All scenario
+/// simulations run as parallel tasks.
+pub fn pcc(jobs: usize) -> StageOutput {
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let _ = writeln!(r, "== C6: PCC under the §4.2 MitM ==\n");
+    let run = |attacked: bool, pin: Option<f64>, eps_max: f64, seed: u64| {
+        let mut sc = PccScenario::build(&PccScenarioConfig {
+            flows: 1,
+            attacked,
+            pin_to: pin,
+            control: ControlConfig {
+                eps_max,
+                ..Default::default()
+            },
+            seed,
+            ..Default::default()
+        });
+        sc.sim.run_until(SimTime::from_secs(120));
+        let trace = sc.rate_trace(0);
+        let tail: Vec<f64> = trace
+            .points()
+            .iter()
+            .filter(|(t, _)| *t > 90.0)
+            .map(|&(_, v)| v)
+            .collect();
+        let amp = sc.oscillation_amplitude(0, 90.0);
+        let node = sc.senders[0];
+        let s: &mut PccSender = sc.sim.logic_mut(node);
+        let inconclusive = s
+            .decisions()
+            .iter()
+            .filter(|d| matches!(d, dui_core::pcc::control::Decision::Inconclusive(_)))
+            .count();
+        // §5 monitor risk.
+        let meta: std::collections::HashMap<u64, f64> =
+            s.mi_meta.iter().map(|&(id, _, base)| (id, base)).collect();
+        let mut mon = PccLossPatternMonitor::new();
+        for rec in s.mi_history() {
+            if let Some(&base) = meta.get(&rec.id) {
+                mon.observe(rec, base);
+            }
+        }
+        (
+            mean(&tail) / 125_000.0,
+            amp,
+            inconclusive,
+            s.decisions().len(),
+            mon.risk().0,
+        )
+    };
+    let scenarios: [(&str, bool, Option<f64>, f64); 4] = [
+        ("clean", false, None, 0.05),
+        ("mirror equalizer", true, None, 0.05),
+        ("pin to 25 Mbps", true, Some(25.0 * 125_000.0), 0.05),
+        ("pin + eps clamp 1%", true, Some(25.0 * 125_000.0), 0.01),
+    ];
+    let mut csv = Table::new([
+        "scenario",
+        "mean_rate_mbps",
+        "oscillation",
+        "inconclusive",
+        "decisions",
+        "monitor_risk",
+    ]);
+    let mut show = Table::new([
+        "scenario",
+        "rate [Mbps]",
+        "oscillation",
+        "inconclusive/decisions",
+        "§5 risk",
+    ]);
+    let results = run_indexed(scenarios.len(), jobs, |si| {
+        let (_, attacked, pin, eps) = scenarios[si];
+        run(attacked, pin, eps, 3)
+    });
+    for (si, (rate, amp, inc, dec, risk)) in results.into_iter().enumerate() {
+        let label = scenarios[si].0;
+        csv.row([
+            label.to_string(),
+            format!("{rate:.2}"),
+            format!("{amp:.4}"),
+            inc.to_string(),
+            dec.to_string(),
+            format!("{risk:.3}"),
+        ]);
+        show.row([
+            label.to_string(),
+            format!("{rate:.1}"),
+            format!("±{:.1}%", amp * 100.0),
+            format!("{inc}/{dec}"),
+            format!("{risk:.2}"),
+        ]);
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    out.table("pcc_single.csv", csv);
+
+    let _ = writeln!(
+        r,
+        "\n-- destination fluctuation vs number of attacked flows (coherent sway) --\n"
+    );
+    let flow_counts = [2usize, 4, 8];
+    let mut csv = Table::new(["flows", "clean_cv", "attacked_cv"]);
+    let mut show = Table::new(["flows", "clean CV", "attacked CV"]);
+    // Task i simulates flow_counts[i / 2], attacked iff i is odd.
+    let cvs = run_indexed(flow_counts.len() * 2, jobs, |i| {
+        let flows = flow_counts[i / 2];
+        let attacked = i % 2 == 1;
+        let mut sc = PccScenario::build(&PccScenarioConfig {
+            flows,
+            attacked,
+            pin_to: attacked.then_some(3.0 * 125_000.0),
+            sway: attacked.then_some((0.5, SimDuration::from_secs(50))),
+            seed: 5,
+            ..Default::default()
+        });
+        sc.sim.run_until(SimTime::from_secs(180));
+        sc.destination_cv(SimTime::from_secs(180), 60.0)
+    });
+    for (fi, pair) in cvs.chunks(2).enumerate() {
+        let (c, a) = (pair[0], pair[1]);
+        csv.row([
+            flow_counts[fi].to_string(),
+            format!("{c:.4}"),
+            format!("{a:.4}"),
+        ]);
+        show.row([
+            flow_counts[fi].to_string(),
+            format!("{c:.3}"),
+            format!("{a:.3}"),
+        ]);
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    out.table("pcc_destination.csv", csv);
+    out.report = report;
+    out
+}
+
+/// C7 — NetHide: security (density) vs accuracy/utility across budgets
+/// and topologies; each (topology, budget) solve is a parallel task.
+pub fn nethide(jobs: usize) -> StageOutput {
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let _ = writeln!(r, "== C7: NetHide obfuscation trade-off ==\n");
+    let mut csv = Table::new([
+        "topology",
+        "budget",
+        "physical_density",
+        "achieved_density",
+        "accuracy",
+        "utility",
+    ]);
+    let mut show = Table::new(["topology", "budget", "density", "accuracy", "utility"]);
+
+    // Bowtie with protected core.
+    let (bow_topo, bow_flows, core) = topologies::bowtie(6);
+    let bow_routing = Routing::shortest_paths(&bow_topo);
+    let c1 = bow_topo.node(core.0).addr;
+    let c2 = bow_topo.node(core.1).addr;
+    let bow_protected = [(c1, c2)];
+
+    // Chorded ring, all edges protected.
+    let (ring_topo, ring_hosts) = topologies::chorded_ring(10, 3);
+    let ring_routing = Routing::shortest_paths(&ring_topo);
+    let mut ring_flows = Vec::new();
+    for i in 0..ring_hosts.len() {
+        for j in (i + 1)..ring_hosts.len() {
+            ring_flows.push((ring_hosts[i], ring_hosts[j]));
+        }
+    }
+
+    let bow_budgets = [6usize, 4, 3, 2];
+    let ring_budgets = [16usize, 10, 7, 5];
+    // Tasks 0..4 are bowtie budgets, 4..8 chorded-ring budgets.
+    let reports = run_indexed(bow_budgets.len() + ring_budgets.len(), jobs, |i| {
+        if i < bow_budgets.len() {
+            let budget = bow_budgets[i];
+            let (_vt, rep) = obfuscate(
+                &bow_topo,
+                &bow_routing,
+                &bow_flows,
+                &ObfuscationConfig {
+                    max_density: budget,
+                    ..Default::default()
+                },
+                &bow_protected,
+            );
+            ("bowtie-6", budget, rep)
+        } else {
+            let budget = ring_budgets[i - bow_budgets.len()];
+            let (_vt, rep) = obfuscate(
+                &ring_topo,
+                &ring_routing,
+                &ring_flows,
+                &ObfuscationConfig {
+                    max_density: budget,
+                    max_extra_hops: 3,
+                    ..Default::default()
+                },
+                &[],
+            );
+            ("chorded-ring-10", budget, rep)
+        }
+    });
+    for (name, budget, rep) in reports {
+        csv.row([
+            name.to_string(),
+            budget.to_string(),
+            rep.physical_max_density.to_string(),
+            rep.achieved_max_density.to_string(),
+            format!("{:.4}", rep.accuracy),
+            format!("{:.4}", rep.utility),
+        ]);
+        show.row([
+            name.to_string(),
+            budget.to_string(),
+            format!("{}->{}", rep.physical_max_density, rep.achieved_max_density),
+            format!("{:.2}", rep.accuracy),
+            format!("{:.2}", rep.utility),
+        ]);
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    out.table("nethide_tradeoff.csv", csv);
+    out.report = report;
+    out
+}
+
+/// C8 — the defenses ablation: each attack with / without its §5
+/// countermeasure, one row per case study; the six simulations run
+/// concurrently.
+pub fn defenses(jobs: usize) -> StageOutput {
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let _ = writeln!(r, "== C8: countermeasure ablation ==\n");
+    let mut show = Table::new(["case study", "metric", "attacked", "defended"]);
+    let mut csv = Table::new(["case", "metric", "attacked", "defended"]);
+
+    // Blink: spurious reroutes with / without the RTO guard.
+    let blink = |guarded: bool| -> f64 {
+        let cfg = BlinkScenarioConfig {
+            legit_flows: 300,
+            malicious_flows: 64,
+            trigger_at: Some(SimTime::from_secs(60)),
+            guarded,
+            horizon: SimDuration::from_secs(80),
+            seed: 7,
+            ..Default::default()
+        };
+        let mut sc = BlinkScenario::build(&cfg);
+        sc.sim.run_until(SimTime::from_secs(70));
+        sc.reroutes() as f64
+    };
+    // Pytheas: honest QoE under 20% poisoning.
+    let pyth = |defended: bool| -> f64 {
+        let cfg = EngineConfig {
+            poison_fraction: 0.2,
+            poison: PoisonStrategy::Promote { down: 1, up: 2 },
+            ..Default::default()
+        };
+        pytheas_run(cfg, 3, 400, defended, 42).honest_qoe
+    };
+    // PCC: delivered rate under the pin attack, ε_max 5% vs clamped 1%.
+    let pcc_rate = |eps_max: f64| -> f64 {
+        let mut sc = PccScenario::build(&PccScenarioConfig {
+            flows: 1,
+            attacked: true,
+            pin_to: Some(25.0 * 125_000.0),
+            control: ControlConfig {
+                eps_max,
+                ..Default::default()
+            },
+            seed: 3,
+            ..Default::default()
+        });
+        sc.sim.run_until(SimTime::from_secs(120));
+        let trace = sc.rate_trace(0);
+        let tail: Vec<f64> = trace
+            .points()
+            .iter()
+            .filter(|(t, _)| *t > 90.0)
+            .map(|&(_, v)| v)
+            .collect();
+        mean(&tail) / 125_000.0
+    };
+    // Six independent simulations: (attacked, defended) per case study.
+    let vals = run_indexed(6, jobs, |i| match i {
+        0 => blink(false),
+        1 => blink(true),
+        2 => pyth(false),
+        3 => pyth(true),
+        4 => pcc_rate(0.05),
+        _ => pcc_rate(0.01),
+    });
+    show.row([
+        "Blink (§3.1)".to_string(),
+        "spurious reroutes".to_string(),
+        format!("{:.0}", vals[0]),
+        format!("{:.0}", vals[1]),
+    ]);
+    csv.row([
+        "blink".to_string(),
+        "spurious_reroutes".to_string(),
+        format!("{:.0}", vals[0]),
+        format!("{:.0}", vals[1]),
+    ]);
+    show.row([
+        "Pytheas (§4.1)".to_string(),
+        "honest QoE @20% bots".to_string(),
+        format!("{:.3}", vals[2]),
+        format!("{:.3}", vals[3]),
+    ]);
+    csv.row([
+        "pytheas".to_string(),
+        "honest_qoe".to_string(),
+        format!("{:.4}", vals[2]),
+        format!("{:.4}", vals[3]),
+    ]);
+    show.row([
+        "PCC (§4.2)".to_string(),
+        "rate under pin-to-25Mbps [Mbps]".to_string(),
+        format!("{:.1}", vals[4]),
+        format!("{:.1}", vals[5]),
+    ]);
+    csv.row([
+        "pcc".to_string(),
+        "pinned_rate_mbps".to_string(),
+        format!("{:.2}", vals[4]),
+        format!("{:.2}", vals[5]),
+    ]);
+
+    let _ = writeln!(r, "{}", show.to_text());
+    out.table("defenses.csv", csv);
+    out.report = report;
+    out
+}
+
+/// C9 — the §3.2 survey systems: each with its sketched attack,
+/// adversarial vs benign inputs side by side; the four systems run
+/// concurrently.
+pub fn survey(jobs: usize) -> StageOutput {
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let _ = writeln!(
+        r,
+        "== C9: the §3.2 survey systems under their sketched attacks ==\n"
+    );
+    let mut csv = Table::new(["system", "metric", "benign", "adversarial"]);
+    let mut show = Table::new(["system", "metric", "benign", "adversarial"]);
+
+    type Rows = (Vec<[String; 4]>, Vec<[String; 4]>);
+    // Tasks: 0 SP-PIFO, 1 FlowRadar, 2 DAPPER, 3 RON; each returns
+    // (show rows, csv rows).
+    let rows: Vec<Rows> = run_indexed(4, jobs, |which| match which {
+        0 => {
+            // SP-PIFO: inversion rate, random vs crafted rank order.
+            use dui_core::survey::sp_pifo::{
+                adversarial_sequence, measure_inversions, shuffled_sequence,
+            };
+            let (teeth, run, max_rank) = (200usize, 24usize, 10_000u64);
+            let adv = adversarial_sequence(teeth, run, 0, max_rank);
+            let mut rng = Rng::new(5);
+            let rnd = shuffled_sequence(teeth, run, 0, max_rank, &mut rng);
+            let (ai, asrv, _) = measure_inversions(&adv, 8, 64, 12);
+            let (ri, rsrv, _) = measure_inversions(&rnd, 8, 64, 12);
+            let (a, b) = (
+                ri as f64 / rsrv.max(1) as f64,
+                ai as f64 / asrv.max(1) as f64,
+            );
+            (
+                vec![[
+                    "SP-PIFO".into(),
+                    "inversion rate".into(),
+                    format!("{a:.3}"),
+                    format!("{b:.3}"),
+                ]],
+                vec![[
+                    "sp-pifo".into(),
+                    "inversion_rate".into(),
+                    format!("{a:.4}"),
+                    format!("{b:.4}"),
+                ]],
+            )
+        }
+        1 => {
+            // FlowRadar: decode rate before/after saturation.
+            use dui_core::netsim::packet::{Addr, FlowKey};
+            use dui_core::survey::flowradar::{saturation_flows, FlowRadar};
+            let mut fr = FlowRadar::new(4096, 600, 3, 7);
+            for i in 0..200u32 {
+                let k = FlowKey::tcp(
+                    Addr::new(198, 18, (i >> 8) as u8, i as u8),
+                    (5000 + i % 1000) as u16,
+                    Addr::new(10, 0, 0, 1),
+                    443,
+                );
+                fr.on_packet(&k);
+            }
+            let before = fr.decode_rate();
+            for k in saturation_flows(2000, 1) {
+                fr.on_packet(&k);
+            }
+            let after = fr.decode_rate();
+            (
+                vec![
+                    [
+                        "FlowRadar".into(),
+                        "flow-set decode rate".into(),
+                        format!("{before:.2}"),
+                        format!("{after:.2}"),
+                    ],
+                    [
+                        "FlowRadar".into(),
+                        "bloom fill".into(),
+                        "-".into(),
+                        format!("{:.2}", fr.bloom_fill()),
+                    ],
+                ],
+                vec![
+                    [
+                        "flowradar".into(),
+                        "decode_rate".into(),
+                        format!("{before:.4}"),
+                        format!("{after:.4}"),
+                    ],
+                    [
+                        "flowradar".into(),
+                        "bloom_fill".into(),
+                        "".into(),
+                        format!("{:.4}", fr.bloom_fill()),
+                    ],
+                ],
+            )
+        }
+        2 => {
+            // DAPPER: diagnosis of a healthy connection, honest vs
+            // window-clamped.
+            use dui_core::netsim::packet::{Addr, FlowKey, Header, Packet, TcpFlags};
+            use dui_core::survey::dapper::DapperDiagnoser;
+            let run = |clamp: Option<u32>| {
+                let key = FlowKey::tcp(Addr::new(1, 1, 1, 1), 100, Addr::new(2, 2, 2, 2), 80);
+                let mut d = DapperDiagnoser::new();
+                let mut seq = 1u32;
+                let mut acked = 1u32;
+                for i in 0..100u32 {
+                    let pkt = Packet::tcp(key, seq, 0, TcpFlags::default(), 1000);
+                    d.on_packet(
+                        SimTime::ZERO + SimDuration::from_millis(i as u64 * 10),
+                        &pkt,
+                        true,
+                    );
+                    seq = seq.wrapping_add(1000);
+                    // Healthy receiver: cumulative ACK tracks the data,
+                    // with a one-segment lag so some flight always exists.
+                    if i > 0 {
+                        acked = acked.wrapping_add(1000);
+                    }
+                    let mut a = Packet::tcp(
+                        key.reversed(),
+                        0,
+                        acked,
+                        TcpFlags {
+                            ack: true,
+                            ..TcpFlags::default()
+                        },
+                        0,
+                    );
+                    if let Header::Tcp { window, .. } = &mut a.header {
+                        *window = clamp.unwrap_or(1 << 20);
+                    }
+                    d.on_packet(
+                        SimTime::ZERO + SimDuration::from_millis(i as u64 * 10 + 5),
+                        &a,
+                        false,
+                    );
+                }
+                format!("{:?}", d.diagnose())
+            };
+            let (honest, attacked) = (run(None), run(Some(2000)));
+            (
+                vec![[
+                    "DAPPER".into(),
+                    "diagnosis (healthy conn)".into(),
+                    honest.clone(),
+                    attacked.clone(),
+                ]],
+                vec![["dapper".into(), "diagnosis".into(), honest, attacked]],
+            )
+        }
+        _ => {
+            // RON: route + true delivery with probe-dropping MitM on a
+            // clean path.
+            use dui_core::survey::ron::{RonOverlay, Route};
+            let run = |probe_drop: f64| {
+                let mut ron = RonOverlay::new(4, 0.02, 3);
+                ron.set_probe_drop(0, 1, probe_drop);
+                for _ in 0..300 {
+                    ron.probe_round();
+                }
+                let diverted = !matches!(ron.route(0, 1), Route::Direct);
+                (diverted, ron.path(0, 1).loss)
+            };
+            let (benign_div, benign_est) = run(0.0);
+            let (attacked_div, attacked_est) = run(0.6);
+            (
+                vec![[
+                    "RON".into(),
+                    "route diverted off a clean path".into(),
+                    format!("{benign_div} (est. loss {benign_est:.2})"),
+                    format!("{attacked_div} (est. loss {attacked_est:.2})"),
+                ]],
+                vec![[
+                    "ron".into(),
+                    "diverted".into(),
+                    format!("{benign_div}"),
+                    format!("{attacked_div}"),
+                ]],
+            )
+        }
+    });
+    for (show_rows, csv_rows) in rows {
+        for row in show_rows {
+            show.row(row);
+        }
+        for row in csv_rows {
+            csv.row(row);
+        }
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    out.table("survey.csv", csv);
+    out.report = report;
+    out
+}
+
+/// §5-II — automated adversarial-input discovery: the fuzzer rediscovers
+/// the Blink trigger from scratch; the five seeded searches run
+/// concurrently.
+pub fn fuzz(jobs: usize) -> StageOutput {
+    use dui_core::defense::fuzzing::{BlinkFuzzer, FuzzConfig};
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let _ = writeln!(r, "== §5-II: fuzzing rediscovers the Blink trigger ==\n");
+    let mut show = Table::new([
+        "seed",
+        "peak retransmitting flows",
+        "triggered (≥32)",
+        "found at iter",
+    ]);
+    let mut csv = Table::new(["seed", "peak", "triggered", "found_at"]);
+    // Seeds 1..=5 are part of the recorded artifact; they stay explicit
+    // rather than derived from a master seed.
+    let results = run_indexed(5, jobs, |i| {
+        let seed = i as u64 + 1;
+        let mut f = BlinkFuzzer::new(FuzzConfig {
+            sequence_len: 800,
+            iterations: 4000,
+            seed,
+            ..Default::default()
+        });
+        (seed, f.search())
+    });
+    for (seed, res) in results {
+        show.row([
+            seed.to_string(),
+            res.peak_retransmitting.to_string(),
+            res.triggered.to_string(),
+            res.found_at.to_string(),
+        ]);
+        csv.row([
+            seed.to_string(),
+            res.peak_retransmitting.to_string(),
+            res.triggered.to_string(),
+            res.found_at.to_string(),
+        ]);
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    let _ = writeln!(
+        r,
+        "The search starts from random benign-looking traffic and climbs the\n\
+         victim's own internal counters — no attack knowledge encoded.\n"
+    );
+    out.table("fuzz.csv", csv);
+    out.report = report;
+    out
+}

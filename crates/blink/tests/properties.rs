@@ -1,10 +1,11 @@
-//! Property-based tests of the Blink pipeline and attack theory.
+//! Property-based tests of the Blink pipeline and attack theory (via
+//! the in-tree `propcheck` engine).
 
 use dui_blink::selector::{BlinkParams, FlowSelector};
 use dui_blink::theory::{effective_qm, AttackModel, FixedKeysModel};
 use dui_netsim::packet::{Addr, FlowKey};
 use dui_netsim::time::{SimDuration, SimTime};
-use proptest::prelude::*;
+use dui_stats::{prop_assert, prop_assert_eq, prop_check};
 
 fn key(i: u32) -> FlowKey {
     FlowKey::tcp(
@@ -15,11 +16,9 @@ fn key(i: u32) -> FlowKey {
     )
 }
 
-proptest! {
-    #[test]
-    fn selector_occupancy_bounded(
-        packets in proptest::collection::vec((0u32..500, 0u64..10_000, any::<bool>()), 0..400)
-    ) {
+prop_check! {
+    fn selector_occupancy_bounded(g) {
+        let packets = g.vec(0..400, |g| (g.u32(0..500), g.u64(0..10_000), g.bool()));
         let mut s = FlowSelector::new(BlinkParams::default());
         for (flow, t_ms, fin) in packets {
             s.on_packet(
@@ -33,17 +32,18 @@ proptest! {
         }
     }
 
-    #[test]
-    fn selector_same_flow_same_cell(flow: u32, salt: u64) {
+    fn selector_same_flow_same_cell(g) {
+        let flow = g.any_u32();
+        let salt = g.any_u64();
         let s = FlowSelector::new(BlinkParams { salt, ..Default::default() });
         prop_assert_eq!(s.index_of(&key(flow)), s.index_of(&key(flow)));
         prop_assert!(s.index_of(&key(flow)) < 64);
     }
 
-    #[test]
-    fn monitored_flow_survives_within_timeout(gaps in proptest::collection::vec(1u64..1999, 1..50)) {
+    fn monitored_flow_survives_within_timeout(g) {
         // A flow that always sends within the 2 s timeout is never evicted
         // (until the 8.5 min reset).
+        let gaps = g.vec(1..50, |g| g.u64(1..1999));
         let mut s = FlowSelector::new(BlinkParams::default());
         let k = key(1);
         let mut t = 0u64;
@@ -59,24 +59,29 @@ proptest! {
         }
     }
 
-    #[test]
-    fn iid_model_probability_valid(t_r in 0.1f64..500.0, q_m in 0.0f64..=1.0, t in 0.0f64..2000.0) {
+    fn iid_model_probability_valid(g) {
+        let t_r = g.f64(0.1..500.0);
+        let q_m = g.f64(0.0..1.0);
+        let t = g.f64(0.0..2000.0);
         let m = AttackModel { t_r, q_m, ..AttackModel::fig2() };
         let p = m.cell_probability(t);
         prop_assert!((0.0..=1.0).contains(&p));
     }
 
-    #[test]
-    fn iid_model_monotone_in_qm(t_r in 1.0f64..100.0, t in 1.0f64..500.0, qa in 0.0f64..0.5, delta in 0.0f64..0.5) {
+    fn iid_model_monotone_in_qm(g) {
+        let t_r = g.f64(1.0..100.0);
+        let t = g.f64(1.0..500.0);
+        let qa = g.f64(0.0..0.5);
+        let delta = g.f64(0.0..0.5);
         let lo = AttackModel { t_r, q_m: qa, ..AttackModel::fig2() };
         let hi = AttackModel { t_r, q_m: (qa + delta).min(1.0), ..AttackModel::fig2() };
         prop_assert!(hi.cell_probability(t) + 1e-12 >= lo.cell_probability(t));
     }
 
-    #[test]
-    fn fixed_keys_never_exceeds_saturation(
-        m_flows in 1u32..400, legit in 1.0f64..5000.0, t in 0.0f64..600.0
-    ) {
+    fn fixed_keys_never_exceeds_saturation(g) {
+        let m_flows = g.u32(1..400);
+        let legit = g.f64(1.0..5000.0);
+        let t = g.f64(0.0..600.0);
         let m = FixedKeysModel {
             malicious_flows: m_flows,
             legit_concurrent: legit,
@@ -85,18 +90,20 @@ proptest! {
         prop_assert!(m.mean(t) <= m.saturation() + 1e-6);
     }
 
-    #[test]
-    fn fixed_keys_slower_or_equal_to_iid(t in 1.0f64..500.0) {
+    fn fixed_keys_slower_or_equal_to_iid(g) {
         // Jensen: the fixed-keys mixture never beats the iid model with the
         // same average malicious share.
+        let t = g.f64(1.0..500.0);
         let fixed = FixedKeysModel::fig2();
         let qm = 105.0 / 2105.0;
         let iid = AttackModel { q_m: qm, ..AttackModel::fig2() };
         prop_assert!(fixed.mean(t) <= iid.mean(t) + 0.35, "t={t}: {} vs {}", fixed.mean(t), iid.mean(t));
     }
 
-    #[test]
-    fn effective_qm_bounded_and_monotone(q in 0.0f64..=1.0, r1 in 0.0f64..10.0, dr in 0.0f64..10.0) {
+    fn effective_qm_bounded_and_monotone(g) {
+        let q = g.f64(0.0..1.0);
+        let r1 = g.f64(0.0..10.0);
+        let dr = g.f64(0.0..10.0);
         let a = effective_qm(q, r1);
         let b = effective_qm(q, r1 + dr);
         prop_assert!((0.0..=1.0).contains(&a));

@@ -1,4 +1,5 @@
-//! Property-based tests of the NetHide metrics and solver.
+//! Property-based tests of the NetHide metrics and solver (via the
+//! in-tree `propcheck` engine).
 
 use dui_nethide::metrics::{
     flow_density, levenshtein, max_flow_density, path_accuracy, path_utility,
@@ -7,32 +8,26 @@ use dui_nethide::obfuscate::{obfuscate, ObfuscationConfig};
 use dui_netsim::packet::Addr;
 use dui_netsim::time::{Bandwidth, SimDuration};
 use dui_netsim::topology::{Routing, TopologyBuilder};
-use proptest::prelude::*;
+use dui_stats::{prop_assert, prop_assert_eq, prop_assume, prop_check};
 
 fn addrs(xs: &[u8]) -> Vec<Addr> {
     xs.iter().map(|&x| Addr::new(10, 0, 0, x)).collect()
 }
 
-proptest! {
-    #[test]
-    fn levenshtein_is_metric(
-        a in proptest::collection::vec(0u8..8, 0..12),
-        b in proptest::collection::vec(0u8..8, 0..12),
-        c in proptest::collection::vec(0u8..8, 0..12)
-    ) {
-        let (a, b, c) = (addrs(&a), addrs(&b), addrs(&c));
+prop_check! {
+    fn levenshtein_is_metric(g) {
+        let a = addrs(&g.vec(0..12, |g| g.u8(0..8)));
+        let b = addrs(&g.vec(0..12, |g| g.u8(0..8)));
+        let c = addrs(&g.vec(0..12, |g| g.u8(0..8)));
         prop_assert_eq!(levenshtein(&a, &a), 0);
         prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
         // Triangle inequality.
         prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
     }
 
-    #[test]
-    fn accuracy_and_utility_in_unit_interval(
-        p in proptest::collection::vec(0u8..10, 1..10),
-        v in proptest::collection::vec(0u8..10, 1..10)
-    ) {
-        let (p, v) = (addrs(&p), addrs(&v));
+    fn accuracy_and_utility_in_unit_interval(g) {
+        let p = addrs(&g.vec(1..10, |g| g.u8(0..10)));
+        let v = addrs(&g.vec(1..10, |g| g.u8(0..10)));
         let acc = path_accuracy(&p, &v);
         let util = path_utility(&p, &v);
         prop_assert!((0.0..=1.0).contains(&acc));
@@ -41,10 +36,10 @@ proptest! {
         prop_assert!((path_utility(&p, &p) - 1.0).abs() < 1e-12);
     }
 
-    #[test]
-    fn density_total_equals_edge_count(paths in proptest::collection::vec(proptest::collection::vec(0u8..12, 2..8), 1..10)) {
+    fn density_total_equals_edge_count(g) {
+        let raw = g.vec(1..10, |g| g.vec(2..8, |g| g.u8(0..12)));
         // Deduplicate consecutive repeats to avoid degenerate zero-length edges.
-        let paths: Vec<Vec<Addr>> = paths
+        let paths: Vec<Vec<Addr>> = raw
             .into_iter()
             .map(|p| {
                 let mut v = addrs(&p);
@@ -60,10 +55,14 @@ proptest! {
         prop_assert_eq!(counted, total_edges);
         prop_assert!(max_flow_density(&paths) <= total_edges);
     }
+}
 
-    #[test]
-    fn solver_contract_on_random_ring(n in 4usize..8, seed in 0u64..50) {
+prop_check! {
+    cases = 48;
+    fn solver_contract_on_random_ring(g) {
         // A ring with one chord: flows between random host pairs.
+        let n = g.usize(4..8);
+        let seed = g.u64(0..50);
         let mut b = TopologyBuilder::new();
         let routers: Vec<_> = (0..n).map(|i| b.router(&format!("r{i}"))).collect();
         for i in 0..n {

@@ -1,21 +1,25 @@
 //! Property-based tests of the simulator substrate: prefixes, flow keys,
-//! event ordering, and routing invariants.
+//! event ordering, and routing invariants (via the in-tree `propcheck`
+//! engine).
 
 use dui_netsim::event::{Event, EventQueue};
 use dui_netsim::packet::{Addr, FlowKey, Prefix};
 use dui_netsim::time::{Bandwidth, SimDuration, SimTime};
 use dui_netsim::topology::{NodeId, Routing, TopologyBuilder};
-use proptest::prelude::*;
+use dui_stats::{prop_assert, prop_assert_eq, prop_check};
 
-proptest! {
-    #[test]
-    fn prefix_contains_its_network_address(addr: u32, len in 0u8..=32) {
+prop_check! {
+    fn prefix_contains_its_network_address(g) {
+        let addr = g.any_u32();
+        let len = g.u8(0..33);
         let p = Prefix::new(Addr(addr), len);
         prop_assert!(p.contains(p.addr));
     }
 
-    #[test]
-    fn prefix_longer_is_subset(addr: u32, len in 0u8..=31, probe: u32) {
+    fn prefix_longer_is_subset(g) {
+        let addr = g.any_u32();
+        let len = g.u8(0..32);
+        let probe = g.any_u32();
         let longer = Prefix::new(Addr(addr), len + 1);
         let shorter = Prefix::new(Addr(addr), len);
         if longer.contains(Addr(probe)) {
@@ -23,20 +27,23 @@ proptest! {
         }
     }
 
-    #[test]
-    fn flowkey_reverse_involution(src: u32, dst: u32, sport: u16, dport: u16) {
+    fn flowkey_reverse_involution(g) {
+        let (src, dst) = (g.any_u32(), g.any_u32());
+        let (sport, dport) = (g.any_u16(), g.any_u16());
         let k = FlowKey::tcp(Addr(src), sport, Addr(dst), dport);
         prop_assert_eq!(k.reversed().reversed(), k);
     }
 
-    #[test]
-    fn flowkey_digest_deterministic(src: u32, dst: u32, sport: u16, dport: u16, salt: u64) {
+    fn flowkey_digest_deterministic(g) {
+        let (src, dst) = (g.any_u32(), g.any_u32());
+        let (sport, dport) = (g.any_u16(), g.any_u16());
+        let salt = g.any_u64();
         let k = FlowKey::tcp(Addr(src), sport, Addr(dst), dport);
         prop_assert_eq!(k.digest(salt), k.digest(salt));
     }
 
-    #[test]
-    fn event_queue_pops_in_time_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+    fn event_queue_pops_in_time_order(g) {
+        let times = g.vec(1..200, |g| g.u64(0..1_000_000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime(t), Event::Timer { node: NodeId(0), token: i as u64 });
@@ -51,8 +58,8 @@ proptest! {
         prop_assert_eq!(popped, times.len());
     }
 
-    #[test]
-    fn event_queue_fifo_at_equal_times(n in 1usize..100) {
+    fn event_queue_fifo_at_equal_times(g) {
+        let n = g.usize(1..100);
         let mut q = EventQueue::new();
         for i in 0..n {
             q.schedule(SimTime(42), Event::Timer { node: NodeId(0), token: i as u64 });
@@ -65,17 +72,21 @@ proptest! {
         }
     }
 
-    #[test]
-    fn serialization_delay_monotone_in_size(bw in 1_000u64..10_000_000_000, a: u16, b: u16) {
-        let bw = Bandwidth::bps(bw);
+    fn serialization_delay_monotone_in_size(g) {
+        let bw = Bandwidth::bps(g.u64(1_000..10_000_000_000));
+        let a = g.any_u16();
+        let b = g.any_u16();
         let (small, large) = if a <= b { (a, b) } else { (b, a) };
         prop_assert!(bw.serialization_delay(small as u32) <= bw.serialization_delay(large as u32));
     }
+}
 
-    #[test]
-    fn ring_routing_is_loop_free_and_symmetric_in_length(n in 3usize..12) {
+prop_check! {
+    cases = 48;
+    fn ring_routing_is_loop_free_and_symmetric_in_length(g) {
         // Build a ring of routers and check every pair routes with a path
         // no longer than ceil(n/2) hops and no repeated nodes.
+        let n = g.usize(3..12);
         let mut b = TopologyBuilder::new();
         let nodes: Vec<NodeId> = (0..n).map(|i| b.router(&format!("r{i}"))).collect();
         for i in 0..n {

@@ -1,27 +1,33 @@
 //! Property-based tests of PCC: utility-function shape, controller
-//! invariants, and monitor-interval accounting.
+//! invariants, and monitor-interval accounting (via the in-tree
+//! `propcheck` engine).
 
 use dui_netsim::time::{SimDuration, SimTime};
 use dui_pcc::control::{ControlConfig, Controller};
 use dui_pcc::monitor::MonitorAccounting;
 use dui_pcc::utility::{allegro_utility, equalizing_drop_rate, UtilityParams};
-use proptest::prelude::*;
+use dui_stats::{prop_assert, prop_assert_eq, prop_check};
 
-proptest! {
-    #[test]
-    fn utility_increasing_in_rate_at_low_loss(x in 0.1f64..1000.0, dx in 0.001f64..100.0, loss in 0.0f64..0.02) {
+prop_check! {
+    fn utility_increasing_in_rate_at_low_loss(g) {
+        let x = g.f64(0.1..1000.0);
+        let dx = g.f64(0.001..100.0);
+        let loss = g.f64(0.0..0.02);
         let p = UtilityParams::default();
         prop_assert!(allegro_utility(x + dx, loss, &p) > allegro_utility(x, loss, &p));
     }
 
-    #[test]
-    fn utility_decreasing_in_loss(x in 0.1f64..1000.0, l in 0.0f64..0.9, dl in 0.001f64..0.1) {
+    fn utility_decreasing_in_loss(g) {
+        let x = g.f64(0.1..1000.0);
+        let l = g.f64(0.0..0.9);
+        let dl = g.f64(0.001..0.1);
         let p = UtilityParams::default();
         prop_assert!(allegro_utility(x, (l + dl).min(1.0), &p) <= allegro_utility(x, l, &p) + 1e-9);
     }
 
-    #[test]
-    fn equalizer_root_actually_equalizes(rate in 1.0f64..100.0, eps in 0.005f64..0.3) {
+    fn equalizer_root_actually_equalizes(g) {
+        let rate = g.f64(1.0..100.0);
+        let eps = g.f64(0.005..0.3);
         let p = UtilityParams::default();
         if let Some(d) = equalizing_drop_rate(rate, eps, 0.0, &p) {
             let u_hi = allegro_utility(rate * (1.0 + eps), d, &p);
@@ -30,8 +36,9 @@ proptest! {
         }
     }
 
-    #[test]
-    fn controller_rates_always_within_bounds(seed: u64, utilities in proptest::collection::vec(-10.0f64..10.0, 1..200)) {
+    fn controller_rates_always_within_bounds(g) {
+        let seed = g.any_u64();
+        let utilities = g.vec(1..200, |g| g.f64(-10.0..10.0));
         let cfg = ControlConfig::default();
         let mut c = Controller::new(cfg, 1e6, seed);
         for u in utilities {
@@ -43,8 +50,8 @@ proptest! {
         }
     }
 
-    #[test]
-    fn controller_trial_rates_bracket_base(seed: u64) {
+    fn controller_trial_rates_bracket_base(g) {
+        let seed = g.any_u64();
         let cfg = ControlConfig::default();
         let mut c = Controller::new(cfg, 1e6, seed);
         // Exit Starting.
@@ -61,11 +68,9 @@ proptest! {
         }
     }
 
-    #[test]
-    fn accounting_loss_fraction_valid(
-        sends in proptest::collection::vec(0u64..50, 1..20),
-        ack_mask: u64
-    ) {
+    fn accounting_loss_fraction_valid(g) {
+        let sends = g.vec(1..20, |g| g.u64(0..50));
+        let ack_mask = g.any_u64();
         let mut acc = MonitorAccounting::new();
         let mut seq = 0u64;
         for (i, &n) in sends.iter().enumerate() {

@@ -1,15 +1,16 @@
 //! Property-based tests of Pytheas: bandit invariants and engine
-//! bookkeeping.
+//! bookkeeping (via the in-tree `propcheck` engine).
 
 use dui_pytheas::e2::DiscountedUcb;
 use dui_pytheas::engine::{make_groups, AcceptAll, EngineConfig, PytheasEngine};
 use dui_pytheas::qoe::QoeModel;
-use dui_stats::Rng;
-use proptest::prelude::*;
+use dui_stats::{prop_assert, prop_assert_eq, prop_check, Rng};
 
-proptest! {
-    #[test]
-    fn ucb_pick_always_valid(seed: u64, k in 1usize..16, rounds in 1usize..200) {
+prop_check! {
+    fn ucb_pick_always_valid(g) {
+        let seed = g.any_u64();
+        let k = g.usize(1..16);
+        let rounds = g.usize(1..200);
         let mut ucb = DiscountedUcb::new(k, 0.99, 0.5);
         let mut rng = Rng::new(seed);
         for i in 0..rounds {
@@ -19,8 +20,9 @@ proptest! {
         }
     }
 
-    #[test]
-    fn ucb_mean_bounded_by_reward_range(seed: u64, rewards in proptest::collection::vec(0.0f64..1.0, 1..100)) {
+    fn ucb_mean_bounded_by_reward_range(g) {
+        let seed = g.any_u64();
+        let rewards = g.vec(1..100, |g| g.f64(0.0..1.0));
         let mut ucb = DiscountedUcb::new(3, 0.95, 0.5);
         let mut rng = Rng::new(seed);
         for &r in &rewards {
@@ -33,8 +35,9 @@ proptest! {
         }
     }
 
-    #[test]
-    fn ucb_total_decays_or_grows_sanely(gamma in 0.5f64..1.0, n in 1usize..200) {
+    fn ucb_total_decays_or_grows_sanely(g) {
+        let gamma = g.f64(0.5..1.0);
+        let n = g.usize(1..200);
         let mut ucb = DiscountedUcb::new(2, gamma, 0.5);
         for _ in 0..n {
             ucb.update(0, 1.0);
@@ -44,8 +47,10 @@ proptest! {
         prop_assert!(ucb.total() <= bound + 1e-6);
     }
 
-    #[test]
-    fn engine_round_shares_sum_to_one(seed: u64, groups in 1usize..5, sessions in 1usize..40) {
+    fn engine_round_shares_sum_to_one(g) {
+        let seed = g.any_u64();
+        let groups = g.usize(1..5);
+        let sessions = g.usize(1..40);
         let cfg = EngineConfig {
             sessions_per_round: sessions,
             ..Default::default()
@@ -59,8 +64,8 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&stats.honest_qoe));
     }
 
-    #[test]
-    fn engine_deterministic_per_seed(seed: u64) {
+    fn engine_deterministic_per_seed(g) {
+        let seed = g.any_u64();
         let cfg = EngineConfig::default();
         let model = || QoeModel::new(vec![0.4, 0.85, 0.7], 0.05);
         let mut a = PytheasEngine::new(model(), cfg.clone(), &make_groups(2), seed);

@@ -22,12 +22,27 @@
 //! * [`series`] — time-series recording used to emit the figure data.
 //! * [`hist`] — fixed-bin histograms.
 //! * [`table`] — CSV/markdown emission for the experiment harness.
+//! * [`propcheck`] — in-tree property-based testing (seeded generators,
+//!   integrated shrinking, the [`prop_check!`](crate::prop_check) macro), replacing the
+//!   former `proptest` dev-dependency so the workspace builds and tests
+//!   hermetically, with zero registry access.
+//!
+//! ```
+//! use dui_stats::{Rng, Summary};
+//! let mut rng = Rng::new(7);
+//! let mut s = Summary::new();
+//! for _ in 0..1000 {
+//!     s.add(rng.f64());
+//! }
+//! assert!((s.mean() - 0.5).abs() < 0.05);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;
 pub mod hist;
+pub mod propcheck;
 pub mod rng;
 pub mod series;
 pub mod summary;

@@ -1,31 +1,32 @@
-//! Property-based tests for the statistics substrate.
+//! Property-based tests for the statistics substrate (via the in-tree
+//! `propcheck` engine).
 
 use dui_stats::dist::{self, Binomial, Zipf};
 use dui_stats::hist::Histogram;
+use dui_stats::{prop_assert, prop_assert_eq, prop_check};
 use dui_stats::summary::{mad, median, percentile, Summary};
 use dui_stats::Rng;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn rng_below_always_bounded(seed: u64, n in 1u64..1_000_000) {
+prop_check! {
+    fn rng_below_always_bounded(g) {
+        let seed = g.any_u64();
+        let n = g.u64(1..1_000_000);
         let mut rng = Rng::new(seed);
         for _ in 0..100 {
             prop_assert!(rng.below(n) < n);
         }
     }
 
-    #[test]
-    fn rng_f64_unit_interval(seed: u64) {
-        let mut rng = Rng::new(seed);
+    fn rng_f64_unit_interval(g) {
+        let mut rng = Rng::new(g.any_u64());
         for _ in 0..100 {
             let x = rng.f64();
             prop_assert!((0.0..1.0).contains(&x));
         }
     }
 
-    #[test]
-    fn rng_replay_is_identical(seed: u64) {
+    fn rng_replay_is_identical(g) {
+        let seed = g.any_u64();
         let mut a = Rng::new(seed);
         let mut b = Rng::new(seed);
         for _ in 0..50 {
@@ -33,8 +34,9 @@ proptest! {
         }
     }
 
-    #[test]
-    fn shuffle_preserves_multiset(seed: u64, mut v in proptest::collection::vec(0u32..100, 0..50)) {
+    fn shuffle_preserves_multiset(g) {
+        let seed = g.any_u64();
+        let mut v = g.vec(0..50, |g| g.u32(0..100));
         let mut rng = Rng::new(seed);
         let mut shuffled = v.clone();
         rng.shuffle(&mut shuffled);
@@ -43,15 +45,17 @@ proptest! {
         prop_assert_eq!(shuffled, v);
     }
 
-    #[test]
-    fn binomial_pmf_sums_to_one(n in 1u32..200, p in 0.0f64..=1.0) {
+    fn binomial_pmf_sums_to_one(g) {
+        let n = g.u32(1..200);
+        let p = g.f64(0.0..1.0);
         let b = Binomial::new(n, p);
         let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
         prop_assert!((total - 1.0).abs() < 1e-8, "sum = {total}");
     }
 
-    #[test]
-    fn binomial_cdf_monotone(n in 1u32..100, p in 0.0f64..=1.0) {
+    fn binomial_cdf_monotone(g) {
+        let n = g.u32(1..100);
+        let p = g.f64(0.0..1.0);
         let b = Binomial::new(n, p);
         let mut prev = 0.0;
         for k in 0..=n {
@@ -62,8 +66,10 @@ proptest! {
         prop_assert!((prev - 1.0).abs() < 1e-8);
     }
 
-    #[test]
-    fn binomial_quantile_inverts_cdf(n in 1u32..100, p in 0.01f64..=0.99, q in 0.01f64..0.99) {
+    fn binomial_quantile_inverts_cdf(g) {
+        let n = g.u32(1..100);
+        let p = g.f64(0.01..0.99);
+        let q = g.f64(0.01..0.99);
         let b = Binomial::new(n, p);
         let k = b.quantile(q);
         prop_assert!(b.cdf(k) >= q - 1e-9);
@@ -72,12 +78,9 @@ proptest! {
         }
     }
 
-    #[test]
-    fn summary_merge_matches_single_stream(
-        xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
-        split in 0usize..100
-    ) {
-        let split = split.min(xs.len());
+    fn summary_merge_matches_single_stream(g) {
+        let xs = g.vec(1..100, |g| g.f64(-1e6..1e6));
+        let split = g.usize(0..100).min(xs.len());
         let mut all = Summary::new();
         let mut a = Summary::new();
         let mut b = Summary::new();
@@ -91,16 +94,17 @@ proptest! {
         prop_assert!((a.variance() - all.variance()).abs() <= 1e-5 * (1.0 + all.variance().abs()));
     }
 
-    #[test]
-    fn percentile_within_minmax(xs in proptest::collection::vec(-1e6f64..1e6, 1..100), q in 0.0f64..=100.0) {
+    fn percentile_within_minmax(g) {
+        let xs = g.vec(1..100, |g| g.f64(-1e6..1e6));
+        let q = g.f64(0.0..100.0);
         let p = percentile(&xs, q);
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(p >= min - 1e-9 && p <= max + 1e-9);
     }
 
-    #[test]
-    fn median_partitions(xs in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
+    fn median_partitions(g) {
+        let xs = g.vec(1..60, |g| g.f64(-1e3..1e3));
         let m = median(&xs);
         let below = xs.iter().filter(|&&x| x <= m + 1e-12).count();
         let above = xs.iter().filter(|&&x| x >= m - 1e-12).count();
@@ -108,14 +112,17 @@ proptest! {
         prop_assert!(above * 2 >= xs.len());
     }
 
-    #[test]
-    fn mad_nonnegative_and_zero_for_constant(x in -1e3f64..1e3, n in 1usize..30) {
+    fn mad_nonnegative_and_zero_for_constant(g) {
+        let x = g.f64(-1e3..1e3);
+        let n = g.usize(1..30);
         let xs = vec![x; n];
         prop_assert!(mad(&xs).abs() < 1e-9);
     }
 
-    #[test]
-    fn zipf_samples_in_range(seed: u64, n in 1usize..500, s in 0.1f64..3.0) {
+    fn zipf_samples_in_range(g) {
+        let seed = g.any_u64();
+        let n = g.usize(1..500);
+        let s = g.f64(0.1..3.0);
         let z = Zipf::new(n, s);
         let mut rng = Rng::new(seed);
         for _ in 0..50 {
@@ -123,26 +130,25 @@ proptest! {
         }
     }
 
-    #[test]
-    fn exponential_positive(seed: u64, rate in 0.01f64..1e3) {
-        let mut rng = Rng::new(seed);
+    fn exponential_positive(g) {
+        let mut rng = Rng::new(g.any_u64());
+        let rate = g.f64(0.01..1e3);
         for _ in 0..50 {
             prop_assert!(dist::exponential(&mut rng, rate) >= 0.0);
         }
     }
 
-    #[test]
-    fn pareto_at_least_scale(seed: u64, xm in 0.01f64..1e3, alpha in 0.1f64..10.0) {
-        let mut rng = Rng::new(seed);
+    fn pareto_at_least_scale(g) {
+        let mut rng = Rng::new(g.any_u64());
+        let xm = g.f64(0.01..1e3);
+        let alpha = g.f64(0.1..10.0);
         for _ in 0..50 {
             prop_assert!(dist::pareto(&mut rng, xm, alpha) >= xm);
         }
     }
 
-    #[test]
-    fn histogram_conserves_count(
-        xs in proptest::collection::vec(-10.0f64..20.0, 0..200)
-    ) {
+    fn histogram_conserves_count(g) {
+        let xs = g.vec(0..200, |g| g.f64(-10.0..20.0));
         let mut h = Histogram::new(0.0, 10.0, 7);
         for &x in &xs {
             h.add(x);
@@ -151,11 +157,9 @@ proptest! {
         prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
     }
 
-    #[test]
-    fn tv_distance_is_metric_like(
-        a in proptest::collection::vec(0.0f64..10.0, 1..100),
-        b in proptest::collection::vec(0.0f64..10.0, 1..100)
-    ) {
+    fn tv_distance_is_metric_like(g) {
+        let a = g.vec(1..100, |g| g.f64(0.0..10.0));
+        let b = g.vec(1..100, |g| g.f64(0.0..10.0));
         let mut ha = Histogram::new(0.0, 10.0, 5);
         let mut hb = Histogram::new(0.0, 10.0, 5);
         for &x in &a { ha.add(x); }

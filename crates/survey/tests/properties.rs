@@ -1,13 +1,14 @@
-//! Property-based tests of the survey systems.
+//! Property-based tests of the survey systems (via the in-tree
+//! `propcheck` engine).
 
 use dui_netsim::packet::{Addr, FlowKey};
+use dui_stats::{prop_assert, prop_assert_eq, prop_check};
 use dui_survey::flowradar::FlowRadar;
 use dui_survey::sp_pifo::SpPifo;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn sp_pifo_conserves_packets(ranks in proptest::collection::vec(0u64..10_000, 0..300)) {
+prop_check! {
+    fn sp_pifo_conserves_packets(g) {
+        let ranks = g.vec(0..300, |g| g.u64(0..10_000));
         let mut sp = SpPifo::new(8, 16);
         for &r in &ranks {
             sp.enqueue(r);
@@ -21,13 +22,13 @@ proptest! {
         prop_assert!(sp.is_empty());
     }
 
-    #[test]
-    fn sp_pifo_dequeues_respect_queue_order(ranks in proptest::collection::vec(0u64..1_000, 1..100)) {
+    fn sp_pifo_dequeues_respect_queue_order(g) {
         // Whatever the admission pattern, strict priority means a dequeue
         // never serves a lower-priority queue while a higher one is
         // non-empty — observable as: draining yields each queue's FIFO
         // subsequences in queue order. Weak check: fully drained output
         // has the same multiset as admitted input.
+        let ranks = g.vec(1..100, |g| g.u64(0..1_000));
         let mut sp = SpPifo::new(4, 1024);
         for &r in &ranks {
             sp.enqueue(r);
@@ -43,8 +44,8 @@ proptest! {
         prop_assert_eq!(a, b, "no packet invented or lost below capacity");
     }
 
-    #[test]
-    fn sp_pifo_min_rank_is_true_min(ranks in proptest::collection::vec(0u64..500, 1..50)) {
+    fn sp_pifo_min_rank_is_true_min(g) {
+        let ranks = g.vec(1..50, |g| g.u64(0..500));
         let mut sp = SpPifo::new(4, 1024);
         for &r in &ranks {
             sp.enqueue(r);
@@ -53,11 +54,9 @@ proptest! {
         prop_assert_eq!(min, *ranks.iter().min().unwrap());
     }
 
-    #[test]
-    fn flowradar_decode_never_exceeds_inserted(
-        n_flows in 1usize..300,
-        pkts_per_flow in 1u32..5
-    ) {
+    fn flowradar_decode_never_exceeds_inserted(g) {
+        let n_flows = g.usize(1..300);
+        let pkts_per_flow = g.u32(1..5);
         let mut fr = FlowRadar::new(2048, 256, 3, 7);
         for i in 0..n_flows {
             let k = FlowKey::tcp(
@@ -82,8 +81,9 @@ proptest! {
         prop_assert_eq!(distinct.len(), r.decoded.len());
     }
 
-    #[test]
-    fn flowradar_bloom_fill_monotone(n_a in 1usize..200, extra in 0usize..200) {
+    fn flowradar_bloom_fill_monotone(g) {
+        let n_a = g.usize(1..200);
+        let extra = g.usize(0..200);
         let insert = |n: usize| {
             let mut fr = FlowRadar::new(1024, 256, 3, 7);
             for i in 0..n {

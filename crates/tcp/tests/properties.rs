@@ -1,15 +1,16 @@
 //! Property-based tests of the TCP machinery: sequence arithmetic, RTT
-//! estimation bounds, and receiver reassembly invariants.
+//! estimation bounds, and receiver reassembly invariants (via the
+//! in-tree `propcheck` engine).
 
 use dui_netsim::packet::{Addr, FlowKey, Packet, TcpFlags};
 use dui_netsim::time::{SimDuration, SimTime};
+use dui_stats::{prop_assert, prop_assert_eq, prop_assert_ne, prop_check};
 use dui_tcp::seq::{seq_dist, seq_ge, seq_le, seq_lt};
 use dui_tcp::{RttEstimator, TcpReceiver};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn seq_ordering_antisymmetric(a: u32, b: u32) {
+prop_check! {
+    fn seq_ordering_antisymmetric(g) {
+        let (a, b) = (g.any_u32(), g.any_u32());
         if a != b {
             prop_assert_ne!(seq_lt(a, b), seq_lt(b, a));
         } else {
@@ -17,22 +18,22 @@ proptest! {
         }
     }
 
-    #[test]
-    fn seq_le_ge_consistent(a: u32, b: u32) {
+    fn seq_le_ge_consistent(g) {
+        let (a, b) = (g.any_u32(), g.any_u32());
         prop_assert_eq!(seq_le(a, b), !seq_lt(b, a) || a == b);
         prop_assert_eq!(seq_ge(a, b), seq_le(b, a));
     }
 
-    #[test]
-    fn seq_dist_translation_invariant(a: u32, b: u32, shift: u32) {
+    fn seq_dist_translation_invariant(g) {
+        let (a, b, shift) = (g.any_u32(), g.any_u32(), g.any_u32());
         prop_assert_eq!(
             seq_dist(a, b),
             seq_dist(a.wrapping_add(shift), b.wrapping_add(shift))
         );
     }
 
-    #[test]
-    fn rto_always_within_bounds(samples in proptest::collection::vec(1u64..10_000, 0..100)) {
+    fn rto_always_within_bounds(g) {
+        let samples = g.vec(0..100, |g| g.u64(1..10_000));
         let mut e = RttEstimator::default();
         for ms in samples {
             e.sample(SimDuration::from_millis(ms));
@@ -41,8 +42,8 @@ proptest! {
         }
     }
 
-    #[test]
-    fn rto_backoff_monotone(timeouts in 1usize..20) {
+    fn rto_backoff_monotone(g) {
+        let timeouts = g.usize(1..20);
         let mut e = RttEstimator::default();
         e.sample(SimDuration::from_millis(500));
         let mut prev = e.rto();
@@ -53,11 +54,11 @@ proptest! {
         }
     }
 
-    #[test]
-    fn receiver_delivers_each_byte_once(order in proptest::collection::vec(0usize..20, 1..60)) {
+    fn receiver_delivers_each_byte_once(g) {
         // Deliver 20 segments of 100 B in arbitrary (repeating) order; the
         // receiver must deliver exactly the contiguous prefix it has, and
         // never more than 2000 bytes total.
+        let order = g.vec(1..60, |g| g.usize(0..20));
         let key = FlowKey::tcp(Addr::new(1, 0, 0, 1), 1, Addr::new(2, 0, 0, 2), 80);
         let mut r = TcpReceiver::new(key, 1);
         let mut seen = std::collections::HashSet::new();
@@ -76,8 +77,8 @@ proptest! {
         }
     }
 
-    #[test]
-    fn receiver_acks_are_cumulative_and_monotone(order in proptest::collection::vec(0usize..15, 1..40)) {
+    fn receiver_acks_are_cumulative_and_monotone(g) {
+        let order = g.vec(1..40, |g| g.usize(0..15));
         let key = FlowKey::tcp(Addr::new(1, 0, 0, 1), 1, Addr::new(2, 0, 0, 2), 80);
         let mut r = TcpReceiver::new(key, 0);
         let mut prev_ack = 0u32;

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline verification gate: everything must pass with zero registry or
+# network access. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (workspace, offline) =="
+cargo test -q --offline --workspace
+
+echo "== rustdoc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+echo "== bench harness compiles and runs (smoke) =="
+cargo bench --offline -p dui-bench --bench microbench -- --quick >/dev/null
+
+echo "verify: OK"

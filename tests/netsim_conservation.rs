@@ -1,12 +1,13 @@
 //! Chaos test: random topologies + random traffic + random impairments,
 //! asserting the simulator's packet-conservation law — every packet
 //! offered to a link direction is delivered, dropped for a counted
-//! reason, or still sitting in that link when time stops.
+//! reason, or still sitting in that link when time stops. (Runs under
+//! the in-tree `propcheck` engine.)
 
 use dui::netsim::link::LinkDirStats;
 use dui::netsim::prelude::*;
 use dui::stats::Rng;
-use proptest::prelude::*;
+use dui_stats::{prop_assert, prop_assert_eq, prop_check};
 
 fn conservation_holds(stats: &LinkDirStats) -> bool {
     // in-flight/queued remainder is implied: offered >= the accounted sum,
@@ -16,15 +17,13 @@ fn conservation_holds(stats: &LinkDirStats) -> bool {
     stats.offered >= accounted
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn random_network_conserves_packets(
-        seed: u64,
-        n_routers in 2usize..6,
-        n_pkts in 1usize..300,
-        drop_pct in 0u8..40
-    ) {
+prop_check! {
+    cases = 24;
+    fn random_network_conserves_packets(g) {
+        let seed = g.any_u64();
+        let n_routers = g.usize(2..6);
+        let n_pkts = g.usize(1..300);
+        let drop_pct = g.u8(0..40);
         // Ring of routers, two hosts attached at random points.
         let mut rng = Rng::new(seed);
         let mut b = TopologyBuilder::new();
