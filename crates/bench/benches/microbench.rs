@@ -153,6 +153,36 @@ fn bench_survey(s: &mut Suite) {
     }
 }
 
+fn bench_telemetry(s: &mut Suite) {
+    use dui_core::telemetry::{LogHistogram, Registry};
+    {
+        let mut reg = Registry::new();
+        let id = reg.counter("bench.counter");
+        s.bench("counter_record", move || {
+            reg.inc(id);
+            reg.counter_value(id)
+        });
+    }
+    {
+        let mut reg = Registry::new();
+        let id = reg.histogram("bench.hist");
+        let mut v = 1u64;
+        s.bench("histogram_record", move || {
+            // Stride through magnitudes so bucket indexing is exercised,
+            // not just one hot bucket.
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            reg.record(id, v >> (v % 48));
+        });
+    }
+    {
+        let mut h = LogHistogram::default();
+        for i in 0..100_000u64 {
+            h.record(i.wrapping_mul(2654435761) % 1_000_000);
+        }
+        s.bench("histogram_quantile_p99", move || h.quantile(0.99));
+    }
+}
+
 fn bench_fastsim(s: &mut Suite) {
     let cfg = AttackSimConfig {
         legit_flows: 400,
@@ -192,6 +222,7 @@ fn main() {
     bench_pytheas_ucb(&mut s);
     bench_nethide_solver(&mut s);
     bench_survey(&mut s);
+    bench_telemetry(&mut s);
     bench_fastsim(&mut s);
     println!("\n{} benchmarks done.", s.results().len());
 }

@@ -5,6 +5,7 @@
 //! ```sh
 //! cargo run --release -p dui-bench --bin experiments -- all
 //! cargo run --release -p dui-bench --bin experiments -- fig2 --jobs 4
+//! cargo run --release -p dui-bench --bin experiments -- all --metrics
 //! ```
 //!
 //! Every subcommand prints its table(s) and writes CSV into `results/`;
@@ -12,9 +13,18 @@
 //! report and per-stage wall-clock timings. `--jobs N` sets the worker
 //! thread count (default: all cores); the CSVs are byte-identical for
 //! every `N` — see `dui_bench::par` for the determinism contract.
+//!
+//! `--metrics` additionally writes each stage's telemetry snapshot as
+//! one JSON line to `results/metrics.jsonl` (sim-time metrics only, so
+//! the file is byte-identical across `--jobs` too), prints a per-stage
+//! metrics summary, and turns on the wall-clock self-profiler whose
+//! report lands in a clearly-marked non-deterministic section of
+//! `experiments_all.txt`.
 
 use dui_bench::par::default_jobs;
 use dui_bench::stages::{run_stage, StageOutput, STAGE_NAMES};
+use dui_core::stats::table::Table;
+use dui_core::telemetry::wallclock;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -31,9 +41,36 @@ fn emit(out: &StageOutput) {
     }
 }
 
+/// One summary row per stage: how many series of each kind the stage
+/// exported, plus the headline packet counter when present.
+fn metrics_summary(per_stage: &[(&str, &StageOutput)]) -> Table {
+    let mut t = Table::new(["stage", "counters", "gauges", "hists", "delivered_pkts"]);
+    for (name, out) in per_stage {
+        let m = &out.metrics;
+        let delivered: u64 = m
+            .counters
+            .iter()
+            .filter(|(k, _)| k.ends_with("netsim.delivered"))
+            .map(|(_, &v)| v)
+            .sum();
+        t.row([
+            name.to_string(),
+            m.counters.len().to_string(),
+            m.gauges.len().to_string(),
+            m.hists.len().to_string(),
+            if delivered > 0 {
+                delivered.to_string()
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    t
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [{} | all] [--jobs N]",
+        "usage: experiments [{} | all] [--jobs N] [--metrics]",
         STAGE_NAMES.join(" | ")
     );
     std::process::exit(2);
@@ -42,6 +79,7 @@ fn usage() -> ! {
 fn main() {
     let mut which: Option<String> = None;
     let mut jobs = default_jobs();
+    let mut metrics = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -58,11 +96,15 @@ fn main() {
                     usage();
                 }
             }
+            "--metrics" => metrics = true,
             s if which.is_none() && !s.starts_with('-') => which = Some(s.to_string()),
             _ => usage(),
         }
     }
     let which = which.unwrap_or_else(|| "all".to_string());
+    if metrics {
+        wallclock::enable(true);
+    }
     let t0 = std::time::Instant::now();
     if which == "all" {
         let mut log = String::new();
@@ -72,12 +114,33 @@ fn main() {
             default_jobs()
         );
         let mut timings: Vec<(&str, f64)> = Vec::new();
+        let mut outputs: Vec<(&str, StageOutput)> = Vec::new();
         for &name in STAGE_NAMES {
             let ts = std::time::Instant::now();
+            wallclock::set_stage(name);
             let out = run_stage(name, jobs).expect("known stage");
+            wallclock::end_stage();
             timings.push((name, ts.elapsed().as_secs_f64()));
             emit(&out);
             log.push_str(&out.report);
+            outputs.push((name, out));
+        }
+        if metrics {
+            let mut jsonl = String::new();
+            for (name, out) in &outputs {
+                jsonl.push_str(&out.metrics.to_json_line(name));
+                jsonl.push('\n');
+            }
+            let path = results_dir().join("metrics.jsonl");
+            std::fs::write(&path, jsonl).expect("write metrics.jsonl");
+            println!("[saved {}]", path.display());
+            let refs: Vec<(&str, &StageOutput)> =
+                outputs.iter().map(|(n, o)| (*n, o)).collect();
+            let mut section = String::new();
+            let _ = writeln!(section, "== telemetry per stage (sim-time, deterministic) ==\n");
+            let _ = writeln!(section, "{}", metrics_summary(&refs).to_text());
+            print!("{section}");
+            log.push_str(&section);
         }
         let total = t0.elapsed().as_secs_f64();
         let mut wall = String::new();
@@ -86,6 +149,12 @@ fn main() {
             let _ = writeln!(wall, "{name:<16} {secs:8.1} s");
         }
         let _ = writeln!(wall, "{:<16} {total:8.1} s", "total");
+        if metrics {
+            let profile = wallclock::report();
+            if !profile.is_empty() {
+                let _ = writeln!(wall, "\n{profile}");
+            }
+        }
         if jobs > 1 {
             // Speedup check: rerun the two replicate-heavy stages
             // sequentially and compare wall-clock (results are
@@ -116,8 +185,23 @@ fn main() {
         std::fs::write(&path, log).expect("write experiments_all.txt");
         println!("[saved {}]", path.display());
     } else {
+        wallclock::set_stage(&which);
         match run_stage(&which, jobs) {
-            Some(out) => emit(&out),
+            Some(out) => {
+                wallclock::end_stage();
+                emit(&out);
+                if metrics {
+                    let path = results_dir().join("metrics.jsonl");
+                    let mut line = out.metrics.to_json_line(&which);
+                    line.push('\n');
+                    std::fs::write(&path, line).expect("write metrics.jsonl");
+                    println!("[saved {}]", path.display());
+                    let profile = wallclock::report();
+                    if !profile.is_empty() {
+                        print!("{profile}");
+                    }
+                }
+            }
             None => {
                 eprintln!(
                     "unknown experiment '{which}'. Available: {} all",

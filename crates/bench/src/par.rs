@@ -75,6 +75,23 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    // Wall-clock attribution per task when the self-profiler is on
+    // (`experiments --metrics`); a single relaxed atomic load otherwise.
+    // Timing never feeds back into results, so determinism is untouched.
+    let f = |i: usize| {
+        if dui_core::telemetry::wallclock::is_enabled() {
+            let t0 = std::time::Instant::now();
+            let r = f(i);
+            dui_core::telemetry::wallclock::record_task(
+                "run_indexed",
+                i,
+                t0.elapsed().as_nanos() as u64,
+            );
+            r
+        } else {
+            f(i)
+        }
+    };
     if jobs <= 1 || tasks <= 1 {
         return (0..tasks).map(f).collect();
     }

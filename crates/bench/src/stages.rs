@@ -25,9 +25,11 @@ use dui_core::pytheas::engine::{EngineConfig, PoisonStrategy, Throttle};
 use dui_core::scenario::{
     pytheas_run, topologies, BlinkScenario, BlinkScenarioConfig, PccScenario, PccScenarioConfig,
 };
+use dui_core::defense::supervisor::{SnapshotSupervisor, Supervisor};
 use dui_core::stats::series::envelope;
 use dui_core::stats::table::Table;
 use dui_core::stats::Rng;
+use dui_core::telemetry::{Registry, Snapshot};
 use std::fmt::Write as _;
 
 /// What a stage produced: a report for stdout and tables destined for
@@ -38,6 +40,11 @@ pub struct StageOutput {
     pub report: String,
     /// `(file name, table)` pairs; the binary writes each as CSV.
     pub tables: Vec<(String, Table)>,
+    /// The stage's telemetry snapshot (sim-time metrics only, so it is
+    /// byte-identical across `--jobs`; per-task snapshots are merged in
+    /// task-index order). The binary serializes one JSON line per stage
+    /// into `results/metrics.jsonl` under `--metrics`.
+    pub metrics: Snapshot,
 }
 
 impl StageOutput {
@@ -132,6 +139,35 @@ pub fn fig2_with(opts: &Fig2Opts, jobs: usize) -> StageOutput {
     let runs = run_indexed(opts.replicates, jobs, |i| {
         AttackSim::run(cfg, task_seed(opts.master_seed, i as u64))
     });
+    // Telemetry: replicate counters + summed selector events; histogram
+    // and gauge records follow replicate order (run_indexed returns in
+    // index order), so the snapshot is jobs-invariant.
+    let mut reg = Registry::new();
+    let c = reg.counter("fig2.replicates");
+    reg.add(c, runs.len() as u64);
+    let takeover_h = reg.histogram("fig2.takeover_time_s");
+    let t_r_g = reg.gauge("fig2.achieved_t_r_s");
+    for res in &runs {
+        if let Some(t) = res.takeover_time {
+            reg.record(takeover_h, t as u64);
+        }
+        if let Some(tr) = res.achieved_t_r {
+            reg.observe(t_r_g, tr);
+        }
+        let s = res.selector_stats;
+        for (name, v) in [
+            ("fig2.selector.sampled", s.sampled),
+            ("fig2.selector.evicted.fin", s.evicted_fin),
+            ("fig2.selector.evicted.idle", s.evicted_idle),
+            ("fig2.selector.evicted.reset", s.evicted_reset),
+            ("fig2.selector.retransmissions", s.retransmissions),
+            ("fig2.selector.not_monitored", s.not_monitored),
+        ] {
+            let id = reg.counter(name);
+            reg.add(id, v);
+        }
+    }
+    out.metrics = reg.snapshot();
     let series: Vec<_> = runs.iter().map(|res| res.series.clone()).collect();
     let env = envelope(&series, 5.0, 95.0);
     let t_r = mean(
@@ -247,6 +283,10 @@ pub fn fig2_rates(_jobs: usize) -> StageOutput {
         r,
         "(r ≈ 0.63 reproduces the paper's quoted ≈172 s takeover)\n"
     );
+    let mut reg = Registry::new();
+    let c = reg.counter("fig2_rates.ratios");
+    reg.add(c, 7);
+    out.metrics = reg.snapshot();
     out.table("fig2_rates.csv", csv);
     out.report = report;
     out
@@ -383,6 +423,12 @@ pub fn blink_sweep_with(salt_seeds: u64, jobs: usize) -> StageOutput {
     }
     let _ = writeln!(r, "{}", salt.to_text());
     out.table("blink_salt_ablation.csv", salt);
+    let mut reg = Registry::new();
+    let c = reg.counter("blink_sweep.grid_points");
+    reg.add(c, (t_rs.len() * qms.len()) as u64);
+    let c = reg.counter("blink_sweep.salt_targets");
+    reg.add(c, targets.len() as u64);
+    out.metrics = reg.snapshot();
     out.report = report;
     out
 }
@@ -407,6 +453,10 @@ pub fn caida_residency(jobs: usize) -> StageOutput {
     });
     let mut per_prefix_mean = Vec::new();
     let mut all_residencies = Vec::new();
+    let mut reg = Registry::new();
+    let flows_c = reg.counter("caida.flows");
+    let prefixes_c = reg.counter("caida.prefixes");
+    let res_h = reg.histogram("caida.residency_ms");
     let mut csv = Table::new([
         "prefix_rank",
         "flows",
@@ -416,6 +466,11 @@ pub fn caida_residency(jobs: usize) -> StageOutput {
     for (rank, n_flows, res) in per_prefix {
         if res.is_empty() {
             continue;
+        }
+        reg.add(flows_c, n_flows as u64);
+        reg.inc(prefixes_c);
+        for &r in &res {
+            reg.record(res_h, (r * 1000.0) as u64);
         }
         let m = mean(&res);
         let med = dui_core::stats::summary::median(&res);
@@ -429,6 +484,7 @@ pub fn caida_residency(jobs: usize) -> StageOutput {
         ]);
     }
     out.table("caida_residency.csv", csv);
+    out.metrics = reg.snapshot();
     let median_of_means = dui_core::stats::summary::median(&per_prefix_mean);
     let median_flow = dui_core::stats::summary::median(&all_residencies);
     let frac_ge_10 = per_prefix_mean.iter().filter(|&&m| m >= 10.0).count() as f64
@@ -499,11 +555,14 @@ pub fn blink_packet(jobs: usize) -> StageOutput {
             occupancy.push((t, sc.malicious_cells()));
         }
         sc.sim.run_until(SimTime::from_secs(280));
-        (occupancy, sc.reroutes(), sc.vetoed(), sc.on_primary())
+        let snap = sc.metrics();
+        (occupancy, sc.reroutes(), sc.vetoed(), sc.on_primary(), snap)
     };
     let mut both = run_indexed(2, jobs, |i| run(i == 1));
-    let (_, g_reroutes, g_vetoed, g_on_primary) = both.pop().expect("guarded run");
-    let (occ, reroutes, _, on_primary) = both.pop().expect("unguarded run");
+    let (_, g_reroutes, g_vetoed, g_on_primary, g_snap) = both.pop().expect("guarded run");
+    let (occ, reroutes, _, on_primary, snap) = both.pop().expect("unguarded run");
+    out.metrics = snap.with_prefix("unguarded.");
+    out.metrics.merge(&g_snap.with_prefix("guarded."));
     let mut csv = Table::new(["t_s", "malicious_cells"]);
     let mut show = Table::new(["t [s]", "malicious cells (of 64)"]);
     for (t, c) in &occ {
@@ -557,7 +616,16 @@ pub fn pytheas(jobs: usize) -> StageOutput {
         let d = pytheas_run(cfg, 3, 400, true, 42);
         (f, u, d)
     });
+    let mut reg = Registry::new();
     for (f, u, d) in poison_rows {
+        for (arm, (&pu, &pd)) in u.arm_pulls.iter().zip(&d.arm_pulls).enumerate() {
+            let id = reg.counter(&format!("pytheas.poison.arm_pulls.{arm}"));
+            reg.add(id, pu + pd);
+        }
+        let id = reg.counter("pytheas.poison.filtered_reports");
+        reg.add(id, d.filtered_reports);
+        let id = reg.counter("pytheas.poison.rejected");
+        reg.add(id, d.rejected);
         csv.row([
             format!("{f}"),
             format!("{:.4}", u.honest_qoe),
@@ -602,6 +670,10 @@ pub fn pytheas(jobs: usize) -> StageOutput {
         (factor, pytheas_run(cfg, 3, 400, false, 43))
     });
     for (factor, run) in throttle_rows {
+        for (arm, &p) in run.arm_pulls.iter().enumerate() {
+            let id = reg.counter(&format!("pytheas.throttle.arm_pulls.{arm}"));
+            reg.add(id, p);
+        }
         let other = run
             .arm_share
             .iter()
@@ -624,6 +696,7 @@ pub fn pytheas(jobs: usize) -> StageOutput {
     }
     let _ = writeln!(r, "{}", show.to_text());
     out.table("pytheas_throttle.csv", csv);
+    out.metrics = reg.snapshot();
     out.report = report;
     out
 }
@@ -673,12 +746,15 @@ pub fn pcc(jobs: usize) -> StageOutput {
                 mon.observe(rec, base);
             }
         }
+        let mut reg = Registry::new();
+        s.export_metrics(&mut reg);
         (
             mean(&tail) / 125_000.0,
             amp,
             inconclusive,
             s.decisions().len(),
             mon.risk().0,
+            reg.snapshot(),
         )
     };
     let scenarios: [(&str, bool, Option<f64>, f64); 4] = [
@@ -706,7 +782,9 @@ pub fn pcc(jobs: usize) -> StageOutput {
         let (_, attacked, pin, eps) = scenarios[si];
         run(attacked, pin, eps, 3)
     });
-    for (si, (rate, amp, inc, dec, risk)) in results.into_iter().enumerate() {
+    const SNAP_KEYS: [&str; 4] = ["clean", "mirror", "pin", "pin_clamp"];
+    for (si, (rate, amp, inc, dec, risk, snap)) in results.into_iter().enumerate() {
+        out.metrics.merge(&snap.with_prefix(&format!("{}.", SNAP_KEYS[si])));
         let label = scenarios[si].0;
         csv.row([
             label.to_string(),
@@ -854,6 +932,10 @@ pub fn nethide(jobs: usize) -> StageOutput {
     }
     let _ = writeln!(r, "{}", show.to_text());
     out.table("nethide_tradeoff.csv", csv);
+    let mut reg = Registry::new();
+    let c = reg.counter("nethide.solves");
+    reg.add(c, (bow_budgets.len() + ring_budgets.len()) as u64);
+    out.metrics = reg.snapshot();
     out.report = report;
     out
 }
@@ -869,8 +951,11 @@ pub fn defenses(jobs: usize) -> StageOutput {
     let mut show = Table::new(["case study", "metric", "attacked", "defended"]);
     let mut csv = Table::new(["case", "metric", "attacked", "defended"]);
 
-    // Blink: spurious reroutes with / without the RTO guard.
-    let blink = |guarded: bool| -> f64 {
+    // Blink: spurious reroutes with / without the RTO guard. The number
+    // is read from the telemetry snapshot, not the program state — the
+    // registry is the stage's observation channel (and what the
+    // snapshot-driven supervisor below consumes).
+    let blink = |guarded: bool| -> (f64, Snapshot) {
         let cfg = BlinkScenarioConfig {
             legit_flows: 300,
             malicious_flows: 64,
@@ -882,19 +967,23 @@ pub fn defenses(jobs: usize) -> StageOutput {
         };
         let mut sc = BlinkScenario::build(&cfg);
         sc.sim.run_until(SimTime::from_secs(70));
-        sc.reroutes() as f64
+        let snap = sc.metrics();
+        (snap.counter("blink.reroutes") as f64, snap)
     };
     // Pytheas: honest QoE under 20% poisoning.
-    let pyth = |defended: bool| -> f64 {
+    let pyth = |defended: bool| -> (f64, Snapshot) {
         let cfg = EngineConfig {
             poison_fraction: 0.2,
             poison: PoisonStrategy::Promote { down: 1, up: 2 },
             ..Default::default()
         };
-        pytheas_run(cfg, 3, 400, defended, 42).honest_qoe
+        (
+            pytheas_run(cfg, 3, 400, defended, 42).honest_qoe,
+            Snapshot::default(),
+        )
     };
     // PCC: delivered rate under the pin attack, ε_max 5% vs clamped 1%.
-    let pcc_rate = |eps_max: f64| -> f64 {
+    let pcc_rate = |eps_max: f64| -> (f64, Snapshot) {
         let mut sc = PccScenario::build(&PccScenarioConfig {
             flows: 1,
             attacked: true,
@@ -914,7 +1003,7 @@ pub fn defenses(jobs: usize) -> StageOutput {
             .filter(|(t, _)| *t > 90.0)
             .map(|&(_, v)| v)
             .collect();
-        mean(&tail) / 125_000.0
+        (mean(&tail) / 125_000.0, Snapshot::default())
     };
     // Six independent simulations: (attacked, defended) per case study.
     let vals = run_indexed(6, jobs, |i| match i {
@@ -928,42 +1017,67 @@ pub fn defenses(jobs: usize) -> StageOutput {
     show.row([
         "Blink (§3.1)".to_string(),
         "spurious reroutes".to_string(),
-        format!("{:.0}", vals[0]),
-        format!("{:.0}", vals[1]),
+        format!("{:.0}", vals[0].0),
+        format!("{:.0}", vals[1].0),
     ]);
     csv.row([
         "blink".to_string(),
         "spurious_reroutes".to_string(),
-        format!("{:.0}", vals[0]),
-        format!("{:.0}", vals[1]),
+        format!("{:.0}", vals[0].0),
+        format!("{:.0}", vals[1].0),
     ]);
     show.row([
         "Pytheas (§4.1)".to_string(),
         "honest QoE @20% bots".to_string(),
-        format!("{:.3}", vals[2]),
-        format!("{:.3}", vals[3]),
+        format!("{:.3}", vals[2].0),
+        format!("{:.3}", vals[3].0),
     ]);
     csv.row([
         "pytheas".to_string(),
         "honest_qoe".to_string(),
-        format!("{:.4}", vals[2]),
-        format!("{:.4}", vals[3]),
+        format!("{:.4}", vals[2].0),
+        format!("{:.4}", vals[3].0),
     ]);
     show.row([
         "PCC (§4.2)".to_string(),
         "rate under pin-to-25Mbps [Mbps]".to_string(),
-        format!("{:.1}", vals[4]),
-        format!("{:.1}", vals[5]),
+        format!("{:.1}", vals[4].0),
+        format!("{:.1}", vals[5].0),
     ]);
     csv.row([
         "pcc".to_string(),
         "pinned_rate_mbps".to_string(),
-        format!("{:.2}", vals[4]),
-        format!("{:.2}", vals[5]),
+        format!("{:.2}", vals[4].0),
+        format!("{:.2}", vals[5].0),
     ]);
 
     let _ = writeln!(r, "{}", show.to_text());
+    // Fig. 3 point III/IV: a supervisor that never touches the data plane
+    // assesses risk purely from the registry snapshots the runs exported.
+    let mut sup = SnapshotSupervisor::occupancy("blink.cells.malicious", 64.0);
+    let attacked_risk = sup.assess(&vals[0].1);
+    let defended_risk = sup.assess(&vals[1].1);
+    let _ = writeln!(
+        r,
+        "supervisor on registry snapshots (blink.cells.malicious / 64): \
+         risk attacked {:.2}, defended {:.2}{}\n",
+        attacked_risk.0,
+        defended_risk.0,
+        if attacked_risk.0 > 0.5 {
+            " — above the veto threshold; reroute authority would be withdrawn"
+        } else {
+            ""
+        }
+    );
     out.table("defenses.csv", csv);
+    let mut reg = Registry::new();
+    let g = reg.gauge("defenses.supervisor.risk.attacked");
+    reg.observe(g, attacked_risk.0);
+    let g = reg.gauge("defenses.supervisor.risk.defended");
+    reg.observe(g, defended_risk.0);
+    out.metrics = reg.snapshot();
+    out.metrics.merge(&vals[0].1.with_prefix("attacked."));
+    out.metrics.merge(&vals[1].1.with_prefix("defended."));
     out.report = report;
     out
 }
@@ -1162,6 +1276,10 @@ pub fn survey(jobs: usize) -> StageOutput {
     }
     let _ = writeln!(r, "{}", show.to_text());
     out.table("survey.csv", csv);
+    let mut reg = Registry::new();
+    let c = reg.counter("survey.systems");
+    reg.add(c, 4);
+    out.metrics = reg.snapshot();
     out.report = report;
     out
 }
@@ -1194,7 +1312,16 @@ pub fn fuzz(jobs: usize) -> StageOutput {
         });
         (seed, f.search())
     });
+    let mut reg = Registry::new();
+    let searches_c = reg.counter("fuzz.searches");
+    let triggered_c = reg.counter("fuzz.triggered");
+    let found_h = reg.histogram("fuzz.found_at");
     for (seed, res) in results {
+        reg.inc(searches_c);
+        if res.triggered {
+            reg.inc(triggered_c);
+            reg.record(found_h, res.found_at as u64);
+        }
         show.row([
             seed.to_string(),
             res.peak_retransmitting.to_string(),
@@ -1215,6 +1342,7 @@ pub fn fuzz(jobs: usize) -> StageOutput {
          victim's own internal counters — no attack knowledge encoded.\n"
     );
     out.table("fuzz.csv", csv);
+    out.metrics = reg.snapshot();
     out.report = report;
     out
 }

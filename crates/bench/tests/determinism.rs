@@ -30,6 +30,14 @@ fn fig2_csv_identical_across_jobs() {
     assert!(!csv_bytes(&seq).is_empty());
     assert_eq!(csv_bytes(&seq), csv_bytes(&par4), "fig2 CSVs must be jobs-invariant");
     assert_eq!(seq.report, par4.report, "fig2 report must be jobs-invariant");
+    // The telemetry snapshot — counters, float gauges, histograms — must
+    // serialize to the same metrics.jsonl line at any thread count.
+    assert!(!seq.metrics.is_empty(), "fig2 must export metrics");
+    assert_eq!(
+        seq.metrics.to_json_line("fig2"),
+        par4.metrics.to_json_line("fig2"),
+        "fig2 metrics.jsonl line must be jobs-invariant"
+    );
 }
 
 #[test]
@@ -62,4 +70,27 @@ fn fig2_master_seed_changes_results() {
     let a = fig2_with(&mk(1), 2);
     let b = fig2_with(&mk(2), 2);
     assert_ne!(csv_bytes(&a), csv_bytes(&b));
+}
+
+#[test]
+fn metrics_jsonl_identical_across_jobs() {
+    // What `experiments all --metrics` writes is exactly one
+    // `to_json_line(stage)` per stage; build the file contents in-process
+    // for packet-level and fastsim stages at jobs 1 vs 4 and byte-compare.
+    // (`defenses` exercises gauge merging — f64 sums — which is the part
+    // most sensitive to collection order.)
+    let jsonl = |jobs: usize| {
+        let mut s = String::new();
+        for name in ["fig2-rates", "defenses"] {
+            let out = dui_bench::stages::run_stage(name, jobs).expect("known stage");
+            s.push_str(&out.metrics.to_json_line(name));
+            s.push('\n');
+        }
+        s
+    };
+    let seq = jsonl(1);
+    let par4 = jsonl(4);
+    assert!(seq.contains("blink.reroutes"), "defenses must export blink metrics");
+    assert!(seq.contains("defenses.supervisor.risk.attacked"));
+    assert_eq!(seq, par4, "metrics.jsonl must be jobs-invariant");
 }

@@ -26,7 +26,7 @@
 //!   probability that a freed cell resamples a malicious flow equal to the
 //!   flow-count fraction `qm` — the quantity the paper's formula uses.
 
-use crate::selector::{BlinkParams, FlowSelector};
+use crate::selector::{BlinkParams, FlowSelector, SelectorStats};
 use dui_flowgen::flows::random_key_in_prefix;
 use dui_netsim::packet::{Addr, FlowKey, Prefix};
 use dui_netsim::time::{SimDuration, SimTime};
@@ -91,6 +91,10 @@ pub struct AttackSimResult {
     pub achieved_t_r: Option<f64>,
     /// Total packets processed.
     pub packets: u64,
+    /// Selector event counts over the whole run (sampling, evictions,
+    /// retransmissions) — the telemetry the harness aggregates across
+    /// replicates.
+    pub selector_stats: SelectorStats,
 }
 
 /// The simulator.
@@ -215,6 +219,7 @@ impl AttackSim {
             takeover_time,
             achieved_t_r,
             packets,
+            selector_stats: selector.stats,
         }
     }
 

@@ -101,6 +101,48 @@ impl BlinkProgram {
     pub fn monitored(&self) -> impl Iterator<Item = &PrefixState> {
         self.prefixes.iter()
     }
+
+    /// Export the pipeline's observability surface into a telemetry
+    /// registry: reroutes, guard vetoes, inference votes, and selector
+    /// event counts (summed over monitored prefixes) under the `blink.`
+    /// prefix.
+    pub fn export_metrics(&self, reg: &mut dui_telemetry::Registry) {
+        let mut reroutes = 0u64;
+        let mut votes = 0u64;
+        let mut stats = crate::selector::SelectorStats::default();
+        let mut resets = 0u64;
+        let mut occupied = 0u64;
+        for p in &self.prefixes {
+            reroutes += p.reroute.reroute_count() as u64;
+            votes += p.detector.count() as u64;
+            let s = p.selector.stats;
+            stats.sampled += s.sampled;
+            stats.evicted_fin += s.evicted_fin;
+            stats.evicted_idle += s.evicted_idle;
+            stats.evicted_reset += s.evicted_reset;
+            stats.retransmissions += s.retransmissions;
+            stats.not_monitored += s.not_monitored;
+            resets += p.selector.resets;
+            occupied += p.selector.occupied() as u64;
+        }
+        for (name, v) in [
+            ("blink.reroutes", reroutes),
+            ("blink.vetoed", self.vetoed),
+            ("blink.inference.votes", votes),
+            ("blink.selector.sampled", stats.sampled),
+            ("blink.selector.evicted.fin", stats.evicted_fin),
+            ("blink.selector.evicted.idle", stats.evicted_idle),
+            ("blink.selector.evicted.reset", stats.evicted_reset),
+            ("blink.selector.retransmissions", stats.retransmissions),
+            ("blink.selector.not_monitored", stats.not_monitored),
+            ("blink.selector.resets", resets),
+        ] {
+            let id = reg.counter(name);
+            reg.add(id, v);
+        }
+        let g = reg.gauge("blink.cells.occupied");
+        reg.observe(g, occupied as f64);
+    }
 }
 
 impl DataPlaneProgram for BlinkProgram {

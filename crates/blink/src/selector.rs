@@ -90,6 +90,24 @@ pub enum Observation {
     Evicted,
 }
 
+/// Cumulative selector event counts, exported into the telemetry
+/// registry by scenario harnesses (`blink.selector.*` metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectorStats {
+    /// Flows newly sampled into a free cell.
+    pub sampled: u64,
+    /// Occupants evicted by their own FIN/RST.
+    pub evicted_fin: u64,
+    /// Occupants evicted after the idle timeout.
+    pub evicted_idle: u64,
+    /// Occupants cleared by the periodic sample reset.
+    pub evicted_reset: u64,
+    /// Retransmission events observed on monitored flows.
+    pub retransmissions: u64,
+    /// Packets of flows that hashed into an occupied cell.
+    pub not_monitored: u64,
+}
+
 /// The per-prefix flow selector.
 ///
 /// ```
@@ -113,6 +131,8 @@ pub struct FlowSelector {
     last_reset: SimTime,
     /// Number of sample resets performed.
     pub resets: u64,
+    /// Cumulative event counts (sampling, evictions, retransmissions).
+    pub stats: SelectorStats,
     /// Completed occupancy durations, recorded when occupants are evicted
     /// or replaced (enable with [`FlowSelector::record_residencies`]).
     residencies: Option<Vec<SimDuration>>,
@@ -131,6 +151,7 @@ impl FlowSelector {
             cells: vec![None; params.cells],
             last_reset: SimTime::ZERO,
             resets: 0,
+            stats: SelectorStats::default(),
             residencies: None,
         }
     }
@@ -168,6 +189,7 @@ impl FlowSelector {
             for i in 0..self.cells.len() {
                 if let Some(cell) = self.cells[i] {
                     self.log_residency(&cell, now);
+                    self.stats.evicted_reset += 1;
                 }
                 self.cells[i] = None;
             }
@@ -178,6 +200,7 @@ impl FlowSelector {
             if let Some(cell) = self.cells[i] {
                 if now.since(cell.last_seen) >= self.params.eviction_timeout {
                     self.log_residency(&cell, cell.last_seen + self.params.eviction_timeout);
+                    self.stats.evicted_idle += 1;
                     self.cells[i] = None;
                 }
             }
@@ -203,22 +226,28 @@ impl FlowSelector {
                 if ends_flow {
                     let cell = *cell;
                     self.log_residency(&cell, now);
+                    self.stats.evicted_fin += 1;
                     self.cells[idx] = None;
                     return Observation::Evicted;
                 }
                 if seq == cell.last_seq {
                     cell.last_retx_gap = Some(now.since(prev_seen));
                     cell.last_retx = Some(now);
+                    self.stats.retransmissions += 1;
                     Observation::Retransmission
                 } else {
                     cell.last_seq = seq;
                     Observation::Monitored
                 }
             }
-            Some(_) => Observation::NotMonitored,
+            Some(_) => {
+                self.stats.not_monitored += 1;
+                Observation::NotMonitored
+            }
             None => {
                 if ends_flow {
                     // A terminating packet is not worth sampling.
+                    self.stats.not_monitored += 1;
                     return Observation::NotMonitored;
                 }
                 self.cells[idx] = Some(Cell {
@@ -229,6 +258,7 @@ impl FlowSelector {
                     last_retx: None,
                     last_retx_gap: None,
                 });
+                self.stats.sampled += 1;
                 Observation::Sampled
             }
         }

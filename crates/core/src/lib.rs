@@ -20,6 +20,7 @@
 //! * [`nethide`] — traceroute + NetHide topology obfuscation (§4.3)
 //! * [`attacks`] — the threat model (Fig. 1) and concrete attacks
 //! * [`defense`] — the §5 countermeasures (Fig. 3 driver/supervisor)
+//! * [`telemetry`] — zero-dep metrics registry, span tracing, self-profiler
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +36,7 @@ pub use dui_pytheas as pytheas;
 pub use dui_stats as stats;
 pub use dui_survey as survey;
 pub use dui_tcp as tcp;
+pub use dui_telemetry as telemetry;
 
 pub mod scenario;
 

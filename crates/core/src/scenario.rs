@@ -249,6 +249,24 @@ impl BlinkScenario {
         self.blink().vetoed
     }
 
+    /// One merged telemetry snapshot of the whole scenario: the Blink
+    /// pipeline's `blink.*` metrics (reroutes, vetoes, selector events),
+    /// the ground-truth `blink.cells.malicious` occupancy gauge, and the
+    /// engine's `netsim.*` counters. This is the observation surface the
+    /// `defenses` experiment stage and
+    /// [`SnapshotSupervisor`](dui_defense::supervisor::SnapshotSupervisor)
+    /// consume.
+    pub fn metrics(&mut self) -> dui_telemetry::Snapshot {
+        let malicious = self.malicious_cells() as f64;
+        let mut reg = dui_telemetry::Registry::new();
+        self.blink().export_metrics(&mut reg);
+        let g = reg.gauge("blink.cells.malicious");
+        reg.observe(g, malicious);
+        let mut snap = reg.snapshot();
+        snap.merge(&self.sim.metrics_snapshot());
+        snap
+    }
+
     /// Blackhole the primary path in the forward (toward-victim)
     /// direction — a genuine unidirectional failure for Blink to detect.
     pub fn fail_primary_forward(&mut self) {
@@ -443,6 +461,10 @@ pub struct PytheasOutcome {
     pub rejected: u64,
     /// Filter precision (1.0 when nothing rejected).
     pub filter_precision: f64,
+    /// Per-arm pull counts over the whole run (telemetry surface).
+    pub arm_pulls: Vec<u64>,
+    /// Reports dropped by the defense filter over the whole run.
+    pub filtered_reports: u64,
 }
 
 /// Run the §4.1 case study: returns steady-state metrics.
@@ -474,6 +496,8 @@ pub fn pytheas_run(
         arm_share: share,
         rejected,
         filter_precision: precision,
+        arm_pulls: engine.arm_pulls.clone(),
+        filtered_reports: engine.filtered_reports,
     }
 }
 

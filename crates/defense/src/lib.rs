@@ -28,4 +28,4 @@ pub use blink_guard::BlinkRtoGuard;
 pub use fuzzing::{BlinkFuzzer, FuzzConfig};
 pub use pcc_guard::PccLossPatternMonitor;
 pub use pytheas_guard::MadReportFilter;
-pub use supervisor::{OperatingRange, Risk, Supervised, Supervisor};
+pub use supervisor::{OperatingRange, Risk, SnapshotSupervisor, Supervised, Supervisor};

@@ -145,6 +145,55 @@ impl Supervisor<f64, f64> for ThresholdSupervisor {
     }
 }
 
+/// A supervisor whose plausibility model is read from telemetry
+/// [`Snapshot`](dui_telemetry::Snapshot)s rather than raw data-plane
+/// observations — the paper's point IV made concrete: the risk estimator
+/// sits outside the fast path and consumes only the aggregated metrics
+/// the registry already exports.
+///
+/// Risk is the occupancy ratio of a gauge against a capacity (e.g. how
+/// many of Blink's 64 selector cells are held by malicious flows); a
+/// metric absent from the snapshot reads as zero risk.
+pub struct SnapshotSupervisor {
+    /// Gauge name looked up in each snapshot.
+    pub metric: String,
+    /// Full-scale value mapping to risk 1.0.
+    pub capacity: f64,
+    /// Veto threshold for [`Supervisor::constrain`].
+    pub veto_above: f64,
+}
+
+impl SnapshotSupervisor {
+    /// Risk = `gauge_mean(metric) / capacity`, clamped into `[0, 1]`;
+    /// vetoes proposals when risk exceeds `0.5` (more than half the
+    /// resource is held by implausible inputs).
+    pub fn occupancy(metric: &str, capacity: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        SnapshotSupervisor {
+            metric: metric.to_string(),
+            capacity,
+            veto_above: 0.5,
+        }
+    }
+}
+
+impl Supervisor<dui_telemetry::Snapshot, f64> for SnapshotSupervisor {
+    fn assess(&mut self, obs: &dui_telemetry::Snapshot) -> Risk {
+        match obs.gauge_mean(&self.metric) {
+            Some(m) => Risk::clamped(m / self.capacity),
+            None => Risk::NONE,
+        }
+    }
+
+    fn constrain(&mut self, action: f64, risk: Risk) -> Option<f64> {
+        if risk.0 > self.veto_above {
+            None
+        } else {
+            Some(action)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +254,25 @@ mod tests {
         // risk 0.5 shrinks range to [25, 75]: proposal 100 clamps to 75.
         let a = pair.decide(&0.5, |_, _| 100.0);
         assert_eq!(a, Some(75.0));
+    }
+
+    #[test]
+    fn snapshot_supervisor_reads_gauge_occupancy() {
+        let mut reg = dui_telemetry::Registry::new();
+        let g = reg.gauge("cells.malicious");
+        reg.observe(g, 48.0);
+        let snap = reg.snapshot();
+
+        let mut sup = SnapshotSupervisor::occupancy("cells.malicious", 64.0);
+        let risk = sup.assess(&snap);
+        assert_eq!(risk.0, 0.75);
+        // Above the veto threshold: proposals are suppressed.
+        assert_eq!(sup.constrain(1.0, risk), None);
+        // A snapshot without the metric reads as no risk.
+        let empty = dui_telemetry::Snapshot::default();
+        let risk = sup.assess(&empty);
+        assert_eq!(risk, Risk::NONE);
+        assert_eq!(sup.constrain(1.0, risk), Some(1.0));
     }
 
     #[test]

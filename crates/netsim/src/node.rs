@@ -156,6 +156,7 @@ impl RouterLogic {
 impl NodeLogic for RouterLogic {
     fn on_packet(&mut self, ctx: &mut Ctx, mut pkt: Packet) {
         if pkt.key.dst == ctx.addr() {
+            ctx.count_router_local();
             self.handle_local(ctx, pkt);
             return;
         }
@@ -231,14 +232,21 @@ impl NodeLogic for RouterLogic {
             }
         }
         let mut verdict = default_next.map(Verdict::Forward);
+        let mut from_program = false;
         let now = ctx.now();
         for prog in &mut self.programs {
             if let Some(v) = prog.process(now, &pkt, default_next) {
+                from_program = true;
                 verdict = Some(v);
             }
         }
         match verdict {
-            Some(Verdict::Forward(next)) => ctx.send_via(next, pkt),
+            Some(Verdict::Forward(next)) => {
+                if from_program {
+                    ctx.count_program_forward();
+                }
+                ctx.send_via(next, pkt)
+            }
             Some(Verdict::Drop) => ctx.count_program_drop(),
             None => ctx.count_no_route(),
         }

@@ -9,6 +9,47 @@ use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, NodeId, PrefixTable, Routing, Topology};
 use crate::trace::{Counters, Trace, TraceEvent, TraceKind};
 use dui_stats::Rng;
+use dui_telemetry::{CounterId, HistId, Registry, Snapshot, SpanRecorder};
+
+/// Pre-registered metric ids for the engine's own accounting. Resolving
+/// names to ids once at construction keeps the per-packet record path at
+/// a single array index.
+pub(crate) struct EngineMetrics {
+    pub delivered: CounterId,
+    pub delivered_endpoint: CounterId,
+    pub sunk: CounterId,
+    pub created: CounterId,
+    pub consumed_router: CounterId,
+    pub dropped_queue: CounterId,
+    pub dropped_tap: CounterId,
+    pub dropped_fault: CounterId,
+    pub dropped_ttl: CounterId,
+    pub dropped_program: CounterId,
+    pub dropped_no_route: CounterId,
+    pub queue_depth: HistId,
+    /// Lazily-registered `netsim.program.forward.<node>` counters.
+    pub program_forward: Vec<Option<CounterId>>,
+}
+
+impl EngineMetrics {
+    fn new(reg: &mut Registry, nodes: usize) -> Self {
+        EngineMetrics {
+            delivered: reg.counter("netsim.delivered"),
+            delivered_endpoint: reg.counter("netsim.delivered.endpoint"),
+            sunk: reg.counter("netsim.sunk"),
+            created: reg.counter("netsim.packets.created"),
+            consumed_router: reg.counter("netsim.consumed.router"),
+            dropped_queue: reg.counter("netsim.drop.queue"),
+            dropped_tap: reg.counter("netsim.drop.tap"),
+            dropped_fault: reg.counter("netsim.drop.fault"),
+            dropped_ttl: reg.counter("netsim.drop.ttl"),
+            dropped_program: reg.counter("netsim.drop.program"),
+            dropped_no_route: reg.counter("netsim.drop.no_route"),
+            queue_depth: reg.histogram("netsim.link.queue_depth"),
+            program_forward: vec![None; nodes],
+        }
+    }
+}
 
 /// Engine state shared with node logic through [`Ctx`]. Node behaviors are
 /// stored *outside* this struct so a node can freely send packets / arm
@@ -20,7 +61,9 @@ pub struct SimCore {
     routing: Routing,
     prefixes: PrefixTable,
     links: Vec<LinkRuntime>,
-    pub(crate) counters: Counters,
+    pub(crate) registry: Registry,
+    pub(crate) metrics: EngineMetrics,
+    spans: Option<SpanRecorder>,
     trace: Trace,
     rng: Rng,
     next_pkt_id: u64,
@@ -54,9 +97,34 @@ impl SimCore {
         &self.prefixes
     }
 
-    /// Global counters.
-    pub fn counters(&self) -> &Counters {
-        &self.counters
+    /// Global counters, reconstructed as a plain-struct view over the
+    /// metrics registry.
+    pub fn counters(&self) -> Counters {
+        let r = &self.registry;
+        let m = &self.metrics;
+        Counters {
+            delivered: r.counter_value(m.delivered),
+            sunk: r.counter_value(m.sunk),
+            dropped_queue: r.counter_value(m.dropped_queue),
+            dropped_tap: r.counter_value(m.dropped_tap),
+            dropped_fault: r.counter_value(m.dropped_fault),
+            dropped_ttl: r.counter_value(m.dropped_ttl),
+            dropped_program: r.counter_value(m.dropped_program),
+            dropped_no_route: r.counter_value(m.dropped_no_route),
+        }
+    }
+
+    /// The metrics registry (read-only). Engine counters live under the
+    /// `netsim.` prefix; node logic may register its own metrics via
+    /// [`Ctx::metrics`].
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable access to the metrics registry (for scenario harnesses
+    /// that export their own metrics alongside the engine's).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
     }
 
     /// Resolve a destination address to its sink node: exact host address
@@ -72,25 +140,38 @@ impl SimCore {
             self.next_pkt_id += 1;
             pkt.id = self.next_pkt_id;
             pkt.sent_at = self.now;
+            self.registry.inc(self.metrics.created);
         }
     }
 
     /// Route a packet out of `from` toward its destination address.
     fn route_and_send(&mut self, from: NodeId, pkt: Packet) {
         let Some(dst_node) = self.resolve_dst(pkt.key.dst) else {
-            self.counters.dropped_no_route += 1;
+            // Count creation without assigning an id (ids are handed out
+            // lazily at first link transmission, and handing one out here
+            // would shift every later packet's id).
+            if pkt.id == 0 {
+                self.registry.inc(self.metrics.created);
+            }
+            self.registry.inc(self.metrics.dropped_no_route);
             self.trace
                 .record(self.now, TraceKind::NoRoute, Some(from), &pkt);
             return;
         };
         if dst_node == from {
             // Local delivery (e.g. a router pinging itself) — deliver now.
+            if pkt.id == 0 {
+                self.registry.inc(self.metrics.created);
+            }
             self.queue
                 .schedule(self.now, Event::Deliver { node: from, pkt });
             return;
         }
         let Some(next) = self.routing.next_hop(from, dst_node) else {
-            self.counters.dropped_no_route += 1;
+            if pkt.id == 0 {
+                self.registry.inc(self.metrics.created);
+            }
+            self.registry.inc(self.metrics.dropped_no_route);
             self.trace
                 .record(self.now, TraceKind::NoRoute, Some(from), &pkt);
             return;
@@ -118,7 +199,7 @@ impl SimCore {
         // 1. link up / fault injection
         let mut extra = SimDuration::ZERO;
         if !self.links[link.0].apply_fault(dir, &mut self.rng, &mut extra) {
-            self.counters.dropped_fault += 1;
+            self.registry.inc(self.metrics.dropped_fault);
             self.trace
                 .record(self.now, TraceKind::FaultDrop, None, &pkt);
             return;
@@ -147,7 +228,7 @@ impl SimCore {
             TapAction::Forward => {}
             TapAction::Drop => {
                 self.links[link.0].stats_mut(dir).dropped_tap += 1;
-                self.counters.dropped_tap += 1;
+                self.registry.inc(self.metrics.dropped_tap);
                 self.trace.record(self.now, TraceKind::TapDrop, None, &pkt);
                 return;
             }
@@ -171,10 +252,13 @@ impl SimCore {
         let cap = self.links[link.0].info.queue_cap;
         let lr = &mut self.links[link.0];
         let st = lr.dir_state(dir);
+        let depth = st.queue.len();
         if st.in_flight.is_some() {
-            if st.queue.len() >= cap {
+            if depth >= cap {
                 lr.stats_mut(dir).dropped_queue += 1;
-                self.counters.dropped_queue += 1;
+                self.registry.inc(self.metrics.dropped_queue);
+                self.registry
+                    .record(self.metrics.queue_depth, depth as u64);
                 self.trace
                     .record(self.now, TraceKind::QueueDrop, None, &pkt);
                 return;
@@ -183,6 +267,7 @@ impl SimCore {
         } else {
             self.start_tx(link, dir, pkt);
         }
+        self.registry.record(self.metrics.queue_depth, depth as u64);
     }
 
     fn start_tx(&mut self, link: LinkId, dir: Dir, pkt: Packet) {
@@ -277,17 +362,52 @@ impl<'a> Ctx<'a> {
 
     /// Count a TTL-expiry drop (used by router logic).
     pub fn count_ttl_drop(&mut self) {
-        self.core.counters.dropped_ttl += 1;
+        let id = self.core.metrics.dropped_ttl;
+        self.core.registry.inc(id);
     }
 
     /// Count a drop decided by a data-plane program.
     pub fn count_program_drop(&mut self) {
-        self.core.counters.dropped_program += 1;
+        let id = self.core.metrics.dropped_program;
+        self.core.registry.inc(id);
     }
 
     /// Count a packet that reached a node with no local consumer.
     pub fn count_no_route(&mut self) {
-        self.core.counters.dropped_no_route += 1;
+        let id = self.core.metrics.dropped_no_route;
+        self.core.registry.inc(id);
+    }
+
+    /// Count a packet consumed locally by a router (e.g. a ping to the
+    /// router's own address).
+    pub fn count_router_local(&mut self) {
+        let id = self.core.metrics.consumed_router;
+        self.core.registry.inc(id);
+    }
+
+    /// Count a forwarding decision where a data-plane program overrode
+    /// the routing table (per-node counter
+    /// `netsim.program.forward.<node>`).
+    pub fn count_program_forward(&mut self) {
+        let id = match self.core.metrics.program_forward[self.node.0] {
+            Some(id) => id,
+            None => {
+                let name = format!(
+                    "netsim.program.forward.{}",
+                    self.core.topo.node(self.node).name
+                );
+                let id = self.core.registry.counter(&name);
+                self.core.metrics.program_forward[self.node.0] = Some(id);
+                id
+            }
+        };
+        self.core.registry.inc(id);
+    }
+
+    /// The metrics registry, for node logic recording its own metrics
+    /// alongside the engine's (`netsim.`-prefixed) counters.
+    pub fn metrics(&mut self) -> &mut Registry {
+        &mut self.core.registry
     }
 }
 
@@ -305,6 +425,8 @@ impl Simulator {
         let routing = Routing::shortest_paths(&topo);
         let links = topo.links().iter().cloned().map(LinkRuntime::new).collect();
         let n = topo.node_count();
+        let mut registry = Registry::new();
+        let metrics = EngineMetrics::new(&mut registry, n);
         Simulator {
             core: SimCore {
                 now: SimTime::ZERO,
@@ -313,7 +435,9 @@ impl Simulator {
                 routing,
                 prefixes: PrefixTable::new(),
                 links,
-                counters: Counters::default(),
+                registry,
+                metrics,
+                spans: None,
                 trace: Trace::disabled(),
                 rng: Rng::new(seed),
                 next_pkt_id: 0,
@@ -386,6 +510,23 @@ impl Simulator {
         self.core.trace = Trace::enabled(capacity);
     }
 
+    /// Enable span tracing of the event loop: each dispatched event is
+    /// recorded as a span keyed by deterministic `SimTime` nanoseconds,
+    /// in a ring holding at most `capacity` completed spans.
+    pub fn enable_spans(&mut self, capacity: usize) {
+        self.core.spans = Some(SpanRecorder::new(capacity));
+    }
+
+    /// The event-loop span recorder, if [`Self::enable_spans`] was called.
+    pub fn spans(&self) -> Option<&SpanRecorder> {
+        self.core.spans.as_ref()
+    }
+
+    /// Freeze the metrics registry into a mergeable snapshot.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.core.registry.snapshot()
+    }
+
     /// Recorded trace events.
     pub fn trace_events(&self) -> &[TraceEvent] {
         self.core.trace.events()
@@ -396,9 +537,9 @@ impl Simulator {
         self.core.now
     }
 
-    /// Global counters.
-    pub fn counters(&self) -> &Counters {
-        &self.core.counters
+    /// Global counters (a by-value view over the metrics registry).
+    pub fn counters(&self) -> Counters {
+        self.core.counters()
     }
 
     /// Inject a packet at a node as if its application sent it.
@@ -435,39 +576,62 @@ impl Simulator {
             let (time, event) = self.core.queue.pop().expect("peeked");
             debug_assert!(time >= self.core.now, "time went backwards");
             self.core.now = time;
-            match event {
-                Event::Deliver { node, pkt } => {
-                    self.core.counters.delivered += 1;
-                    self.core
-                        .trace
-                        .record(time, TraceKind::Deliver, Some(node), &pkt);
-                    if let Some(mut logic) = self.logics[node.0].take() {
-                        let mut ctx = Ctx {
-                            core: &mut self.core,
-                            node,
-                        };
-                        logic.on_packet(&mut ctx, pkt);
-                        self.logics[node.0] = Some(logic);
-                    } else {
-                        // No behavior installed: node is a pure sink.
-                        self.core.counters.sunk += 1;
-                    }
-                }
-                Event::TxComplete { link, dir } => self.core.tx_complete(link, dir),
-                Event::Timer { node, token } => {
-                    if let Some(mut logic) = self.logics[node.0].take() {
-                        let mut ctx = Ctx {
-                            core: &mut self.core,
-                            node,
-                        };
-                        logic.on_timer(&mut ctx, token);
-                        self.logics[node.0] = Some(logic);
-                    }
-                }
-                Event::Offer { link, dir, pkt } => self.core.enqueue_link(link, dir, pkt),
-            }
+            self.dispatch(time, event);
         }
         self.core.now = t;
+    }
+
+    /// Dispatch one event, maintaining delivery counters and (when
+    /// enabled) recording the dispatch as a sim-time span.
+    fn dispatch(&mut self, time: SimTime, event: Event) {
+        if let Some(spans) = self.core.spans.as_mut() {
+            let label = match &event {
+                Event::Deliver { .. } => "deliver",
+                Event::TxComplete { .. } => "tx_complete",
+                Event::Timer { .. } => "timer",
+                Event::Offer { .. } => "offer",
+            };
+            spans.enter(label, time.as_nanos());
+        }
+        match event {
+            Event::Deliver { node, pkt } => {
+                self.core.registry.inc(self.core.metrics.delivered);
+                self.core
+                    .trace
+                    .record(time, TraceKind::Deliver, Some(node), &pkt);
+                if let Some(mut logic) = self.logics[node.0].take() {
+                    if self.core.topo.node(node).kind == crate::topology::NodeKind::Host {
+                        self.core
+                            .registry
+                            .inc(self.core.metrics.delivered_endpoint);
+                    }
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        node,
+                    };
+                    logic.on_packet(&mut ctx, pkt);
+                    self.logics[node.0] = Some(logic);
+                } else {
+                    // No behavior installed: node is a pure sink.
+                    self.core.registry.inc(self.core.metrics.sunk);
+                }
+            }
+            Event::TxComplete { link, dir } => self.core.tx_complete(link, dir),
+            Event::Timer { node, token } => {
+                if let Some(mut logic) = self.logics[node.0].take() {
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        node,
+                    };
+                    logic.on_timer(&mut ctx, token);
+                    self.logics[node.0] = Some(logic);
+                }
+            }
+            Event::Offer { link, dir, pkt } => self.core.enqueue_link(link, dir, pkt),
+        }
+        if let Some(spans) = self.core.spans.as_mut() {
+            spans.exit(self.core.now.as_nanos());
+        }
     }
 
     /// Run until the event queue drains (or `max` events, as a hang guard).
@@ -479,33 +643,7 @@ impl Simulator {
             self.core.now = time;
             n += 1;
             assert!(n <= max, "simulation did not quiesce within {max} events");
-            match event {
-                Event::Deliver { node, pkt } => {
-                    self.core.counters.delivered += 1;
-                    if let Some(mut logic) = self.logics[node.0].take() {
-                        let mut ctx = Ctx {
-                            core: &mut self.core,
-                            node,
-                        };
-                        logic.on_packet(&mut ctx, pkt);
-                        self.logics[node.0] = Some(logic);
-                    } else {
-                        self.core.counters.sunk += 1;
-                    }
-                }
-                Event::TxComplete { link, dir } => self.core.tx_complete(link, dir),
-                Event::Timer { node, token } => {
-                    if let Some(mut logic) = self.logics[node.0].take() {
-                        let mut ctx = Ctx {
-                            core: &mut self.core,
-                            node,
-                        };
-                        logic.on_timer(&mut ctx, token);
-                        self.logics[node.0] = Some(logic);
-                    }
-                }
-                Event::Offer { link, dir, pkt } => self.core.enqueue_link(link, dir, pkt),
-            }
+            self.dispatch(time, event);
         }
         n
     }

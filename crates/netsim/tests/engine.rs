@@ -319,7 +319,7 @@ fn identical_seeds_are_bit_identical() {
         }
         sim.run_until(SimTime::from_secs(5));
         let sink: &mut SinkHost = sim.logic_mut(h2);
-        (sink.total_packets, *sim.counters())
+        (sink.total_packets, sim.counters())
     };
     assert_eq!(run(99), run(99));
     assert_ne!(run(99).0, run(100).0, "different seeds should diverge");

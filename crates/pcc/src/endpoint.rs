@@ -105,6 +105,43 @@ impl PccSender {
         &self.controller.decisions
     }
 
+    /// Export the sender's observability surface into a telemetry
+    /// registry under the `pcc.` prefix: decision counts (inconclusive =
+    /// ε escalations, the §4.2 attack signal), a histogram of per-MI
+    /// rates, and the mean per-MI utility.
+    pub fn export_metrics(&self, reg: &mut dui_telemetry::Registry) {
+        let mut up = 0u64;
+        let mut down = 0u64;
+        let mut inconclusive = 0u64;
+        for d in &self.controller.decisions {
+            match d {
+                Decision::Up(_) => up += 1,
+                Decision::Down(_) => down += 1,
+                Decision::Inconclusive(_) => inconclusive += 1,
+            }
+        }
+        for (name, v) in [
+            ("pcc.decisions.up", up),
+            ("pcc.decisions.down", down),
+            ("pcc.decisions.inconclusive", inconclusive),
+            ("pcc.mi.count", self.mi_meta.len() as u64),
+            ("pcc.packets.sent", self.sent),
+            ("pcc.packets.acked", self.acked),
+        ] {
+            let id = reg.counter(name);
+            reg.add(id, v);
+        }
+        let rate = reg.histogram("pcc.mi.rate_bytes_per_sec");
+        for &(_, trial_rate, _) in &self.mi_meta {
+            reg.record(rate, trial_rate as u64);
+        }
+        let util = reg.gauge("pcc.mi.utility");
+        for r in self.acct.history() {
+            let mbps = r.rate / 125_000.0;
+            reg.observe(util, allegro_utility(mbps, r.loss, &self.cfg.utility));
+        }
+    }
+
     fn rotate_mi(&mut self, ctx: &mut Ctx) {
         let now = ctx.now();
         let rate = self.controller.next_mi_rate();

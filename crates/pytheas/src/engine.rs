@@ -135,6 +135,11 @@ pub struct PytheasEngine {
     /// Session records for backend analysis (reported values, i.e. what
     /// the system actually sees — including lies).
     pub records: Vec<SessionRecord>,
+    /// Cumulative pull count per arm across all rounds (telemetry).
+    pub arm_pulls: Vec<u64>,
+    /// Reports rejected by the [`ReportFilter`] across all rounds
+    /// (telemetry; 0 under [`AcceptAll`]).
+    pub filtered_reports: u64,
 }
 
 impl PytheasEngine {
@@ -149,6 +154,7 @@ impl PytheasEngine {
             .iter()
             .map(|&g| (g, DiscountedUcb::new(cfg.arms, cfg.gamma, cfg.c)))
             .collect();
+        let arms = cfg.arms;
         PytheasEngine {
             model,
             cfg,
@@ -156,6 +162,8 @@ impl PytheasEngine {
             rng: Rng::new(seed),
             history: Vec::new(),
             records: Vec::new(),
+            arm_pulls: vec![0; arms],
+            filtered_reports: 0,
         }
     }
 
@@ -179,6 +187,7 @@ impl PytheasEngine {
                 let ucb = self.groups.get(&key).expect("group exists");
                 let arm = ucb.pick(&mut self.rng);
                 arm_counts[arm] += 1;
+                self.arm_pulls[arm] += 1;
                 total_picks += 1;
                 if arm == best {
                     best_picks += 1;
@@ -235,6 +244,7 @@ impl PytheasEngine {
                 });
             }
             let accepted = filter.filter(key, &batch);
+            self.filtered_reports += batch.len().saturating_sub(accepted.len()) as u64;
             let ucb = self.groups.get_mut(&key).expect("group exists");
             for r in accepted {
                 ucb.update(r.arm, r.value);

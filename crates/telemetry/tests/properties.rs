@@ -1,0 +1,93 @@
+//! Property tests for `LogHistogram` on `dui-stats::propcheck`
+//! (ISSUE 2 satellite): merge is associative and commutative, quantiles
+//! stay within the recorded min/max, and merge conserves counts.
+
+use dui_stats::{prop_assert, prop_assert_eq, prop_check};
+use dui_telemetry::LogHistogram;
+
+/// Values spanning the full dynamic range, biased toward small numbers
+/// like real queue depths / latencies.
+fn arb_values(g: &mut dui_stats::propcheck::Gen) -> Vec<u64> {
+    g.vec(0..64, |g| {
+        let shift = g.u32(0..64);
+        g.any_u64() >> shift
+    })
+}
+
+fn hist_of(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+prop_check! {
+    fn merge_is_commutative(g) {
+        let xs = arb_values(g);
+        let ys = arb_values(g);
+        let mut ab = hist_of(&xs);
+        ab.merge(&hist_of(&ys));
+        let mut ba = hist_of(&ys);
+        ba.merge(&hist_of(&xs));
+        prop_assert_eq!(ab, ba);
+    }
+
+    fn merge_is_associative(g) {
+        let xs = arb_values(g);
+        let ys = arb_values(g);
+        let zs = arb_values(g);
+        // (x ⊕ y) ⊕ z
+        let mut left = hist_of(&xs);
+        left.merge(&hist_of(&ys));
+        left.merge(&hist_of(&zs));
+        // x ⊕ (y ⊕ z)
+        let mut yz = hist_of(&ys);
+        yz.merge(&hist_of(&zs));
+        let mut right = hist_of(&xs);
+        right.merge(&yz);
+        prop_assert_eq!(left, right);
+    }
+
+    fn merge_conserves_count(g) {
+        let xs = arb_values(g);
+        let ys = arb_values(g);
+        let mut merged = hist_of(&xs);
+        merged.merge(&hist_of(&ys));
+        prop_assert_eq!(merged.count(), (xs.len() + ys.len()) as u64);
+        // Merging equals recording everything into one histogram.
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        prop_assert_eq!(merged, hist_of(&all));
+    }
+
+    fn quantiles_bounded_by_min_max(g) {
+        let mut xs = arb_values(g);
+        if xs.is_empty() {
+            xs.push(g.any_u64());
+        }
+        let h = hist_of(&xs);
+        let lo = *xs.iter().min().unwrap();
+        let hi = *xs.iter().max().unwrap();
+        prop_assert_eq!(h.min(), lo);
+        prop_assert_eq!(h.max(), hi);
+        for _ in 0..8 {
+            let q = g.f64_unit();
+            let x = h.quantile(q);
+            prop_assert!(
+                (lo..=hi).contains(&x),
+                "quantile({}) = {} outside [{}, {}]", q, x, lo, hi
+            );
+        }
+    }
+
+    fn single_value_quantiles_are_exact(g) {
+        // With a single distinct value, every quantile must return it.
+        let v = g.any_u64();
+        let n = g.usize(1..17);
+        let h = hist_of(&vec![v; n]);
+        for q in [0.0, 0.5, 1.0] {
+            prop_assert_eq!(h.quantile(q), v);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Determinism grep-gate: library crates must not read wall clocks or
+# ambient randomness. Simulation state and every exported experiment
+# artifact are functions of (config, seed) only; the sole sanctioned
+# escape hatches are
+#
+#   * crates/bench/            — the harness times stages and owns the CLI
+#   * crates/telemetry/src/wallclock.rs
+#                              — the explicitly non-deterministic
+#                                self-profiler module
+#
+# Everything else matching the forbidden patterns fails the gate.
+# Run from anywhere; exits non-zero with the offending lines on stdout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN='Instant::now|std::time::Instant|SystemTime|thread_rng|rand::'
+
+offenders=$(grep -rnE "$PATTERN" crates --include='*.rs' \
+  | grep -v '^crates/bench/' \
+  | grep -v '^crates/telemetry/src/wallclock.rs:' \
+  || true)
+
+if [ -n "$offenders" ]; then
+  echo "lint_determinism: forbidden wall-clock / randomness source in library code:"
+  echo "$offenders"
+  exit 1
+fi
+echo "lint_determinism: OK"

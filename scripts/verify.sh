@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== determinism lint (no wall clock / ambient randomness in libraries) =="
+bash scripts/lint_determinism.sh
+
 echo "== build (release, offline) =="
 cargo build --release --offline
 

@@ -95,7 +95,7 @@ prop_check! {
         }
         // Global: every injected packet was delivered to the sink or
         // dropped for a counted reason along the way.
-        let c = *sim.counters();
+        let c = sim.counters();
         let sink: &mut SinkHost = sim.logic_mut(h2);
         prop_assert_eq!(
             sink.total_packets + c.dropped_queue + c.dropped_fault + c.dropped_no_route,
