@@ -139,6 +139,26 @@ impl NodeLogic for MaliciousRetxHost {
         ctx.set_timer(interval, TOKEN_TICK);
     }
 
+    fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        d.write_len(self.attack.flows.keys.len());
+        for k in &self.attack.flows.keys {
+            d.write_u32(k.src.0);
+            d.write_u32(k.dst.0);
+            d.write_u16(k.sport);
+            d.write_u16(k.dport);
+        }
+        d.write_u64(self.attack.flows.keepalive.as_nanos());
+        d.write_u64(self.attack.start.0);
+        d.write_u64(self.attack.trigger_at.0);
+        d.write_u64(self.attack.trigger_duration.as_nanos());
+        d.write_len(self.seqs.len());
+        for &s in &self.seqs {
+            d.write_u32(s);
+        }
+        d.write_u64(self.sent);
+        d.write_bool(self.started);
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }

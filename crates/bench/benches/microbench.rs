@@ -197,6 +197,48 @@ fn bench_fastsim(s: &mut Suite) {
     });
 }
 
+fn bench_replay(s: &mut Suite) {
+    use dui_core::netsim::prelude::*;
+    use dui_core::replay::record::{engine_checkpoint_from_bytes, engine_checkpoint_to_bytes};
+
+    // A loaded engine: two links, a router, 256 in-flight UDP packets —
+    // what a mid-run checkpoint of a packet-level experiment looks like.
+    fn loaded_engine() -> Simulator {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host("h1", Addr::new(10, 0, 0, 1));
+        let r = b.router("r");
+        let h2 = b.host("h2", Addr::new(10, 0, 0, 2));
+        b.link(h1, r, Bandwidth::mbps(100), SimDuration::from_millis(1), 64);
+        b.link(r, h2, Bandwidth::mbps(100), SimDuration::from_millis(1), 64);
+        let mut sim = Simulator::new(b.build(), 7);
+        sim.set_logic(r, Box::new(RouterLogic::new()));
+        sim.set_logic(h2, Box::new(SinkHost::new()));
+        for i in 0..256u16 {
+            let k = FlowKey::udp(Addr::new(10, 0, 0, 1), 2000 + i, Addr::new(10, 0, 0, 2), 80);
+            sim.inject(h1, Packet::udp(k, 300));
+        }
+        sim.run_until(SimTime::from_secs_f64(0.005));
+        sim
+    }
+    {
+        let sim = loaded_engine();
+        s.bench("engine_state_hash_loaded", move || sim.state_hash());
+    }
+    {
+        let ckpt = loaded_engine().checkpoint().expect("restorable engine");
+        s.bench("engine_checkpoint_encode", move || {
+            engine_checkpoint_to_bytes(&ckpt)
+        });
+    }
+    {
+        let bytes =
+            engine_checkpoint_to_bytes(&loaded_engine().checkpoint().expect("restorable engine"));
+        s.bench("engine_checkpoint_decode", move || {
+            engine_checkpoint_from_bytes(&bytes).expect("decodes")
+        });
+    }
+}
+
 fn main() {
     // `cargo bench` forwards unknown flags here; honour --quick and
     // ignore libtest-style arguments like --bench.
@@ -224,5 +266,6 @@ fn main() {
     bench_survey(&mut s);
     bench_telemetry(&mut s);
     bench_fastsim(&mut s);
+    bench_replay(&mut s);
     println!("\n{} benchmarks done.", s.results().len());
 }

@@ -20,13 +20,33 @@
 //! metrics summary, and turns on the wall-clock self-profiler whose
 //! report lands in a clearly-marked non-deterministic section of
 //! `experiments_all.txt`.
+//!
+//! ## Record / replay
+//!
+//! ```sh
+//! cargo run --release -p dui-bench --bin experiments -- record fig2-small
+//! cargo run --release -p dui-bench --bin experiments -- replay results/fig2-small.duir --check
+//! cargo run --release -p dui-bench --bin experiments -- replay results/fig2-small.duir --resume mid
+//! ```
+//!
+//! `record <stage>` captures a deterministic run of a recordable stage
+//! (see `dui_bench::recordings::RECORD_STAGES`) as a `dui-replay`
+//! recording under `results/<stage>.duir`; `replay <file> [--check]`
+//! re-drives the same stage against the recording, verifying every
+//! event digest and checkpoint hash; `--resume <idx|mid>` restores a
+//! mid-run checkpoint first and replays only the tail. Fig2-family
+//! runs additionally emit their occupancy series CSV after `record`,
+//! `replay` and `--resume`, so a resumed run can be byte-compared
+//! against the uninterrupted one.
 
 use dui_bench::par::default_jobs;
+use dui_bench::recordings::{build_subject, default_ckpt_every, StageSubject, RECORD_STAGES};
 use dui_bench::stages::{run_stage, StageOutput, STAGE_NAMES};
+use dui_core::replay::{Recorder, Recording, Replayer};
 use dui_core::stats::table::Table;
 use dui_core::telemetry::wallclock;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 fn results_dir() -> &'static Path {
     Path::new("results")
@@ -70,10 +90,131 @@ fn metrics_summary(per_stage: &[(&str, &StageOutput)]) -> Table {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [{} | all] [--jobs N] [--metrics]",
-        STAGE_NAMES.join(" | ")
+        "usage: experiments [{} | all] [--jobs N] [--metrics]\n\
+         \x20      experiments record <{}> [--out FILE] [--ckpt-every N]\n\
+         \x20      experiments replay <FILE> [--check] [--resume <idx|mid>]",
+        STAGE_NAMES.join(" | "),
+        RECORD_STAGES.join(" | ")
     );
     std::process::exit(2);
+}
+
+/// Write the stage's series CSV (if it produces one) next to the other
+/// results, tagged with how the run was produced.
+fn emit_series(stage: &str, subject: StageSubject, tag: &str) {
+    if let Some(csv) = subject.series_csv() {
+        let path = results_dir().join(format!("{stage}_{tag}.csv"));
+        csv.write_csv(&path).expect("write series CSV");
+        println!("[saved {}]", path.display());
+    }
+}
+
+fn cmd_record(args: &[String]) -> ! {
+    let mut stage: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut every: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--ckpt-every" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                every = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            s if stage.is_none() && !s.starts_with('-') => stage = Some(s.to_string()),
+            _ => usage(),
+        }
+    }
+    let stage = stage.unwrap_or_else(|| usage());
+    let Some(mut subject) = build_subject(&stage) else {
+        eprintln!(
+            "unknown recordable stage '{stage}'. Available: {}",
+            RECORD_STAGES.join(" ")
+        );
+        std::process::exit(2);
+    };
+    let every = every.unwrap_or_else(|| default_ckpt_every(&stage));
+    let out = out.unwrap_or_else(|| results_dir().join(format!("{stage}.duir")));
+    let t0 = std::time::Instant::now();
+    let digest = subject.as_subject_mut().config_digest();
+    let rec = Recorder::new(&stage, digest, every).record(subject.as_subject_mut());
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create output directory");
+    }
+    rec.save(&out).expect("write recording");
+    println!(
+        "[recorded {}: {} events, {} checkpoints, final hash {:016x}]",
+        stage,
+        rec.events.len(),
+        rec.checkpoints.len(),
+        rec.final_hash
+    );
+    println!("[saved {}]", out.display());
+    emit_series(&stage, subject, "recorded");
+    println!("[done in {:.1} s]", t0.elapsed().as_secs_f64());
+    std::process::exit(0);
+}
+
+fn cmd_replay(args: &[String]) -> ! {
+    let mut file: Option<PathBuf> = None;
+    let mut resume: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            // Verification is always on; the flag exists so scripts can
+            // state their intent explicitly.
+            "--check" => {}
+            "--resume" => resume = Some(it.next().unwrap_or_else(|| usage()).to_string()),
+            s if file.is_none() && !s.starts_with('-') => file = Some(PathBuf::from(s)),
+            _ => usage(),
+        }
+    }
+    let file = file.unwrap_or_else(|| usage());
+    let rec = Recording::load(&file).unwrap_or_else(|e| {
+        eprintln!("cannot load recording: {e}");
+        std::process::exit(1);
+    });
+    let Some(mut subject) = build_subject(&rec.stage) else {
+        eprintln!(
+            "recording is for unknown stage '{}'. Available: {}",
+            rec.stage,
+            RECORD_STAGES.join(" ")
+        );
+        std::process::exit(2);
+    };
+    let t0 = std::time::Instant::now();
+    let replayer = Replayer::new(&rec);
+    let (result, tag) = match resume.as_deref() {
+        None => (replayer.verify(subject.as_subject_mut()), "replayed"),
+        Some(spec) => {
+            let idx = if spec == "mid" {
+                rec.checkpoints.len() / 2
+            } else {
+                spec.parse().unwrap_or_else(|_| usage())
+            };
+            println!(
+                "[resuming from checkpoint {idx} of {} (event {})]",
+                rec.checkpoints.len(),
+                rec.checkpoints.get(idx).map_or(0, |c| c.event_index)
+            );
+            (replayer.resume_from(subject.as_subject_mut(), idx), "resumed")
+        }
+    };
+    match result {
+        Ok(report) => {
+            println!(
+                "[replay OK: {} events, {} checkpoints verified, final hash {:016x}]",
+                report.events, report.checkpoints_verified, report.final_hash
+            );
+            emit_series(&rec.stage, subject, tag);
+            println!("[done in {:.1} s]", t0.elapsed().as_secs_f64());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("replay FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -81,6 +222,12 @@ fn main() {
     let mut jobs = default_jobs();
     let mut metrics = false;
     let mut args = std::env::args().skip(1);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match raw.first().map(String::as_str) {
+        Some("record") => cmd_record(&raw[1..]),
+        Some("replay") => cmd_replay(&raw[1..]),
+        _ => {}
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             "--jobs" | "-j" => {

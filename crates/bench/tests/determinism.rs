@@ -2,9 +2,11 @@
 //! only. These tests run reduced-size stages at jobs=1 and jobs=4 and
 //! byte-compare every CSV (and the printed report).
 
+use dui_bench::recordings::build_subject;
 use dui_bench::stages::{blink_sweep_with, fig2_with, Fig2Opts, StageOutput};
 use dui_core::blink::fastsim::AttackSimConfig;
 use dui_core::netsim::time::SimDuration;
+use dui_core::replay::Recorder;
 
 fn csv_bytes(out: &StageOutput) -> Vec<(String, String)> {
     out.tables
@@ -70,6 +72,39 @@ fn fig2_master_seed_changes_results() {
     let a = fig2_with(&mk(1), 2);
     let b = fig2_with(&mk(2), 2);
     assert_ne!(csv_bytes(&a), csv_bytes(&b));
+}
+
+/// Record a stage and return its checkpoint hash sequence plus final
+/// hash — the `dui-replay` strengthening of the byte-compare tests
+/// above: not just "same CSV out" but "same full simulator state at
+/// every checkpoint boundary".
+fn checkpoint_hashes(stage: &str, every: u64) -> (Vec<(u64, u64)>, u64) {
+    let mut subject = build_subject(stage).expect("recordable stage");
+    let s = subject.as_subject_mut();
+    let rec = Recorder::new(stage, s.config_digest(), every).record(s);
+    (
+        rec.checkpoints
+            .iter()
+            .map(|c| (c.event_index, c.state_hash))
+            .collect(),
+        rec.final_hash,
+    )
+}
+
+#[test]
+fn fastsim_checkpoint_hashes_identical_across_runs() {
+    let a = checkpoint_hashes("fig2-small", 4_000);
+    let b = checkpoint_hashes("fig2-small", 4_000);
+    assert!(a.0.len() >= 4, "enough checkpoints to compare: {}", a.0.len());
+    assert_eq!(a, b, "fig2 state hashes must be run-invariant");
+}
+
+#[test]
+fn engine_checkpoint_hashes_identical_across_runs() {
+    let a = checkpoint_hashes("blink-packet-small", 20_000);
+    let b = checkpoint_hashes("blink-packet-small", 20_000);
+    assert!(a.0.len() >= 4, "enough checkpoints to compare: {}", a.0.len());
+    assert_eq!(a, b, "packet-level state hashes must be run-invariant");
 }
 
 #[test]

@@ -26,10 +26,11 @@
 //!   probability that a freed cell resamples a malicious flow equal to the
 //!   flow-count fraction `qm` — the quantity the paper's formula uses.
 
-use crate::selector::{BlinkParams, FlowSelector, SelectorStats};
+use crate::selector::{BlinkParams, FlowSelector, SelectorSnapshot, SelectorStats};
 use dui_flowgen::flows::random_key_in_prefix;
 use dui_netsim::packet::{Addr, FlowKey, Prefix};
 use dui_netsim::time::{SimDuration, SimTime};
+use dui_stats::digest::StateDigest;
 use dui_stats::dist;
 use dui_stats::{Rng, TimeSeries};
 use std::cmp::Reverse;
@@ -97,19 +98,76 @@ pub struct AttackSimResult {
     pub selector_stats: SelectorStats,
 }
 
-/// The simulator.
-pub struct AttackSim;
+/// One flow's mutable state: its current 5-tuple, TCP sequence cursor,
+/// and (for legitimate flows) when it dies and is replaced. Malicious
+/// flows have `dies_at == None` — that is also how a restored run
+/// reconstructs the malicious key set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowState {
+    /// Current 5-tuple.
+    pub key: FlowKey,
+    /// Current TCP sequence number.
+    pub seq: u32,
+    /// Death (and instant replacement) time; `None` marks a malicious
+    /// flow, which never dies.
+    pub dies_at: Option<SimTime>,
+}
 
-#[derive(Debug, Clone, Copy)]
-struct FlowState {
-    key: FlowKey,
-    seq: u32,
-    dies_at: Option<SimTime>,
+/// The attack simulator, now an explicit state machine.
+///
+/// [`AttackSim::run`] preserves the original one-shot API (and its
+/// exact per-seed output), but the simulation can also be driven one
+/// packet event at a time via [`AttackSim::step`], hashed mid-run via
+/// [`AttackSim::state_hash`], and checkpointed/resumed via
+/// [`AttackSim::snapshot`] / [`AttackSim::restore`] — the hooks the
+/// `dui-replay` record/replay subsystem builds on.
+pub struct AttackSim {
+    cfg: AttackSimConfig,
+    rng: Rng,
+    selector: FlowSelector,
+    flows: Vec<FlowState>,
+    malicious_keys: HashSet<FlowKey>,
+    sport: u16,
+    heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+    series: TimeSeries,
+    next_sample: SimTime,
+    takeover_time: Option<f64>,
+    packets: u64,
+    done: bool,
+}
+
+/// Plain-data checkpoint of a mid-run [`AttackSim`] (everything except
+/// the configuration, which the restoring side supplies). Produced by
+/// [`AttackSim::snapshot`]; byte encoding lives in `dui-replay`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackSimSnapshot {
+    /// Raw xoshiro256++ generator state.
+    pub rng: [u64; 4],
+    /// Selector state.
+    pub selector: SelectorSnapshot,
+    /// Per-flow states (malicious flows are the `dies_at == None` ones).
+    pub flows: Vec<FlowState>,
+    /// Ephemeral source-port allocator cursor.
+    pub sport: u16,
+    /// Pending per-flow packet clocks, sorted by `(time, flow index)`.
+    pub schedule: Vec<(SimTime, usize)>,
+    /// Output series points emitted so far.
+    pub series: Vec<(f64, f64)>,
+    /// Next sample emission time.
+    pub next_sample: SimTime,
+    /// Takeover time if already reached.
+    pub takeover_time: Option<f64>,
+    /// Packets processed so far.
+    pub packets: u64,
+    /// Whether the run already reached its horizon.
+    pub done: bool,
 }
 
 impl AttackSim {
-    /// Run one seeded simulation.
-    pub fn run(cfg: &AttackSimConfig, seed: u64) -> AttackSimResult {
+    /// Build a ready-to-step simulation (flow population, packet
+    /// clocks, and phases are drawn here, in the exact order the
+    /// original one-shot `run` used).
+    pub fn new(cfg: &AttackSimConfig, seed: u64) -> Self {
         assert!(
             cfg.pkt_interval < cfg.params.eviction_timeout,
             "flows must beat the eviction timeout to stay monitored"
@@ -149,60 +207,220 @@ impl AttackSim {
             heap.push(Reverse((SimTime(phase), i)));
         }
 
+        AttackSim {
+            cfg: cfg.clone(),
+            rng,
+            selector,
+            flows,
+            malicious_keys,
+            sport,
+            heap,
+            series: TimeSeries::new(),
+            next_sample: SimTime::ZERO,
+            takeover_time: None,
+            packets: 0,
+            done: false,
+        }
+    }
+
+    fn emit_due_samples(&mut self, up_to: SimTime) {
+        let threshold = self.cfg.params.threshold;
+        while self.next_sample <= up_to {
+            self.selector.apply_time(self.next_sample);
+            let evil = self
+                .selector
+                .count_matching(|k| self.malicious_keys.contains(k));
+            self.series.push(self.next_sample.as_secs_f64(), evil as f64);
+            if self.takeover_time.is_none() && evil >= threshold {
+                self.takeover_time = Some(self.next_sample.as_secs_f64());
+            }
+            self.next_sample += self.cfg.sample_every;
+        }
+    }
+
+    /// Process the next packet event; returns its time, or `None` once
+    /// the horizon is reached (at which point the remaining sample
+    /// points have been flushed and the run is finished).
+    pub fn step(&mut self) -> Option<SimTime> {
+        if self.done {
+            return None;
+        }
+        let horizon_reached = match self.heap.peek() {
+            Some(&Reverse((t, _))) => t.as_nanos() > self.cfg.horizon.as_nanos(),
+            None => true,
+        };
+        if horizon_reached {
+            self.done = true;
+            // Flush remaining sample points up to the horizon.
+            self.emit_due_samples(SimTime::ZERO + self.cfg.horizon);
+            return None;
+        }
+        let Reverse((t, i)) = self.heap.pop().expect("peeked");
+        // Emit samples up to t.
+        self.emit_due_samples(t);
+        let cfg = &self.cfg;
+        let rng = &mut self.rng;
+        let flow = &mut self.flows[i];
+        // Death + instant replacement keeps the population fixed.
+        if let Some(dies) = flow.dies_at {
+            if t >= dies {
+                self.sport = self.sport.wrapping_add(1).max(1024);
+                flow.key = random_key_in_prefix(cfg.prefix, rng, self.sport);
+                flow.seq = rng.next_u32();
+                let life = dist::exponential(rng, 1.0 / cfg.mean_lifetime_secs);
+                flow.dies_at = Some(t + SimDuration::from_secs_f64(life));
+            }
+        }
+        flow.seq = flow.seq.wrapping_add(1460);
+        self.selector.on_packet(t, flow.key, flow.seq, false);
+        self.packets += 1;
+        self.heap.push(Reverse((t + cfg.pkt_interval, i)));
+        Some(t)
+    }
+
+    /// Whether the run reached its horizon.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Configuration this run was built under.
+    pub fn config(&self) -> &AttackSimConfig {
+        &self.cfg
+    }
+
+    /// Packets processed so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Raw RNG state (exposed so divergence tests can inject controlled
+    /// state corruption; see `dui-replay`'s self-test).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Overwrite the RNG state (the fault-injection hook paired with
+    /// [`AttackSim::rng_state`]).
+    pub fn set_rng_state(&mut self, s: [u64; 4]) {
+        self.rng = Rng::from_state(s);
+    }
+
+    /// Fold the run's complete logical state into `d`.
+    ///
+    /// The pending-event heap is folded commutatively (entries are
+    /// unique `(time, flow)` pairs), so no ordering is imposed on the
+    /// `BinaryHeap`'s internal layout; everything else is hashed in
+    /// fixed field order. The malicious key set is *not* hashed — it is
+    /// derived state, fully determined by `flows`.
+    pub fn state_digest(&self, d: &mut StateDigest) {
+        for w in self.rng.state() {
+            d.write_u64(w);
+        }
+        self.selector.state_digest(d);
+        d.write_len(self.flows.len());
+        for f in &self.flows {
+            d.write_u64(f.key.digest(0));
+            d.write_u32(f.seq);
+            d.write_opt_u64(f.dies_at.map(|t| t.0));
+        }
+        d.write_u16(self.sport);
+        d.write_len(self.heap.len());
+        for &Reverse((t, i)) in self.heap.iter() {
+            let mut e = StateDigest::labeled("sched");
+            e.write_u64(t.0);
+            e.write_usize(i);
+            d.write_unordered(e.finish());
+        }
+        d.write_len(self.series.points().len());
+        for &(t, v) in self.series.points() {
+            d.write_f64(t);
+            d.write_f64(v);
+        }
+        d.write_u64(self.next_sample.0);
+        match self.takeover_time {
+            None => d.write_u8(0),
+            Some(t) => {
+                d.write_u8(1);
+                d.write_f64(t);
+            }
+        }
+        d.write_u64(self.packets);
+        d.write_bool(self.done);
+    }
+
+    /// 64-bit digest of the run's complete logical state.
+    pub fn state_hash(&self) -> u64 {
+        let mut d = StateDigest::labeled("fastsim");
+        self.state_digest(&mut d);
+        d.finish()
+    }
+
+    /// Capture the run as plain data (restorable checkpoint).
+    pub fn snapshot(&self) -> AttackSimSnapshot {
+        let mut schedule: Vec<(SimTime, usize)> =
+            self.heap.iter().map(|&Reverse(e)| e).collect();
+        schedule.sort_unstable();
+        AttackSimSnapshot {
+            rng: self.rng.state(),
+            selector: self.selector.snapshot(),
+            flows: self.flows.clone(),
+            sport: self.sport,
+            schedule,
+            series: self.series.points().to_vec(),
+            next_sample: self.next_sample,
+            takeover_time: self.takeover_time,
+            packets: self.packets,
+            done: self.done,
+        }
+    }
+
+    /// Rebuild a run from a snapshot plus its original configuration.
+    ///
+    /// The restored run continues exactly where the snapshot was taken:
+    /// pop order of the rebuilt heap is independent of insertion order
+    /// because `(time, flow index)` pairs are unique and totally
+    /// ordered, and the malicious key set is reconstructed from the
+    /// immortal (`dies_at == None`) flows.
+    pub fn restore(cfg: &AttackSimConfig, snap: AttackSimSnapshot) -> Self {
+        let malicious_keys: HashSet<FlowKey> = snap
+            .flows
+            .iter()
+            .filter(|f| f.dies_at.is_none())
+            .map(|f| f.key)
+            .collect();
+        let heap: BinaryHeap<Reverse<(SimTime, usize)>> =
+            snap.schedule.into_iter().map(Reverse).collect();
         let mut series = TimeSeries::new();
-        let mut next_sample = SimTime::ZERO;
-        let mut takeover_time = None;
-        let mut packets = 0u64;
-        let threshold = cfg.params.threshold;
-
-        while let Some(&Reverse((t, _))) = heap.peek() {
-            if t.as_nanos() > cfg.horizon.as_nanos() {
-                break;
-            }
-            // Emit samples up to t.
-            while next_sample <= t {
-                selector.apply_time(next_sample);
-                let evil = selector.count_matching(|k| malicious_keys.contains(k));
-                series.push(next_sample.as_secs_f64(), evil as f64);
-                if takeover_time.is_none() && evil >= threshold {
-                    takeover_time = Some(next_sample.as_secs_f64());
-                }
-                next_sample += cfg.sample_every;
-            }
-            let Reverse((t, i)) = heap.pop().expect("peeked");
-            let flow = &mut flows[i];
-            // Death + instant replacement keeps the population fixed.
-            if let Some(dies) = flow.dies_at {
-                if t >= dies {
-                    sport = sport.wrapping_add(1).max(1024);
-                    flow.key = random_key_in_prefix(cfg.prefix, &mut rng, sport);
-                    flow.seq = rng.next_u32();
-                    let life = dist::exponential(&mut rng, 1.0 / cfg.mean_lifetime_secs);
-                    flow.dies_at = Some(t + SimDuration::from_secs_f64(life));
-                }
-            }
-            flow.seq = flow.seq.wrapping_add(1460);
-            selector.on_packet(t, flow.key, flow.seq, false);
-            packets += 1;
-            heap.push(Reverse((t + cfg.pkt_interval, i)));
+        for (t, v) in snap.series {
+            series.push(t, v);
         }
-        // Flush remaining sample points up to the horizon.
-        let end = SimTime::ZERO + cfg.horizon;
-        while next_sample <= end {
-            selector.apply_time(next_sample);
-            let evil = selector.count_matching(|k| malicious_keys.contains(k));
-            series.push(next_sample.as_secs_f64(), evil as f64);
-            if takeover_time.is_none() && evil >= threshold {
-                takeover_time = Some(next_sample.as_secs_f64());
-            }
-            next_sample += cfg.sample_every;
+        AttackSim {
+            cfg: cfg.clone(),
+            rng: Rng::from_state(snap.rng),
+            selector: FlowSelector::from_snapshot(cfg.params, snap.selector),
+            flows: snap.flows,
+            malicious_keys,
+            sport: snap.sport,
+            heap,
+            series,
+            next_sample: snap.next_sample,
+            takeover_time: snap.takeover_time,
+            packets: snap.packets,
+            done: snap.done,
         }
+    }
 
+    /// Finish the run (stepping to the horizon if needed) and produce
+    /// the result.
+    pub fn into_result(mut self) -> AttackSimResult {
+        while self.step().is_some() {}
+        let cfg = &self.cfg;
         // Achieved tR: mean residency of *legitimate* occupancies. The
         // selector does not distinguish, so subtract malicious ones (which
         // only end at resets) by filtering durations shorter than the reset
         // interval.
-        let legit_res: Vec<f64> = selector
+        let legit_res: Vec<f64> = self
+            .selector
             .residencies()
             .iter()
             .map(|d| d.as_secs_f64())
@@ -215,12 +433,18 @@ impl AttackSim {
         };
 
         AttackSimResult {
-            series,
-            takeover_time,
+            series: self.series,
+            takeover_time: self.takeover_time,
             achieved_t_r,
-            packets,
-            selector_stats: selector.stats,
+            packets: self.packets,
+            selector_stats: self.selector.stats,
         }
+    }
+
+    /// Run one seeded simulation to completion (the original API; the
+    /// output is bit-identical to the pre-refactor implementation).
+    pub fn run(cfg: &AttackSimConfig, seed: u64) -> AttackSimResult {
+        Self::new(cfg, seed).into_result()
     }
 
     /// Run `runs` seeded simulations (seeds `base_seed..base_seed+runs`).
@@ -336,6 +560,50 @@ mod tests {
                 model.t_r
             );
         }
+    }
+
+    #[test]
+    fn stepped_run_matches_one_shot() {
+        let cfg = small();
+        let mut sim = AttackSim::new(&cfg, 7);
+        while sim.step().is_some() {}
+        let stepped = sim.into_result();
+        let oneshot = AttackSim::run(&cfg, 7);
+        assert_eq!(stepped.series, oneshot.series);
+        assert_eq!(stepped.packets, oneshot.packets);
+        assert_eq!(stepped.takeover_time, oneshot.takeover_time);
+        assert_eq!(stepped.selector_stats, oneshot.selector_stats);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let cfg = small();
+        let mut sim = AttackSim::new(&cfg, 5);
+        for _ in 0..20_000 {
+            sim.step();
+        }
+        let resumed = AttackSim::restore(&cfg, sim.snapshot());
+        assert_eq!(sim.state_hash(), resumed.state_hash());
+        let a = sim.into_result();
+        let b = resumed.into_result();
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(a.achieved_t_r, b.achieved_t_r);
+        assert_eq!(a.selector_stats, b.selector_stats);
+    }
+
+    #[test]
+    fn state_hash_tracks_progress_and_seed() {
+        let cfg = small();
+        let mut a = AttackSim::new(&cfg, 1);
+        let mut b = AttackSim::new(&cfg, 1);
+        assert_eq!(a.state_hash(), b.state_hash());
+        a.step();
+        assert_ne!(a.state_hash(), b.state_hash(), "stepping changes state");
+        b.step();
+        assert_eq!(a.state_hash(), b.state_hash(), "lockstep runs agree");
+        let c = AttackSim::new(&cfg, 2);
+        assert_ne!(a.state_hash(), c.state_hash(), "seeds differ");
     }
 
     #[test]

@@ -61,6 +61,17 @@ impl FailureDetector {
     pub fn count(&self) -> usize {
         self.events.len()
     }
+
+    /// Fold the detector state into `d`.
+    pub fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        d.write_u64(self.hold_down.as_nanos());
+        d.write_opt_u64(self.last_fire.map(|t| t.0));
+        d.write_len(self.events.len());
+        for ev in &self.events {
+            d.write_u64(ev.at.0);
+            d.write_usize(ev.retransmitting);
+        }
+    }
 }
 
 #[cfg(test)]

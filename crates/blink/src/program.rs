@@ -183,6 +183,26 @@ impl DataPlaneProgram for BlinkProgram {
         "blink"
     }
 
+    fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        d.write_usize(self.cfg.params.cells);
+        d.write_usize(self.cfg.params.threshold);
+        d.write_u64(self.cfg.params.retx_window.as_nanos());
+        d.write_u64(self.cfg.params.eviction_timeout.as_nanos());
+        d.write_u64(self.cfg.params.reset_interval.as_nanos());
+        d.write_u64(self.cfg.params.salt);
+        d.write_u64(self.cfg.hold_down.as_nanos());
+        d.write_len(self.prefixes.len());
+        for p in &self.prefixes {
+            d.write_u32(p.prefix.addr.0);
+            d.write_u8(p.prefix.len);
+            p.selector.state_digest(d);
+            p.detector.state_digest(d);
+            p.reroute.state_digest(d);
+        }
+        d.write_bool(self.guard.is_some());
+        d.write_u64(self.vetoed);
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }

@@ -73,6 +73,21 @@ impl RerouteState {
     pub fn reroute_count(&self) -> usize {
         self.events.len()
     }
+
+    /// Fold the reroute state into `d`.
+    pub fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        d.write_len(self.next_hops.len());
+        for h in &self.next_hops {
+            d.write_usize(h.0);
+        }
+        d.write_usize(self.active);
+        d.write_len(self.events.len());
+        for ev in &self.events {
+            d.write_u64(ev.at.0);
+            d.write_usize(ev.from.0);
+            d.write_usize(ev.to.0);
+        }
+    }
 }
 
 #[cfg(test)]

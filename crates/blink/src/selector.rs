@@ -22,6 +22,7 @@
 
 use dui_netsim::packet::FlowKey;
 use dui_netsim::time::{SimDuration, SimTime};
+use dui_stats::digest::StateDigest;
 
 /// Selector parameters (defaults are the Blink paper constants the
 /// HotNets'19 analysis assumes).
@@ -302,6 +303,102 @@ impl FlowSelector {
     pub fn cells(&self) -> &[Option<Cell>] {
         &self.cells
     }
+
+    /// Fold the selector's complete logical state into `d`.
+    ///
+    /// Iteration is over the cell *array* (a fixed, index-ordered Vec),
+    /// so the digest is stable across runs and platforms.
+    pub fn state_digest(&self, d: &mut StateDigest) {
+        d.write_len(self.cells.len());
+        for slot in &self.cells {
+            match slot {
+                None => d.write_u8(0),
+                Some(cell) => {
+                    d.write_u8(1);
+                    d.write_u64(cell.flow.digest(0));
+                    d.write_u64(cell.last_seen.0);
+                    d.write_u64(cell.sampled_at.0);
+                    d.write_u32(cell.last_seq);
+                    d.write_opt_u64(cell.last_retx.map(|t| t.0));
+                    d.write_opt_u64(cell.last_retx_gap.map(|g| g.as_nanos()));
+                }
+            }
+        }
+        d.write_u64(self.last_reset.0);
+        d.write_u64(self.resets);
+        for c in [
+            self.stats.sampled,
+            self.stats.evicted_fin,
+            self.stats.evicted_idle,
+            self.stats.evicted_reset,
+            self.stats.retransmissions,
+            self.stats.not_monitored,
+        ] {
+            d.write_u64(c);
+        }
+        match &self.residencies {
+            None => d.write_u8(0),
+            Some(rs) => {
+                d.write_u8(1);
+                d.write_len(rs.len());
+                for r in rs {
+                    d.write_u64(r.as_nanos());
+                }
+            }
+        }
+    }
+
+    /// Capture the selector's mutable state as plain data.
+    ///
+    /// The parameters are *not* part of the snapshot — they belong to
+    /// the configuration a restored run is reconstructed under.
+    pub fn snapshot(&self) -> SelectorSnapshot {
+        SelectorSnapshot {
+            cells: self.cells.clone(),
+            last_reset: self.last_reset,
+            resets: self.resets,
+            stats: self.stats,
+            residencies: self.residencies.clone(),
+        }
+    }
+
+    /// Rebuild a selector from a snapshot plus its original parameters.
+    ///
+    /// Panics if the snapshot's cell count disagrees with
+    /// `params.cells` (it was taken under a different configuration).
+    pub fn from_snapshot(params: BlinkParams, snap: SelectorSnapshot) -> Self {
+        assert_eq!(
+            snap.cells.len(),
+            params.cells,
+            "snapshot cell count does not match params"
+        );
+        FlowSelector {
+            params,
+            cells: snap.cells,
+            last_reset: snap.last_reset,
+            resets: snap.resets,
+            stats: snap.stats,
+            residencies: snap.residencies,
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`FlowSelector`]'s mutable state, produced
+/// by [`FlowSelector::snapshot`] and consumed by
+/// [`FlowSelector::from_snapshot`]. Serialization to bytes is the
+/// record/replay layer's job (`dui-replay`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectorSnapshot {
+    /// Cell array contents (index order preserved).
+    pub cells: Vec<Option<Cell>>,
+    /// Time of the last periodic sample reset.
+    pub last_reset: SimTime,
+    /// Number of sample resets performed.
+    pub resets: u64,
+    /// Cumulative event counts.
+    pub stats: SelectorStats,
+    /// Completed occupancy durations, if recording was enabled.
+    pub residencies: Option<Vec<SimDuration>>,
 }
 
 #[cfg(test)]

@@ -20,6 +20,8 @@
 //! * [`nethide`] — traceroute + NetHide topology obfuscation (§4.3)
 //! * [`attacks`] — the threat model (Fig. 1) and concrete attacks
 //! * [`defense`] — the §5 countermeasures (Fig. 3 driver/supervisor)
+//! * [`replay`] — deterministic record/replay: state hashing, recordings,
+//!   checkpoint resume, first-divergence pinpointing
 //! * [`telemetry`] — zero-dep metrics registry, span tracing, self-profiler
 
 #![forbid(unsafe_code)]
@@ -33,6 +35,7 @@ pub use dui_nethide as nethide;
 pub use dui_netsim as netsim;
 pub use dui_pcc as pcc;
 pub use dui_pytheas as pytheas;
+pub use dui_replay as replay;
 pub use dui_stats as stats;
 pub use dui_survey as survey;
 pub use dui_tcp as tcp;

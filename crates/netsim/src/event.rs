@@ -8,6 +8,7 @@ use crate::link::Dir;
 use crate::packet::Packet;
 use crate::time::SimTime;
 use crate::topology::{LinkId, NodeId};
+use dui_stats::digest::StateDigest;
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
@@ -45,6 +46,46 @@ pub enum Event {
         /// The packet.
         pkt: Packet,
     },
+}
+
+impl Event {
+    /// Short label for the event kind (used by traces and recordings).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Deliver { .. } => "deliver",
+            Event::TxComplete { .. } => "tx_complete",
+            Event::Timer { .. } => "timer",
+            Event::Offer { .. } => "offer",
+        }
+    }
+
+    /// Fold the event's full content into `d` (kind tag first, so
+    /// different kinds can never collide structurally).
+    pub fn state_digest(&self, d: &mut StateDigest) {
+        match self {
+            Event::Deliver { node, pkt } => {
+                d.write_u8(0);
+                d.write_usize(node.0);
+                pkt.state_digest(d);
+            }
+            Event::TxComplete { link, dir } => {
+                d.write_u8(1);
+                d.write_usize(link.0);
+                d.write_bool(*dir == Dir::BtoA);
+            }
+            Event::Timer { node, token } => {
+                d.write_u8(2);
+                d.write_usize(node.0);
+                d.write_u64(*token);
+            }
+            Event::Offer { link, dir, pkt } => {
+                d.write_u8(3);
+                d.write_usize(link.0);
+                d.write_bool(*dir == Dir::BtoA);
+                pkt.state_digest(d);
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -109,6 +150,23 @@ impl EventQueue {
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Pending events cloned out in dispatch order — exactly the order
+    /// [`EventQueue::pop`] would return them.
+    ///
+    /// Used by checkpointing: the *relative* order is the logical
+    /// state, while the absolute `seq` values are an implementation
+    /// detail (a restored queue re-schedules these in order and gets
+    /// fresh, order-preserving sequence numbers).
+    pub fn snapshot_sorted(&self) -> Vec<(SimTime, Event)> {
+        let mut v: Vec<(SimTime, u64, &Event)> = self
+            .heap
+            .iter()
+            .map(|Reverse(s)| (s.time, s.seq, &s.event))
+            .collect();
+        v.sort_unstable_by_key(|&(t, q, _)| (t, q));
+        v.into_iter().map(|(t, _, e)| (t, e.clone())).collect()
     }
 }
 

@@ -6,6 +6,7 @@ use crate::packet::{Addr, Header, Packet, Prefix, DEFAULT_TTL};
 use crate::sim::Ctx;
 use crate::time::SimTime;
 use crate::topology::NodeId;
+use dui_stats::digest::StateDigest;
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -24,6 +25,28 @@ pub trait NodeLogic {
 
     /// Downcasting hook so tests and harnesses can inspect concrete state.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Fold this node's logical state into an engine state digest.
+    ///
+    /// The default contributes nothing (the node's state is then
+    /// invisible to [`crate::sim::Simulator::state_hash`]); stateful
+    /// logics should override it, hashing unordered containers in a
+    /// sorted or commutative way — never raw `HashMap` iteration order.
+    fn state_digest(&self, _d: &mut StateDigest) {}
+
+    /// Serialize this node's state for a restorable checkpoint.
+    ///
+    /// `None` (the default) marks the logic as *not restorable*, which
+    /// makes [`crate::sim::Simulator::checkpoint`] fail — recordings of
+    /// such simulations are still hash-checkable, just not resumable.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore state previously produced by [`NodeLogic::save_state`].
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Err("this node logic does not support checkpoint restore".into())
+    }
 }
 
 /// What a data-plane program decides for a packet.
@@ -63,6 +86,11 @@ pub trait DataPlaneProgram {
 
     /// Downcasting hook for harness inspection.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Fold the program's logical state into an engine state digest
+    /// (default: nothing; see [`NodeLogic::state_digest`] for the
+    /// ordering rules).
+    fn state_digest(&self, _d: &mut StateDigest) {}
 }
 
 /// Decides what ICMP time-exceeded reply (if any) a router sends when a
@@ -255,6 +283,39 @@ impl NodeLogic for RouterLogic {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn state_digest(&self, d: &mut StateDigest) {
+        d.write_bool(self.respond_time_exceeded);
+        d.write_len(self.programs.len());
+        for p in &self.programs {
+            d.write_str(p.label());
+            p.state_digest(d);
+        }
+        d.write_bool(self.icmp_rewriter.is_some());
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // Programs and rewriters are opaque trait objects with no
+        // serialization contract; a plain router is the only restorable
+        // configuration.
+        if !self.programs.is_empty() || self.icmp_rewriter.is_some() {
+            return None;
+        }
+        Some(vec![self.respond_time_exceeded as u8])
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if !self.programs.is_empty() || self.icmp_rewriter.is_some() {
+            return Err("cannot restore into a router with programs installed".into());
+        }
+        match bytes {
+            [flag] => {
+                self.respond_time_exceeded = *flag != 0;
+                Ok(())
+            }
+            _ => Err("malformed router checkpoint".into()),
+        }
+    }
 }
 
 /// Per-flow delivery accounting kept by [`SinkHost`].
@@ -293,6 +354,14 @@ impl SinkHost {
     pub fn flow_count(&self) -> usize {
         self.flows.len()
     }
+
+    /// Flow table entries sorted by 5-tuple — the canonical order used
+    /// by both hashing and checkpointing (the backing map is unordered).
+    fn flows_sorted(&self) -> Vec<(crate::packet::FlowKey, SinkFlowStats)> {
+        let mut v: Vec<_> = self.flows.iter().map(|(k, s)| (*k, *s)).collect();
+        v.sort_unstable_by_key(|(k, _)| (k.src.0, k.dst.0, k.sport, k.dport, k.proto.code()));
+        v
+    }
 }
 
 impl NodeLogic for SinkHost {
@@ -320,6 +389,81 @@ impl NodeLogic for SinkHost {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn state_digest(&self, d: &mut StateDigest) {
+        // sorted iteration (see flows_sorted) — no RandomState order leak
+        let flows = self.flows_sorted();
+        d.write_len(flows.len());
+        for (k, s) in flows {
+            d.write_u64(k.digest(0));
+            d.write_u64(s.packets);
+            d.write_u64(s.bytes);
+        }
+        d.write_u64(self.total_bytes);
+        d.write_u64(self.total_packets);
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let flows = self.flows_sorted();
+        let mut out = Vec::with_capacity(16 + flows.len() * 29);
+        out.extend_from_slice(&(flows.len() as u64).to_le_bytes());
+        for (k, s) in flows {
+            out.extend_from_slice(&k.src.0.to_le_bytes());
+            out.extend_from_slice(&k.dst.0.to_le_bytes());
+            out.extend_from_slice(&k.sport.to_le_bytes());
+            out.extend_from_slice(&k.dport.to_le_bytes());
+            out.push(k.proto.code());
+            out.extend_from_slice(&s.packets.to_le_bytes());
+            out.extend_from_slice(&s.bytes.to_le_bytes());
+        }
+        out.extend_from_slice(&self.total_bytes.to_le_bytes());
+        out.extend_from_slice(&self.total_packets.to_le_bytes());
+        Some(out)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let err = || "malformed sink checkpoint".to_string();
+        let take = |b: &[u8], at: &mut usize, n: usize| -> Result<Vec<u8>, String> {
+            let s = b.get(*at..*at + n).ok_or_else(err)?.to_vec();
+            *at += n;
+            Ok(s)
+        };
+        let mut at = 0usize;
+        let n = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().unwrap()) as usize;
+        let mut flows = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let src = u32::from_le_bytes(take(bytes, &mut at, 4)?.try_into().unwrap());
+            let dst = u32::from_le_bytes(take(bytes, &mut at, 4)?.try_into().unwrap());
+            let sport = u16::from_le_bytes(take(bytes, &mut at, 2)?.try_into().unwrap());
+            let dport = u16::from_le_bytes(take(bytes, &mut at, 2)?.try_into().unwrap());
+            let proto = crate::packet::Proto::from_code(take(bytes, &mut at, 1)?[0])
+                .ok_or_else(err)?;
+            let packets = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().unwrap());
+            let fbytes = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().unwrap());
+            flows.insert(
+                crate::packet::FlowKey {
+                    src: Addr(src),
+                    dst: Addr(dst),
+                    sport,
+                    dport,
+                    proto,
+                },
+                SinkFlowStats {
+                    packets,
+                    bytes: fbytes,
+                },
+            );
+        }
+        let total_bytes = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().unwrap());
+        let total_packets = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().unwrap());
+        if at != bytes.len() {
+            return Err(err());
+        }
+        self.flows = flows;
+        self.total_bytes = total_bytes;
+        self.total_packets = total_packets;
+        Ok(())
     }
 }
 

@@ -80,6 +80,28 @@ pub enum Proto {
     Icmp,
 }
 
+impl Proto {
+    /// Stable wire code (IANA protocol numbers), used by digests and
+    /// the record/replay byte format.
+    pub fn code(self) -> u8 {
+        match self {
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+            Proto::Icmp => 1,
+        }
+    }
+
+    /// Inverse of [`Proto::code`].
+    pub fn from_code(code: u8) -> Option<Proto> {
+        match code {
+            6 => Some(Proto::Tcp),
+            17 => Some(Proto::Udp),
+            1 => Some(Proto::Icmp),
+            _ => None,
+        }
+    }
+}
+
 /// A flow 5-tuple. Blink's flow selector hashes this to pick monitored
 /// flows; spoofing hosts can fabricate arbitrary 5-tuples.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -309,6 +331,79 @@ impl Packet {
     /// Is this a TCP segment that carries payload (the kind Blink monitors)?
     pub fn is_tcp_data(&self) -> bool {
         matches!(self.header, Header::Tcp { .. }) && self.payload > 0
+    }
+
+    /// Fold the packet's full content into a state digest.
+    pub fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        d.write_u64(self.id);
+        d.write_u32(self.key.src.0);
+        d.write_u32(self.key.dst.0);
+        d.write_u16(self.key.sport);
+        d.write_u16(self.key.dport);
+        d.write_u8(self.key.proto.code());
+        self.header.state_digest(d);
+        d.write_u32(self.size);
+        d.write_u8(self.ttl);
+        d.write_u64(self.sent_at.0);
+        d.write_u32(self.payload);
+    }
+}
+
+impl TcpFlags {
+    /// Pack the four flags into a stable bitfield (`syn` = bit 0).
+    pub fn bits(self) -> u8 {
+        (self.syn as u8) | (self.ack as u8) << 1 | (self.fin as u8) << 2 | (self.rst as u8) << 3
+    }
+
+    /// Inverse of [`TcpFlags::bits`] (extra bits are ignored).
+    pub fn from_bits(b: u8) -> TcpFlags {
+        TcpFlags {
+            syn: b & 1 != 0,
+            ack: b & 2 != 0,
+            fin: b & 4 != 0,
+            rst: b & 8 != 0,
+        }
+    }
+}
+
+impl Header {
+    /// Fold the header (kind tag first, then fields) into a digest.
+    pub fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        match self {
+            Header::Tcp {
+                seq,
+                ack,
+                flags,
+                window,
+            } => {
+                d.write_u8(0);
+                d.write_u32(*seq);
+                d.write_u32(*ack);
+                d.write_u8(flags.bits());
+                d.write_u32(*window);
+            }
+            Header::Udp => d.write_u8(1),
+            Header::IcmpEchoRequest { ident, seq } => {
+                d.write_u8(2);
+                d.write_u16(*ident);
+                d.write_u16(*seq);
+            }
+            Header::IcmpEchoReply { ident, seq } => {
+                d.write_u8(3);
+                d.write_u16(*ident);
+                d.write_u16(*seq);
+            }
+            Header::IcmpTimeExceeded {
+                reported_by,
+                probe_ident,
+                probe_seq,
+            } => {
+                d.write_u8(4);
+                d.write_u32(reported_by.0);
+                d.write_u16(*probe_ident);
+                d.write_u16(*probe_seq);
+            }
+        }
     }
 }
 

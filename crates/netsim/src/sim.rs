@@ -2,12 +2,13 @@
 //! the top-level [`Simulator`].
 
 use crate::event::{Event, EventQueue};
-use crate::link::{Dir, FaultConfig, LinkRuntime, LinkTap, TapAction};
+use crate::link::{Dir, FaultConfig, LinkDirStats, LinkRuntime, LinkTap, TapAction};
 use crate::node::NodeLogic;
 use crate::packet::{Addr, Packet, Prefix};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, NodeId, PrefixTable, Routing, Topology};
 use crate::trace::{Counters, Trace, TraceEvent, TraceKind};
+use dui_stats::digest::StateDigest;
 use dui_stats::Rng;
 use dui_telemetry::{CounterId, HistId, Registry, Snapshot, SpanRecorder};
 
@@ -411,6 +412,81 @@ impl<'a> Ctx<'a> {
     }
 }
 
+/// One link direction's restorable state (queue contents, in-flight
+/// packet, fault configuration).
+#[derive(Debug, Clone)]
+pub struct DirCheckpoint {
+    /// Queued packets, head first.
+    pub queue: Vec<Packet>,
+    /// Packet currently being serialized, if any.
+    pub in_flight: Option<Packet>,
+    /// Fault-injection configuration.
+    pub fault: FaultConfig,
+}
+
+/// One link's restorable state (both directions plus statistics).
+#[derive(Debug, Clone)]
+pub struct LinkCheckpoint {
+    /// Administrative up/down state.
+    pub up: bool,
+    /// The a→b direction.
+    pub ab: DirCheckpoint,
+    /// The b→a direction.
+    pub ba: DirCheckpoint,
+    /// a→b statistics.
+    pub stats_ab: LinkDirStats,
+    /// b→a statistics.
+    pub stats_ba: LinkDirStats,
+}
+
+/// A restorable, structured checkpoint of a [`Simulator`]'s logical
+/// state, produced by [`Simulator::checkpoint`] and consumed by
+/// [`Simulator::restore`].
+///
+/// The checkpoint captures everything [`Simulator::state_hash`] hashes:
+/// clock, RNG, pending events (in dispatch order), link state, routing,
+/// prefix announcements, and per-node logic state (as opaque blobs from
+/// [`NodeLogic::save_state`]). Telemetry (metrics registry, traces,
+/// spans) is observability, not logical state, and is deliberately
+/// excluded. Byte serialization of this struct is `dui-replay`'s job.
+#[derive(Debug, Clone)]
+pub struct EngineCheckpoint {
+    /// Simulated time the checkpoint was taken at.
+    pub now: SimTime,
+    /// Engine RNG state.
+    pub rng: [u64; 4],
+    /// Packet id allocator cursor.
+    pub next_pkt_id: u64,
+    /// Whether `on_start` hooks have already run.
+    pub started: bool,
+    /// Pending events, sorted in dispatch order.
+    pub events: Vec<(SimTime, Event)>,
+    /// Per-link state, indexed by `LinkId`.
+    pub links: Vec<LinkCheckpoint>,
+    /// Per-node logic blobs (`None` = no logic installed on that node).
+    pub logics: Vec<Option<Vec<u8>>>,
+    /// Flattened routing table: `routing[src][dst]` = next hop.
+    pub routing: Vec<Vec<Option<NodeId>>>,
+    /// Announced prefixes.
+    pub prefixes: Vec<(Prefix, NodeId)>,
+    /// [`Simulator::state_hash`] at checkpoint time (lets consumers
+    /// verify a restore reproduced the exact state).
+    pub state_hash: u64,
+}
+
+/// What [`Simulator::step_limited`] dispatched: the event's time, kind
+/// label, and full-content digest — the per-event record the
+/// `dui-replay` recorder writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SteppedEvent {
+    /// Event time (now the current simulated time).
+    pub time: SimTime,
+    /// Kind label (`deliver`, `tx_complete`, `timer`, `offer`).
+    pub kind: &'static str,
+    /// Digest of the event's full content.
+    pub digest: u64,
+}
+
 /// The top-level simulator: topology + per-node behavior + event loop.
 pub struct Simulator {
     core: SimCore,
@@ -632,6 +708,265 @@ impl Simulator {
         if let Some(spans) = self.core.spans.as_mut() {
             spans.exit(self.core.now.as_nanos());
         }
+    }
+
+    /// Dispatch exactly one pending event, provided it is due at or
+    /// before `limit`. Returns `None` — and rests the clock at `limit`
+    /// — once no event remains within the limit, so
+    /// `while sim.step_limited(t).is_some() {}` is equivalent to
+    /// `sim.run_until(t)`. This is the hook the `dui-replay` recorder
+    /// drives the engine through.
+    pub fn step_limited(&mut self, limit: SimTime) -> Option<SteppedEvent> {
+        self.start_if_needed();
+        match self.core.queue.peek_time() {
+            Some(et) if et <= limit => {
+                let (time, event) = self.core.queue.pop().expect("peeked");
+                debug_assert!(time >= self.core.now, "time went backwards");
+                self.core.now = time;
+                let kind = event.kind();
+                let mut d = StateDigest::labeled("event");
+                event.state_digest(&mut d);
+                let digest = d.finish();
+                self.dispatch(time, event);
+                Some(SteppedEvent { time, kind, digest })
+            }
+            _ => {
+                self.core.now = limit;
+                None
+            }
+        }
+    }
+
+    /// Fold the engine's complete logical state into `d`: clock, RNG,
+    /// pending events (dispatch order), link queues and statistics,
+    /// routing, prefix announcements, and every node logic's
+    /// [`NodeLogic::state_digest`] contribution.
+    ///
+    /// Telemetry (metrics registry, traces, spans) is excluded: it is
+    /// observability about the run, not state that influences it.
+    pub fn state_digest(&self, d: &mut StateDigest) {
+        d.write_u64(self.core.now.0);
+        d.write_u64(self.core.next_pkt_id);
+        for w in self.core.rng.state() {
+            d.write_u64(w);
+        }
+        d.write_bool(self.started);
+        let events = self.core.queue.snapshot_sorted();
+        d.write_len(events.len());
+        for (t, e) in &events {
+            d.write_u64(t.0);
+            e.state_digest(d);
+        }
+        d.write_len(self.core.links.len());
+        for lr in &self.core.links {
+            d.write_bool(lr.up);
+            for (st, stats) in [(&lr.ab, &lr.stats_ab), (&lr.ba, &lr.stats_ba)] {
+                d.write_len(st.queue.len());
+                for p in &st.queue {
+                    p.state_digest(d);
+                }
+                match &st.in_flight {
+                    None => d.write_u8(0),
+                    Some(p) => {
+                        d.write_u8(1);
+                        p.state_digest(d);
+                    }
+                }
+                d.write_f64(st.fault.drop_prob);
+                d.write_opt_u64(st.fault.jitter_max.map(|j| j.as_nanos()));
+                for c in [
+                    stats.offered,
+                    stats.delivered,
+                    stats.bytes_delivered,
+                    stats.dropped_queue,
+                    stats.dropped_tap,
+                    stats.dropped_fault,
+                ] {
+                    d.write_u64(c);
+                }
+            }
+            d.write_usize(lr.taps_ab.len());
+            d.write_usize(lr.taps_ba.len());
+        }
+        let n = self.core.topo.node_count();
+        for src in 0..n {
+            for dst in 0..n {
+                d.write_opt_u64(
+                    self.core
+                        .routing
+                        .next_hop(NodeId(src), NodeId(dst))
+                        .map(|h| h.0 as u64),
+                );
+            }
+        }
+        d.write_len(self.core.prefixes.entries().len());
+        for (p, node) in self.core.prefixes.entries() {
+            d.write_u32(p.addr.0);
+            d.write_u8(p.len);
+            d.write_usize(node.0);
+        }
+        d.write_len(self.logics.len());
+        for logic in &self.logics {
+            match logic {
+                None => d.write_u8(0),
+                Some(l) => {
+                    d.write_u8(1);
+                    l.state_digest(d);
+                }
+            }
+        }
+    }
+
+    /// 64-bit digest of the engine's complete logical state (see
+    /// [`Simulator::state_digest`] for what is covered).
+    pub fn state_hash(&self) -> u64 {
+        let mut d = StateDigest::labeled("netsim");
+        self.state_digest(&mut d);
+        d.finish()
+    }
+
+    /// Capture a restorable checkpoint of the engine's logical state.
+    ///
+    /// Fails (all-or-nothing) if any installed node logic does not
+    /// support [`NodeLogic::save_state`] or if MitM taps are installed
+    /// (trait objects with no serialization contract) — recordings of
+    /// such simulations remain hash-checkable, just not resumable.
+    pub fn checkpoint(&self) -> Result<EngineCheckpoint, String> {
+        for lr in &self.core.links {
+            if !lr.taps_ab.is_empty() || !lr.taps_ba.is_empty() {
+                return Err("cannot checkpoint a simulation with link taps installed".into());
+            }
+        }
+        let mut logics = Vec::with_capacity(self.logics.len());
+        for (i, logic) in self.logics.iter().enumerate() {
+            match logic {
+                None => logics.push(None),
+                Some(l) => match l.save_state() {
+                    Some(bytes) => logics.push(Some(bytes)),
+                    None => {
+                        return Err(format!(
+                            "node '{}' has logic that does not support checkpointing",
+                            self.core.topo.node(NodeId(i)).name
+                        ))
+                    }
+                },
+            }
+        }
+        let dir_ckpt = |st: &crate::link::DirState| DirCheckpoint {
+            queue: st.queue.iter().cloned().collect(),
+            in_flight: st.in_flight.clone(),
+            fault: st.fault,
+        };
+        let links = self
+            .core
+            .links
+            .iter()
+            .map(|lr| LinkCheckpoint {
+                up: lr.up,
+                ab: dir_ckpt(&lr.ab),
+                ba: dir_ckpt(&lr.ba),
+                stats_ab: lr.stats_ab,
+                stats_ba: lr.stats_ba,
+            })
+            .collect();
+        let n = self.core.topo.node_count();
+        let routing = (0..n)
+            .map(|src| {
+                (0..n)
+                    .map(|dst| self.core.routing.next_hop(NodeId(src), NodeId(dst)))
+                    .collect()
+            })
+            .collect();
+        Ok(EngineCheckpoint {
+            now: self.core.now,
+            rng: self.core.rng.state(),
+            next_pkt_id: self.core.next_pkt_id,
+            started: self.started,
+            events: self.core.queue.snapshot_sorted(),
+            links,
+            logics,
+            routing,
+            prefixes: self.core.prefixes.entries().to_vec(),
+            state_hash: self.state_hash(),
+        })
+    }
+
+    /// Restore a checkpoint taken from a simulator with the same
+    /// topology and node logics (typically a freshly rebuilt scenario).
+    ///
+    /// Pending events are re-scheduled in dispatch order — `(time,
+    /// seq)` ordering is total, so the rebuilt queue pops identically
+    /// regardless of the original sequence numbers. Telemetry counters
+    /// are *not* restored (they remain whatever the receiving simulator
+    /// accumulated), matching their exclusion from the state hash.
+    pub fn restore(&mut self, ckpt: &EngineCheckpoint) -> Result<(), String> {
+        if ckpt.logics.len() != self.logics.len() {
+            return Err("checkpoint node count does not match topology".into());
+        }
+        if ckpt.links.len() != self.core.links.len() {
+            return Err("checkpoint link count does not match topology".into());
+        }
+        if ckpt.routing.len() != self.core.topo.node_count() {
+            return Err("checkpoint routing table does not match topology".into());
+        }
+        for lr in &self.core.links {
+            if !lr.taps_ab.is_empty() || !lr.taps_ba.is_empty() {
+                return Err("cannot restore into a simulation with link taps installed".into());
+            }
+        }
+        for (i, blob) in ckpt.logics.iter().enumerate() {
+            match (&mut self.logics[i], blob) {
+                (Some(l), Some(bytes)) => l.load_state(bytes)?,
+                (None, None) => {}
+                (Some(_), None) => {
+                    return Err(format!(
+                        "checkpoint has no state for node '{}' which has logic installed",
+                        self.core.topo.node(NodeId(i)).name
+                    ))
+                }
+                (None, Some(_)) => {
+                    return Err(format!(
+                        "checkpoint has state for node '{}' which has no logic installed",
+                        self.core.topo.node(NodeId(i)).name
+                    ))
+                }
+            }
+        }
+        self.core.now = ckpt.now;
+        self.core.rng = Rng::from_state(ckpt.rng);
+        self.core.next_pkt_id = ckpt.next_pkt_id;
+        self.started = ckpt.started;
+        let mut queue = EventQueue::new();
+        for (t, e) in &ckpt.events {
+            queue.schedule(*t, e.clone());
+        }
+        self.core.queue = queue;
+        for (lr, lc) in self.core.links.iter_mut().zip(&ckpt.links) {
+            lr.up = lc.up;
+            lr.ab.queue = lc.ab.queue.iter().cloned().collect();
+            lr.ab.in_flight = lc.ab.in_flight.clone();
+            lr.ab.fault = lc.ab.fault;
+            lr.ba.queue = lc.ba.queue.iter().cloned().collect();
+            lr.ba.in_flight = lc.ba.in_flight.clone();
+            lr.ba.fault = lc.ba.fault;
+            lr.stats_ab = lc.stats_ab;
+            lr.stats_ba = lc.stats_ba;
+        }
+        let n = self.core.topo.node_count();
+        for src in 0..n {
+            for dst in 0..n {
+                self.core.routing.set_next_hop(
+                    NodeId(src),
+                    NodeId(dst),
+                    ckpt.routing[src][dst],
+                );
+            }
+        }
+        self.core.prefixes = PrefixTable::new();
+        for (p, node) in &ckpt.prefixes {
+            self.core.prefixes.announce(*p, *node);
+        }
+        Ok(())
     }
 
     /// Run until the event queue drains (or `max` events, as a hang guard).

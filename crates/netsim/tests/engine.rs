@@ -355,3 +355,79 @@ fn run_to_quiescence_drains() {
     let n = sim.run_to_quiescence(10_000);
     assert!(n >= 4, "at least tx/deliver per hop, got {n}");
 }
+
+#[test]
+fn step_limited_is_equivalent_to_run_until() {
+    let build = || {
+        let (topo, h1, r, h2) = line();
+        let mut sim = Simulator::new(topo, 5);
+        sim.set_logic(r, Box::new(RouterLogic::new()));
+        sim.set_logic(h2, Box::new(SinkHost::new()));
+        for i in 0..50 {
+            let mut k = udp_key();
+            k.sport = 2000 + i;
+            sim.inject(h1, Packet::udp(k, 200));
+        }
+        sim
+    };
+    let mut a = build();
+    a.run_until(SimTime::from_secs(1));
+    let mut b = build();
+    let mut steps = 0u64;
+    while b.step_limited(SimTime::from_secs(1)).is_some() {
+        steps += 1;
+    }
+    assert!(steps > 100, "expected many events, got {steps}");
+    assert_eq!(a.now(), b.now());
+    assert_eq!(a.state_hash(), b.state_hash());
+}
+
+#[test]
+fn checkpoint_restore_is_a_state_hash_fixed_point() {
+    let build = || {
+        let (topo, h1, r, h2) = line();
+        let mut sim = Simulator::new(topo, 11);
+        sim.set_logic(r, Box::new(RouterLogic::new()));
+        sim.set_logic(h2, Box::new(SinkHost::new()));
+        sim.set_fault(
+            LinkId(0),
+            Dir::AtoB,
+            FaultConfig {
+                drop_prob: 0.2,
+                jitter_max: Some(SimDuration::from_millis(2)),
+            },
+        );
+        (sim, h1, h2)
+    };
+    let (mut orig, h1, h2) = build();
+    for i in 0..100 {
+        let mut k = udp_key();
+        k.sport = 3000 + i;
+        orig.inject(h1, Packet::udp(k, 150));
+    }
+    // Stop mid-flight so the checkpoint carries pending events and queued packets.
+    orig.run_until(SimTime::from_secs_f64(0.001));
+    let ckpt = orig.checkpoint().expect("checkpointable");
+    assert_eq!(ckpt.state_hash, orig.state_hash());
+
+    // Restore into a freshly built scenario and verify the hash fixed point.
+    let (mut resumed, _h1, _h2) = build();
+    resumed.restore(&ckpt).expect("restorable");
+    assert_eq!(resumed.state_hash(), ckpt.state_hash);
+
+    // Both must now evolve identically to quiescence.
+    orig.run_until(SimTime::from_secs(5));
+    resumed.run_until(SimTime::from_secs(5));
+    assert_eq!(orig.state_hash(), resumed.state_hash());
+    let a: &mut SinkHost = orig.logic_mut(h2);
+    let a = (a.total_packets, a.total_bytes);
+    let b: &mut SinkHost = resumed.logic_mut(h2);
+    assert_eq!(a, (b.total_packets, b.total_bytes));
+}
+
+#[test]
+fn checkpoint_refuses_taps() {
+    let (mut sim, _h1, _r, _h2) = basic_sim();
+    sim.install_tap(LinkId(0), Dir::AtoB, Box::new(Duplicator));
+    assert!(sim.checkpoint().is_err());
+}

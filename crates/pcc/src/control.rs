@@ -314,6 +314,88 @@ impl Controller {
         self.moving_step = 1;
         self.moving_last = None;
     }
+
+    /// Fold the controller's complete state into `d`: phase, rate, ε,
+    /// RNG, the outstanding-MI queue and trial bookkeeping, and the
+    /// decision log.
+    pub fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        d.write_f64(self.cfg.eps_min);
+        d.write_f64(self.cfg.eps_step);
+        d.write_f64(self.cfg.eps_max);
+        d.write_f64(self.cfg.min_rate);
+        d.write_f64(self.cfg.max_rate);
+        d.write_f64(self.cfg.decision_margin);
+        d.write_f64(self.rate);
+        d.write_f64(self.eps);
+        d.write_u8(match self.phase {
+            Phase::Starting => 0,
+            Phase::Decision => 1,
+            Phase::Moving => 2,
+        });
+        for w in self.rng.state() {
+            d.write_u64(w);
+        }
+        d.write_len(self.plan.len());
+        for up in &self.plan {
+            d.write_bool(*up);
+        }
+        d.write_len(self.trial_results.len());
+        for (up, u) in &self.trial_results {
+            d.write_bool(*up);
+            d.write_f64(*u);
+        }
+        d.write_len(self.pending.len());
+        for (kind, rate) in &self.pending {
+            match kind {
+                MiKind::Starting => d.write_u8(0),
+                MiKind::Trial { up } => {
+                    d.write_u8(1);
+                    d.write_bool(*up);
+                }
+                MiKind::Moving { rate } => {
+                    d.write_u8(2);
+                    d.write_f64(*rate);
+                }
+                MiKind::Filler => d.write_u8(3),
+            }
+            d.write_f64(*rate);
+        }
+        match self.last_starting {
+            None => d.write_u8(0),
+            Some((r, u)) => {
+                d.write_u8(1);
+                d.write_f64(r);
+                d.write_f64(u);
+            }
+        }
+        d.write_bool(self.moving_dir_up);
+        d.write_u32(self.moving_step);
+        match self.moving_last {
+            None => d.write_u8(0),
+            Some((r, u)) => {
+                d.write_u8(1);
+                d.write_f64(r);
+                d.write_f64(u);
+            }
+        }
+        d.write_len(self.decisions.len());
+        for dec in &self.decisions {
+            match dec {
+                Decision::Up(r) => {
+                    d.write_u8(0);
+                    d.write_f64(*r);
+                }
+                Decision::Down(r) => {
+                    d.write_u8(1);
+                    d.write_f64(*r);
+                }
+                Decision::Inconclusive(e) => {
+                    d.write_u8(2);
+                    d.write_f64(*e);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

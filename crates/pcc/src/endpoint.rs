@@ -221,6 +221,43 @@ impl NodeLogic for PccSender {
         }
     }
 
+    fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        d.write_u32(self.cfg.key.src.0);
+        d.write_u32(self.cfg.key.dst.0);
+        d.write_u16(self.cfg.key.sport);
+        d.write_u16(self.cfg.key.dport);
+        d.write_f64(self.cfg.initial_rate);
+        d.write_u32(self.cfg.pkt_payload);
+        d.write_u64(self.cfg.mi_duration.as_nanos());
+        d.write_u64(self.cfg.grace.as_nanos());
+        d.write_u64(self.cfg.seed);
+        self.controller.state_digest(d);
+        self.acct.state_digest(d);
+        match self.current_mi {
+            None => d.write_u8(0),
+            Some((id, end, rate)) => {
+                d.write_u8(1);
+                d.write_u64(id);
+                d.write_u64(end.0);
+                d.write_f64(rate);
+            }
+        }
+        d.write_u64(self.next_seq);
+        d.write_len(self.rate_trace.len());
+        for &(t, v) in self.rate_trace.points() {
+            d.write_f64(t);
+            d.write_f64(v);
+        }
+        d.write_len(self.mi_meta.len());
+        for (id, trial, base) in &self.mi_meta {
+            d.write_u64(*id);
+            d.write_f64(*trial);
+            d.write_f64(*base);
+        }
+        d.write_u64(self.sent);
+        d.write_u64(self.acked);
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
@@ -284,6 +321,19 @@ impl NodeLogic for PccReceiver {
             0,
         );
         ctx.send(ack);
+    }
+
+    fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        d.write_u64(self.bin.as_nanos());
+        // HashMap iteration order is arbitrary: sort bin indices (sorted).
+        let mut idxs: Vec<u64> = self.bins.keys().copied().collect();
+        idxs.sort_unstable();
+        d.write_len(idxs.len());
+        for i in idxs {
+            d.write_u64(i);
+            d.write_u64(self.bins[&i]);
+        }
+        d.write_u64(self.total_bytes);
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

@@ -135,6 +135,37 @@ impl MonitorAccounting {
     pub fn history(&self) -> &[MiReport] {
         &self.finalized
     }
+
+    /// Fold the accounting state into `d` (all containers are `Vec`s in
+    /// insertion order, so iteration is already stable).
+    pub fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        d.write_len(self.open.len());
+        for m in &self.open {
+            d.write_u64(m.id);
+            d.write_f64(m.rate);
+            d.write_u64(m.start.0);
+            d.write_u64(m.end.0);
+            d.write_u64(m.sent);
+            d.write_u64(m.delivered);
+        }
+        d.write_len(self.ranges.len());
+        for (a, b, id) in &self.ranges {
+            d.write_u64(*a);
+            d.write_u64(*b);
+            d.write_u64(*id);
+        }
+        d.write_u64(self.next_mi);
+        d.write_len(self.finalized.len());
+        for r in &self.finalized {
+            d.write_u64(r.id);
+            d.write_f64(r.rate);
+            d.write_u64(r.sent);
+            d.write_u64(r.delivered);
+            d.write_f64(r.loss);
+            d.write_u64(r.start.0);
+            d.write_u64(r.duration.as_nanos());
+        }
+    }
 }
 
 #[cfg(test)]

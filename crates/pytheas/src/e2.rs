@@ -99,6 +99,17 @@ impl DiscountedUcb {
             .max_by(|&a, &b| self.mean(a).partial_cmp(&self.mean(b)).expect("no NaN"))
             .unwrap_or(0)
     }
+
+    /// Fold the bandit state into `d`.
+    pub fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        d.write_len(self.counts.len());
+        for (&n, &s) in self.counts.iter().zip(&self.sums) {
+            d.write_f64(n);
+            d.write_f64(s);
+        }
+        d.write_f64(self.gamma);
+        d.write_f64(self.c);
+    }
 }
 
 #[cfg(test)]

@@ -300,6 +300,82 @@ impl PytheasEngine {
         tail.iter().map(|r| r.on_best_fraction).sum::<f64>() / tail.len() as f64
     }
 
+    /// Fold the engine's complete logical state into `d`: model, config,
+    /// per-group bandits (the group map is a `BTreeMap`, so iteration is
+    /// already stable), RNG, and accumulated history/records.
+    pub fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        d.write_len(self.model.qualities.len());
+        for &q in &self.model.qualities {
+            d.write_f64(q);
+        }
+        d.write_f64(self.model.noise);
+        d.write_usize(self.cfg.arms);
+        d.write_f64(self.cfg.gamma);
+        d.write_f64(self.cfg.c);
+        d.write_usize(self.cfg.sessions_per_round);
+        d.write_f64(self.cfg.poison_fraction);
+        match self.cfg.poison {
+            PoisonStrategy::None => d.write_u8(0),
+            PoisonStrategy::DragDownArm(a) => {
+                d.write_u8(1);
+                d.write_usize(a);
+            }
+            PoisonStrategy::Promote { down, up } => {
+                d.write_u8(2);
+                d.write_usize(down);
+                d.write_usize(up);
+            }
+        }
+        match self.cfg.throttle {
+            None => d.write_u8(0),
+            Some(t) => {
+                d.write_u8(1);
+                d.write_usize(t.arm);
+                d.write_f64(t.factor);
+                d.write_f64(t.affected_fraction);
+            }
+        }
+        d.write_len(self.groups.len());
+        for (key, ucb) in &self.groups {
+            d.write_u32(key.asn);
+            d.write_u16(key.prefix16);
+            d.write_u16(key.location);
+            ucb.state_digest(d);
+        }
+        for w in self.rng.state() {
+            d.write_u64(w);
+        }
+        d.write_len(self.history.len());
+        for r in &self.history {
+            d.write_f64(r.honest_qoe);
+            d.write_f64(r.on_best_fraction);
+            for &s in &r.arm_share {
+                d.write_f64(s);
+            }
+        }
+        d.write_len(self.records.len());
+        for r in &self.records {
+            d.write_u32(r.features.asn);
+            d.write_u16(r.features.prefix16);
+            d.write_u16(r.features.location);
+            d.write_u16(r.features.content);
+            d.write_usize(r.arm);
+            d.write_f64(r.qoe);
+        }
+        d.write_len(self.arm_pulls.len());
+        for &p in &self.arm_pulls {
+            d.write_u64(p);
+        }
+        d.write_u64(self.filtered_reports);
+    }
+
+    /// 64-bit digest of the engine's complete logical state.
+    pub fn state_hash(&self) -> u64 {
+        let mut d = dui_stats::digest::StateDigest::labeled("pytheas");
+        self.state_digest(&mut d);
+        d.finish()
+    }
+
     /// Mean per-arm load share over the last `window` rounds.
     pub fn steady_state_arm_share(&self, window: usize) -> Vec<f64> {
         let n = self.history.len();

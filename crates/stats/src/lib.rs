@@ -22,6 +22,9 @@
 //! * [`series`] — time-series recording used to emit the figure data.
 //! * [`hist`] — fixed-bin histograms.
 //! * [`table`] — CSV/markdown emission for the experiment harness.
+//! * [`digest`] — the stable 64-bit state-digest primitive underneath
+//!   `dui-replay`'s record/replay hashing (no addresses, no iteration-order
+//!   leaks).
 //! * [`propcheck`] — in-tree property-based testing (seeded generators,
 //!   integrated shrinking, the [`prop_check!`](crate::prop_check) macro), replacing the
 //!   former `proptest` dev-dependency so the workspace builds and tests
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod dist;
 pub mod hist;
 pub mod propcheck;

@@ -61,6 +61,31 @@ impl Rng {
         Rng { s }
     }
 
+    /// Snapshot the raw xoshiro256++ state.
+    ///
+    /// Together with [`Rng::from_state`] this makes the generator
+    /// checkpointable: record/replay (`dui-replay`) captures the four
+    /// words mid-run and later resumes the exact stream. The words are
+    /// the algorithm's state, not its output — treat them as opaque.
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a [`Rng::state`] snapshot.
+    ///
+    /// The all-zero state is a fixed point of xoshiro256++ (the stream
+    /// would be constant zero), so it is rejected by mapping to
+    /// `Rng::new(0)`'s state; every snapshot taken from a real
+    /// generator is non-zero and round-trips exactly.
+    #[inline]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return Rng::new(0);
+        }
+        Rng { s }
+    }
+
     /// Derive an independent child generator.
     ///
     /// Each `(seed, stream)` pair gives a statistically independent stream;

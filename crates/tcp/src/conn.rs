@@ -11,7 +11,17 @@ use crate::rtt::RttEstimator;
 use crate::seq::{seq_dist, seq_ge, seq_gt, seq_lt};
 use dui_netsim::packet::{FlowKey, Header, Packet, TcpFlags};
 use dui_netsim::time::{SimDuration, SimTime};
+use dui_stats::digest::StateDigest;
 use std::collections::{BTreeMap, HashMap};
+
+/// Fold a flow key into `d` field by field (src, dst, sport, dport, proto).
+pub(crate) fn digest_flow_key(d: &mut StateDigest, key: &FlowKey) {
+    d.write_u32(key.src.0);
+    d.write_u32(key.dst.0);
+    d.write_u16(key.sport);
+    d.write_u16(key.dport);
+    d.write_u8(key.proto.code());
+}
 
 /// Sender configuration.
 #[derive(Debug, Clone)]
@@ -412,6 +422,58 @@ impl TcpSender {
     pub fn isn(&self) -> u32 {
         self.isn
     }
+
+    /// Fold the sender's complete state into `d`: configuration,
+    /// congestion control, RTT estimator, sequence space, the
+    /// outstanding-segment map (iterated in sorted key order) and
+    /// statistics.
+    pub fn state_digest(&self, d: &mut StateDigest) {
+        digest_flow_key(d, &self.key);
+        d.write_u32(self.cfg.mss);
+        d.write_opt_u64(self.cfg.total_bytes);
+        d.write_opt_u64(self.cfg.app_rate);
+        d.write_f64(self.cfg.initial_cwnd);
+        self.cc.state_digest(d);
+        self.rtt.state_digest(d);
+        d.write_u32(self.isn);
+        d.write_u32(self.snd_una);
+        d.write_u32(self.snd_nxt);
+        d.write_u64(self.app_sent);
+        d.write_u64(self.started_at.0);
+        // HashMap iteration order is arbitrary: sort keys first (sorted).
+        let mut seqs: Vec<u32> = self.segments.keys().copied().collect();
+        seqs.sort_unstable();
+        d.write_len(seqs.len());
+        for seq in seqs {
+            let rec = &self.segments[&seq];
+            d.write_u32(seq);
+            d.write_u64(rec.sent_at.0);
+            d.write_bool(rec.retransmitted);
+            d.write_u32(rec.len);
+        }
+        d.write_u32(self.dupacks);
+        d.write_opt_u64(self.rto_deadline.map(|t| t.0));
+        d.write_opt_u64(self.pace_deadline.map(|t| t.0));
+        d.write_u32(self.peer_rwnd);
+        d.write_opt_u64(self.fin_seq.map(u64::from));
+        d.write_opt_u64(self.recovery_until.map(u64::from));
+        d.write_u8(match self.state {
+            SenderState::Idle => 0,
+            SenderState::Established => 1,
+            SenderState::FinSent => 2,
+            SenderState::Closed => 3,
+        });
+        d.write_len(self.out.len());
+        for p in &self.out {
+            p.state_digest(d);
+        }
+        d.write_u64(self.stats.bytes_acked);
+        d.write_u64(self.stats.segments_sent);
+        d.write_u64(self.stats.retransmissions);
+        d.write_u64(self.stats.fast_retransmits);
+        d.write_u64(self.stats.timeouts);
+        d.write_opt_u64(self.stats.completed_at.map(|t| t.0));
+    }
 }
 
 /// Receiver-side statistics.
@@ -550,6 +612,29 @@ impl TcpReceiver {
     /// Next expected sequence number.
     pub fn rcv_nxt(&self) -> u32 {
         self.rcv_nxt
+    }
+
+    /// Fold the receiver's complete state into `d` (the reassembly
+    /// buffer is a `BTreeMap`, so iteration order is already stable).
+    pub fn state_digest(&self, d: &mut StateDigest) {
+        digest_flow_key(d, &self.key);
+        d.write_u32(self.rcv_nxt);
+        d.write_len(self.ooo.len());
+        for (seq, len) in &self.ooo {
+            d.write_u32(*seq);
+            d.write_u32(*len);
+        }
+        d.write_opt_u64(self.fin_seq.map(u64::from));
+        d.write_bool(self.done);
+        d.write_u32(self.advertised_window);
+        d.write_len(self.out.len());
+        for p in &self.out {
+            p.state_digest(d);
+        }
+        d.write_u64(self.stats.bytes_delivered);
+        d.write_u64(self.stats.duplicate_segments);
+        d.write_u64(self.stats.out_of_order_segments);
+        d.write_opt_u64(self.stats.finished_at.map(|t| t.0));
     }
 }
 

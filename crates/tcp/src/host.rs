@@ -3,12 +3,20 @@
 //! packet-level experiment runs thousands of flows across a handful of
 //! hosts).
 
-use crate::conn::{ReceiverStats, SenderStats, TcpReceiver, TcpSender, TcpSenderConfig};
+use crate::conn::{
+    digest_flow_key, ReceiverStats, SenderStats, TcpReceiver, TcpSender, TcpSenderConfig,
+};
 use dui_netsim::packet::{FlowKey, Header, Packet};
 use dui_netsim::prelude::{Ctx, NodeLogic};
 use dui_netsim::time::{SimDuration, SimTime};
+use dui_stats::digest::StateDigest;
 use std::any::Any;
 use std::collections::HashMap;
+
+/// Sort key for deterministic flow-key iteration.
+fn key_rank(k: &FlowKey) -> (u32, u32, u16, u16, u8) {
+    (k.src.0, k.dst.0, k.sport, k.dport, k.proto.code())
+}
 
 /// Declarative description of a flow a host should source.
 #[derive(Debug, Clone)]
@@ -234,6 +242,39 @@ impl NodeLogic for TcpHost {
                 ctx.set_timer(delay, TOKEN_SENDER_BASE + idx as u64);
             }
         }
+    }
+
+    fn state_digest(&self, d: &mut StateDigest) {
+        d.write_len(self.pending.len());
+        for spec in &self.pending {
+            digest_flow_key(d, &spec.key);
+            d.write_u64(spec.start.0);
+            d.write_u32(spec.config.mss);
+            d.write_opt_u64(spec.config.total_bytes);
+            d.write_opt_u64(spec.config.app_rate);
+            d.write_f64(spec.config.initial_cwnd);
+        }
+        // HashMap iteration order is arbitrary: sort keys first (sorted).
+        let mut keys: Vec<FlowKey> = self.endpoints.keys().copied().collect();
+        keys.sort_unstable_by_key(key_rank);
+        d.write_len(keys.len());
+        for k in keys {
+            match &self.endpoints[&k] {
+                Endpoint::Sender(s) => {
+                    d.write_u8(0);
+                    s.state_digest(d);
+                }
+                Endpoint::Receiver(r) => {
+                    d.write_u8(1);
+                    r.state_digest(d);
+                }
+            }
+        }
+        d.write_len(self.order.len());
+        for k in &self.order {
+            digest_flow_key(d, k);
+        }
+        d.write_u32(self.next_isn);
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

@@ -62,6 +62,12 @@ impl Reno {
         self.ssthresh = (self.cwnd / 2.0).max(2.0);
         self.cwnd = 1.0;
     }
+
+    /// Fold the congestion-control state into `d`.
+    pub fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        d.write_f64(self.cwnd);
+        d.write_f64(self.ssthresh);
+    }
 }
 
 impl Default for Reno {

@@ -87,6 +87,16 @@ impl RttEstimator {
     pub fn srtt(&self) -> Option<SimDuration> {
         self.srtt
     }
+
+    /// Fold the estimator state into `d`.
+    pub fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
+        d.write_opt_u64(self.srtt.map(|s| s.as_nanos()));
+        d.write_u64(self.rttvar.as_nanos());
+        d.write_u64(self.rto.as_nanos());
+        d.write_u32(self.backoff_exp);
+        d.write_u64(self.min_rto.as_nanos());
+        d.write_u64(self.max_rto.as_nanos());
+    }
 }
 
 impl Default for RttEstimator {

@@ -26,4 +26,57 @@ if [ -n "$offenders" ]; then
   echo "$offenders"
   exit 1
 fi
+
+# ---------------------------------------------------------------------------
+# State-hash stability: a StateHash digest must never fold unordered
+# container iteration, or the "same" state hashes differently across
+# runs. Two rules:
+#
+#   1. crates/replay (the subsystem defining the digests) must not use
+#      HashMap/HashSet at all — everything it hashes is Vec-shaped.
+#   2. Inside any `fn state_digest` / `fn state_hash` body, map/set
+#      iteration (`.keys()`, `.values()`, or a HashMap/HashSet mention)
+#      is forbidden unless that line or the one above carries a
+#      `sorted` marker (a call like `flows_sorted()`, or a comment) or
+#      goes through `write_unordered`, the commutative fold built for
+#      exactly this case.
+
+replay_offenders=$(grep -rnE 'HashMap|HashSet' crates/replay --include='*.rs' \
+  | grep -vE ':[0-9]+:\s*//' \
+  || true)
+if [ -n "$replay_offenders" ]; then
+  echo "lint_determinism: unordered containers are banned in crates/replay:"
+  echo "$replay_offenders"
+  exit 1
+fi
+
+hash_offenders=$(find crates -name '*.rs' -print0 | xargs -0 awk '
+  FNR == 1 { depth = 0; infn = 0; prevmark = 0 }
+  {
+    code = $0
+    sub(/\/\/.*/, "", code)
+    if (infn && code ~ /\.keys\(\)|\.values\(\)|HashMap|HashSet/ \
+             && $0 !~ /sorted|write_unordered/ && !prevmark) {
+      print FILENAME ":" FNR ": " $0
+    }
+    prevmark = ($0 ~ /sorted|write_unordered/)
+    pre = depth
+    tmp = code; opens = gsub(/{/, "{", tmp)
+    tmp = code; closes = gsub(/}/, "}", tmp)
+    depth = pre + opens - closes
+    if (!infn && code ~ /fn (state_digest|state_hash)[ (<]/) {
+      infn = 1
+      fndepth = pre
+    } else if (infn && depth <= fndepth) {
+      infn = 0
+    }
+  }
+')
+if [ -n "$hash_offenders" ]; then
+  echo "lint_determinism: unordered iteration feeding a StateHash digest"
+  echo "(sort first, or fold via StateDigest::write_unordered):"
+  echo "$hash_offenders"
+  exit 1
+fi
+
 echo "lint_determinism: OK"

@@ -19,4 +19,24 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 echo "== bench harness compiles and runs (smoke) =="
 cargo bench --offline -p dui-bench --bench microbench -- --quick >/dev/null
 
+echo "== record/replay gate (dui-replay) =="
+# Record a run, replay it with full hash checking, resume it from the
+# midpoint checkpoint, and demand the resumed run's CSV is byte-identical
+# to the uninterrupted one; then the same record+check for a hash-only
+# packet-level recording.
+EXP="$PWD/target/release/experiments"
+RRDIR="$(mktemp -d)"
+trap 'rm -rf "$RRDIR"' EXIT
+(
+  cd "$RRDIR"
+  "$EXP" record fig2-small
+  "$EXP" replay results/fig2-small.duir --check
+  "$EXP" replay results/fig2-small.duir --resume mid
+  cmp results/fig2-small_recorded.csv results/fig2-small_resumed.csv
+  echo "resume CSV byte-identical: OK"
+  "$EXP" record blink-packet-small
+  "$EXP" replay results/blink-packet-small.duir --check
+) >/dev/null
+echo "record/replay gate: OK"
+
 echo "verify: OK"
