@@ -19,7 +19,7 @@
 //! compose.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod blink_takeover;
 pub mod operator;

@@ -239,6 +239,16 @@ fn bench_replay(s: &mut Suite) {
     }
 }
 
+fn bench_lint(s: &mut Suite) {
+    // Lexing throughput on a real, large source file (this crate's own
+    // stage definitions) — the hot inner loop of every dui-lint run.
+    const SRC: &str = include_str!("../src/stages.rs");
+    s.bench("lint_lex_stages_rs", move || dui_lint::lexer::lex(SRC));
+    s.bench("lint_rules_stages_rs", move || {
+        dui_lint::lint_source("crates/bench/src/stages.rs", SRC)
+    });
+}
+
 fn main() {
     // `cargo bench` forwards unknown flags here; honour --quick and
     // ignore libtest-style arguments like --bench.
@@ -267,5 +277,6 @@ fn main() {
     bench_telemetry(&mut s);
     bench_fastsim(&mut s);
     bench_replay(&mut s);
+    bench_lint(&mut s);
     println!("\n{} benchmarks done.", s.results().len());
 }

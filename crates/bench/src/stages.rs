@@ -66,6 +66,7 @@ pub const STAGE_NAMES: &[&str] = &[
     "defenses",
     "survey",
     "fuzz",
+    "lint",
 ];
 
 /// Run one stage by CLI name with `jobs` worker threads. `None` for an
@@ -83,6 +84,7 @@ pub fn run_stage(name: &str, jobs: usize) -> Option<StageOutput> {
         "defenses" => defenses(jobs),
         "survey" => survey(jobs),
         "fuzz" => fuzz(jobs),
+        "lint" => lint(jobs),
         _ => return None,
     })
 }
@@ -1344,5 +1346,74 @@ pub fn fuzz(jobs: usize) -> StageOutput {
     out.table("fuzz.csv", csv);
     out.metrics = reg.snapshot();
     out.report = report;
+    out
+}
+
+/// L — static-analysis gate as an experiment stage: runs the six
+/// `dui-lint` rules over `crates/` + `src/`, applies `lint.baseline`,
+/// and reports per-rule totals. The stage fails loudly (in the report)
+/// on non-baselined findings, mirroring the `scripts/lint_determinism.sh`
+/// gate so `experiments all` exercises the same invariants.
+pub fn lint(_jobs: usize) -> StageOutput {
+    let mut out = StageOutput::default();
+    let mut r = String::new();
+    let _ = writeln!(r, "## L — dui-lint: determinism & hygiene static analysis\n");
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let baseline = match std::fs::read_to_string(root.join("lint.baseline")) {
+        Ok(text) => dui_lint::Baseline::parse(&text),
+        Err(_) => dui_lint::Baseline::default(),
+    };
+    let paths: Vec<String> = dui_lint::DEFAULT_PATHS.iter().map(|s| s.to_string()).collect();
+    let report = match dui_lint::lint_paths(&root, &paths, &baseline) {
+        Ok(rep) => rep,
+        Err(e) => {
+            let _ = writeln!(r, "lint stage could not scan the workspace: {e}");
+            out.report = r;
+            return out;
+        }
+    };
+
+    let mut csv = Table::new(["rule", "total", "new", "baselined"]);
+    let mut show = Table::new(["rule", "total", "new", "baselined"]);
+    for rule in dui_lint::rules::RULE_IDS {
+        let total = report.findings.iter().filter(|f| f.rule == *rule).count();
+        let newc = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == *rule && !f.baselined)
+            .count();
+        let row = [
+            rule.to_string(),
+            total.to_string(),
+            newc.to_string(),
+            (total - newc).to_string(),
+        ];
+        csv.row(row.clone());
+        show.row(row);
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    let _ = writeln!(
+        r,
+        "{} files scanned; {} finding(s), {} new (non-baselined).",
+        report.files_scanned,
+        report.findings.len(),
+        report.new_count
+    );
+    if report.new_count > 0 {
+        let _ = writeln!(r, "\nNEW FINDINGS (gate would fail):");
+        for f in report.new_findings() {
+            let _ = writeln!(r, "  {}:{}:{} [{}] {}", f.file, f.line, f.col, f.rule, f.message);
+        }
+    } else {
+        let _ = writeln!(
+            r,
+            "Gate clean: every finding is grandfathered in lint.baseline."
+        );
+    }
+    out.table("lint.csv", csv);
+    out.report = r;
     out
 }

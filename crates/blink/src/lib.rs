@@ -30,7 +30,7 @@
 //!   attack; regenerates the 50 simulation traces of the paper's Fig. 2.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod fastsim;
 pub mod inference;

@@ -25,7 +25,7 @@
 //! * [`telemetry`] — zero-dep metrics registry, span tracing, self-profiler
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use dui_attacks as attacks;
 pub use dui_blink as blink;

@@ -23,7 +23,7 @@
 //!   (fake retransmissions) on command.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod caida_like;
 pub mod flows;

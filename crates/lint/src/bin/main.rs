@@ -1,0 +1,143 @@
+//! The `dui-lint` CLI.
+//!
+//! ```sh
+//! dui-lint [--json] [--baseline FILE] [--write-baseline]
+//!          [--show-baselined] [paths…]
+//! ```
+//!
+//! * default paths: `crates src` (repo-relative);
+//! * `--baseline FILE` — grandfather the findings listed in `FILE`
+//!   (exit 0 unless a *new* finding appears);
+//! * `--write-baseline` — regenerate the baseline from the current
+//!   findings and exit 0;
+//! * `--json` — additionally write `results/lint.jsonl` (deterministic
+//!   JSON lines, all findings including baselined ones);
+//! * `--show-baselined` — include grandfathered findings in the human
+//!   report on stderr.
+//!
+//! Exit codes: 0 clean, 1 new findings, 2 usage or I/O error.
+
+use dui_lint::{render_human, to_jsonl, Baseline};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dui-lint [--json] [--baseline FILE] [--write-baseline] \
+         [--show-baselined] [paths…]"
+    );
+    ExitCode::from(2)
+}
+
+/// The repository root: the working directory if it contains one of
+/// the default scan paths, else (under `cargo run`) two levels above
+/// this crate's manifest.
+fn find_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if dui_lint::DEFAULT_PATHS.iter().any(|p| cwd.join(p).is_dir()) {
+        return cwd;
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        if let Some(root) = Path::new(&manifest).parent().and_then(Path::parent) {
+            return root.to_path_buf();
+        }
+    }
+    cwd
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut write_baseline = false;
+    let mut show_baselined = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
+            "--show-baselined" => show_baselined = true,
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            s if s.starts_with("--") => return usage(),
+            s => paths.push(s.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        paths = dui_lint::DEFAULT_PATHS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let root = find_root();
+    let baseline_file = baseline_path.unwrap_or_else(|| PathBuf::from("lint.baseline"));
+    let baseline_full = root.join(&baseline_file);
+    let baseline = if write_baseline {
+        Baseline::default() // classify everything as new, then dump it
+    } else {
+        match std::fs::read_to_string(&baseline_full) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+            Err(e) => {
+                eprintln!("dui-lint: cannot read {}: {e}", baseline_full.display());
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let report = match dui_lint::lint_paths(&root, &paths, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dui-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let text = Baseline::render(&report.findings);
+        if let Err(e) = std::fs::write(&baseline_full, &text) {
+            eprintln!("dui-lint: cannot write {}: {e}", baseline_full.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "dui-lint: wrote {} entries to {}",
+            report.findings.len(),
+            baseline_file.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        let results = root.join("results");
+        let path = results.join("lint.jsonl");
+        let write = std::fs::create_dir_all(&results)
+            .and_then(|()| std::fs::write(&path, to_jsonl(&report.findings)));
+        if let Err(e) = write {
+            eprintln!("dui-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("[saved results/lint.jsonl]");
+    }
+
+    eprint!("{}", render_human(&report.findings, show_baselined));
+    for stale in &report.stale_baseline {
+        eprintln!("dui-lint: stale baseline entry (no longer matches): {stale}");
+    }
+    if report.new_count > 0 {
+        println!(
+            "dui-lint: FAIL — {} new finding(s) ({} total, {} baselined, {} files)",
+            report.new_count,
+            report.findings.len(),
+            report.baselined_count(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "dui-lint: OK ({} findings, all baselined; {} files)",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,307 @@
+//! Findings, deterministic output, and the grandfathering baseline.
+//!
+//! Everything the linter emits is a pure function of the scanned
+//! sources: findings sort by `(file, line, col, rule)`, the JSON-lines
+//! export carries no timestamps or absolute paths, and the baseline is
+//! matched structurally (rule + file + normalized line text, as a
+//! multiset) so unrelated edits that shift line numbers do not
+//! invalidate it.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// How bad a finding is. Both severities gate (a new finding of either
+/// severity fails the lint); the split exists for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style/robustness issue (panic paths, missing deny attribute).
+    Warning,
+    /// Breaks a reproduction invariant (determinism, hash stability).
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name for reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `determinism/wall-clock`.
+    pub rule: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Repo-relative file path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human explanation of the violation.
+    pub message: String,
+    /// The trimmed source line (also the baseline matching key).
+    pub snippet: String,
+    /// Whether the checked-in baseline grandfathers this finding
+    /// (assigned by [`apply_baseline`], false until then).
+    pub baselined: bool,
+}
+
+/// Sort findings into the canonical deterministic order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Finding {
+    /// One JSON object on one line — the `results/lint.jsonl` record.
+    /// Byte-identical across runs by construction (no wall-clock, no
+    /// absolute paths, stable key order).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"baselined\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+            json_escape(self.rule),
+            self.severity.as_str(),
+            json_escape(&self.file),
+            self.line,
+            self.col,
+            self.baselined,
+            json_escape(&self.message),
+            json_escape(&self.snippet),
+        )
+    }
+
+    /// The baseline line for this finding: `rule<TAB>file<TAB>snippet`.
+    pub fn baseline_key(&self) -> String {
+        format!("{}\t{}\t{}", self.rule, self.file, self.snippet)
+    }
+}
+
+/// The parsed grandfathering baseline: a multiset of
+/// `rule`/`file`/`snippet` keys.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    counts: HashMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parse baseline text: one `rule<TAB>file<TAB>snippet` entry per
+    /// line; `#` comments and blank lines ignored. Duplicate lines
+    /// grandfather multiple identical findings.
+    pub fn parse(text: &str) -> Baseline {
+        let mut counts = HashMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            *counts.entry(line.to_string()).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Number of entries (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// True when the baseline grandfathers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Serialize findings as a fresh baseline file (sorted, with a
+    /// header comment). Used by `--write-baseline`.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut lines: Vec<String> = findings.iter().map(Finding::baseline_key).collect();
+        lines.sort();
+        let mut out = String::from(
+            "# dui-lint baseline: grandfathered findings, one `rule<TAB>file<TAB>snippet`\n\
+             # entry per line (duplicates allowed, matched as a multiset). Entries are\n\
+             # matched structurally, so edits that only move lines do not invalidate\n\
+             # them. Regenerate with: cargo run -p dui-lint -- --write-baseline\n",
+        );
+        for l in &lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Mark findings covered by the baseline (consuming multiset entries
+/// in deterministic finding order) and return
+/// `(new_count, stale_entries)` — stale entries are baseline lines
+/// that matched nothing, a sign the baseline can be shrunk.
+pub fn apply_baseline(findings: &mut [Finding], baseline: &Baseline) -> (usize, Vec<String>) {
+    let mut remaining = baseline.counts.clone();
+    let mut new_count = 0usize;
+    for f in findings.iter_mut() {
+        let key = f.baseline_key();
+        match remaining.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                f.baselined = true;
+            }
+            _ => {
+                f.baselined = false;
+                new_count += 1;
+            }
+        }
+    }
+    let mut stale: Vec<String> = remaining
+        .into_iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(k, _)| k)
+        .collect();
+    stale.sort();
+    (new_count, stale)
+}
+
+/// Render the human report (destined for stderr): one aligned row per
+/// finding plus a per-rule summary.
+pub fn render_human(findings: &[Finding], show_baselined: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        if f.baselined && !show_baselined {
+            continue;
+        }
+        let tag = if f.baselined { " [baseline]" } else { "" };
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: {} [{}]{}: {}",
+            f.file,
+            f.line,
+            f.col,
+            f.severity.as_str(),
+            f.rule,
+            tag,
+            f.message
+        );
+        let _ = writeln!(out, "    {}", f.snippet);
+    }
+    // Per-rule summary, sorted by rule id.
+    let mut per_rule: Vec<(&str, usize, usize)> = Vec::new();
+    for f in findings {
+        match per_rule.iter_mut().find(|(r, _, _)| *r == f.rule) {
+            Some((_, total, new)) => {
+                *total += 1;
+                if !f.baselined {
+                    *new += 1;
+                }
+            }
+            None => per_rule.push((f.rule, 1, usize::from(!f.baselined))),
+        }
+    }
+    per_rule.sort();
+    if !per_rule.is_empty() {
+        let _ = writeln!(out, "\nrule                     total   new");
+        for (rule, total, new) in &per_rule {
+            let _ = writeln!(out, "{rule:<24} {total:>5} {new:>5}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, file: &str, line: u32, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            col: 1,
+            message: "m".to_string(),
+            snippet: snippet.to_string(),
+            baselined: false,
+        }
+    }
+
+    #[test]
+    fn baseline_is_a_multiset() {
+        let mut findings = vec![
+            f("r/a", "x.rs", 1, "dup()"),
+            f("r/a", "x.rs", 2, "dup()"),
+            f("r/a", "x.rs", 3, "dup()"),
+        ];
+        let bl = Baseline::parse("r/a\tx.rs\tdup()\nr/a\tx.rs\tdup()\n");
+        let (new, stale) = apply_baseline(&mut findings, &bl);
+        assert_eq!(new, 1);
+        assert!(stale.is_empty());
+        assert_eq!(
+            findings.iter().filter(|f| f.baselined).count(),
+            2,
+            "two of three grandfathered"
+        );
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let mut findings = vec![f("r/a", "x.rs", 1, "a()")];
+        let bl = Baseline::parse("r/a\tx.rs\ta()\nr/b\tgone.rs\tb()\n");
+        let (new, stale) = apply_baseline(&mut findings, &bl);
+        assert_eq!(new, 0);
+        assert_eq!(stale, ["r/b\tgone.rs\tb()"]);
+    }
+
+    #[test]
+    fn json_lines_are_stable_and_escaped() {
+        let mut a = f("r/a", "x.rs", 1, "say \"hi\"\t");
+        a.baselined = true;
+        let line = a.to_json_line();
+        assert_eq!(
+            line,
+            "{\"rule\":\"r/a\",\"severity\":\"error\",\"file\":\"x.rs\",\"line\":1,\"col\":1,\"baselined\":true,\"message\":\"m\",\"snippet\":\"say \\\"hi\\\"\\t\"}"
+        );
+    }
+
+    #[test]
+    fn sort_is_by_file_line_col_rule() {
+        let mut v = vec![
+            f("r/b", "b.rs", 1, "s"),
+            f("r/a", "a.rs", 2, "s"),
+            f("r/a", "a.rs", 1, "s"),
+        ];
+        sort_findings(&mut v);
+        assert_eq!(
+            v.iter().map(|f| (f.file.as_str(), f.line)).collect::<Vec<_>>(),
+            [("a.rs", 1), ("a.rs", 2), ("b.rs", 1)]
+        );
+    }
+
+    #[test]
+    fn render_roundtrip_via_parse() {
+        let findings = vec![f("r/a", "x.rs", 1, "a()"), f("r/a", "x.rs", 2, "a()")];
+        let text = Baseline::render(&findings);
+        let bl = Baseline::parse(&text);
+        assert_eq!(bl.len(), 2);
+    }
+}

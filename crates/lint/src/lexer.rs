@@ -1,0 +1,524 @@
+//! A hand-rolled, lossless Rust lexer.
+//!
+//! The rules in this crate need to see *code*, not comments or string
+//! literals — the precise blind spot of the grep gate this crate
+//! replaces. The lexer therefore classifies every byte of the input
+//! into tokens (including whitespace and comments, kept as trivia) so
+//! that:
+//!
+//! * **Losslessness** — concatenating `Tok::text` over the token
+//!   stream reproduces the input byte-for-byte. The propcheck suite
+//!   round-trips generated streams through `lex → re-emit → lex` and
+//!   asserts a fixed point.
+//! * **Totality** — any byte sequence lexes without panicking;
+//!   malformed tails (an unterminated string or block comment) become
+//!   one trailing token rather than an error. A linter must never be
+//!   the thing that crashes the gate.
+//!
+//! Handled Rust surface: nested block comments, line/doc comments,
+//! string and byte-string literals with escapes, raw (byte) strings
+//! with arbitrary `#` fences, char literals vs. lifetimes, numeric
+//! literals with type suffixes and exponents, identifiers (including
+//! raw `r#ident`), and single-character punctuation. Multi-character
+//! operators are deliberately left as single punct tokens: the
+//! scanners in [`crate::scan`] match token *sequences*, which keeps
+//! the lexer trivially deterministic.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// A run of whitespace (spaces, tabs, newlines, carriage returns).
+    Whitespace,
+    /// A `//` comment up to (not including) the newline. `doc` marks
+    /// `///` and `//!` forms.
+    LineComment {
+        /// True for `///` and `//!` doc comments.
+        doc: bool,
+    },
+    /// A `/* ... */` comment, nesting-aware. `doc` marks `/**`, `/*!`.
+    BlockComment {
+        /// True for `/**` and `/*!` doc comments.
+        doc: bool,
+    },
+    /// An identifier or keyword (`fn`, `use`, `as`, … are not
+    /// distinguished here; the scanner matches on text).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// A char or byte literal: `'x'`, `'\n'`, `b'\xff'`.
+    Char,
+    /// A string or byte-string literal: `"…"`, `b"…"`.
+    Str,
+    /// A raw (byte) string literal: `r"…"`, `r#"…"#`, `br##"…"##`.
+    RawStr,
+    /// A numeric literal, including suffixes: `0xFF`, `1_000u64`, `1.5e-3`.
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+impl TokKind {
+    /// Whitespace or a comment — tokens rules skip over.
+    pub fn is_trivia(self) -> bool {
+        matches!(
+            self,
+            TokKind::Whitespace | TokKind::LineComment { .. } | TokKind::BlockComment { .. }
+        )
+    }
+
+    /// Any comment kind (used to locate escape-hatch annotations).
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokKind::LineComment { .. } | TokKind::BlockComment { .. }
+        )
+    }
+}
+
+/// One token: a classified, located slice of the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok<'s> {
+    /// What the slice is.
+    pub kind: TokKind,
+    /// The exact source text (losslessness: these concatenate back to
+    /// the input).
+    pub text: &'s str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte within its line.
+    pub col: u32,
+}
+
+/// Lex `src` into a lossless token stream. Total: never panics, never
+/// drops bytes — see the module docs for the malformed-input policy.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Tok<'s>> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            out.push(Tok {
+                kind,
+                text: &self.src[start..self.pos],
+                line,
+                col,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    /// Advance past one char, maintaining line/col.
+    fn bump(&mut self) {
+        if let Some(c) = self.peek_char() {
+            self.pos += c.len_utf8();
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek_char() {
+            if pred(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> TokKind {
+        let c = match self.peek_char() {
+            Some(c) => c,
+            None => return TokKind::Whitespace, // unreachable: run() checks pos
+        };
+        if c.is_whitespace() {
+            self.bump_while(char::is_whitespace);
+            return TokKind::Whitespace;
+        }
+        if c == '/' {
+            match self.peek(1) {
+                Some(b'/') => return self.line_comment(),
+                Some(b'*') => return self.block_comment(),
+                _ => {}
+            }
+        }
+        // Raw strings / byte strings: r" r#" br" b" b' (before idents,
+        // since the prefixes lex as identifier starts).
+        if let Some(k) = self.try_string_prefix() {
+            return k;
+        }
+        if is_ident_start(c) {
+            // r#ident raw identifiers: consume the fence with the name.
+            if c == 'r' && self.peek(1) == Some(b'#') {
+                if let Some(c2) = self.src[self.pos + 2..].chars().next() {
+                    if is_ident_start(c2) {
+                        self.bump(); // r
+                        self.bump(); // #
+                        self.bump_while(is_ident_continue);
+                        return TokKind::Ident;
+                    }
+                }
+            }
+            self.bump_while(is_ident_continue);
+            return TokKind::Ident;
+        }
+        if c == '\'' {
+            return self.lifetime_or_char();
+        }
+        if c == '"' {
+            return self.string();
+        }
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        self.bump();
+        TokKind::Punct
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        // `///` and `//!` are doc comments; `////…` is a plain comment
+        // (matching rustc's classification).
+        let rest = &self.bytes[self.pos..];
+        let doc = (rest.get(2) == Some(&b'/') && rest.get(3) != Some(&b'/'))
+            || rest.get(2) == Some(&b'!');
+        self.bump_while(|c| c != '\n');
+        TokKind::LineComment { doc }
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        // `/**` (not `/**/` or `/***`) and `/*!` are doc comments.
+        let rest = &self.bytes[self.pos..];
+        let doc = (rest.get(2) == Some(&b'*')
+            && rest.get(3) != Some(&b'*')
+            && rest.get(3) != Some(&b'/'))
+            || rest.get(2) == Some(&b'!');
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: swallow the tail
+            }
+        }
+        TokKind::BlockComment { doc }
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'…'` — the literal
+    /// prefixes that would otherwise start an identifier.
+    fn try_string_prefix(&mut self) -> Option<TokKind> {
+        let rest = &self.bytes[self.pos..];
+        let (raw, byte, skip) = match rest {
+            [b'r', b'"' | b'#', ..] => (true, false, 1),
+            [b'b', b'r', b'"' | b'#', ..] => (true, true, 2),
+            [b'b', b'"', ..] => (false, true, 1),
+            [b'b', b'\'', ..] => {
+                self.bump();
+                return Some(self.lifetime_or_char());
+            }
+            _ => return None,
+        };
+        let _ = byte;
+        if raw {
+            // Count the # fence; a raw string only starts if `#…#"`.
+            let mut hashes = 0usize;
+            while rest.get(skip + hashes) == Some(&b'#') {
+                hashes += 1;
+            }
+            if rest.get(skip + hashes) != Some(&b'"') {
+                return None; // `r#ident` or plain ident starting with r/br
+            }
+            for _ in 0..skip + hashes + 1 {
+                self.bump();
+            }
+            // Scan to `"` followed by `hashes` #s.
+            loop {
+                match self.peek(0) {
+                    None => break, // unterminated
+                    Some(b'"') => {
+                        let mut ok = true;
+                        for i in 0..hashes {
+                            if self.peek(1 + i) != Some(b'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        self.bump();
+                        if ok {
+                            for _ in 0..hashes {
+                                self.bump();
+                            }
+                            break;
+                        }
+                    }
+                    Some(_) => self.bump(),
+                }
+            }
+            Some(TokKind::RawStr)
+        } else {
+            self.bump(); // b
+            Some(self.string())
+        }
+    }
+
+    fn string(&mut self) -> TokKind {
+        self.bump(); // opening "
+        loop {
+            match self.peek_char() {
+                None => break, // unterminated
+                Some('\\') => {
+                    self.bump();
+                    if self.peek_char().is_some() {
+                        self.bump();
+                    }
+                }
+                Some('"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+        TokKind::Str
+    }
+
+    /// Disambiguate `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+    fn lifetime_or_char(&mut self) -> TokKind {
+        self.bump(); // opening '
+        match self.peek_char() {
+            Some('\\') => {
+                // Escape: definitely a char literal.
+                self.bump();
+                if self.peek_char().is_some() {
+                    self.bump();
+                }
+                // \u{…} and similar: scan to the closing quote.
+                self.bump_while(|c| c != '\'' && c != '\n');
+                if self.peek_char() == Some('\'') {
+                    self.bump();
+                }
+                TokKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'abc` is a lifetime unless a `'` closes it: `'a'`.
+                let mark = self.pos;
+                self.bump();
+                self.bump_while(is_ident_continue);
+                if self.peek_char() == Some('\'') && self.pos == mark + c.len_utf8() {
+                    // Exactly one char then a quote: char literal.
+                    self.bump();
+                    TokKind::Char
+                } else {
+                    TokKind::Lifetime
+                }
+            }
+            Some('\'') | None => TokKind::Char, // `''` or trailing quote: degenerate
+            Some(_) => {
+                // Non-ident char then closing quote: `'+'`.
+                self.bump();
+                if self.peek_char() == Some('\'') {
+                    self.bump();
+                }
+                TokKind::Char
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokKind {
+        let mut seen_dot = false;
+        let mut prev_exp = false;
+        while let Some(c) = self.peek_char() {
+            if c.is_alphanumeric() || c == '_' {
+                prev_exp = (c == 'e' || c == 'E')
+                    && self.src[..self.pos]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|p| p.is_ascii_digit() || p == '.' || p == '_');
+                self.bump();
+            } else if c == '.' && !seen_dot {
+                // `1.5` consumes the dot; `1..5` and `1.method()` do not.
+                let after = self.src[self.pos + 1..].chars().next();
+                if after.is_some_and(|a| a.is_ascii_digit()) {
+                    seen_dot = true;
+                    prev_exp = false;
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else if (c == '+' || c == '-') && prev_exp {
+                prev_exp = false;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokKind::Num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.kind.is_trivia())
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn lossless_on_real_code() {
+        let src = include_str!("lexer.rs");
+        let toks = lex(src);
+        let emitted: String = toks.iter().map(|t| t.text).collect();
+        assert_eq!(emitted, src);
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = r#"// Instant::now() in a comment
+let s = "Instant::now()"; /* thread_rng */ real_ident"#;
+        let idents: Vec<&str> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, ["let", "s", "real_ident"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r###"r#"no "end" here"# tail"###;
+        let k = kinds(src);
+        assert_eq!(k[0].0, TokKind::RawStr);
+        assert_eq!(k[0].1, r###"r#"no "end" here"#"###);
+        assert_eq!(k[1], (TokKind::Ident, "tail"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ c */ x";
+        let k = kinds(src);
+        assert_eq!(k, [(TokKind::Ident, "x")]);
+        let all = lex(src);
+        assert_eq!(all[0].kind, TokKind::BlockComment { doc: false });
+        assert_eq!(all[0].text, "/* a /* b */ c */");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let k = kinds("&'a str 'x' '\\n' b'z' 'static");
+        assert_eq!(
+            k.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            [
+                TokKind::Punct,
+                TokKind::Lifetime,
+                TokKind::Ident,
+                TokKind::Char,
+                TokKind::Char,
+                TokKind::Char,
+                TokKind::Lifetime,
+            ]
+        );
+        assert_eq!(k[1].1, "'a");
+        assert_eq!(k[3].1, "'x'");
+        assert_eq!(k[6].1, "'static");
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let k = kinds("0xFF 1_000u64 1.5e-3 0..5 1.abs()");
+        assert_eq!(k[0], (TokKind::Num, "0xFF"));
+        assert_eq!(k[1], (TokKind::Num, "1_000u64"));
+        assert_eq!(k[2], (TokKind::Num, "1.5e-3"));
+        assert_eq!(k[3], (TokKind::Num, "0"));
+        assert_eq!(k[4], (TokKind::Punct, "."));
+        assert_eq!(k[5], (TokKind::Punct, "."));
+        assert_eq!(k[6], (TokKind::Num, "5"));
+        assert_eq!(k[7], (TokKind::Num, "1"));
+        assert_eq!(k[8], (TokKind::Punct, "."));
+        assert_eq!(k[9], (TokKind::Ident, "abs"));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("ab\n  cd");
+        let cd = toks.iter().find(|t| t.text == "cd").unwrap();
+        assert_eq!((cd.line, cd.col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_inputs_are_total() {
+        for src in ["\"never ends", "/* never ends", "r#\"never", "'", "b'"] {
+            let toks = lex(src);
+            let emitted: String = toks.iter().map(|t| t.text).collect();
+            assert_eq!(emitted, src, "lossless on {src:?}");
+        }
+    }
+
+    #[test]
+    fn doc_comment_classification() {
+        let all = lex("/// doc\n//! inner\n//// not doc\n// plain\n/** blockdoc */ /*!i*/ /* p */");
+        let docs: Vec<bool> = all
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::LineComment { doc } | TokKind::BlockComment { doc } => Some(doc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(docs, [true, true, false, false, true, true, false]);
+    }
+}

@@ -1,0 +1,214 @@
+//! # dui-lint
+//!
+//! Std-only, token-aware static analysis for the workspace — the
+//! in-tree replacement for the grep/awk determinism gates that used to
+//! live in `scripts/lint_determinism.sh` (that script is now a thin
+//! wrapper over this crate).
+//!
+//! Every quantitative claim this repository reproduces (Fig. 2, C1–C3)
+//! rests on simulations being pure functions of `(config, seed)`. A
+//! grep pattern cannot see `use`-aliasing, comments, or string
+//! literals, and silently misses renamed imports of `Instant` or
+//! `thread_rng`. This crate makes the invariants machine-checked
+//! properties of the codebase:
+//!
+//! * [`lexer`] — a hand-rolled, lossless Rust lexer (raw strings,
+//!   nested block comments, lifetimes, char literals);
+//! * [`scan`] — a lightweight item scanner tracking `use`
+//!   declarations, `fn` boundaries, `impl` blocks, and `#[cfg(test)]`
+//!   regions — enough resolution for real rules without a parser;
+//! * [`rules`] — the six shipped rules (see that module's table);
+//! * [`findings`] — deterministic findings, JSON-lines export, and the
+//!   grandfathering [`Baseline`].
+//!
+//! ## Running
+//!
+//! ```sh
+//! cargo run -p dui-lint                         # lint crates/ + src/
+//! cargo run -p dui-lint -- --json --baseline lint.baseline
+//! cargo run -p dui-lint -- --write-baseline     # regenerate lint.baseline
+//! cargo run -p dui-lint -- crates/netsim        # lint a subtree
+//! ```
+//!
+//! Output is deterministic: findings sort by `(file, line, col,
+//! rule)`, the human table goes to stderr, and `--json` writes
+//! byte-identical-across-runs JSON lines to `results/lint.jsonl`
+//! (verified by `scripts/verify.sh`, which runs the lint twice and
+//! byte-compares). Exit code is nonzero iff a finding is not
+//! grandfathered by the baseline.
+//!
+//! ## Library use
+//!
+//! The harness's `experiments lint` stage and the fixture tests drive
+//! the same entry points:
+//!
+//! ```
+//! let findings = dui_lint::lint_source(
+//!     "crates/x/src/lib.rs",
+//!     "use std::time::Instant as Clock;\nfn f() { Clock::now(); }\n",
+//! );
+//! assert!(findings.iter().any(|f| f.rule == "determinism/wall-clock"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use findings::{
+    apply_baseline, render_human, sort_findings, Baseline, Finding, Severity,
+};
+
+use scan::ScannedFile;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint one in-memory source as if it lived at `path` (repo-relative,
+/// `/`-separated). This is how the fixture tests exercise path-scoped
+/// rules against synthetic files.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let file = ScannedFile::new(path, src);
+    let mut out = Vec::new();
+    rules::check_file(&file, &mut out);
+    sort_findings(&mut out);
+    out
+}
+
+/// What one lint run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings in canonical order, `baselined` flags assigned.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings not grandfathered by the baseline.
+    pub new_count: usize,
+    /// Baseline entries that matched nothing (candidates for removal).
+    pub stale_baseline: Vec<String>,
+}
+
+impl Report {
+    /// Findings that are new (not baselined).
+    pub fn new_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.baselined)
+    }
+
+    /// Count of grandfathered findings.
+    pub fn baselined_count(&self) -> usize {
+        self.findings.len() - self.new_count
+    }
+}
+
+/// Directories the walker never descends into: build output, VCS
+/// metadata, and the lint fixture corpora (which are known-bad by
+/// design and referenced by virtual path from the tests instead).
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "results"];
+
+/// The default scan roots, matching (and extending, by the root
+/// `src/`) what the old grep gate covered.
+pub const DEFAULT_PATHS: &[&str] = &["crates", "src"];
+
+fn walk(dir: &Path, rel: &str, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    let mut entries: Vec<(String, PathBuf, bool)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_dir = entry.file_type()?.is_dir();
+        entries.push((name, entry.path(), is_dir));
+    }
+    // Deterministic order regardless of filesystem enumeration.
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, path, is_dir) in entries {
+        let child_rel = if rel.is_empty() {
+            name.clone()
+        } else {
+            format!("{rel}/{name}")
+        };
+        if is_dir {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            walk(&path, &child_rel, out)?;
+        } else if name.ends_with(".rs") {
+            out.push((child_rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Lint the `.rs` files under `paths` (repo-relative, resolved against
+/// `root`), apply `baseline`, and return the [`Report`].
+pub fn lint_paths(root: &Path, paths: &[String], baseline: &Baseline) -> io::Result<Report> {
+    let mut files: Vec<(String, PathBuf)> = Vec::new();
+    for p in paths {
+        let full = root.join(p);
+        let rel = p.replace('\\', "/");
+        let meta = std::fs::metadata(&full).map_err(|e| {
+            io::Error::new(e.kind(), format!("cannot stat {}: {e}", full.display()))
+        })?;
+        if meta.is_dir() {
+            walk(&full, &rel, &mut files)?;
+        } else if rel.ends_with(".rs") {
+            files.push((rel, full));
+        }
+    }
+    files.sort();
+    files.dedup();
+    let mut findings = Vec::new();
+    let files_scanned = files.len();
+    for (rel, full) in files {
+        let src = std::fs::read_to_string(&full).map_err(|e| {
+            io::Error::new(e.kind(), format!("cannot read {}: {e}", full.display()))
+        })?;
+        let file = ScannedFile::new(&rel, &src);
+        rules::check_file(&file, &mut findings);
+    }
+    sort_findings(&mut findings);
+    let (new_count, stale_baseline) = apply_baseline(&mut findings, baseline);
+    Ok(Report {
+        findings,
+        files_scanned,
+        new_count,
+        stale_baseline,
+    })
+}
+
+/// Serialize findings as JSON lines (the `results/lint.jsonl`
+/// payload): one object per finding, canonical order, no timestamps —
+/// byte-identical across runs on an unchanged tree.
+pub fn to_jsonl(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_is_deterministic() {
+        let src = "use std::time::Instant;\nfn f() { Instant::now(); }\n";
+        let a = lint_source("crates/x/src/lib.rs", src);
+        let b = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_finding() {
+        let f = lint_source(
+            "crates/x/src/lib.rs",
+            "use std::time::Instant;\nfn g() { x.unwrap(); }\n",
+        );
+        let jsonl = to_jsonl(&f);
+        assert_eq!(jsonl.lines().count(), f.len());
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"rule\":")));
+    }
+}

@@ -1,0 +1,125 @@
+//! The shipped rules and the per-file entry point.
+//!
+//! | id | severity | guards |
+//! |----|----------|--------|
+//! | `determinism/wall-clock` | error | no `std::time::Instant` / `SystemTime` in library code, alias-aware |
+//! | `determinism/ambient-rng` | error | no `rand` crate / `thread_rng` / `OsRng` in library code |
+//! | `hash/unordered-iter` | error | no unordered-container iteration feeding `state_digest` / `state_hash`; no `HashMap`/`HashSet` in `crates/replay` at all |
+//! | `panic/library-unwrap` | warning | no `unwrap` / `expect` / `panic!` in library paths outside `#[cfg(test)]` |
+//! | `cast/lossy-in-digest` | warning | no `as u64` / `as f64` inside digest/StateHash paths |
+//! | `docs/missing-deny` | warning | every library crate root carries `#![deny(missing_docs)]` |
+//!
+//! Sanctioned escapes (documented per rule): `crates/bench/` and
+//! `crates/telemetry/src/wallclock.rs` for the determinism rules;
+//! `sorted` / `write_unordered` markers for the hash rule;
+//! `// lint: allow(panic)` and `// lint: allow(cast)` annotations for
+//! the panic and cast rules.
+
+pub mod casts;
+pub mod determinism;
+pub mod docs;
+pub mod hash;
+pub mod panics;
+
+use crate::findings::{Finding, Severity};
+use crate::scan::ScannedFile;
+
+/// Rule ids in a stable order (for reports and summaries).
+pub const RULE_IDS: &[&str] = &[
+    "determinism/wall-clock",
+    "determinism/ambient-rng",
+    "hash/unordered-iter",
+    "panic/library-unwrap",
+    "cast/lossy-in-digest",
+    "docs/missing-deny",
+];
+
+/// Run every rule over one scanned file.
+pub fn check_file(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
+    determinism::wall_clock(file, out);
+    determinism::ambient_rng(file, out);
+    hash::unordered_iter(file, out);
+    panics::library_unwrap(file, out);
+    casts::lossy_in_digest(file, out);
+    docs::missing_deny(file, out);
+}
+
+/// Path classification shared by the rules. Paths are repo-relative
+/// with `/` separators.
+pub(crate) struct PathClass<'a> {
+    path: &'a str,
+}
+
+impl<'a> PathClass<'a> {
+    pub fn of(file: &'a ScannedFile<'_>) -> Self {
+        PathClass { path: &file.path }
+    }
+
+    /// The bench harness: sanctioned to read wall clocks (it times
+    /// stages and owns the CLI).
+    pub fn is_bench(&self) -> bool {
+        self.path.starts_with("crates/bench/")
+    }
+
+    /// The explicitly non-deterministic self-profiler module.
+    pub fn is_wallclock_module(&self) -> bool {
+        self.path == "crates/telemetry/src/wallclock.rs"
+    }
+
+    /// Exempt from the determinism rules?
+    pub fn determinism_sanctioned(&self) -> bool {
+        self.is_bench() || self.is_wallclock_module()
+    }
+
+    /// Library source: `crates/<c>/src/**` or the root `src/**`,
+    /// excluding `src/bin/` (binaries may panic on bad CLI input).
+    pub fn is_library_src(&self) -> bool {
+        let in_src = self.path.starts_with("src/")
+            || (self.path.starts_with("crates/") && self.path.contains("/src/"));
+        in_src && !self.path.contains("/src/bin/")
+    }
+
+    /// Inside the record/replay subsystem (unordered containers banned
+    /// outright there)?
+    pub fn is_replay(&self) -> bool {
+        self.path.starts_with("crates/replay/")
+    }
+
+    /// A digest-defining file for `cast/lossy-in-digest` scoping.
+    pub fn is_digest_scope(&self) -> bool {
+        self.path.starts_with("crates/replay/src/") || self.path == "crates/stats/src/digest.rs"
+    }
+
+    /// `Some(crate_dir_name)` when this is a library crate root
+    /// (`crates/<c>/src/lib.rs`), or `Some("dui")` for the workspace
+    /// root `src/lib.rs`.
+    pub fn crate_root(&self) -> Option<&'a str> {
+        if self.path == "src/lib.rs" {
+            return Some("dui");
+        }
+        let rest = self.path.strip_prefix("crates/")?;
+        let (name, tail) = rest.split_once('/')?;
+        (tail == "src/lib.rs").then_some(name)
+    }
+}
+
+/// Construct a finding anchored at code token `i` of `file`.
+pub(crate) fn finding_at(
+    file: &ScannedFile<'_>,
+    i: usize,
+    rule: &'static str,
+    severity: Severity,
+    message: String,
+) -> Finding {
+    let t = file.ct(i);
+    Finding {
+        rule,
+        severity,
+        file: file.path.clone(),
+        line: t.line,
+        col: t.col,
+        message,
+        snippet: file.line_text(t.line).to_string(),
+        baselined: false,
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixture tests: one known-bad and one known-clean source per rule,
+//! linted through [`dui_lint::lint_source`] under virtual repo-relative
+//! paths (the walker deliberately skips `fixtures/` directories, so
+//! these files never pollute the real workspace scan).
+
+use dui_lint::lint_source;
+
+/// Findings of `rule` when `src` is linted as if it lived at `path`.
+fn count(path: &str, src: &str, rule: &str) -> usize {
+    lint_source(path, src)
+        .iter()
+        .filter(|f| f.rule == rule)
+        .count()
+}
+
+const LIB: &str = "crates/x/src/m.rs";
+
+#[test]
+fn wall_clock_bad_fires_on_alias_and_direct() {
+    let src = include_str!("fixtures/wall_clock_bad.rs");
+    // The aliased import, the `T::now()` call site, and the two direct
+    // SystemTime mentions must all be caught.
+    assert!(count(LIB, src, "determinism/wall-clock") >= 3);
+}
+
+#[test]
+fn wall_clock_clean_ignores_comments_and_strings() {
+    let src = include_str!("fixtures/wall_clock_clean.rs");
+    assert_eq!(count(LIB, src, "determinism/wall-clock"), 0);
+}
+
+#[test]
+fn wall_clock_sanctioned_paths_are_exempt() {
+    let src = include_str!("fixtures/wall_clock_bad.rs");
+    assert_eq!(count("crates/bench/src/timer.rs", src, "determinism/wall-clock"), 0);
+    assert_eq!(
+        count("crates/telemetry/src/wallclock.rs", src, "determinism/wall-clock"),
+        0
+    );
+}
+
+#[test]
+fn rng_bad_fires_on_alias_and_getrandom() {
+    let src = include_str!("fixtures/rng_bad.rs");
+    assert!(count(LIB, src, "determinism/ambient-rng") >= 2);
+}
+
+#[test]
+fn rng_clean_seeded_generator_passes() {
+    let src = include_str!("fixtures/rng_clean.rs");
+    assert_eq!(count(LIB, src, "determinism/ambient-rng"), 0);
+}
+
+#[test]
+fn hash_bad_fires_in_state_digest_body() {
+    let src = include_str!("fixtures/hash_bad.rs");
+    assert!(count(LIB, src, "hash/unordered-iter") >= 1);
+}
+
+#[test]
+fn hash_clean_sorted_and_write_unordered_pass() {
+    let src = include_str!("fixtures/hash_clean.rs");
+    assert_eq!(count(LIB, src, "hash/unordered-iter"), 0);
+}
+
+#[test]
+fn replay_hash_map_banned_only_under_replay() {
+    let src = include_str!("fixtures/replay_hash_bad.rs");
+    assert!(count("crates/replay/src/index.rs", src, "hash/unordered-iter") >= 1);
+    assert_eq!(count(LIB, src, "hash/unordered-iter"), 0);
+}
+
+#[test]
+fn panic_bad_fires_on_unwrap_expect_panic() {
+    let src = include_str!("fixtures/panic_bad.rs");
+    assert_eq!(count(LIB, src, "panic/library-unwrap"), 3);
+}
+
+#[test]
+fn panic_clean_annotations_and_tests_pass() {
+    let src = include_str!("fixtures/panic_clean.rs");
+    assert_eq!(count(LIB, src, "panic/library-unwrap"), 0);
+}
+
+#[test]
+fn panic_rule_skips_non_library_paths() {
+    let src = include_str!("fixtures/panic_bad.rs");
+    assert_eq!(count("crates/x/tests/it.rs", src, "panic/library-unwrap"), 0);
+    assert_eq!(count("crates/x/src/bin/tool.rs", src, "panic/library-unwrap"), 0);
+}
+
+#[test]
+fn cast_bad_fires_in_digest_scope_only() {
+    let src = include_str!("fixtures/cast_bad.rs");
+    assert_eq!(count("crates/replay/src/hash.rs", src, "cast/lossy-in-digest"), 2);
+    // Outside the digest scope the same source is not this rule's business.
+    assert_eq!(count(LIB, src, "cast/lossy-in-digest"), 0);
+}
+
+#[test]
+fn cast_clean_annotation_and_to_bits_pass() {
+    let src = include_str!("fixtures/cast_clean.rs");
+    assert_eq!(count("crates/replay/src/hash.rs", src, "cast/lossy-in-digest"), 0);
+}
+
+#[test]
+fn docs_bad_warn_plus_unrelated_forbid_fires() {
+    let src = include_str!("fixtures/docs_bad.rs");
+    assert_eq!(count("crates/x/src/lib.rs", src, "docs/missing-deny"), 1);
+}
+
+#[test]
+fn docs_clean_deny_passes() {
+    let src = include_str!("fixtures/docs_clean.rs");
+    assert_eq!(count("crates/x/src/lib.rs", src, "docs/missing-deny"), 0);
+}
+
+#[test]
+fn docs_rule_only_applies_to_crate_roots() {
+    let src = include_str!("fixtures/docs_bad.rs");
+    assert_eq!(count(LIB, src, "docs/missing-deny"), 0);
+}

@@ -1,0 +1,13 @@
+// BAD (under a digest-scope virtual path): lossy / reinterpreting `as`
+// casts feeding a state digest silently change what gets hashed.
+pub struct S {
+    x: i64,
+    f: f64,
+}
+
+impl S {
+    pub fn state_digest(&self, d: &mut Digest) {
+        d.write_u64(self.x as u64);
+        d.write_u64(self.f as u64);
+    }
+}

@@ -1,0 +1,14 @@
+// CLEAN: digest inputs converted losslessly (to_bits, explicit
+// annotation where the reinterpretation is the point).
+pub struct S {
+    x: i64,
+    f: f64,
+}
+
+impl S {
+    pub fn state_digest(&self, d: &mut Digest) {
+        // lint: allow(cast): two's-complement bit reinterpretation, by design
+        d.write_u64(self.x as u64);
+        d.write_u64(self.f.to_bits());
+    }
+}

@@ -1,0 +1,7 @@
+//! A library crate root missing the doc-coverage gate: `warn` next to
+//! an unrelated `forbid` must not satisfy the rule.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub fn api() {}

@@ -1,0 +1,7 @@
+//! A library crate root carrying the doc-coverage gate.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Documented API.
+pub fn api() {}

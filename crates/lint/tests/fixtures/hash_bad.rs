@@ -1,0 +1,15 @@
+// BAD: a state digest folding unordered HashMap iteration — the digest
+// of the "same" state depends on hasher seeding.
+use std::collections::HashMap;
+
+pub struct Flows {
+    flows: HashMap<u64, u64>,
+}
+
+impl Flows {
+    pub fn state_digest(&self, d: &mut Digest) {
+        for k in self.flows.keys() {
+            d.write_u64(*k);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+// CLEAN: the same digest, but iteration order is pinned before folding
+// (a `sorted` marker on the line) or folded commutatively through
+// `write_unordered`.
+use std::collections::HashMap;
+
+pub struct Flows {
+    flows: HashMap<u64, u64>,
+}
+
+impl Flows {
+    pub fn state_digest(&self, d: &mut Digest) {
+        let mut keys: Vec<_> = self.flows.keys().copied().collect(); // sorted below
+        keys.sort_unstable();
+        for k in keys {
+            d.write_u64(k);
+        }
+        for (_k, v) in self.flows.iter().map(sub_digest) {
+            // write_unordered is the commutative fold built for this
+            d.write_unordered(v);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+// BAD: unwraps and panics on library paths, no escape annotation.
+pub fn parse(s: &str) -> u64 {
+    s.parse().unwrap()
+}
+
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().expect("non-empty")
+}
+
+pub fn boom() {
+    panic!("library code must return errors");
+}

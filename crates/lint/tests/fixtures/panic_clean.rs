@@ -1,0 +1,27 @@
+// CLEAN: typed errors on library paths; panics only behind the
+// documented escape hatch or inside #[cfg(test)].
+pub fn parse(s: &str) -> Result<u64, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn head(v: &[u64]) -> Option<u64> {
+    v.first().copied()
+}
+
+pub fn checked(v: &[u64]) -> u64 {
+    // lint: allow(panic): slice is non-empty by construction at every call site
+    *v.first().expect("non-empty")
+}
+
+pub fn total(v: &[u64]) -> u64 {
+    v.iter().copied().fold(0u64, |a, b| a.wrapping_add(b))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Result<u64, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,8 @@
+// BAD (only under a crates/replay/ virtual path): the replay subsystem
+// defines the digests, so unordered containers are banned there
+// outright — everything it hashes is Vec-shaped.
+use std::collections::HashMap;
+
+pub struct Index {
+    by_id: HashMap<u64, usize>,
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the lexer (via the in-tree `propcheck`
+//! engine): lexing is total and lossless on arbitrary input, and
+//! re-lexing the concatenation of an already-lexed token stream is a
+//! fixed point.
+
+use dui_lint::lexer::lex;
+use dui_stats::propcheck::Gen;
+use dui_stats::{prop_assert, prop_assert_eq, prop_check};
+
+/// A pool of token texts covering every lexer mode; random
+/// concatenations (whitespace-separated, so adjacent picks cannot fuse
+/// into a different token) exercise mode transitions.
+const POOL: &[&str] = &[
+    "fn",
+    "ident",
+    "r#match",
+    "x1_y2",
+    "'a",
+    "'static",
+    "'x'",
+    "'\\n'",
+    "'\\''",
+    "b'q'",
+    "\"plain\"",
+    "\"esc \\\" quote\"",
+    "\"multi\nline\"",
+    "r\"raw\"",
+    "r#\"fenced \" quote\"#",
+    "r##\"nested \"# fence\"##",
+    "br#\"bytes\"#",
+    "// line comment",
+    "/// doc comment",
+    "/* block */",
+    "/* nested /* block */ comment */",
+    "/** doc block */",
+    "0",
+    "42u64",
+    "0xFF",
+    "0b1010",
+    "1_000_000",
+    "1.5e-3",
+    "3.14f64",
+    "{",
+    "}",
+    "(",
+    ")",
+    "::",
+    ";",
+    ",",
+    ".",
+    "->",
+    "=>",
+    "==",
+    "&&",
+    "#",
+    "!",
+    "[",
+    "]",
+];
+
+fn random_source(g: &mut Gen) -> String {
+    let n = g.usize(0..40);
+    let mut src = String::new();
+    for _ in 0..n {
+        src.push_str(POOL[g.usize(0..POOL.len())]);
+        // Line comments must terminate before the next token.
+        src.push(if g.bool() { ' ' } else { '\n' });
+    }
+    src
+}
+
+prop_check! {
+    fn lex_is_lossless_on_token_soup(g) {
+        let src = random_source(g);
+        let toks = lex(&src);
+        let rebuilt: String = toks.iter().map(|t| t.text).collect();
+        prop_assert_eq!(&rebuilt, &src);
+    }
+
+    fn relex_is_a_fixed_point(g) {
+        let src = random_source(g);
+        let first = lex(&src);
+        let rebuilt: String = first.iter().map(|t| t.text).collect();
+        let second = lex(&rebuilt);
+        prop_assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(second.iter()) {
+            prop_assert_eq!(a.text, b.text);
+            prop_assert_eq!(a.line, b.line);
+            prop_assert_eq!(a.col, b.col);
+        }
+    }
+
+    fn lex_is_total_on_arbitrary_bytes(g) {
+        // Printable-ish ASCII soup with quote/backslash/brace bias:
+        // unterminated strings, stray fences, lone backslashes — the
+        // lexer must neither panic nor drop bytes.
+        let n = g.usize(0..120);
+        let mut src = String::new();
+        for _ in 0..n {
+            let c = match g.usize(0..8) {
+                0 => '"',
+                1 => '\'',
+                2 => '\\',
+                3 => '#',
+                4 => 'r',
+                5 => '/',
+                6 => '\n',
+                _ => g.u8(0x20..0x7f) as char,
+            };
+            src.push(c);
+        }
+        let toks = lex(&src);
+        let rebuilt: String = toks.iter().map(|t| t.text).collect();
+        prop_assert_eq!(&rebuilt, &src);
+        prop_assert!(toks.iter().all(|t| !t.text.is_empty()));
+    }
+}

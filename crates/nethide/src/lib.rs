@@ -23,7 +23,7 @@
 //!   (shared-physical-edge fraction), and flow-density security metrics.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod metrics;
 pub mod obfuscate;

@@ -156,10 +156,17 @@ impl RouterLogic {
     }
 
     /// Borrow program `i`, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if program `i` is not a `T` — the caller installed the
+    /// program and names its concrete type, so a mismatch is a bug at
+    /// the call site, not a recoverable condition.
     pub fn program_mut<T: DataPlaneProgram + 'static>(&mut self, i: usize) -> &mut T {
         self.programs[i]
             .as_any_mut()
             .downcast_mut::<T>()
+            // lint: allow(panic): documented caller contract — the caller installed this program
             .expect("program has a different concrete type")
     }
 
@@ -424,23 +431,30 @@ impl NodeLogic for SinkHost {
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
         let err = || "malformed sink checkpoint".to_string();
-        let take = |b: &[u8], at: &mut usize, n: usize| -> Result<Vec<u8>, String> {
-            let s = b.get(*at..*at + n).ok_or_else(err)?.to_vec();
-            *at += n;
-            Ok(s)
-        };
+        // Fixed-size reads return arrays directly, so decoding has no
+        // panic path on truncated input.
+        fn take<const N: usize>(b: &[u8], at: &mut usize) -> Result<[u8; N], String> {
+            let s = b
+                .get(*at..)
+                .and_then(|rest| rest.get(..N))
+                .ok_or_else(|| "malformed sink checkpoint".to_string())?;
+            let mut arr = [0u8; N];
+            arr.copy_from_slice(s);
+            *at += N;
+            Ok(arr)
+        }
         let mut at = 0usize;
-        let n = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().unwrap()) as usize;
+        let n = u64::from_le_bytes(take(bytes, &mut at)?) as usize;
         let mut flows = HashMap::with_capacity(n);
         for _ in 0..n {
-            let src = u32::from_le_bytes(take(bytes, &mut at, 4)?.try_into().unwrap());
-            let dst = u32::from_le_bytes(take(bytes, &mut at, 4)?.try_into().unwrap());
-            let sport = u16::from_le_bytes(take(bytes, &mut at, 2)?.try_into().unwrap());
-            let dport = u16::from_le_bytes(take(bytes, &mut at, 2)?.try_into().unwrap());
-            let proto = crate::packet::Proto::from_code(take(bytes, &mut at, 1)?[0])
+            let src = u32::from_le_bytes(take(bytes, &mut at)?);
+            let dst = u32::from_le_bytes(take(bytes, &mut at)?);
+            let sport = u16::from_le_bytes(take(bytes, &mut at)?);
+            let dport = u16::from_le_bytes(take(bytes, &mut at)?);
+            let proto = crate::packet::Proto::from_code(take::<1>(bytes, &mut at)?[0])
                 .ok_or_else(err)?;
-            let packets = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().unwrap());
-            let fbytes = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().unwrap());
+            let packets = u64::from_le_bytes(take(bytes, &mut at)?);
+            let fbytes = u64::from_le_bytes(take(bytes, &mut at)?);
             flows.insert(
                 crate::packet::FlowKey {
                     src: Addr(src),
@@ -455,8 +469,8 @@ impl NodeLogic for SinkHost {
                 },
             );
         }
-        let total_bytes = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().unwrap());
-        let total_packets = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().unwrap());
+        let total_bytes = u64::from_le_bytes(take(bytes, &mut at)?);
+        let total_packets = u64::from_le_bytes(take(bytes, &mut at)?);
         if at != bytes.len() {
             return Err(err());
         }

@@ -27,7 +27,7 @@
 //!   over a real simulated path.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod control;
 pub mod endpoint;

@@ -26,7 +26,7 @@
 //!   attacks like per-location throttling).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod backend;
 pub mod e2;

@@ -81,18 +81,21 @@ impl StateDigest {
     /// Fold a `u8`.
     #[inline]
     pub fn write_u8(&mut self, v: u8) {
+        // lint: allow(cast): widening u8 -> u64 is lossless
         self.write_u64(v as u64);
     }
 
     /// Fold a `u16`.
     #[inline]
     pub fn write_u16(&mut self, v: u16) {
+        // lint: allow(cast): widening u16 -> u64 is lossless
         self.write_u64(v as u64);
     }
 
     /// Fold a `u32`.
     #[inline]
     pub fn write_u32(&mut self, v: u32) {
+        // lint: allow(cast): widening u32 -> u64 is lossless
         self.write_u64(v as u64);
     }
 
@@ -100,18 +103,21 @@ impl StateDigest {
     /// identical across 32/64-bit targets for values that fit).
     #[inline]
     pub fn write_usize(&mut self, v: usize) {
+        // lint: allow(cast): usize is at most 64 bits on supported targets
         self.write_u64(v as u64);
     }
 
     /// Fold an `i64` (two's-complement bits).
     #[inline]
     pub fn write_i64(&mut self, v: i64) {
+        // lint: allow(cast): two's-complement bit reinterpretation, by design
         self.write_u64(v as u64);
     }
 
     /// Fold a `bool` as 0/1.
     #[inline]
     pub fn write_bool(&mut self, v: bool) {
+        // lint: allow(cast): bool -> 0/1 is exact
         self.write_u64(v as u64);
     }
 
@@ -140,6 +146,7 @@ impl StateDigest {
     /// variable-length structure).
     #[inline]
     pub fn write_len(&mut self, n: usize) {
+        // lint: allow(cast): usize is at most 64 bits on supported targets
         self.write_u64(n as u64);
     }
 
@@ -148,7 +155,9 @@ impl StateDigest {
         self.write_len(bytes.len());
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
-            self.write_u64(u64::from_le_bytes(c.try_into().unwrap()));
+            let mut word = [0u8; 8];
+            word.copy_from_slice(c); // chunks_exact(8) yields exactly 8 bytes
+            self.write_u64(u64::from_le_bytes(word));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {

@@ -107,6 +107,7 @@ impl Zipf {
         let u = rng.f64();
         match self
             .cdf
+            // lint: allow(panic): cdf entries are finite by construction (normalized weights)
             .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
         {
             Ok(i) => i + 1,

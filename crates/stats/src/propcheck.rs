@@ -408,6 +408,7 @@ pub fn run(
             Err(PropError::Discard) => {
                 discards += 1;
                 if discards > cfg.max_discards {
+                    // lint: allow(panic): propcheck reports harness failures by panicking inside #[test] fns
                     panic!(
                         "propcheck '{name}': gave up after {discards} discards \
                          ({case} cases passed) — weaken the prop_assume! filter"
@@ -435,6 +436,7 @@ pub fn run(
 /// This is what [`prop_check!`](crate::prop_check)-generated tests call.
 pub fn check(name: &str, cfg: &Config, prop: impl FnMut(&mut Gen) -> PropResult) {
     if let Some(f) = run(name, cfg, prop) {
+        // lint: allow(panic): panicking with the replay recipe is this function's contract
         panic!(
             "propcheck '{name}' failed (case {} of {}, seed {:#x}, \
              {} shrink steps)\nminimal counterexample: {}\nchoices: {:?}\n\

@@ -12,7 +12,7 @@
 //! | [`ron`] | RON (SOSP'01): resilient overlay routing on active probes | "an attacker in the path between two nodes could drop or delay RON's probes, so as to divert traffic to another next-hop" |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dapper;
 pub mod flowradar;

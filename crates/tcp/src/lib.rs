@@ -25,7 +25,7 @@
 //! retransmission *timing* signals the paper's attacks target.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod conn;
 pub mod host;

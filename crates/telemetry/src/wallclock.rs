@@ -43,7 +43,7 @@ pub struct TaskAgg {
 
 /// Turn the profiler on (clearing any previous data) or off.
 pub fn enable(on: bool) {
-    let mut state = STATE.lock().unwrap();
+    let mut state = STATE.lock().unwrap_or_else(|e| e.into_inner());
     *state = if on {
         Some(ProfilerState::default())
     } else {
@@ -63,7 +63,7 @@ pub fn set_stage(name: &str) {
     if !is_enabled() {
         return;
     }
-    let mut guard = STATE.lock().unwrap();
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(state) = guard.as_mut() {
         let now = Instant::now();
         if let Some((prev, start)) = state.current_stage.take() {
@@ -78,7 +78,7 @@ pub fn end_stage() {
     if !is_enabled() {
         return;
     }
-    let mut guard = STATE.lock().unwrap();
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(state) = guard.as_mut() {
         if let Some((prev, start)) = state.current_stage.take() {
             state
@@ -95,7 +95,7 @@ pub fn record_task(label: &str, index: usize, elapsed_ns: u64) {
     if !is_enabled() {
         return;
     }
-    let mut guard = STATE.lock().unwrap();
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(state) = guard.as_mut() {
         // Attribute to the stage that is open right now, so one call
         // site (e.g. `run_indexed`) splits into per-stage rows.
@@ -117,7 +117,7 @@ pub fn record_task(label: &str, index: usize, elapsed_ns: u64) {
 /// per-task-site aggregation) and clear nothing — call [`enable`] to
 /// reset. Returns an empty string while disabled or empty.
 pub fn report() -> String {
-    let mut guard = STATE.lock().unwrap();
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     let Some(state) = guard.as_mut() else {
         return String::new();
     };

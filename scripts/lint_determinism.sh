@@ -1,82 +1,18 @@
 #!/usr/bin/env bash
-# Determinism grep-gate: library crates must not read wall clocks or
-# ambient randomness. Simulation state and every exported experiment
-# artifact are functions of (config, seed) only; the sole sanctioned
-# escape hatches are
+# Determinism gate — thin wrapper over the token-aware dui-lint crate
+# (crates/lint), which replaced the grep/awk patterns that used to live
+# here. The rules, their sanctioned escapes (crates/bench/,
+# crates/telemetry/src/wallclock.rs), the escape-hatch comments, and the
+# grandfathering baseline are documented in EXPERIMENTS.md and in the
+# rustdoc of `dui-lint::rules`.
 #
-#   * crates/bench/            — the harness times stages and owns the CLI
-#   * crates/telemetry/src/wallclock.rs
-#                              — the explicitly non-deterministic
-#                                self-profiler module
-#
-# Everything else matching the forbidden patterns fails the gate.
-# Run from anywhere; exits non-zero with the offending lines on stdout.
+# Extra arguments are passed through, so
+#   scripts/lint_determinism.sh crates/netsim
+# lints a subtree. Exits non-zero iff a finding is not grandfathered by
+# lint.baseline. Also writes results/lint.jsonl (deterministic JSON
+# lines; verify.sh byte-compares two consecutive runs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN='Instant::now|std::time::Instant|SystemTime|thread_rng|rand::'
-
-offenders=$(grep -rnE "$PATTERN" crates --include='*.rs' \
-  | grep -v '^crates/bench/' \
-  | grep -v '^crates/telemetry/src/wallclock.rs:' \
-  || true)
-
-if [ -n "$offenders" ]; then
-  echo "lint_determinism: forbidden wall-clock / randomness source in library code:"
-  echo "$offenders"
-  exit 1
-fi
-
-# ---------------------------------------------------------------------------
-# State-hash stability: a StateHash digest must never fold unordered
-# container iteration, or the "same" state hashes differently across
-# runs. Two rules:
-#
-#   1. crates/replay (the subsystem defining the digests) must not use
-#      HashMap/HashSet at all — everything it hashes is Vec-shaped.
-#   2. Inside any `fn state_digest` / `fn state_hash` body, map/set
-#      iteration (`.keys()`, `.values()`, or a HashMap/HashSet mention)
-#      is forbidden unless that line or the one above carries a
-#      `sorted` marker (a call like `flows_sorted()`, or a comment) or
-#      goes through `write_unordered`, the commutative fold built for
-#      exactly this case.
-
-replay_offenders=$(grep -rnE 'HashMap|HashSet' crates/replay --include='*.rs' \
-  | grep -vE ':[0-9]+:\s*//' \
-  || true)
-if [ -n "$replay_offenders" ]; then
-  echo "lint_determinism: unordered containers are banned in crates/replay:"
-  echo "$replay_offenders"
-  exit 1
-fi
-
-hash_offenders=$(find crates -name '*.rs' -print0 | xargs -0 awk '
-  FNR == 1 { depth = 0; infn = 0; prevmark = 0 }
-  {
-    code = $0
-    sub(/\/\/.*/, "", code)
-    if (infn && code ~ /\.keys\(\)|\.values\(\)|HashMap|HashSet/ \
-             && $0 !~ /sorted|write_unordered/ && !prevmark) {
-      print FILENAME ":" FNR ": " $0
-    }
-    prevmark = ($0 ~ /sorted|write_unordered/)
-    pre = depth
-    tmp = code; opens = gsub(/{/, "{", tmp)
-    tmp = code; closes = gsub(/}/, "}", tmp)
-    depth = pre + opens - closes
-    if (!infn && code ~ /fn (state_digest|state_hash)[ (<]/) {
-      infn = 1
-      fndepth = pre
-    } else if (infn && depth <= fndepth) {
-      infn = 0
-    }
-  }
-')
-if [ -n "$hash_offenders" ]; then
-  echo "lint_determinism: unordered iteration feeding a StateHash digest"
-  echo "(sort first, or fold via StateDigest::write_unordered):"
-  echo "$hash_offenders"
-  exit 1
-fi
-
-echo "lint_determinism: OK"
+exec cargo run -q --release --offline -p dui-lint -- \
+  --json --baseline lint.baseline "$@"

@@ -4,8 +4,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== determinism lint (no wall clock / ambient randomness in libraries) =="
+echo "== determinism lint (dui-lint: token-aware, baseline-gated) =="
 bash scripts/lint_determinism.sh
+cp results/lint.jsonl "$(pwd)/target/lint.jsonl.first"
+bash scripts/lint_determinism.sh >/dev/null 2>&1
+cmp results/lint.jsonl "$(pwd)/target/lint.jsonl.first"
+rm -f "$(pwd)/target/lint.jsonl.first"
+echo "lint.jsonl byte-identical across runs: OK"
 
 echo "== build (release, offline) =="
 cargo build --release --offline

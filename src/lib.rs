@@ -12,5 +12,6 @@
 //!   and every quantitative claim (see EXPERIMENTS.md).
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use dui_core::*;
