@@ -74,6 +74,74 @@ fn bench_event_queue(s: &mut Suite) {
     });
 }
 
+fn bench_queue_impls(s: &mut Suite) {
+    use dui_core::netsim::arena::PacketArena;
+    use dui_core::netsim::packet::Packet;
+    use dui_core::netsim::wheel::{BaselineHeapQueue, TimerWheel};
+
+    // Dense-timer steady state: 4096 pending timers, one schedule + one
+    // pop per iteration. The heap pays O(log n) sifts per operation; the
+    // wheel pays O(1) slot pushes plus amortized cascades. This pair is
+    // the before/after of the event-queue refactor.
+    const DENSE: u64 = 4096;
+    let mut heap: BaselineHeapQueue<u64> = BaselineHeapQueue::new();
+    let mut t = 0u64;
+    for i in 0..DENSE {
+        heap.schedule((i * 251) % 1_000_000, i);
+    }
+    s.bench("event_queue_dense_heap_baseline", move || {
+        t += 17;
+        heap.schedule(t % 1_000_000, t);
+        heap.pop()
+    });
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    let mut t = 0u64;
+    for i in 0..DENSE {
+        wheel.schedule((i * 251) % 1_000_000, i);
+    }
+    s.bench("event_queue_dense_timer_wheel", move || {
+        t += 17;
+        wheel.schedule(t % 1_000_000, t);
+        wheel.pop()
+    });
+
+    // Packet transport: move the ~88-byte body through the pending queue
+    // (pre-arena behavior) vs. park it in the slab once and move an
+    // 8-byte handle.
+    fn bench_pkt() -> Packet {
+        Packet::udp(
+            FlowKey::udp(Addr::new(198, 18, 0, 1), 5000, Addr::new(10, 0, 0, 1), 80),
+            1000,
+        )
+    }
+    const PENDING: u64 = 1024;
+    let mut q: BaselineHeapQueue<Packet> = BaselineHeapQueue::new();
+    let mut t = 0u64;
+    for i in 0..PENDING {
+        q.schedule((i * 251) % 1_000_000, bench_pkt());
+    }
+    s.bench("packet_queue_byvalue", move || {
+        t += 17;
+        let mut p = bench_pkt();
+        p.payload = t as u32;
+        q.schedule(t % 1_000_000, p);
+        q.pop()
+    });
+    let mut arena = PacketArena::new();
+    let mut w: TimerWheel<dui_core::netsim::arena::PacketRef> = TimerWheel::new();
+    let mut t = 0u64;
+    for i in 0..PENDING {
+        w.schedule((i * 251) % 1_000_000, arena.insert(bench_pkt()));
+    }
+    s.bench("packet_queue_arena_handle", move || {
+        t += 17;
+        let mut p = bench_pkt();
+        p.payload = t as u32;
+        w.schedule(t % 1_000_000, arena.insert(p));
+        w.pop().map(|(_, r)| arena.take(r).expect("live handle"))
+    });
+}
+
 fn bench_theory(s: &mut Suite) {
     let bin = Binomial::new(64, 0.37);
     s.bench("binomial_quantile_n64", move || bin.quantile(0.95));
@@ -269,6 +337,7 @@ fn main() {
     let mut s = Suite::new(cfg);
     bench_flow_selector(&mut s);
     bench_event_queue(&mut s);
+    bench_queue_impls(&mut s);
     bench_theory(&mut s);
     bench_pcc_controller(&mut s);
     bench_pytheas_ucb(&mut s);

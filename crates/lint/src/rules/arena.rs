@@ -1,0 +1,95 @@
+//! `arena/no-packet-clone`: packet bodies live in the `dui-netsim`
+//! `PacketArena` slab and move by 8-byte handle; cloning a `Packet`
+//! anywhere else silently reintroduces
+//! the by-value copies the arena refactor removed. The one sanctioned
+//! clone site is `PacketArena::snapshot_packet` (checkpoint
+//! materialization) inside `crates/netsim/src/arena.rs`, which this rule
+//! exempts wholesale.
+//!
+//! Token patterns caught (alias-unaware on purpose — `Packet` is never
+//! re-aliased in this workspace):
+//!
+//! 1. `Packet::clone(..)` / `<Packet as Clone>::clone(..)` — an explicit
+//!    path call through the type.
+//! 2. `.clone()` / `.cloned()` whose receiver token names a packet
+//!    (`pkt`, `packet`, or any ident containing those stems, e.g.
+//!    `in_flight_pkt`).
+//!
+//! Scope: library paths only, `#[cfg(test)]` bodies excluded (tests
+//! build fixtures by value).
+//!
+//! Escape hatch: `// lint: allow(packet-clone): <reason>` on the
+//! offending line or the line above, mirroring the panic rule.
+
+use super::{finding_at, PathClass};
+use crate::findings::{Finding, Severity};
+use crate::lexer::TokKind;
+use crate::scan::ScannedFile;
+
+const RULE: &str = "arena/no-packet-clone";
+
+/// The escape-hatch annotation.
+pub const ALLOW: &str = "lint: allow(packet-clone)";
+
+/// True if `text` names a packet binding by convention.
+fn names_packet(text: &str) -> bool {
+    let lower = text.to_ascii_lowercase();
+    lower.contains("pkt") || lower.contains("packet")
+}
+
+/// `arena/no-packet-clone`.
+pub fn no_packet_clone(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
+    let class = PathClass::of(file);
+    if !class.is_library_src() || class.is_arena_module() {
+        return;
+    }
+    for i in 0..file.code.len() {
+        let t = file.ct(i);
+        if t.kind != TokKind::Ident || (t.text != "clone" && t.text != "cloned") {
+            continue;
+        }
+        if file.ctx.get(i).is_some_and(|c| c.in_cfg_test) {
+            continue;
+        }
+        if file.ctext(i + 1) != "(" {
+            continue;
+        }
+        let what = match file.ctext(i.wrapping_sub(1)) {
+            // `Packet::clone(..)` or `<Packet as Clone>::clone(..)`.
+            ":" if t.text == "clone" && file.ctext(i.wrapping_sub(3)) == "Packet" => {
+                Some("Packet::clone(..)".to_string())
+            }
+            // `.clone()` / `.cloned()` on a packet-named receiver. The
+            // receiver is the ident two tokens back, possibly behind a
+            // closing `)` / `]` of a call or index chain — only the
+            // plain-ident form is checked; chained calls go through the
+            // explicit-path pattern or the receiver's own name.
+            "." => {
+                let recv = file.ctext(i.wrapping_sub(2));
+                if names_packet(recv) {
+                    Some(format!("{recv}.{}()", t.text))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            if file.line_or_above_contains(t.line, ALLOW) {
+                continue;
+            }
+            out.push(finding_at(
+                file,
+                i,
+                RULE,
+                Severity::Warning,
+                format!(
+                    "{what} copies a packet body outside the arena — move the \
+                     PacketRef handle instead, or snapshot via \
+                     PacketArena::snapshot_packet; if the copy is deliberate, \
+                     annotate with `// {ALLOW}: <reason>`"
+                ),
+            ));
+        }
+    }
+}

@@ -8,13 +8,16 @@
 //! | `panic/library-unwrap` | warning | no `unwrap` / `expect` / `panic!` in library paths outside `#[cfg(test)]` |
 //! | `cast/lossy-in-digest` | warning | no `as u64` / `as f64` inside digest/StateHash paths |
 //! | `docs/missing-deny` | warning | every library crate root carries `#![deny(missing_docs)]` |
+//! | `arena/no-packet-clone` | warning | no `Packet` clones outside `crates/netsim/src/arena.rs` — packets move by handle |
 //!
 //! Sanctioned escapes (documented per rule): `crates/bench/` and
 //! `crates/telemetry/src/wallclock.rs` for the determinism rules;
 //! `sorted` / `write_unordered` markers for the hash rule;
-//! `// lint: allow(panic)` and `// lint: allow(cast)` annotations for
-//! the panic and cast rules.
+//! `// lint: allow(panic)`, `// lint: allow(cast)`, and
+//! `// lint: allow(packet-clone)` annotations for the panic, cast, and
+//! arena rules.
 
+pub mod arena;
 pub mod casts;
 pub mod determinism;
 pub mod docs;
@@ -32,6 +35,7 @@ pub const RULE_IDS: &[&str] = &[
     "panic/library-unwrap",
     "cast/lossy-in-digest",
     "docs/missing-deny",
+    "arena/no-packet-clone",
 ];
 
 /// Run every rule over one scanned file.
@@ -42,6 +46,7 @@ pub fn check_file(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
     panics::library_unwrap(file, out);
     casts::lossy_in_digest(file, out);
     docs::missing_deny(file, out);
+    arena::no_packet_clone(file, out);
 }
 
 /// Path classification shared by the rules. Paths are repo-relative
@@ -83,6 +88,12 @@ impl<'a> PathClass<'a> {
     /// outright there)?
     pub fn is_replay(&self) -> bool {
         self.path.starts_with("crates/replay/")
+    }
+
+    /// The packet arena itself — the one sanctioned `Packet` clone site
+    /// (`snapshot_packet`), exempt from `arena/no-packet-clone`.
+    pub fn is_arena_module(&self) -> bool {
+        self.path == "crates/netsim/src/arena.rs"
     }
 
     /// A digest-defining file for `cast/lossy-in-digest` scoping.

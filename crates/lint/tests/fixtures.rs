@@ -120,3 +120,25 @@ fn docs_rule_only_applies_to_crate_roots() {
     let src = include_str!("fixtures/docs_bad.rs");
     assert_eq!(count(LIB, src, "docs/missing-deny"), 0);
 }
+
+#[test]
+fn arena_bad_fires_on_method_path_and_stem_receivers() {
+    let src = include_str!("fixtures/arena_bad.rs");
+    // pkt.clone(), Packet::clone(packet), in_flight_pkt.clone().
+    assert_eq!(count(LIB, src, "arena/no-packet-clone"), 3);
+}
+
+#[test]
+fn arena_clean_handles_annotations_and_tests_pass() {
+    let src = include_str!("fixtures/arena_clean.rs");
+    assert_eq!(count(LIB, src, "arena/no-packet-clone"), 0);
+}
+
+#[test]
+fn arena_module_itself_is_exempt() {
+    let src = include_str!("fixtures/arena_bad.rs");
+    assert_eq!(
+        count("crates/netsim/src/arena.rs", src, "arena/no-packet-clone"),
+        0
+    );
+}

@@ -1,0 +1,22 @@
+// BAD: packet bodies copied by value outside the arena module.
+pub struct Packet {
+    pub size: u32,
+}
+
+impl Clone for Packet {
+    fn clone(&self) -> Self {
+        Packet { size: self.size }
+    }
+}
+
+pub fn requeue(pkt: &Packet, out: &mut Vec<Packet>) {
+    out.push(pkt.clone());
+}
+
+pub fn duplicate(packet: &Packet) -> Packet {
+    Packet::clone(packet)
+}
+
+pub fn drain(in_flight_pkt: &Option<Packet>) -> Option<Packet> {
+    in_flight_pkt.clone()
+}

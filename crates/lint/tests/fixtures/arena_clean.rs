@@ -1,0 +1,27 @@
+// CLEAN: packets move by handle; the only copies are annotated or are
+// of non-packet values.
+#[derive(Clone, Copy)]
+pub struct PacketRef(pub u32, pub u32);
+
+pub fn forward(r: PacketRef, out: &mut Vec<PacketRef>) {
+    out.push(r); // handles are Copy — no body duplicated
+}
+
+pub fn label(name: &String) -> String {
+    name.clone() // not a packet; receiver name has no packet stem
+}
+
+pub fn sanctioned(pkt: &Vec<u8>) -> Vec<u8> {
+    // lint: allow(packet-clone): checkpoint materialization fixture
+    pkt.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixtures_may_clone() {
+        let pkt = vec![1u8, 2];
+        let copy = pkt.clone();
+        assert_eq!(copy.len(), 2);
+    }
+}

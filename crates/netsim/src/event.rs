@@ -1,26 +1,36 @@
 //! The discrete-event queue.
 //!
-//! A binary min-heap ordered by `(time, sequence)`. The monotone sequence
-//! number makes event ordering at equal timestamps FIFO and therefore the
-//! whole simulation deterministic.
+//! Events are ordered by `(time, sequence)`: the monotone sequence number
+//! makes event ordering at equal timestamps FIFO and therefore the whole
+//! simulation deterministic. Scheduling is backed by the hierarchical
+//! timing wheel in [`crate::wheel`] (`O(1)` schedule/pop against the old
+//! binary heap's `O(log n)`), which honors exactly the same ordering
+//! contract.
+//!
+//! Live events carry packets as 8-byte [`PacketRef`] handles into the
+//! [`PacketArena`]; the self-contained [`SavedEvent`] twin (with the packet
+//! by value) exists for checkpoints and the `dui-replay` byte codec, whose
+//! formats and digests predate the arena and must not change.
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::link::Dir;
 use crate::packet::Packet;
 use crate::time::SimTime;
 use crate::topology::{LinkId, NodeId};
+use crate::wheel::{TimerWheel, WheelStats};
 use dui_stats::digest::StateDigest;
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
 
-/// Things that can happen.
-#[derive(Debug, Clone)]
+/// Things that can happen. Packet-carrying variants hold an arena handle,
+/// so an `Event` is a small `Copy` value (~24 bytes) regardless of packet
+/// contents.
+#[derive(Debug, Clone, Copy)]
 pub enum Event {
     /// A packet arrives at a node (after crossing a link).
     Deliver {
         /// Receiving node.
         node: NodeId,
-        /// The packet.
-        pkt: Packet,
+        /// Handle to the packet in the engine's [`PacketArena`].
+        pkt: PacketRef,
     },
     /// A link direction finished serializing its in-flight packet.
     TxComplete {
@@ -43,8 +53,8 @@ pub enum Event {
         link: LinkId,
         /// Direction.
         dir: Dir,
-        /// The packet.
-        pkt: Packet,
+        /// Handle to the packet in the engine's [`PacketArena`].
+        pkt: PacketRef,
     },
 }
 
@@ -60,13 +70,17 @@ impl Event {
     }
 
     /// Fold the event's full content into `d` (kind tag first, so
-    /// different kinds can never collide structurally).
-    pub fn state_digest(&self, d: &mut StateDigest) {
+    /// different kinds can never collide structurally). Handles are an
+    /// implementation detail: packet *contents* are resolved through
+    /// `arena` and digested by value, byte-identical to [`SavedEvent`]'s
+    /// digest — this is what keeps pre-refactor golden hashes valid.
+    pub fn state_digest(&self, d: &mut StateDigest, arena: &PacketArena) {
         match self {
             Event::Deliver { node, pkt } => {
                 d.write_u8(0);
                 d.write_usize(node.0);
-                pkt.state_digest(d);
+                let p = arena.get(*pkt).expect("live event holds a stale packet ref"); // lint: allow(panic)
+                p.state_digest(d);
             }
             Event::TxComplete { link, dir } => {
                 d.write_u8(1);
@@ -82,41 +96,136 @@ impl Event {
                 d.write_u8(3);
                 d.write_usize(link.0);
                 d.write_bool(*dir == Dir::BtoA);
-                pkt.state_digest(d);
+                let p = arena.get(*pkt).expect("live event holds a stale packet ref"); // lint: allow(panic)
+                p.state_digest(d);
             }
+        }
+    }
+
+    /// Materialize a self-contained [`SavedEvent`], cloning any packet out
+    /// of `arena` (the clone happens inside the arena module).
+    pub fn to_saved(&self, arena: &PacketArena) -> SavedEvent {
+        match *self {
+            Event::Deliver { node, pkt } => SavedEvent::Deliver {
+                node,
+                pkt: arena
+                    .snapshot_packet(pkt)
+                    .expect("live event holds a stale packet ref"), // lint: allow(panic)
+            },
+            Event::TxComplete { link, dir } => SavedEvent::TxComplete { link, dir },
+            Event::Timer { node, token } => SavedEvent::Timer { node, token },
+            Event::Offer { link, dir, pkt } => SavedEvent::Offer {
+                link,
+                dir,
+                pkt: arena
+                    .snapshot_packet(pkt)
+                    .expect("live event holds a stale packet ref"), // lint: allow(panic)
+            },
         }
     }
 }
 
-#[derive(Debug)]
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    event: Event,
+/// A self-contained event: identical shape to [`Event`] but carrying
+/// packets by value. This is the representation checkpoints store and the
+/// `dui-replay` codec serializes — it needs no arena to interpret, and its
+/// byte format and digests are unchanged from the pre-arena engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SavedEvent {
+    /// A packet arrives at a node.
+    Deliver {
+        /// Receiving node.
+        node: NodeId,
+        /// The packet, by value.
+        pkt: Packet,
+    },
+    /// A link direction finished serializing its in-flight packet.
+    TxComplete {
+        /// The link.
+        link: LinkId,
+        /// Direction that completed.
+        dir: Dir,
+    },
+    /// A node timer fired.
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// Opaque token chosen by the node when arming the timer.
+        token: u64,
+    },
+    /// A (tap-delayed) packet is re-offered to a link queue.
+    Offer {
+        /// The link.
+        link: LinkId,
+        /// Direction.
+        dir: Dir,
+        /// The packet, by value.
+        pkt: Packet,
+    },
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl SavedEvent {
+    /// Short label for the event kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SavedEvent::Deliver { .. } => "deliver",
+            SavedEvent::TxComplete { .. } => "tx_complete",
+            SavedEvent::Timer { .. } => "timer",
+            SavedEvent::Offer { .. } => "offer",
+        }
     }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+    /// Fold the event's full content into `d` — byte-identical to
+    /// [`Event::state_digest`] on the live twin.
+    pub fn state_digest(&self, d: &mut StateDigest) {
+        match self {
+            SavedEvent::Deliver { node, pkt } => {
+                d.write_u8(0);
+                d.write_usize(node.0);
+                pkt.state_digest(d);
+            }
+            SavedEvent::TxComplete { link, dir } => {
+                d.write_u8(1);
+                d.write_usize(link.0);
+                d.write_bool(*dir == Dir::BtoA);
+            }
+            SavedEvent::Timer { node, token } => {
+                d.write_u8(2);
+                d.write_usize(node.0);
+                d.write_u64(*token);
+            }
+            SavedEvent::Offer { link, dir, pkt } => {
+                d.write_u8(3);
+                d.write_usize(link.0);
+                d.write_bool(*dir == Dir::BtoA);
+                pkt.state_digest(d);
+            }
+        }
     }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+
+    /// Rehydrate into a live [`Event`], moving any packet into `arena`
+    /// (no clone — restore consumes the saved event).
+    pub fn into_live(self, arena: &mut PacketArena) -> Event {
+        match self {
+            SavedEvent::Deliver { node, pkt } => Event::Deliver {
+                node,
+                pkt: arena.insert(pkt),
+            },
+            SavedEvent::TxComplete { link, dir } => Event::TxComplete { link, dir },
+            SavedEvent::Timer { node, token } => Event::Timer { node, token },
+            SavedEvent::Offer { link, dir, pkt } => Event::Offer {
+                link,
+                dir,
+                pkt: arena.insert(pkt),
+            },
+        }
     }
 }
 
-/// Deterministic FIFO-at-equal-time event queue.
+/// Deterministic FIFO-at-equal-time event queue over a hierarchical
+/// timing wheel.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<Scheduled>>,
-    next_seq: u64,
+    wheel: TimerWheel<Event>,
 }
 
 impl EventQueue {
@@ -127,46 +236,55 @@ impl EventQueue {
 
     /// Schedule `event` at absolute time `time`.
     pub fn schedule(&mut self, time: SimTime, event: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Reverse(Scheduled { time, seq, event }));
+        self.wheel.schedule(time.0, event);
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(s)| s.time)
+        self.wheel.peek_time().map(SimTime)
     }
 
     /// Pop the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|Reverse(s)| (s.time, s.event))
+        self.wheel.pop().map(|(t, e)| (SimTime(t), e))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
     }
 
-    /// Pending events cloned out in dispatch order — exactly the order
-    /// [`EventQueue::pop`] would return them.
+    /// The wheel's internal work counters (cascades, overflow deferrals).
+    pub fn wheel_stats(&self) -> WheelStats {
+        self.wheel.stats()
+    }
+
+    /// Pending events in dispatch order — exactly the order
+    /// [`EventQueue::pop`] would return them — as *borrows*. No event or
+    /// packet is cloned.
     ///
-    /// Used by checkpointing: the *relative* order is the logical
-    /// state, while the absolute `seq` values are an implementation
-    /// detail (a restored queue re-schedules these in order and gets
-    /// fresh, order-preserving sequence numbers).
-    pub fn snapshot_sorted(&self) -> Vec<(SimTime, Event)> {
-        let mut v: Vec<(SimTime, u64, &Event)> = self
-            .heap
-            .iter()
-            .map(|Reverse(s)| (s.time, s.seq, &s.event))
-            .collect();
+    /// The *relative* order is the logical state, while the absolute `seq`
+    /// values are an implementation detail (a restored queue re-schedules
+    /// these in order and gets fresh, order-preserving sequence numbers).
+    pub fn snapshot_refs(&self) -> Vec<(SimTime, &Event)> {
+        let mut v: Vec<(u64, u64, &Event)> = self.wheel.iter();
         v.sort_unstable_by_key(|&(t, q, _)| (t, q));
-        v.into_iter().map(|(t, _, e)| (t, e.clone())).collect()
+        v.into_iter().map(|(t, _, e)| (SimTime(t), e)).collect()
+    }
+
+    /// Pending events materialized in dispatch order for checkpointing:
+    /// each packet is cloned out of `arena` exactly once, into the
+    /// returned Vec.
+    pub fn snapshot_sorted(&self, arena: &PacketArena) -> Vec<(SimTime, SavedEvent)> {
+        self.snapshot_refs()
+            .into_iter()
+            .map(|(t, e)| (t, e.to_saved(arena)))
+            .collect()
     }
 }
 
@@ -221,5 +339,48 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn snapshot_refs_is_dispatch_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), timer(0, 20));
+        q.schedule(SimTime::from_secs(1), timer(0, 10));
+        q.schedule(SimTime::from_secs(1), timer(0, 11));
+        let tokens: Vec<u64> = q
+            .snapshot_refs()
+            .into_iter()
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => *token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tokens, vec![10, 11, 20]);
+    }
+
+    #[test]
+    fn saved_event_digest_matches_live() {
+        use crate::packet::{Addr, FlowKey};
+        let mut arena = PacketArena::new();
+        let pkt = Packet::udp(
+            FlowKey::udp(Addr::new(10, 0, 0, 1), 1, Addr::new(10, 0, 0, 2), 2),
+            99,
+        );
+        let saved = SavedEvent::Deliver {
+            node: NodeId(3),
+            pkt: pkt.clone(), // lint: allow(packet-clone) — constructing the expected fixture
+        };
+        let live = Event::Deliver {
+            node: NodeId(3),
+            pkt: arena.insert(pkt),
+        };
+        let mut d1 = StateDigest::labeled("event");
+        saved.state_digest(&mut d1);
+        let mut d2 = StateDigest::labeled("event");
+        live.state_digest(&mut d2, &arena);
+        assert_eq!(d1.finish(), d2.finish());
+        // Round trip: saved → live → saved.
+        let live2 = saved.clone().into_live(&mut arena);
+        assert_eq!(live2.to_saved(&arena), saved);
     }
 }

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod event;
 pub mod link;
 pub mod node;
@@ -53,9 +54,11 @@ pub mod sim;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod wheel;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
+    pub use crate::arena::{PacketArena, PacketRef, StaleRef};
     pub use crate::link::{Dir, FaultConfig, LinkTap, TapAction};
     pub use crate::node::{
         DataPlaneProgram, IcmpRewriter, NodeLogic, RouterLogic, SinkHost, Verdict,

@@ -13,6 +13,7 @@
 //!    but cannot do anything elsewhere in the network),
 //! 4. the DropTail queue + transmitter.
 
+use crate::arena::PacketRef;
 use crate::packet::Packet;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkInfo, NodeId};
@@ -84,12 +85,14 @@ pub struct FaultConfig {
     pub jitter_max: Option<SimDuration>,
 }
 
-/// Per-direction transmitter + queue state.
+/// Per-direction transmitter + queue state. Queued and in-flight packets
+/// live in the engine's [`crate::arena::PacketArena`]; the link holds only
+/// their handles.
 #[derive(Debug, Default)]
 pub(crate) struct DirState {
-    pub queue: VecDeque<Packet>,
+    pub queue: VecDeque<PacketRef>,
     /// Packet currently being serialized, if any.
-    pub in_flight: Option<Packet>,
+    pub in_flight: Option<PacketRef>,
     pub fault: FaultConfig,
 }
 

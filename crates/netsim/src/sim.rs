@@ -1,16 +1,18 @@
 //! The simulation engine: core state, the node-facing [`Ctx`] handle, and
 //! the top-level [`Simulator`].
 
-use crate::event::{Event, EventQueue};
+use crate::arena::{PacketArena, PacketRef};
+use crate::event::{Event, EventQueue, SavedEvent};
 use crate::link::{Dir, FaultConfig, LinkDirStats, LinkRuntime, LinkTap, TapAction};
 use crate::node::NodeLogic;
 use crate::packet::{Addr, Packet, Prefix};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, NodeId, PrefixTable, Routing, Topology};
 use crate::trace::{Counters, Trace, TraceEvent, TraceKind};
+use crate::wheel::WheelStats;
 use dui_stats::digest::StateDigest;
 use dui_stats::Rng;
-use dui_telemetry::{CounterId, HistId, Registry, Snapshot, SpanRecorder};
+use dui_telemetry::{CounterId, GaugeId, HistId, Registry, Snapshot, SpanRecorder};
 
 /// Pre-registered metric ids for the engine's own accounting. Resolving
 /// names to ids once at construction keeps the per-packet record path at
@@ -30,6 +32,20 @@ pub(crate) struct EngineMetrics {
     pub queue_depth: HistId,
     /// Lazily-registered `netsim.program.forward.<node>` counters.
     pub program_forward: Vec<Option<CounterId>>,
+    // Structural metrics for the handle-based core: arena occupancy
+    // gauges and wheel work counters, synced at run boundaries (not per
+    // event) so the hot path stays untouched.
+    pub arena_live: GaugeId,
+    pub arena_capacity: GaugeId,
+    pub arena_high_water: GaugeId,
+    pub arena_recycled: CounterId,
+    pub wheel_cascades: CounterId,
+    pub wheel_cascaded_entries: CounterId,
+    pub wheel_deferred: CounterId,
+    /// Wheel stats at the last sync (counters export deltas).
+    pub last_wheel: WheelStats,
+    /// Arena recycle count at the last sync.
+    pub last_recycled: u64,
 }
 
 impl EngineMetrics {
@@ -48,6 +64,15 @@ impl EngineMetrics {
             dropped_no_route: reg.counter("netsim.drop.no_route"),
             queue_depth: reg.histogram("netsim.link.queue_depth"),
             program_forward: vec![None; nodes],
+            arena_live: reg.gauge("netsim.arena.live"),
+            arena_capacity: reg.gauge("netsim.arena.capacity"),
+            arena_high_water: reg.gauge("netsim.arena.high_water"),
+            arena_recycled: reg.counter("netsim.arena.recycled"),
+            wheel_cascades: reg.counter("netsim.wheel.cascades"),
+            wheel_cascaded_entries: reg.counter("netsim.wheel.cascaded_entries"),
+            wheel_deferred: reg.counter("netsim.wheel.deferred"),
+            last_wheel: WheelStats::default(),
+            last_recycled: 0,
         }
     }
 }
@@ -58,6 +83,7 @@ impl EngineMetrics {
 pub struct SimCore {
     now: SimTime,
     queue: EventQueue,
+    arena: PacketArena,
     topo: Topology,
     routing: Routing,
     prefixes: PrefixTable,
@@ -164,6 +190,7 @@ impl SimCore {
             if pkt.id == 0 {
                 self.registry.inc(self.metrics.created);
             }
+            let pkt = self.arena.insert(pkt);
             self.queue
                 .schedule(self.now, Event::Deliver { node: from, pkt });
             return;
@@ -180,7 +207,8 @@ impl SimCore {
         self.send_via(from, next, pkt);
     }
 
-    /// Send a packet from `from` to adjacent node `next`.
+    /// Send a packet from `from` to adjacent node `next`. The packet body
+    /// enters the arena here; from this point on it moves by handle.
     fn send_via(&mut self, from: NodeId, next: NodeId, mut pkt: Packet) {
         self.assign_id(&mut pkt);
         let Some(link) = self.topo.link_between(from, next) else {
@@ -191,18 +219,32 @@ impl SimCore {
             );
         };
         let dir = self.links[link.0].dir_from(from);
+        let pkt = self.arena.insert(pkt);
         self.offer_link(link, dir, pkt);
     }
 
+    /// Resolve a live handle the engine itself issued. A stale handle here
+    /// is an engine invariant violation, not a recoverable condition.
+    fn pkt(&self, r: PacketRef) -> &Packet {
+        self.arena.get(r).expect("engine holds a stale packet ref") // lint: allow(panic)
+    }
+
+    /// Remove a packet the engine is done with (drop or delivery),
+    /// recycling its arena slot.
+    fn take_pkt(&mut self, r: PacketRef) -> Packet {
+        self.arena.take(r).expect("engine holds a stale packet ref") // lint: allow(panic)
+    }
+
     /// Offer a packet to a link direction: faults → taps → queue.
-    fn offer_link(&mut self, link: LinkId, dir: Dir, mut pkt: Packet) {
+    fn offer_link(&mut self, link: LinkId, dir: Dir, pkt: PacketRef) {
         self.links[link.0].stats_mut(dir).offered += 1;
         // 1. link up / fault injection
         let mut extra = SimDuration::ZERO;
         if !self.links[link.0].apply_fault(dir, &mut self.rng, &mut extra) {
             self.registry.inc(self.metrics.dropped_fault);
+            let dropped = self.take_pkt(pkt);
             self.trace
-                .record(self.now, TraceKind::FaultDrop, None, &pkt);
+                .record(self.now, TraceKind::FaultDrop, None, &dropped);
             return;
         }
         // 2. taps (MitM)
@@ -210,7 +252,11 @@ impl SimCore {
         let mut verdict = TapAction::Forward;
         let mut injected = Vec::new();
         for tap in &mut taps {
-            match tap.intercept(self.now, dir, &mut pkt, &mut injected) {
+            let body = self
+                .arena
+                .get_mut(pkt)
+                .expect("engine holds a stale packet ref"); // lint: allow(panic)
+            match tap.intercept(self.now, dir, body, &mut injected) {
                 TapAction::Forward => {}
                 other => {
                     verdict = other;
@@ -222,6 +268,7 @@ impl SimCore {
         for extra_pkt in injected {
             let mut p = extra_pkt;
             self.assign_id(&mut p);
+            let p = self.arena.insert(p);
             self.queue
                 .schedule(self.now, Event::Offer { link, dir, pkt: p });
         }
@@ -230,10 +277,14 @@ impl SimCore {
             TapAction::Drop => {
                 self.links[link.0].stats_mut(dir).dropped_tap += 1;
                 self.registry.inc(self.metrics.dropped_tap);
-                self.trace.record(self.now, TraceKind::TapDrop, None, &pkt);
+                let dropped = self.take_pkt(pkt);
+                self.trace
+                    .record(self.now, TraceKind::TapDrop, None, &dropped);
                 return;
             }
             TapAction::Delay(d) => {
+                // The tap's delay buffer is the wheel itself: the handle
+                // parks in its slot until the re-offer fires.
                 self.queue
                     .schedule(self.now + d, Event::Offer { link, dir, pkt });
                 return;
@@ -249,7 +300,7 @@ impl SimCore {
     }
 
     /// DropTail enqueue + transmitter start.
-    pub(crate) fn enqueue_link(&mut self, link: LinkId, dir: Dir, pkt: Packet) {
+    pub(crate) fn enqueue_link(&mut self, link: LinkId, dir: Dir, pkt: PacketRef) {
         let cap = self.links[link.0].info.queue_cap;
         let lr = &mut self.links[link.0];
         let st = lr.dir_state(dir);
@@ -260,8 +311,9 @@ impl SimCore {
                 self.registry.inc(self.metrics.dropped_queue);
                 self.registry
                     .record(self.metrics.queue_depth, depth as u64);
+                let dropped = self.take_pkt(pkt);
                 self.trace
-                    .record(self.now, TraceKind::QueueDrop, None, &pkt);
+                    .record(self.now, TraceKind::QueueDrop, None, &dropped);
                 return;
             }
             st.queue.push_back(pkt);
@@ -271,10 +323,11 @@ impl SimCore {
         self.registry.record(self.metrics.queue_depth, depth as u64);
     }
 
-    fn start_tx(&mut self, link: LinkId, dir: Dir, pkt: Packet) {
+    fn start_tx(&mut self, link: LinkId, dir: Dir, pkt: PacketRef) {
         let bw = self.links[link.0].info.bandwidth;
-        let ser = bw.serialization_delay(pkt.size);
-        self.trace.record(self.now, TraceKind::TxStart, None, &pkt);
+        let ser = bw.serialization_delay(self.pkt(pkt).size);
+        self.trace
+            .record(self.now, TraceKind::TxStart, None, self.arena.get(pkt).expect("engine holds a stale packet ref")); // lint: allow(panic)
         self.links[link.0].dir_state(dir).in_flight = Some(pkt);
         self.queue
             .schedule(self.now + ser, Event::TxComplete { link, dir });
@@ -283,21 +336,59 @@ impl SimCore {
     pub(crate) fn tx_complete(&mut self, link: LinkId, dir: Dir) {
         let prop = self.links[link.0].info.delay;
         let dst = self.links[link.0].dst_node(dir);
-        let lr = &mut self.links[link.0];
-        let pkt = lr
+        let pkt = self.links[link.0]
             .dir_state(dir)
             .in_flight
             .take()
             .expect("tx_complete with no in-flight packet");
-        let stats = lr.stats_mut(dir);
+        let size = self.pkt(pkt).size;
+        let stats = self.links[link.0].stats_mut(dir);
         stats.delivered += 1;
-        stats.bytes_delivered += pkt.size as u64;
+        stats.bytes_delivered += size as u64;
         self.queue
             .schedule(self.now + prop, Event::Deliver { node: dst, pkt });
         // Start next queued packet, if any.
         if let Some(next) = self.links[link.0].dir_state(dir).queue.pop_front() {
             self.start_tx(link, dir, next);
         }
+    }
+
+    /// The packet arena (read-only; occupancy statistics).
+    pub fn arena(&self) -> &PacketArena {
+        &self.arena
+    }
+
+    /// Sync arena occupancy gauges and wheel work counters into the
+    /// metrics registry. Called at run boundaries, not per event, so the
+    /// hot path carries no metrics cost.
+    pub(crate) fn sync_structural_metrics(&mut self) {
+        let ws = self.queue.wheel_stats();
+        let m = &mut self.metrics;
+        self.registry.add(
+            m.wheel_cascades,
+            ws.cascades.saturating_sub(m.last_wheel.cascades),
+        );
+        self.registry.add(
+            m.wheel_cascaded_entries,
+            ws.cascaded_entries
+                .saturating_sub(m.last_wheel.cascaded_entries),
+        );
+        self.registry.add(
+            m.wheel_deferred,
+            ws.deferred.saturating_sub(m.last_wheel.deferred),
+        );
+        m.last_wheel = ws;
+        let recycled = self.arena.recycled();
+        self.registry.add(
+            m.arena_recycled,
+            recycled.saturating_sub(m.last_recycled),
+        );
+        m.last_recycled = recycled;
+        self.registry.observe(m.arena_live, self.arena.live() as f64);
+        self.registry
+            .observe(m.arena_capacity, self.arena.capacity() as f64);
+        self.registry
+            .observe(m.arena_high_water, self.arena.high_water() as f64);
     }
 }
 
@@ -459,8 +550,9 @@ pub struct EngineCheckpoint {
     pub next_pkt_id: u64,
     /// Whether `on_start` hooks have already run.
     pub started: bool,
-    /// Pending events, sorted in dispatch order.
-    pub events: Vec<(SimTime, Event)>,
+    /// Pending events, sorted in dispatch order (self-contained: packets
+    /// by value, no arena needed to interpret them).
+    pub events: Vec<(SimTime, SavedEvent)>,
     /// Per-link state, indexed by `LinkId`.
     pub links: Vec<LinkCheckpoint>,
     /// Per-node logic blobs (`None` = no logic installed on that node).
@@ -507,6 +599,7 @@ impl Simulator {
             core: SimCore {
                 now: SimTime::ZERO,
                 queue: EventQueue::new(),
+                arena: PacketArena::new(),
                 topo,
                 routing,
                 prefixes: PrefixTable::new(),
@@ -655,6 +748,7 @@ impl Simulator {
             self.dispatch(time, event);
         }
         self.core.now = t;
+        self.core.sync_structural_metrics();
     }
 
     /// Dispatch one event, maintaining delivery counters and (when
@@ -672,9 +766,12 @@ impl Simulator {
         match event {
             Event::Deliver { node, pkt } => {
                 self.core.registry.inc(self.core.metrics.delivered);
+                // Delivery retires the handle: the body moves out of the
+                // arena (recycling the slot) and into the node logic.
+                let body = self.core.take_pkt(pkt);
                 self.core
                     .trace
-                    .record(time, TraceKind::Deliver, Some(node), &pkt);
+                    .record(time, TraceKind::Deliver, Some(node), &body);
                 if let Some(mut logic) = self.logics[node.0].take() {
                     if self.core.topo.node(node).kind == crate::topology::NodeKind::Host {
                         self.core
@@ -685,7 +782,7 @@ impl Simulator {
                         core: &mut self.core,
                         node,
                     };
-                    logic.on_packet(&mut ctx, pkt);
+                    logic.on_packet(&mut ctx, body);
                     self.logics[node.0] = Some(logic);
                 } else {
                     // No behavior installed: node is a pure sink.
@@ -725,13 +822,14 @@ impl Simulator {
                 self.core.now = time;
                 let kind = event.kind();
                 let mut d = StateDigest::labeled("event");
-                event.state_digest(&mut d);
+                event.state_digest(&mut d, &self.core.arena);
                 let digest = d.finish();
                 self.dispatch(time, event);
                 Some(SteppedEvent { time, kind, digest })
             }
             _ => {
                 self.core.now = limit;
+                self.core.sync_structural_metrics();
                 None
             }
         }
@@ -751,11 +849,14 @@ impl Simulator {
             d.write_u64(w);
         }
         d.write_bool(self.started);
-        let events = self.core.queue.snapshot_sorted();
+        // Events and link queues hold handles; resolve each through the
+        // arena and digest the packet *contents*, byte-identical to the
+        // pre-arena engine (golden hashes must not change).
+        let events = self.core.queue.snapshot_refs();
         d.write_len(events.len());
         for (t, e) in &events {
             d.write_u64(t.0);
-            e.state_digest(d);
+            e.state_digest(d, &self.core.arena);
         }
         d.write_len(self.core.links.len());
         for lr in &self.core.links {
@@ -763,13 +864,13 @@ impl Simulator {
             for (st, stats) in [(&lr.ab, &lr.stats_ab), (&lr.ba, &lr.stats_ba)] {
                 d.write_len(st.queue.len());
                 for p in &st.queue {
-                    p.state_digest(d);
+                    self.core.pkt(*p).state_digest(d);
                 }
-                match &st.in_flight {
+                match st.in_flight {
                     None => d.write_u8(0),
                     Some(p) => {
                         d.write_u8(1);
-                        p.state_digest(d);
+                        self.core.pkt(p).state_digest(d);
                     }
                 }
                 d.write_f64(st.fault.drop_prob);
@@ -852,9 +953,24 @@ impl Simulator {
                 },
             }
         }
+        // Materialize link queues through the arena: each packet is
+        // cloned exactly once, inside the arena module.
+        let arena = &self.core.arena;
         let dir_ckpt = |st: &crate::link::DirState| DirCheckpoint {
-            queue: st.queue.iter().cloned().collect(),
-            in_flight: st.in_flight.clone(),
+            queue: st
+                .queue
+                .iter()
+                .map(|r| {
+                    arena
+                        .snapshot_packet(*r)
+                        .expect("engine holds a stale packet ref") // lint: allow(panic)
+                })
+                .collect(),
+            in_flight: st.in_flight.map(|r| {
+                arena
+                    .snapshot_packet(r)
+                    .expect("engine holds a stale packet ref") // lint: allow(panic)
+            }),
             fault: st.fault,
         };
         let links = self
@@ -882,7 +998,7 @@ impl Simulator {
             rng: self.core.rng.state(),
             next_pkt_id: self.core.next_pkt_id,
             started: self.started,
-            events: self.core.queue.snapshot_sorted(),
+            events: self.core.queue.snapshot_sorted(&self.core.arena),
             links,
             logics,
             routing,
@@ -893,13 +1009,18 @@ impl Simulator {
 
     /// Restore a checkpoint taken from a simulator with the same
     /// topology and node logics (typically a freshly rebuilt scenario).
+    /// Consumes the checkpoint: packet bodies *move* into the rebuilt
+    /// arena, no re-clone.
     ///
     /// Pending events are re-scheduled in dispatch order — `(time,
     /// seq)` ordering is total, so the rebuilt queue pops identically
-    /// regardless of the original sequence numbers. Telemetry counters
-    /// are *not* restored (they remain whatever the receiving simulator
+    /// regardless of the original sequence numbers. Arena slot assignment
+    /// and wheel internals are rebuilt fresh; both are implementation
+    /// detail outside the logical state, so [`Simulator::state_hash`]
+    /// still reproduces the checkpoint's hash. Telemetry counters are
+    /// *not* restored (they remain whatever the receiving simulator
     /// accumulated), matching their exclusion from the state hash.
-    pub fn restore(&mut self, ckpt: &EngineCheckpoint) -> Result<(), String> {
+    pub fn restore(&mut self, ckpt: EngineCheckpoint) -> Result<(), String> {
         if ckpt.logics.len() != self.logics.len() {
             return Err("checkpoint node count does not match topology".into());
         }
@@ -936,18 +1057,36 @@ impl Simulator {
         self.core.rng = Rng::from_state(ckpt.rng);
         self.core.next_pkt_id = ckpt.next_pkt_id;
         self.started = ckpt.started;
+        // Rebuild arena + queue together: every saved packet moves into a
+        // fresh arena exactly once (no clone — the checkpoint is consumed).
+        self.core.arena = PacketArena::new();
         let mut queue = EventQueue::new();
-        for (t, e) in &ckpt.events {
-            queue.schedule(*t, e.clone());
+        for (t, e) in ckpt.events {
+            let live = e.into_live(&mut self.core.arena);
+            queue.schedule(t, live);
         }
         self.core.queue = queue;
-        for (lr, lc) in self.core.links.iter_mut().zip(&ckpt.links) {
+        // Counters in the registry export deltas against the last synced
+        // wheel/arena stats; both were just reset, so re-baseline.
+        self.core.metrics.last_wheel = self.core.queue.wheel_stats();
+        self.core.metrics.last_recycled = self.core.arena.recycled();
+        for (lr, lc) in self.core.links.iter_mut().zip(ckpt.links) {
             lr.up = lc.up;
-            lr.ab.queue = lc.ab.queue.iter().cloned().collect();
-            lr.ab.in_flight = lc.ab.in_flight.clone();
+            lr.ab.queue = lc
+                .ab
+                .queue
+                .into_iter()
+                .map(|p| self.core.arena.insert(p))
+                .collect();
+            lr.ab.in_flight = lc.ab.in_flight.map(|p| self.core.arena.insert(p));
             lr.ab.fault = lc.ab.fault;
-            lr.ba.queue = lc.ba.queue.iter().cloned().collect();
-            lr.ba.in_flight = lc.ba.in_flight.clone();
+            lr.ba.queue = lc
+                .ba
+                .queue
+                .into_iter()
+                .map(|p| self.core.arena.insert(p))
+                .collect();
+            lr.ba.in_flight = lc.ba.in_flight.map(|p| self.core.arena.insert(p));
             lr.ba.fault = lc.ba.fault;
             lr.stats_ab = lc.stats_ab;
             lr.stats_ba = lc.stats_ba;
@@ -980,6 +1119,7 @@ impl Simulator {
             assert!(n <= max, "simulation did not quiesce within {max} events");
             self.dispatch(time, event);
         }
+        self.core.sync_structural_metrics();
         n
     }
 }

@@ -412,8 +412,9 @@ fn checkpoint_restore_is_a_state_hash_fixed_point() {
 
     // Restore into a freshly built scenario and verify the hash fixed point.
     let (mut resumed, _h1, _h2) = build();
-    resumed.restore(&ckpt).expect("restorable");
-    assert_eq!(resumed.state_hash(), ckpt.state_hash);
+    let expected_hash = ckpt.state_hash;
+    resumed.restore(ckpt).expect("restorable");
+    assert_eq!(resumed.state_hash(), expected_hash);
 
     // Both must now evolve identically to quiescence.
     orig.run_until(SimTime::from_secs(5));

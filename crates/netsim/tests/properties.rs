@@ -116,3 +116,120 @@ prop_check! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Timer-wheel / baseline-heap equivalence and generational-handle safety.
+// ---------------------------------------------------------------------------
+
+prop_check! {
+    fn wheel_matches_heap_on_arbitrary_sequences(g) {
+        // Drive the hierarchical wheel and the reference binary heap with
+        // the same arbitrary interleaving of schedules and pops. Times are
+        // drawn from a mix of scales so every wheel level — and the
+        // overflow heap — participates.
+        use dui_netsim::wheel::{BaselineHeapQueue, TimerWheel};
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        let mut heap: BaselineHeapQueue<u64> = BaselineHeapQueue::new();
+        let ops = g.usize(1..300);
+        let mut clock = 0u64;
+        let mut payload = 0u64;
+        for _ in 0..ops {
+            if g.bool() || wheel.is_empty() {
+                // Schedule at now + a delta spanning sub-tick to far-future.
+                let magnitude = g.u8(0..6);
+                let delta = match magnitude {
+                    0 => g.u64(0..1 << 10),          // same tick
+                    1 => g.u64(0..1 << 18),          // level 0
+                    2 => g.u64(0..1 << 26),          // level 1
+                    3 => g.u64(0..1 << 34),          // level 2
+                    4 => g.u64(0..1 << 42),          // level 3
+                    _ => g.u64(0..1 << 50),          // overflow
+                };
+                let t = clock.saturating_add(delta);
+                wheel.schedule(t, payload);
+                heap.schedule(t, payload);
+                payload += 1;
+            } else {
+                prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                let a = wheel.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b, "pop order diverged");
+                if let Some((t, _)) = a {
+                    clock = clock.max(t);
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain: the full residual order must match exactly.
+        while !wheel.is_empty() {
+            prop_assert_eq!(wheel.pop(), heap.pop());
+        }
+        prop_assert!(heap.is_empty());
+    }
+
+    fn wheel_fifo_among_equal_times_any_scale(g) {
+        use dui_netsim::wheel::TimerWheel;
+        // Bursts at the same timestamp must pop in schedule order no
+        // matter which level the timestamp lands on.
+        let t = g.any_u64() >> g.u8(0..33);
+        let n = g.usize(2..64);
+        let mut wheel: TimerWheel<usize> = TimerWheel::new();
+        for i in 0..n {
+            wheel.schedule(t, i);
+        }
+        for want in 0..n {
+            match wheel.pop() {
+                Some((pt, got)) => {
+                    prop_assert_eq!(pt, t);
+                    prop_assert_eq!(got, want, "FIFO at equal times");
+                }
+                None => prop_assert!(false, "wheel drained early"),
+            }
+        }
+    }
+
+    fn stale_packet_ref_is_typed_error_never_wrong_packet(g) {
+        use dui_netsim::arena::PacketArena;
+        use dui_netsim::packet::Packet;
+        // Arbitrary insert/take churn; afterwards every retired handle
+        // must yield StaleRef (with honest metadata) and every live handle
+        // must still read back its own payload.
+        let mut arena = PacketArena::new();
+        let mut live: Vec<(dui_netsim::arena::PacketRef, u32)> = Vec::new();
+        let mut dead: Vec<dui_netsim::arena::PacketRef> = Vec::new();
+        let ops = g.usize(1..200);
+        let mut stamp = 0u32;
+        for _ in 0..ops {
+            if g.bool() || live.is_empty() {
+                let key = FlowKey::udp(Addr(g.any_u32()), g.any_u16(), Addr(g.any_u32()), g.any_u16());
+                let mut p = Packet::udp(key, 64);
+                p.payload = stamp;
+                live.push((arena.insert(p), stamp));
+                stamp += 1;
+            } else {
+                let i = g.usize(0..live.len());
+                let (r, tag) = live.swap_remove(i);
+                let p = arena.take(r).expect("live handle must take");
+                prop_assert_eq!(p.payload, tag, "take returned the wrong packet");
+                dead.push(r);
+            }
+        }
+        for (r, tag) in &live {
+            prop_assert_eq!(arena.get(*r).expect("live handle must read").payload, *tag);
+        }
+        for r in &dead {
+            match arena.get(*r) {
+                Ok(p) => prop_assert!(false, "stale handle read a packet: payload={}", p.payload),
+                Err(e) => {
+                    prop_assert_eq!(e.idx, r.index());
+                    prop_assert_eq!(e.expected_gen, r.generation());
+                    prop_assert!(
+                        e.vacant || e.current_gen != r.generation(),
+                        "stale error must show a vacated or recycled slot"
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(arena.live(), live.len());
+    }
+}

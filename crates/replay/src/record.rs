@@ -31,7 +31,7 @@
 use crate::replay::ReplaySubject;
 use dui_blink::fastsim::{AttackSimSnapshot, FlowState};
 use dui_blink::selector::{Cell, SelectorSnapshot, SelectorStats};
-use dui_netsim::event::Event;
+use dui_netsim::event::SavedEvent;
 use dui_netsim::link::{Dir, FaultConfig, LinkDirStats};
 use dui_netsim::packet::{Addr, FlowKey, Header, Packet, Prefix, Proto, TcpFlags};
 use dui_netsim::sim::{DirCheckpoint, EngineCheckpoint, LinkCheckpoint};
@@ -547,24 +547,24 @@ pub fn read_packet(bytes: &[u8], pos: &mut usize) -> Result<Packet, String> {
     })
 }
 
-fn write_event(buf: &mut Vec<u8>, e: &Event) {
+fn write_event(buf: &mut Vec<u8>, e: &SavedEvent) {
     match e {
-        Event::Deliver { node, pkt } => {
+        SavedEvent::Deliver { node, pkt } => {
             buf.push(0);
             write_varint(buf, node.0 as u64);
             write_packet(buf, pkt);
         }
-        Event::TxComplete { link, dir } => {
+        SavedEvent::TxComplete { link, dir } => {
             buf.push(1);
             write_varint(buf, link.0 as u64);
             buf.push((*dir == Dir::BtoA) as u8);
         }
-        Event::Timer { node, token } => {
+        SavedEvent::Timer { node, token } => {
             buf.push(2);
             write_varint(buf, node.0 as u64);
             write_varint(buf, *token);
         }
-        Event::Offer { link, dir, pkt } => {
+        SavedEvent::Offer { link, dir, pkt } => {
             buf.push(3);
             write_varint(buf, link.0 as u64);
             buf.push((*dir == Dir::BtoA) as u8);
@@ -581,21 +581,21 @@ fn read_dir(bytes: &[u8], pos: &mut usize) -> Result<Dir, String> {
     }
 }
 
-fn read_event(bytes: &[u8], pos: &mut usize) -> Result<Event, String> {
+fn read_event(bytes: &[u8], pos: &mut usize) -> Result<SavedEvent, String> {
     Ok(match read_u8(bytes, pos)? {
-        0 => Event::Deliver {
+        0 => SavedEvent::Deliver {
             node: NodeId(read_varint(bytes, pos)? as usize),
             pkt: read_packet(bytes, pos)?,
         },
-        1 => Event::TxComplete {
+        1 => SavedEvent::TxComplete {
             link: LinkId(read_varint(bytes, pos)? as usize),
             dir: read_dir(bytes, pos)?,
         },
-        2 => Event::Timer {
+        2 => SavedEvent::Timer {
             node: NodeId(read_varint(bytes, pos)? as usize),
             token: read_varint(bytes, pos)?,
         },
-        3 => Event::Offer {
+        3 => SavedEvent::Offer {
             link: LinkId(read_varint(bytes, pos)? as usize),
             dir: read_dir(bytes, pos)?,
             pkt: read_packet(bytes, pos)?,

@@ -324,8 +324,9 @@ impl ReplaySubject for SimulatorSubject {
 
     fn load_checkpoint(&mut self, bytes: &[u8]) -> Result<(), String> {
         let ckpt = engine_checkpoint_from_bytes(bytes)?;
-        self.sim.restore(&ckpt)?;
-        self.done = ckpt.now >= self.end;
+        let now = ckpt.now;
+        self.sim.restore(ckpt)?;
+        self.done = now >= self.end;
         Ok(())
     }
 }

@@ -137,7 +137,7 @@ prop_check! {
         let mut fresh = Simulator::new(b.build(), 0);
         fresh.set_logic(r, Box::new(RouterLogic::new()));
         fresh.set_logic(h2, Box::new(SinkHost::new()));
-        fresh.restore(&decoded).expect("restorable");
+        fresh.restore(decoded).expect("restorable");
         prop_assert_eq!(fresh.state_hash(), ckpt.state_hash);
     }
 

@@ -18,6 +18,20 @@ cargo build --release --offline
 echo "== tests (workspace, offline) =="
 cargo test -q --offline --workspace
 
+echo "== golden checkpoint hashes (byte-identity, no re-bless) =="
+# The golden traces must reproduce from the pinned fixtures as they sit
+# in the work tree — never via GOLDEN_BLESS — and the fixture files must
+# be untouched relative to HEAD. A refactor that changes simulation
+# *representation* (packet arena, timer wheel) must not change the
+# *logical* state hashes these files pin.
+if [ -n "${GOLDEN_BLESS:-}" ]; then
+  echo "refusing to verify with GOLDEN_BLESS set" >&2
+  exit 1
+fi
+cargo test -q --offline --test golden_traces
+git diff --exit-code -- tests/golden
+echo "golden fixtures byte-identical to HEAD: OK"
+
 echo "== rustdoc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
