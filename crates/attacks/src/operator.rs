@@ -30,7 +30,7 @@ pub fn descriptor() -> AttackDescriptor {
 }
 
 /// Which packets to torment.
-pub type TrafficMatcher = Box<dyn Fn(&Packet) -> bool>;
+pub type TrafficMatcher = Box<dyn Fn(&Packet) -> bool + Send>;
 
 /// The bouncing program. Install one instance on **each** of the two
 /// partner routers; they recognize ping-pong legs by packet id.

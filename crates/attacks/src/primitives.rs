@@ -10,7 +10,7 @@ use dui_netsim::time::{SimDuration, SimTime};
 use dui_stats::Rng;
 
 /// Predicate selecting which packets a tap touches.
-pub type PacketFilter = Box<dyn Fn(&Packet) -> bool>;
+pub type PacketFilter = Box<dyn Fn(&Packet) -> bool + Send>;
 
 /// Match every packet.
 pub fn any_packet() -> PacketFilter {

@@ -14,6 +14,13 @@
 //! thread count (default: all cores); the CSVs are byte-identical for
 //! every `N` — see `dui_bench::par` for the determinism contract.
 //!
+//! `--sim-threads N` additionally shards the *simulator itself* (the
+//! packet engine's domain-parallel mode, `dui_core::netsim::parallel`)
+//! for the stages whose node programs honor the packet-id contract —
+//! currently `blink-packet` and `parallel-scaling`. Results are
+//! byte-identical for every `N` there too; other stages ignore the
+//! flag.
+//!
 //! `--metrics` additionally writes each stage's telemetry snapshot as
 //! one JSON line to `results/metrics.jsonl` (sim-time metrics only, so
 //! the file is byte-identical across `--jobs` too), prints a per-stage
@@ -41,7 +48,7 @@
 
 use dui_bench::par::default_jobs;
 use dui_bench::recordings::{build_subject, default_ckpt_every, StageSubject, RECORD_STAGES};
-use dui_bench::stages::{run_stage, StageOutput, STAGE_NAMES};
+use dui_bench::stages::{run_stage_opts, StageOutput, STAGE_NAMES};
 use dui_core::replay::{Recorder, Recording, Replayer};
 use dui_core::stats::table::Table;
 use dui_core::telemetry::wallclock;
@@ -90,7 +97,7 @@ fn metrics_summary(per_stage: &[(&str, &StageOutput)]) -> Table {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [{} | all] [--jobs N] [--metrics]\n\
+        "usage: experiments [{} | all] [--jobs N] [--sim-threads N] [--metrics]\n\
          \x20      experiments record <{}> [--out FILE] [--ckpt-every N]\n\
          \x20      experiments replay <FILE> [--check] [--resume <idx|mid>]",
         STAGE_NAMES.join(" | "),
@@ -220,6 +227,7 @@ fn cmd_replay(args: &[String]) -> ! {
 fn main() {
     let mut which: Option<String> = None;
     let mut jobs = default_jobs();
+    let mut sim_threads = 0usize; // 0 = leave the simulator sequential
     let mut metrics = false;
     let mut args = std::env::args().skip(1);
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -240,6 +248,21 @@ fn main() {
             s if s.starts_with("--jobs=") => {
                 jobs = s["--jobs=".len()..].parse().unwrap_or_else(|_| usage());
                 if jobs == 0 {
+                    usage();
+                }
+            }
+            "--sim-threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                sim_threads = v.parse().unwrap_or_else(|_| usage());
+                if sim_threads == 0 {
+                    usage();
+                }
+            }
+            s if s.starts_with("--sim-threads=") => {
+                sim_threads = s["--sim-threads=".len()..]
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if sim_threads == 0 {
                     usage();
                 }
             }
@@ -265,7 +288,7 @@ fn main() {
         for &name in STAGE_NAMES {
             let ts = std::time::Instant::now();
             wallclock::set_stage(name);
-            let out = run_stage(name, jobs).expect("known stage");
+            let out = run_stage_opts(name, jobs, sim_threads).expect("known stage");
             wallclock::end_stage();
             timings.push((name, ts.elapsed().as_secs_f64()));
             emit(&out);
@@ -312,7 +335,7 @@ fn main() {
             );
             for &name in &["fig2", "blink-sweep"] {
                 let ts = std::time::Instant::now();
-                run_stage(name, 1).expect("known stage");
+                run_stage_opts(name, 1, sim_threads).expect("known stage");
                 let seq = ts.elapsed().as_secs_f64();
                 let par = timings
                     .iter()
@@ -333,7 +356,7 @@ fn main() {
         println!("[saved {}]", path.display());
     } else {
         wallclock::set_stage(&which);
-        match run_stage(&which, jobs) {
+        match run_stage_opts(&which, jobs, sim_threads) {
             Some(out) => {
                 wallclock::end_stage();
                 emit(&out);

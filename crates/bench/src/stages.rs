@@ -67,17 +67,28 @@ pub const STAGE_NAMES: &[&str] = &[
     "survey",
     "fuzz",
     "lint",
+    "parallel-scaling",
 ];
 
 /// Run one stage by CLI name with `jobs` worker threads. `None` for an
 /// unknown name.
 pub fn run_stage(name: &str, jobs: usize) -> Option<StageOutput> {
+    run_stage_opts(name, jobs, 0)
+}
+
+/// [`run_stage`] with the simulation-engine thread count. `sim_threads`
+/// is consumed only by the packet-level stages whose node logic is
+/// certified id-stable (`blink-packet`, `parallel-scaling`); every other
+/// stage runs its simulators sequentially regardless (see the
+/// determinism-contract chapter in `docs/` for the `pkt.id` rule that
+/// gates this).
+pub fn run_stage_opts(name: &str, jobs: usize, sim_threads: usize) -> Option<StageOutput> {
     Some(match name {
         "fig2" => fig2(jobs),
         "fig2-rates" => fig2_rates(jobs),
         "blink-sweep" => blink_sweep(jobs),
         "caida-residency" => caida_residency(jobs),
-        "blink-packet" => blink_packet(jobs),
+        "blink-packet" => blink_packet(jobs, sim_threads),
         "pytheas" => pytheas(jobs),
         "pcc" => pcc(jobs),
         "nethide" => nethide(jobs),
@@ -85,6 +96,7 @@ pub fn run_stage(name: &str, jobs: usize) -> Option<StageOutput> {
         "survey" => survey(jobs),
         "fuzz" => fuzz(jobs),
         "lint" => lint(jobs),
+        "parallel-scaling" => parallel_scaling(sim_threads),
         _ => return None,
     })
 }
@@ -530,8 +542,10 @@ pub fn caida_residency(jobs: usize) -> StageOutput {
 /// C4 — the packet-level Blink experiment (the paper's mininet+P4 run):
 /// 2000 legitimate + 105 malicious flows, occupancy over time, then the
 /// trigger and the reroute; guarded variant alongside (the two
-/// simulations run concurrently).
-pub fn blink_packet(jobs: usize) -> StageOutput {
+/// simulations run concurrently). `sim_threads > 0` runs each simulator
+/// under the sharded parallel engine — the CSV and metrics are
+/// byte-identical at any thread count.
+pub fn blink_packet(jobs: usize, sim_threads: usize) -> StageOutput {
     let mut out = StageOutput::default();
     let mut report = String::new();
     let r = &mut report;
@@ -551,6 +565,9 @@ pub fn blink_packet(jobs: usize) -> StageOutput {
             ..Default::default()
         };
         let mut sc = BlinkScenario::build(&cfg);
+        if sim_threads > 0 {
+            sc.sim.set_sim_threads(sim_threads);
+        }
         let mut occupancy = Vec::new();
         for t in (0..=250).step_by(25) {
             sc.sim.run_until(SimTime::from_secs(t));
@@ -582,6 +599,98 @@ pub fn blink_packet(jobs: usize) -> StageOutput {
         "guarded (§5 RTO check): reroutes={g_reroutes}, vetoed={g_vetoed}, on_primary={g_on_primary}\n"
     );
     out.table("blink_packet.csv", csv);
+    out.report = report;
+    out
+}
+
+/// Parallel-engine scaling measurement: the packet-level Blink scenario
+/// (reduced horizon) run to completion at `--sim-threads` 1, 2, 4, and
+/// 8, reporting wall-clock, barrier-window counts, and the final state
+/// hash per thread count. State hashes must agree bit-for-bit — that
+/// column is the stage's self-check, and a mismatch fails the stage.
+/// Wall-clock columns are measurements and legitimately vary between
+/// machines and runs; everything else in the CSV is deterministic.
+pub fn parallel_scaling(requested: usize) -> StageOutput {
+    use dui_core::netsim::parallel::ParallelOutcome;
+
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let _ = writeln!(
+        r,
+        "== parallel engine scaling (packet-level Blink, reduced horizon) =="
+    );
+    if requested > 0 {
+        let _ = writeln!(r, "(--sim-threads {requested} requested; sweeping 1..=8 anyway)");
+    }
+    let _ = writeln!(r);
+    let cfg = BlinkScenarioConfig {
+        legit_flows: 400,
+        malicious_flows: 105,
+        mean_lifetime_secs: 6.37,
+        trigger_at: Some(SimTime::from_secs(60)),
+        guarded: false,
+        horizon: SimDuration::from_secs(80),
+        seed: 21,
+        ..Default::default()
+    };
+    let mut csv = Table::new([
+        "threads",
+        "domains",
+        "windows",
+        "wall_s",
+        "state_hash",
+        "matches_t1",
+    ]);
+    let mut show = Table::new(["threads", "domains", "windows", "wall [s]", "speedup", "hash ok"]);
+    let mut base: Option<(u64, f64)> = None; // (hash at 1 thread, wall)
+    for threads in [1usize, 2, 4, 8] {
+        let mut sc = BlinkScenario::build(&cfg);
+        sc.sim.set_sim_threads(threads);
+        let t0 = std::time::Instant::now();
+        sc.sim.run_until(SimTime::from_secs(80));
+        let wall = t0.elapsed().as_secs_f64();
+        let hash = sc.sim.state_hash();
+        let (domains, windows) = match sc.sim.last_parallel_outcome() {
+            Some(ParallelOutcome::Ran(rep)) => (rep.domains, rep.windows),
+            // lint: allow(panic): a fallback here means the scaling numbers would be fiction
+            other => panic!("scaling stage expects the parallel engine to run, got {other:?}"),
+        };
+        if threads == 1 {
+            base = Some((hash, wall));
+            out.metrics = sc.metrics().with_prefix("t1.");
+        }
+        // lint: allow(panic): threads=1 is the first sweep entry by construction
+        let (base_hash, base_wall) = base.expect("1-thread run comes first");
+        assert_eq!(
+            hash, base_hash,
+            "state hash diverged at {threads} threads — determinism contract broken"
+        );
+        csv.row([
+            threads.to_string(),
+            domains.to_string(),
+            windows.to_string(),
+            format!("{wall:.3}"),
+            format!("{hash:016x}"),
+            "yes".to_string(),
+        ]);
+        show.row([
+            threads.to_string(),
+            domains.to_string(),
+            windows.to_string(),
+            format!("{wall:.2}"),
+            format!("{:.2}x", base_wall / wall),
+            "yes".to_string(),
+        ]);
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    let _ = writeln!(
+        r,
+        "state hashes identical across all thread counts: OK\n\
+         (speedups are wall-clock measurements on this machine; on a single\n\
+         hardware core the threaded runs cannot beat 1 worker)\n"
+    );
+    out.table("parallel_scaling.csv", csv);
     out.report = report;
     out
 }

@@ -13,7 +13,7 @@ use std::any::Any;
 /// Veto hook consulted before every reroute — the integration point for
 /// the §5 supervisor countermeasure (`dui-defense::blink_guard`). Return
 /// `false` to suppress the reroute (the failure event is still recorded).
-pub trait RerouteGuard {
+pub trait RerouteGuard: Send {
     /// May the program reroute `prefix`'s traffic right now, given the
     /// selector state that triggered the inference?
     fn allow(&mut self, now: SimTime, selector: &FlowSelector) -> bool;

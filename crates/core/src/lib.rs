@@ -8,7 +8,7 @@
 //! topology, workload, system under test, attacker, defense — so examples,
 //! integration tests and the experiment harness all drive the same code.
 //!
-//! Crate map (see DESIGN.md for the full inventory):
+//! Crate map (see docs/architecture.md for the full inventory):
 //!
 //! * [`stats`] — deterministic RNG + statistics substrate
 //! * [`netsim`] — discrete-event packet-level network simulator

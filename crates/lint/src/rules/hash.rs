@@ -56,7 +56,7 @@ pub fn unordered_iter(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
                     Severity::Error,
                     format!(
                         "`{n}` is banned in crates/replay — everything the record/replay \
-                         subsystem hashes is Vec-shaped (see scripts/lint_determinism.sh)"
+                         subsystem hashes is Vec-shaped (see docs/determinism.md, D3)"
                     ),
                 ));
                 continue;

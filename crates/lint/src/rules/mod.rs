@@ -9,13 +9,14 @@
 //! | `cast/lossy-in-digest` | warning | no `as u64` / `as f64` inside digest/StateHash paths |
 //! | `docs/missing-deny` | warning | every library crate root carries `#![deny(missing_docs)]` |
 //! | `arena/no-packet-clone` | warning | no `Packet` clones outside `crates/netsim/src/arena.rs` — packets move by handle |
+//! | `parallel/no-shared-mut` | error | no `unsafe` / `static mut` / `UnsafeCell` / `Cell` / `RefCell` / `Rc` / `transmute` in `crates/netsim/src/parallel/` — `std::sync` only |
 //!
 //! Sanctioned escapes (documented per rule): `crates/bench/` and
 //! `crates/telemetry/src/wallclock.rs` for the determinism rules;
 //! `sorted` / `write_unordered` markers for the hash rule;
-//! `// lint: allow(panic)`, `// lint: allow(cast)`, and
-//! `// lint: allow(packet-clone)` annotations for the panic, cast, and
-//! arena rules.
+//! `// lint: allow(panic)`, `// lint: allow(cast)`,
+//! `// lint: allow(packet-clone)`, and `// lint: allow(shared-mut)`
+//! annotations for the panic, cast, arena, and parallel rules.
 
 pub mod arena;
 pub mod casts;
@@ -23,6 +24,7 @@ pub mod determinism;
 pub mod docs;
 pub mod hash;
 pub mod panics;
+pub mod parallel;
 
 use crate::findings::{Finding, Severity};
 use crate::scan::ScannedFile;
@@ -36,6 +38,7 @@ pub const RULE_IDS: &[&str] = &[
     "cast/lossy-in-digest",
     "docs/missing-deny",
     "arena/no-packet-clone",
+    "parallel/no-shared-mut",
 ];
 
 /// Run every rule over one scanned file.
@@ -47,6 +50,7 @@ pub fn check_file(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
     casts::lossy_in_digest(file, out);
     docs::missing_deny(file, out);
     arena::no_packet_clone(file, out);
+    parallel::no_shared_mut(file, out);
 }
 
 /// Path classification shared by the rules. Paths are repo-relative
@@ -94,6 +98,12 @@ impl<'a> PathClass<'a> {
     /// (`snapshot_packet`), exempt from `arena/no-packet-clone`.
     pub fn is_arena_module(&self) -> bool {
         self.path == "crates/netsim/src/arena.rs"
+    }
+
+    /// Inside the domain-parallel engine, where `parallel/no-shared-mut`
+    /// bans unsynchronized shared mutability outright.
+    pub fn is_parallel_engine(&self) -> bool {
+        self.path.starts_with("crates/netsim/src/parallel/")
     }
 
     /// A digest-defining file for `cast/lossy-in-digest` scoping.

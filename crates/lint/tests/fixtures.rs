@@ -142,3 +142,28 @@ fn arena_module_itself_is_exempt() {
         0
     );
 }
+
+const PAR: &str = "crates/netsim/src/parallel/fixture.rs";
+
+#[test]
+fn parallel_bad_fires_on_every_escape_from_the_borrow_checker() {
+    let src = include_str!("fixtures/parallel_bad.rs");
+    // unsafe ×2, static mut, transmute, and the Rc/RefCell mentions.
+    assert!(count(PAR, src, "parallel/no-shared-mut") >= 6);
+}
+
+#[test]
+fn parallel_clean_std_sync_and_annotation_pass() {
+    let src = include_str!("fixtures/parallel_clean.rs");
+    assert_eq!(count(PAR, src, "parallel/no-shared-mut"), 0);
+}
+
+#[test]
+fn parallel_rule_scoped_to_the_parallel_engine() {
+    let src = include_str!("fixtures/parallel_bad.rs");
+    assert_eq!(count(LIB, src, "parallel/no-shared-mut"), 0);
+    assert_eq!(
+        count("crates/netsim/src/wheel.rs", src, "parallel/no-shared-mut"),
+        0
+    );
+}

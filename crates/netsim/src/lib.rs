@@ -50,6 +50,7 @@ pub mod event;
 pub mod link;
 pub mod node;
 pub mod packet;
+pub mod parallel;
 pub mod sim;
 pub mod time;
 pub mod topology;

@@ -57,7 +57,7 @@ pub enum TapAction {
 /// well as inject traffic. However, she cannot break encryption." Our
 /// packets expose only header/metadata fields, so a tap manipulating them
 /// stays within that boundary by construction.
-pub trait LinkTap {
+pub trait LinkTap: Send {
     /// Rule on one packet. May mutate `pkt` (header rewriting) and push
     /// extra packets into `inject`; injected packets are offered to the same
     /// link direction immediately after this one, without re-running taps.

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 /// Behavior attached to a node. Implementations live in higher crates
 /// (TCP hosts in `dui-tcp`, PCC endpoints in `dui-pcc`, …); `dui-netsim`
 /// itself ships [`RouterLogic`] and [`SinkHost`].
-pub trait NodeLogic {
+pub trait NodeLogic: Send {
     /// Called once when the simulation starts.
     fn on_start(&mut self, _ctx: &mut Ctx) {}
 
@@ -68,7 +68,7 @@ pub enum Verdict {
 /// §3 of the paper is about) but are only consulted on packet arrival:
 /// time-based state transitions must be implemented lazily against `now`,
 /// exactly as real data-plane programs read a timestamp metadata field.
-pub trait DataPlaneProgram {
+pub trait DataPlaneProgram: Send {
     /// Inspect (and possibly steer) one transiting packet.
     /// `default_next` is the routing table's choice, if the destination is
     /// routable. Return `None` to express no opinion.
@@ -97,7 +97,7 @@ pub trait DataPlaneProgram {
 /// probe expires at it. The honest behavior reports the router's own
 /// address; NetHide-style deployments (and malicious operators — §4.3)
 /// substitute a virtual hop address or stay silent.
-pub trait IcmpRewriter {
+pub trait IcmpRewriter: Send {
     /// `probe` expired at this router. Return the address the time-exceeded
     /// reply should claim, or `None` to suppress the reply.
     fn report_address(&mut self, router: NodeId, probe: &Packet) -> Option<Addr>;

@@ -1,0 +1,138 @@
+//! The barrier: K-way merge of a window's dispatch records, id
+//! finalization, fresh-heap flush, and outbox exchange.
+//!
+//! Everything here runs single-threaded (on the window leader) and is a
+//! pure function of the domains' window outputs, so its results are
+//! independent of worker count and thread timing.
+
+use super::domain::{DomainExt, PROVISIONAL_ID_BASE};
+use super::key::{final_key, resolve_key};
+use crate::event::Event;
+use crate::sim::Simulator;
+use std::collections::BTreeMap;
+
+/// Cross-window global cursors: the global dispatch index (the
+/// sequential engine's implicit dispatch counter) and the packet-id
+/// allocator, both advanced in merged order.
+pub(crate) struct GlobalCursors {
+    pub next_global: u64,
+    pub next_pkt_id: u64,
+}
+
+fn ext(sim: &mut Simulator) -> &mut DomainExt {
+    sim.core
+        .domain
+        .as_mut()
+        .expect("barrier on a non-domain simulator") // lint: allow(panic)
+}
+
+/// Merge one finished window across all domains.
+///
+/// Phase 1 replays the window's dispatches in global order: a K-way
+/// merge of the per-domain record lists by `(time, resolved key)`. Each
+/// merged record gets the next global dispatch index, and every packet
+/// id handed out during that dispatch is re-numbered from the shared
+/// cursor — in exactly the order the sequential engine would have
+/// assigned ids. A head record's provisional key is always resolvable:
+/// its in-window parent has a smaller record index in the same domain
+/// and therefore merged earlier (a parent's resolved key is strictly
+/// smaller at an equal time, since the parent was itself scheduled
+/// before the child's schedule call).
+///
+/// Phase 2 flushes each domain's fresh-heap into its wheel under
+/// resolved final keys, and phase 3 moves outbox packets into their
+/// destination arenas and schedules the deliveries under final keys —
+/// domains drained in index order, though any order would produce the
+/// same state (every entry's key is already globally resolved).
+pub(crate) fn merge_window(doms: &mut [Simulator], g: &mut GlobalCursors) {
+    let k = doms.len();
+    let mut records = Vec::with_capacity(k);
+    let mut assigns = Vec::with_capacity(k);
+    for sim in doms.iter_mut() {
+        let e = ext(sim);
+        records.push(std::mem::take(&mut e.records));
+        assigns.push(std::mem::take(&mut e.id_assignments));
+    }
+    let mut global_of: Vec<Vec<u64>> = records.iter().map(|r| vec![0u64; r.len()]).collect();
+    let mut id_map: Vec<BTreeMap<u64, u64>> = (0..k).map(|_| BTreeMap::new()).collect();
+    let mut idx = vec![0usize; k];
+    let mut aptr = vec![0usize; k];
+    loop {
+        let mut best: Option<(u64, u128, usize)> = None;
+        for (d, recs) in records.iter().enumerate() {
+            if let Some(&(t, raw)) = recs.get(idx[d]) {
+                let key = resolve_key(raw, &global_of[d]);
+                if best.is_none_or(|(bt, bk, _)| (t.0, key) < (bt, bk)) {
+                    best = Some((t.0, key, d));
+                }
+            }
+        }
+        let Some((_, _, d)) = best else { break };
+        g.next_global += 1;
+        global_of[d][idx[d]] = g.next_global;
+        // Ids handed out during this dispatch, re-numbered in order —
+        // exactly the order the sequential allocator would have used.
+        // Bodies are patched in a sweep below (a consumed packet simply
+        // has no surviving body; its id still advances the cursor).
+        while let Some(&(rec, prov)) = assigns[d].get(aptr[d]) {
+            if rec as usize != idx[d] {
+                break;
+            }
+            g.next_pkt_id += 1;
+            id_map[d].insert(prov, g.next_pkt_id);
+            aptr[d] += 1;
+        }
+        idx[d] += 1;
+    }
+    // Patch surviving bodies by provisional id, one sweep per domain
+    // arena. This reaches every live body no matter how many times it
+    // re-homed since assignment (each forwarding hop takes the body out
+    // of the arena and re-inserts it at a new handle).
+    for (d, sim) in doms.iter_mut().enumerate() {
+        if id_map[d].is_empty() {
+            continue;
+        }
+        for p in sim.core.arena.iter_live_mut() {
+            if p.id & PROVISIONAL_ID_BASE != 0 {
+                p.id = *id_map[d]
+                    .get(&p.id)
+                    .expect("live body with unmapped provisional id"); // lint: allow(panic)
+            }
+        }
+    }
+    // Phase 2: resolve and flush in-window-scheduled local events.
+    for (d, sim) in doms.iter_mut().enumerate() {
+        let fresh = std::mem::take(&mut ext(sim).fresh);
+        for std::cmp::Reverse(e) in fresh {
+            let key = resolve_key(e.key, &global_of[d]);
+            sim.core.queue.schedule_keyed(e.time, key, e.event);
+        }
+    }
+    // Phase 3: exchange cross-domain deliveries, domains in index order.
+    for d in 0..k {
+        let outbox = std::mem::take(&mut ext(&mut doms[d]).outbox);
+        for m in outbox {
+            let key = final_key(global_of[d][m.record as usize], m.pos);
+            let body = doms[d]
+                .core
+                .arena
+                .take(m.pkt)
+                .expect("cross-domain packet vanished before the barrier"); // lint: allow(panic)
+            let dst_dom = ext(&mut doms[d]).map.domain_of(m.dst) as usize;
+            let pkt = doms[dst_dom].core.arena.insert(body);
+            doms[dst_dom].core.queue.schedule_keyed(
+                m.time,
+                key,
+                Event::Deliver { node: m.dst, pkt },
+            );
+        }
+    }
+    // Hand the (now empty) buffers back so their capacity is reused.
+    for (d, sim) in doms.iter_mut().enumerate() {
+        let e = ext(sim);
+        records[d].clear();
+        assigns[d].clear();
+        e.records = std::mem::take(&mut records[d]);
+        e.id_assignments = std::mem::take(&mut assigns[d]);
+    }
+}

@@ -1,0 +1,398 @@
+//! Split → window loop → join: the parallel engine's orchestration.
+//!
+//! `run_parallel` checks the preconditions, splits the merged simulator
+//! state into per-domain simulators, drives barrier windows (inline for
+//! one worker, scoped threads otherwise — same code path, same
+//! results), and joins everything back into the merged simulator. All
+//! cross-thread state lives behind `std::sync` primitives; the merge and
+//! the window schedule are computed single-threaded on the leader, so
+//! nothing observable depends on thread timing.
+
+use super::barrier::{merge_window, GlobalCursors};
+use super::domain::{run_window, DomainExt};
+use super::key::initial_key;
+use super::partition::{default_lookahead_floor, DomainMap};
+use super::{FallbackReason, ParallelReport};
+use crate::arena::PacketArena;
+use crate::event::{Event, EventQueue};
+use crate::link::DirState;
+use crate::sim::Simulator;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Run the event loop to `t` under the parallel engine, or report why
+/// the sequential engine must be used instead.
+pub(crate) fn run_parallel(sim: &mut Simulator, t: SimTime) -> Result<ParallelReport, FallbackReason> {
+    let map = match &sim.domain_map {
+        Some(m) => Arc::clone(m),
+        None => {
+            let m = Arc::new(DomainMap::partition(
+                &sim.core.topo,
+                default_lookahead_floor(),
+            ));
+            sim.domain_map = Some(Arc::clone(&m));
+            m
+        }
+    };
+    preconditions(sim, &map)?;
+    let threads = sim.sim_threads.min(map.domain_count()).max(1);
+    let mut g = GlobalCursors {
+        next_global: 0,
+        next_pkt_id: sim.core.next_pkt_id,
+    };
+    let mut doms = split(sim, &map);
+    let windows = if threads == 1 {
+        window_loop_inline(&mut doms, map.lookahead(), &mut g, t)
+    } else {
+        let (parked, w) = window_loop_threaded(doms, map.lookahead(), &mut g, t, threads);
+        doms = parked;
+        w
+    };
+    join(sim, doms, &g, &map, t);
+    Ok(ParallelReport {
+        domains: map.domain_count(),
+        threads,
+        windows,
+        lookahead: map.lookahead(),
+    })
+}
+
+/// The parallel preconditions. Each names engine machinery whose
+/// sequential semantics a domain cannot reproduce locally: taps and
+/// random faults consume the single sequential RNG/interception stream,
+/// traces and spans record a single interleaved timeline, and a
+/// single-domain partition has nothing to parallelize. Anything else —
+/// link up/down state, routing edits, node logic of every kind — is
+/// either domain-local or exchanged at barriers.
+fn preconditions(sim: &Simulator, map: &DomainMap) -> Result<(), FallbackReason> {
+    if map.domain_count() < 2 {
+        return Err(FallbackReason::SingleDomain);
+    }
+    for lr in &sim.core.links {
+        if !lr.taps_ab.is_empty() || !lr.taps_ba.is_empty() {
+            return Err(FallbackReason::TapsInstalled);
+        }
+        for st in [&lr.ab, &lr.ba] {
+            if st.fault.drop_prob > 0.0 || st.fault.jitter_max.is_some() {
+                return Err(FallbackReason::ActiveFaults);
+            }
+        }
+    }
+    if sim.core.trace.is_enabled() {
+        return Err(FallbackReason::TraceEnabled);
+    }
+    if sim.core.spans.is_some() {
+        return Err(FallbackReason::SpansEnabled);
+    }
+    Ok(())
+}
+
+/// Which domain executes an event: the owning node for deliveries and
+/// timers, the *sender-side* endpoint for link events (each link
+/// direction — queue, transmitter, stats — is owned by the domain of
+/// the node packets depart from).
+fn event_domain(ev: &Event, map: &DomainMap, sim: &Simulator) -> usize {
+    let node = match *ev {
+        Event::Deliver { node, .. } | Event::Timer { node, .. } => node,
+        Event::TxComplete { link, dir } | Event::Offer { link, dir, .. } => {
+            let info = &sim.core.links[link.0].info;
+            match dir {
+                crate::link::Dir::AtoB => info.a,
+                crate::link::Dir::BtoA => info.b,
+            }
+        }
+    };
+    map.domain_of(node) as usize
+}
+
+/// Move an event's packet body (if it carries one) from one arena to
+/// another, rewriting the handle.
+fn move_event_pkt(ev: Event, from: &mut PacketArena, to: &mut PacketArena) -> Event {
+    match ev {
+        Event::Deliver { node, pkt } => Event::Deliver {
+            node,
+            pkt: to.insert(from.take(pkt).expect("event holds a stale packet ref")), // lint: allow(panic)
+        },
+        Event::Offer { link, dir, pkt } => Event::Offer {
+            link,
+            dir,
+            pkt: to.insert(from.take(pkt).expect("event holds a stale packet ref")), // lint: allow(panic)
+        },
+        other => other,
+    }
+}
+
+/// Move a link direction's queued / in-flight packet bodies between
+/// arenas, rewriting handles in place.
+fn move_dir_pkts(st: &mut DirState, from: &mut PacketArena, to: &mut PacketArena) {
+    for r in st.queue.iter_mut() {
+        *r = to.insert(from.take(*r).expect("link queue holds a stale packet ref")); // lint: allow(panic)
+    }
+    if let Some(r) = st.in_flight.as_mut() {
+        *r = to.insert(from.take(*r).expect("link holds a stale in-flight ref")); // lint: allow(panic)
+    }
+}
+
+/// Split the merged simulator into per-domain simulators: pending events
+/// (keyed by sequential dispatch position), sender-side link state, and
+/// node logic move out; topology, routing, and prefixes are shared by
+/// clone. The main arena and queue drain completely.
+fn split(sim: &mut Simulator, map: &Arc<DomainMap>) -> Vec<Simulator> {
+    let k = map.domain_count();
+    let mut doms: Vec<Simulator> = (0..k as u32)
+        .map(|d| {
+            let mut s = Simulator::new(sim.core.topo.clone(), 0);
+            s.core.routing = sim.core.routing.clone();
+            s.core.prefixes = sim.core.prefixes.clone();
+            s.core.now = sim.core.now;
+            s.started = true;
+            s.core.domain = Some(Box::new(DomainExt::new(d, Arc::clone(map))));
+            s
+        })
+        .collect();
+    // Pending events in sequential dispatch order become the domains'
+    // initial keys.
+    let snap: Vec<(SimTime, Event)> = sim
+        .core
+        .queue
+        .snapshot_refs()
+        .into_iter()
+        .map(|(t, e)| (t, *e))
+        .collect();
+    sim.core.queue = EventQueue::new();
+    for (i, (time, ev)) in snap.into_iter().enumerate() {
+        let d = event_domain(&ev, map, sim);
+        let ev = move_event_pkt(ev, &mut sim.core.arena, &mut doms[d].core.arena);
+        doms[d]
+            .core
+            .queue
+            .schedule_keyed(time, initial_key(i as u64), ev);
+    }
+    // Each link direction moves to its sender-side domain; the shared
+    // up/down flag is copied to both (read-only during a run).
+    for li in 0..sim.core.links.len() {
+        let (a, b, up) = {
+            let lr = &sim.core.links[li];
+            (lr.info.a, lr.info.b, lr.up)
+        };
+        let (da, db) = (map.domain_of(a) as usize, map.domain_of(b) as usize);
+        doms[da].core.links[li].up = up;
+        doms[db].core.links[li].up = up;
+        let mut ab = std::mem::take(&mut sim.core.links[li].ab);
+        move_dir_pkts(&mut ab, &mut sim.core.arena, &mut doms[da].core.arena);
+        doms[da].core.links[li].ab = ab;
+        doms[da].core.links[li].stats_ab = sim.core.links[li].stats_ab;
+        let mut ba = std::mem::take(&mut sim.core.links[li].ba);
+        move_dir_pkts(&mut ba, &mut sim.core.arena, &mut doms[db].core.arena);
+        doms[db].core.links[li].ba = ba;
+        doms[db].core.links[li].stats_ba = sim.core.links[li].stats_ba;
+    }
+    debug_assert_eq!(sim.core.arena.live(), 0, "split left packets behind");
+    for i in 0..sim.logics.len() {
+        if let Some(l) = sim.logics[i].take() {
+            doms[map.domain_of(NodeId(i)) as usize].logics[i] = Some(l);
+        }
+    }
+    doms
+}
+
+/// Join the domains back into the merged simulator: pending events are
+/// sorted by `(time, key)` — the sequential dispatch order — and
+/// re-scheduled into a fresh counter-ordered queue, link state and
+/// logics move home, the packet-id cursor advances to the barrier
+/// cursor, and each domain's telemetry snapshot is absorbed in domain
+/// order.
+fn join(
+    sim: &mut Simulator,
+    mut doms: Vec<Simulator>,
+    g: &GlobalCursors,
+    map: &DomainMap,
+    t: SimTime,
+) {
+    let mut all: Vec<(SimTime, u128, Event, usize)> = Vec::new();
+    for (d, s) in doms.iter().enumerate() {
+        debug_assert!(
+            s.core.domain.as_ref().is_none_or(|e| e.fresh.is_empty() && e.outbox.is_empty()),
+            "window state leaked past the final barrier"
+        );
+        for (time, key, ev) in s.core.queue.drain_keyed() {
+            all.push((time, key, ev, d));
+        }
+    }
+    all.sort_unstable_by_key(|&(time, key, _, _)| (time.0, key));
+    sim.core.arena = PacketArena::new();
+    sim.core.queue = EventQueue::new();
+    for (time, _, ev, d) in all {
+        let ev = move_event_pkt(ev, &mut doms[d].core.arena, &mut sim.core.arena);
+        sim.core.queue.schedule(time, ev);
+    }
+    for li in 0..sim.core.links.len() {
+        let (a, b) = {
+            let lr = &sim.core.links[li];
+            (lr.info.a, lr.info.b)
+        };
+        let (da, db) = (map.domain_of(a) as usize, map.domain_of(b) as usize);
+        let mut ab = std::mem::take(&mut doms[da].core.links[li].ab);
+        move_dir_pkts(&mut ab, &mut doms[da].core.arena, &mut sim.core.arena);
+        sim.core.links[li].ab = ab;
+        sim.core.links[li].stats_ab = doms[da].core.links[li].stats_ab;
+        let mut ba = std::mem::take(&mut doms[db].core.links[li].ba);
+        move_dir_pkts(&mut ba, &mut doms[db].core.arena, &mut sim.core.arena);
+        sim.core.links[li].ba = ba;
+        sim.core.links[li].stats_ba = doms[db].core.links[li].stats_ba;
+    }
+    for i in 0..sim.logics.len() {
+        let d = map.domain_of(NodeId(i)) as usize;
+        if let Some(l) = doms[d].logics[i].take() {
+            sim.logics[i] = Some(l);
+        }
+    }
+    sim.core.next_pkt_id = g.next_pkt_id;
+    for s in &doms {
+        debug_assert_eq!(s.core.arena.live(), 0, "join left packets behind");
+        sim.core.registry.absorb(&s.core.registry.snapshot());
+    }
+    // Rebuilt queue/arena: re-baseline the structural-delta counters
+    // (exactly what `restore` does) before the run-boundary sync.
+    sim.core.metrics.last_wheel = sim.core.queue.wheel_stats();
+    sim.core.metrics.last_recycled = sim.core.arena.recycled();
+    sim.core.now = t;
+    sim.core.sync_structural_metrics();
+}
+
+/// Earliest pending event time across all domains — the next window
+/// start. Fresh-heaps and outboxes are empty between windows, so the
+/// per-domain wheels are the whole picture.
+fn next_window_start(doms: &[Simulator]) -> Option<SimTime> {
+    doms.iter().filter_map(|s| s.core.queue.peek_time()).min()
+}
+
+/// Single-worker window loop: identical windows, barriers, and merge
+/// order as the threaded loop — which is why `--sim-threads 1` and
+/// `--sim-threads N` produce byte-identical state.
+fn window_loop_inline(
+    doms: &mut [Simulator],
+    lookahead: SimDuration,
+    g: &mut GlobalCursors,
+    target: SimTime,
+) -> u64 {
+    let mut windows = 0u64;
+    while let Some(w) = next_window_start(doms) {
+        if w > target {
+            break;
+        }
+        let end = SimTime(w.0.saturating_add(lookahead.0));
+        for s in doms.iter_mut() {
+            run_window(s, end, target);
+        }
+        merge_window(doms, g);
+        windows += 1;
+    }
+    windows
+}
+
+/// Leader/worker window loop over scoped threads. Domains are statically
+/// assigned round-robin (`worker w` owns domains `w, w+threads, …`);
+/// the leader (the calling thread) doubles as worker 0 and runs every
+/// barrier merge single-threaded while the workers wait. Two barrier
+/// waits per window: one to publish the window bounds, one to mark all
+/// domains parked.
+fn window_loop_threaded(
+    doms: Vec<Simulator>,
+    lookahead: SimDuration,
+    g: &mut GlobalCursors,
+    target: SimTime,
+    threads: usize,
+) -> (Vec<Simulator>, u64) {
+    struct Ctl {
+        end: SimTime,
+        done: bool,
+    }
+    let k = doms.len();
+    let slots: Vec<Mutex<Option<Simulator>>> = doms.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let barrier = Barrier::new(threads);
+    let ctl = Mutex::new(Ctl {
+        end: SimTime::ZERO,
+        done: false,
+    });
+    let mut windows = 0u64;
+    let take = |slots: &[Mutex<Option<Simulator>>], d: usize| -> Simulator {
+        slots[d]
+            .lock()
+            .expect("domain slot poisoned") // lint: allow(panic)
+            .take()
+            .expect("domain already in flight") // lint: allow(panic)
+    };
+    let park = |slots: &[Mutex<Option<Simulator>>], d: usize, s: Simulator| {
+        *slots[d].lock().expect("domain slot poisoned") = Some(s); // lint: allow(panic)
+    };
+    std::thread::scope(|scope| {
+        for w in 1..threads {
+            let (slots, barrier, ctl) = (&slots, &barrier, &ctl);
+            scope.spawn(move || loop {
+                barrier.wait();
+                let (end, done) = {
+                    let c = ctl.lock().expect("window control poisoned"); // lint: allow(panic)
+                    (c.end, c.done)
+                };
+                if done {
+                    break;
+                }
+                for d in (w..k).step_by(threads) {
+                    let mut s = take(slots, d);
+                    run_window(&mut s, end, target);
+                    park(slots, d, s);
+                }
+                barrier.wait();
+            });
+        }
+        loop {
+            // All domains are parked here: compute the next window.
+            let w = (0..k)
+                .filter_map(|d| {
+                    slots[d]
+                        .lock()
+                        .expect("domain slot poisoned") // lint: allow(panic)
+                        .as_ref()
+                        .and_then(|s| s.core.queue.peek_time())
+                })
+                .min();
+            let (end, done) = match w {
+                Some(w) if w <= target => (SimTime(w.0.saturating_add(lookahead.0)), false),
+                _ => (SimTime::ZERO, true),
+            };
+            {
+                let mut c = ctl.lock().expect("window control poisoned"); // lint: allow(panic)
+                c.end = end;
+                c.done = done;
+            }
+            barrier.wait();
+            if done {
+                break;
+            }
+            for d in (0..k).step_by(threads) {
+                let mut s = take(&slots, d);
+                run_window(&mut s, end, target);
+                park(&slots, d, s);
+            }
+            barrier.wait();
+            let mut all: Vec<Simulator> = (0..k).map(|d| take(&slots, d)).collect();
+            merge_window(&mut all, g);
+            for (d, s) in all.into_iter().enumerate() {
+                park(&slots, d, s);
+            }
+            windows += 1;
+        }
+    });
+    let doms = slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("domain slot poisoned") // lint: allow(panic)
+                .expect("domain not parked at shutdown") // lint: allow(panic)
+        })
+        .collect();
+    (doms, windows)
+}
+

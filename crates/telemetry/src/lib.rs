@@ -17,8 +17,9 @@
 //!   caller-supplied nanoseconds (the simulator passes deterministic
 //!   `SimTime` nanos; no clock is read here).
 //! * [`wallclock`] — the **only** library module allowed to read the
-//!   monotonic wall clock (enforced by `scripts/lint_determinism.sh`);
-//!   a process-global profiler for the experiment harness.
+//!   monotonic wall clock (enforced by the `dui-lint`
+//!   `determinism/wall-clock` rule); a process-global profiler for the
+//!   experiment harness.
 //!
 //! Everything outside [`wallclock`] is deterministic: identical record
 //! sequences produce byte-identical snapshots and JSON lines, which is

@@ -1,7 +1,8 @@
 //! Wall-clock self-profiler for the experiment harness.
 //!
 //! **This is the only module in the library crates that may touch
-//! `std::time::Instant`** (enforced by `scripts/lint_determinism.sh`).
+//! `std::time::Instant`** (enforced by the `dui-lint`
+//! `determinism/wall-clock` rule, which allowlists exactly this file).
 //! Everything it produces is explicitly non-deterministic profiling
 //! output: it must never feed back into simulation state or into any
 //! exported experiment artifact that is compared byte-for-byte across
