@@ -8,14 +8,24 @@
 //! predicate is forwarded to a partner router `bounces` times before
 //! continuing, inflating its latency by `2 · bounces · link_delay`
 //! without dropping a single packet — invisible to loss-based monitoring.
+//!
+//! The program is **stateless per packet**: it recognizes ping-pong legs
+//! purely from the TTL the router already decrements on every hop, the
+//! way a real match-action table would (TTL is a header field; flow
+//! state keyed on switch-internal packet ids is not implementable on
+//! hardware anyway). Statelessness is also what makes the program safe
+//! under the domain-parallel engine: it never reads `pkt.id` of packets
+//! it did not create, so the packet-id contract
+//! (`docs/parallel-domains.md`) holds and scenarios using it stay
+//! `--sim-threads` eligible.
 
 use crate::privilege::{AttackDescriptor, Privilege, Target};
 use dui_netsim::node::{DataPlaneProgram, Verdict};
-use dui_netsim::packet::Packet;
+use dui_netsim::packet::{Packet, DEFAULT_TTL};
 use dui_netsim::time::SimTime;
+use dui_stats::digest::StateDigest;
 use dui_netsim::topology::NodeId;
 use std::any::Any;
-use std::collections::HashMap;
 
 /// Descriptor for the attack.
 pub fn descriptor() -> AttackDescriptor {
@@ -33,16 +43,26 @@ pub fn descriptor() -> AttackDescriptor {
 pub type TrafficMatcher = Box<dyn Fn(&Packet) -> bool + Send>;
 
 /// The bouncing program. Install one instance on **each** of the two
-/// partner routers; they recognize ping-pong legs by packet id.
+/// partner routers; they recognize ping-pong legs by the packet's TTL.
+///
+/// A matched packet first reaches the pair with
+/// `TTL = DEFAULT_TTL - 1` (the entry router decrements before its
+/// programs run), and every further leg burns one more. The program
+/// keeps tossing the packet to its partner while the TTL is above
+/// `entry - 2 · bounces` and releases it to normal routing below that —
+/// `bounces` extra round trips over the pair's link, no per-packet
+/// state. Packets that spent extra hops upstream of the pair get
+/// correspondingly fewer legs (graceful degradation, never TTL expiry).
 pub struct BounceProgram {
     matcher: TrafficMatcher,
     /// The partner router to bounce via.
     partner: NodeId,
-    /// Extra round trips to the partner before releasing the packet.
-    bounces: u32,
-    /// Legs already taken per in-flight packet id.
-    legs: HashMap<u64, u32>,
-    /// Packets tormented so far.
+    /// The TTL a matched packet carries when it first reaches the pair.
+    entry_ttl: u8,
+    /// Release threshold: bounce while `pkt.ttl > release_ttl`.
+    release_ttl: u8,
+    /// Packets tormented so far (counted at their entry TTL, so each
+    /// packet is counted once across the pair).
     pub bounced_packets: u64,
 }
 
@@ -50,11 +70,12 @@ impl BounceProgram {
     /// Bounce matching traffic to `partner` and back `bounces` times.
     pub fn new(matcher: TrafficMatcher, partner: NodeId, bounces: u32) -> Self {
         assert!(bounces >= 1);
+        let entry_ttl = DEFAULT_TTL - 1;
         BounceProgram {
             matcher,
             partner,
-            bounces,
-            legs: HashMap::new(),
+            entry_ttl,
+            release_ttl: entry_ttl.saturating_sub((2 * bounces).min(u8::MAX as u32) as u8),
             bounced_packets: 0,
         }
     }
@@ -70,17 +91,12 @@ impl DataPlaneProgram for BounceProgram {
         if !(self.matcher)(pkt) {
             return None;
         }
-        let legs = self.legs.entry(pkt.id).or_insert(0);
-        // Each visit to this router is one observed leg; a full bounce is
-        // two legs (there and back again, counted across both partners).
-        if *legs < self.bounces {
-            *legs += 1;
-            if *legs == 1 {
+        if pkt.ttl > self.release_ttl {
+            if pkt.ttl == self.entry_ttl {
                 self.bounced_packets += 1;
             }
             return Some(Verdict::Forward(self.partner));
         }
-        self.legs.remove(&pkt.id);
         None // release to normal routing
     }
 
@@ -90,6 +106,12 @@ impl DataPlaneProgram for BounceProgram {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn state_digest(&self, d: &mut StateDigest) {
+        d.write_u8(self.entry_ttl);
+        d.write_u8(self.release_ttl);
+        d.write_u64(self.bounced_packets);
     }
 }
 

@@ -114,7 +114,7 @@ impl PccEqualizerTap {
             return 0.0;
         }
         let mut v: Vec<f64> = self.rate_samples.iter().map(|&(_, r)| r).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        v.sort_by(f64::total_cmp);
         v[v.len() / 2]
     }
 

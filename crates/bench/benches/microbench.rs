@@ -2,8 +2,9 @@
 //! in-tree timer harness (`dui_bench::harness` — no criterion, no
 //! registry access): the Blink flow selector (must run at line rate in
 //! a real data plane), the event queue, the attack theory's binomial
-//! math, the PCC controller step, the Pytheas bandit, and the NetHide
-//! solver.
+//! math, the PCC controller step, the Pytheas bandit, the NetHide
+//! solver, and the supervisord delta-encode / signal-evaluation hot
+//! path.
 //!
 //! Run with `cargo bench -p dui-bench`; each line reports per-iteration
 //! median / p95 / min. Pass `--quick` for a fast smoke run.
@@ -307,6 +308,62 @@ fn bench_replay(s: &mut Suite) {
     }
 }
 
+fn bench_supervisord(s: &mut Suite) {
+    use dui_core::supervisord::{SignalBank, SignalConfig};
+    use dui_core::telemetry::delta::DeltaEncoder;
+    use dui_core::telemetry::Registry;
+
+    // A representative producer registry: the Blink gauge, five Pytheas
+    // member gauges, the four PCC loss-pattern counters.
+    fn producer_registry() -> Registry {
+        let mut reg = Registry::new();
+        reg.gauge("blink.cells.malicious");
+        for k in 0..5 {
+            reg.gauge(&format!("pytheas.qoe.p0.c{k}"));
+        }
+        for n in ["high_lossy", "high_total", "low_lossy", "low_total"] {
+            reg.counter(&format!("pcc.mi.{n}"));
+        }
+        reg
+    }
+    {
+        // Producer hot path: observe one epoch of metrics, snapshot,
+        // diff against the previous snapshot, frame it.
+        let mut reg = producer_registry();
+        let blink = reg.gauge("blink.cells.malicious");
+        let hi = reg.counter("pcc.mi.high_total");
+        let mut enc = DeltaEncoder::new(0);
+        let mut e = 0u64;
+        s.bench("supervisord_delta_encode", move || {
+            e += 1;
+            reg.observe(blink, (e % 64) as f64);
+            reg.add(hi, 50);
+            enc.encode(e, &reg.snapshot(), 0)
+        });
+    }
+    {
+        // Worker hot path: one frame through a group's full signal bank
+        // (Blink occupancy + Pytheas outlier + PCC drop-pattern windows).
+        let mut reg = producer_registry();
+        let blink = reg.gauge("blink.cells.malicious");
+        let hi = reg.counter("pcc.mi.high_total");
+        let mut enc = DeltaEncoder::new(0);
+        let frames: Vec<_> = (0..64u64)
+            .map(|e| {
+                reg.observe(blink, (e % 64) as f64);
+                reg.add(hi, 50);
+                enc.encode(e, &reg.snapshot(), 0)
+            })
+            .collect();
+        let mut bank = SignalBank::new(&SignalConfig::default());
+        let mut i = 0usize;
+        s.bench("supervisord_signalbank_observe", move || {
+            i = (i + 1) % frames.len();
+            bank.observe("site-g0", &frames[i])
+        });
+    }
+}
+
 fn bench_lint(s: &mut Suite) {
     // Lexing throughput on a real, large source file (this crate's own
     // stage definitions) — the hot inner loop of every dui-lint run.
@@ -346,6 +403,7 @@ fn main() {
     bench_telemetry(&mut s);
     bench_fastsim(&mut s);
     bench_replay(&mut s);
+    bench_supervisord(&mut s);
     bench_lint(&mut s);
     println!("\n{} benchmarks done.", s.results().len());
 }

@@ -17,9 +17,14 @@
 //! `--sim-threads N` additionally shards the *simulator itself* (the
 //! packet engine's domain-parallel mode, `dui_core::netsim::parallel`)
 //! for the stages whose node programs honor the packet-id contract —
-//! currently `blink-packet` and `parallel-scaling`. Results are
-//! byte-identical for every `N` there too; other stages ignore the
-//! flag.
+//! currently `blink-packet`, `defenses` and `parallel-scaling`.
+//! Results are byte-identical for every `N` there too; other stages
+//! ignore the flag.
+//!
+//! `--workers N` sets the `supervisord` stage's pipeline worker-thread
+//! count (folded into its swept set; the verdict log written to
+//! `results/supervisord_verdicts.jsonl` is byte-identical for every
+//! `N` — the stage asserts it). Other stages ignore the flag.
 //!
 //! `--metrics` additionally writes each stage's telemetry snapshot as
 //! one JSON line to `results/metrics.jsonl` (sim-time metrics only, so
@@ -48,7 +53,7 @@
 
 use dui_bench::par::default_jobs;
 use dui_bench::recordings::{build_subject, default_ckpt_every, StageSubject, RECORD_STAGES};
-use dui_bench::stages::{run_stage_opts, StageOutput, STAGE_NAMES};
+use dui_bench::stages::{run_stage_cfg, StageCfg, StageOutput, STAGE_NAMES};
 use dui_core::replay::{Recorder, Recording, Replayer};
 use dui_core::stats::table::Table;
 use dui_core::telemetry::wallclock;
@@ -64,6 +69,12 @@ fn emit(out: &StageOutput) {
     for (name, table) in &out.tables {
         let path = results_dir().join(name);
         table.write_csv(&path).expect("write results CSV");
+        println!("[saved {}]", path.display());
+    }
+    for (name, text) in &out.artifacts {
+        std::fs::create_dir_all(results_dir()).expect("create results dir");
+        let path = results_dir().join(name);
+        std::fs::write(&path, text).expect("write results artifact");
         println!("[saved {}]", path.display());
     }
 }
@@ -97,7 +108,7 @@ fn metrics_summary(per_stage: &[(&str, &StageOutput)]) -> Table {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [{} | all] [--jobs N] [--sim-threads N] [--metrics]\n\
+        "usage: experiments [{} | all] [--jobs N] [--sim-threads N] [--workers N] [--metrics]\n\
          \x20      experiments record <{}> [--out FILE] [--ckpt-every N]\n\
          \x20      experiments replay <FILE> [--check] [--resume <idx|mid>]",
         STAGE_NAMES.join(" | "),
@@ -228,6 +239,7 @@ fn main() {
     let mut which: Option<String> = None;
     let mut jobs = default_jobs();
     let mut sim_threads = 0usize; // 0 = leave the simulator sequential
+    let mut workers = StageCfg::default().workers;
     let mut metrics = false;
     let mut args = std::env::args().skip(1);
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -266,12 +278,30 @@ fn main() {
                     usage();
                 }
             }
+            "--workers" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                workers = v.parse().unwrap_or_else(|_| usage());
+                if workers == 0 {
+                    usage();
+                }
+            }
+            s if s.starts_with("--workers=") => {
+                workers = s["--workers=".len()..].parse().unwrap_or_else(|_| usage());
+                if workers == 0 {
+                    usage();
+                }
+            }
             "--metrics" => metrics = true,
             s if which.is_none() && !s.starts_with('-') => which = Some(s.to_string()),
             _ => usage(),
         }
     }
     let which = which.unwrap_or_else(|| "all".to_string());
+    let cfg = StageCfg {
+        jobs,
+        sim_threads,
+        workers,
+    };
     if metrics {
         wallclock::enable(true);
     }
@@ -288,7 +318,7 @@ fn main() {
         for &name in STAGE_NAMES {
             let ts = std::time::Instant::now();
             wallclock::set_stage(name);
-            let out = run_stage_opts(name, jobs, sim_threads).expect("known stage");
+            let out = run_stage_cfg(name, &cfg).expect("known stage");
             wallclock::end_stage();
             timings.push((name, ts.elapsed().as_secs_f64()));
             emit(&out);
@@ -335,7 +365,7 @@ fn main() {
             );
             for &name in &["fig2", "blink-sweep"] {
                 let ts = std::time::Instant::now();
-                run_stage_opts(name, 1, sim_threads).expect("known stage");
+                run_stage_cfg(name, &StageCfg { jobs: 1, ..cfg.clone() }).expect("known stage");
                 let seq = ts.elapsed().as_secs_f64();
                 let par = timings
                     .iter()
@@ -356,7 +386,7 @@ fn main() {
         println!("[saved {}]", path.display());
     } else {
         wallclock::set_stage(&which);
-        match run_stage_opts(&which, jobs, sim_threads) {
+        match run_stage_cfg(&which, &cfg) {
             Some(out) => {
                 wallclock::end_stage();
                 emit(&out);

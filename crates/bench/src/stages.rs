@@ -45,11 +45,18 @@ pub struct StageOutput {
     /// task-index order). The binary serializes one JSON line per stage
     /// into `results/metrics.jsonl` under `--metrics`.
     pub metrics: Snapshot,
+    /// `(file name, contents)` pairs written verbatim under `results/`
+    /// — for non-tabular artifacts like the supervisord verdict JSONL.
+    pub artifacts: Vec<(String, String)>,
 }
 
 impl StageOutput {
     fn table(&mut self, name: &str, t: Table) {
         self.tables.push((name.to_string(), t));
+    }
+
+    fn artifact(&mut self, name: &str, contents: String) {
+        self.artifacts.push((name.to_string(), contents));
     }
 }
 
@@ -68,7 +75,33 @@ pub const STAGE_NAMES: &[&str] = &[
     "fuzz",
     "lint",
     "parallel-scaling",
+    "supervisord",
 ];
+
+/// Cross-stage execution options, bundled so new knobs do not churn
+/// every call site.
+#[derive(Debug, Clone)]
+pub struct StageCfg {
+    /// Harness worker threads for replicated work inside a stage.
+    pub jobs: usize,
+    /// Simulation-engine thread count (0 = sequential); consumed only
+    /// by the id-contract-clean packet-level stages.
+    pub sim_threads: usize,
+    /// Supervisord pipeline worker threads; consumed only by the
+    /// `supervisord` stage, whose verdict log is byte-identical for
+    /// every value.
+    pub workers: usize,
+}
+
+impl Default for StageCfg {
+    fn default() -> Self {
+        StageCfg {
+            jobs: 1,
+            sim_threads: 0,
+            workers: 2,
+        }
+    }
+}
 
 /// Run one stage by CLI name with `jobs` worker threads. `None` for an
 /// unknown name.
@@ -78,11 +111,25 @@ pub fn run_stage(name: &str, jobs: usize) -> Option<StageOutput> {
 
 /// [`run_stage`] with the simulation-engine thread count. `sim_threads`
 /// is consumed only by the packet-level stages whose node logic is
-/// certified id-stable (`blink-packet`, `parallel-scaling`); every other
-/// stage runs its simulators sequentially regardless (see the
-/// determinism-contract chapter in `docs/` for the `pkt.id` rule that
-/// gates this).
+/// certified id-stable (`blink-packet`, `defenses`, `parallel-scaling`);
+/// every other stage runs its simulators sequentially regardless (see
+/// the determinism-contract chapter in `docs/` for the `pkt.id` rule
+/// that gates this).
 pub fn run_stage_opts(name: &str, jobs: usize, sim_threads: usize) -> Option<StageOutput> {
+    run_stage_cfg(
+        name,
+        &StageCfg {
+            jobs,
+            sim_threads,
+            ..StageCfg::default()
+        },
+    )
+}
+
+/// [`run_stage`] with the full option bundle.
+pub fn run_stage_cfg(name: &str, cfg: &StageCfg) -> Option<StageOutput> {
+    let jobs = cfg.jobs;
+    let sim_threads = cfg.sim_threads;
     Some(match name {
         "fig2" => fig2(jobs),
         "fig2-rates" => fig2_rates(jobs),
@@ -92,11 +139,12 @@ pub fn run_stage_opts(name: &str, jobs: usize, sim_threads: usize) -> Option<Sta
         "pytheas" => pytheas(jobs),
         "pcc" => pcc(jobs),
         "nethide" => nethide(jobs),
-        "defenses" => defenses(jobs),
+        "defenses" => defenses_opts(jobs, sim_threads),
         "survey" => survey(jobs),
         "fuzz" => fuzz(jobs),
         "lint" => lint(jobs),
         "parallel-scaling" => parallel_scaling(sim_threads),
+        "supervisord" => supervisord_stage(&SupervisordOpts::scaled(cfg.workers), jobs),
         _ => return None,
     })
 }
@@ -1055,6 +1103,15 @@ pub fn nethide(jobs: usize) -> StageOutput {
 /// countermeasure, one row per case study; the six simulations run
 /// concurrently.
 pub fn defenses(jobs: usize) -> StageOutput {
+    defenses_opts(jobs, 0)
+}
+
+/// [`defenses`] with the simulation-engine thread count. Only the two
+/// packet-level Blink runs are affected; since the `BounceProgram`
+/// rework removed the last foreign-`pkt.id` read in node logic, the
+/// stage is id-contract clean and its output is byte-identical at any
+/// `sim_threads`.
+pub fn defenses_opts(jobs: usize, sim_threads: usize) -> StageOutput {
     let mut out = StageOutput::default();
     let mut report = String::new();
     let r = &mut report;
@@ -1077,6 +1134,9 @@ pub fn defenses(jobs: usize) -> StageOutput {
             ..Default::default()
         };
         let mut sc = BlinkScenario::build(&cfg);
+        if sim_threads > 0 {
+            sc.sim.set_sim_threads(sim_threads);
+        }
         sc.sim.run_until(SimTime::from_secs(70));
         let snap = sc.metrics();
         (snap.counter("blink.reroutes") as f64, snap)
@@ -1524,5 +1584,250 @@ pub fn lint(_jobs: usize) -> StageOutput {
     }
     out.table("lint.csv", csv);
     out.report = r;
+    out
+}
+
+/// Options for the [`supervisord_stage`] synthetic fleet.
+#[derive(Debug, Clone)]
+pub struct SupervisordOpts {
+    /// Telemetry producers (two per group).
+    pub producers: usize,
+    /// Reporting epochs each producer streams.
+    pub epochs: u64,
+    /// Requested pipeline worker-thread count; folded into the swept
+    /// set `{1, 2, 4}` (the verdict log is byte-identical for all).
+    pub workers: usize,
+    /// Seed for the per-producer noise streams.
+    pub master_seed: u64,
+}
+
+impl SupervisordOpts {
+    /// The stage's default fleet, at the requested worker count.
+    pub fn scaled(workers: usize) -> Self {
+        SupervisordOpts {
+            producers: 12,
+            epochs: 150,
+            workers: workers.max(1),
+            master_seed: 7,
+        }
+    }
+}
+
+/// SV — the `dui-supervisord` streaming detection pipeline under a
+/// synthetic telemetry fleet: `producers` delta streams (two per group;
+/// groups cycle benign / Blink-ramp / Pytheas-poison / PCC-equalizer
+/// profiles) sharded over worker threads, each group's risk signals
+/// evaluated online. The stage sweeps worker counts, byte-compares the
+/// verdict JSONL against the 1-worker reference (in-stage self-check —
+/// a mismatch fails the stage), and reports throughput and ingest →
+/// verdict latency. Wall-clock and latency columns are measurements
+/// and legitimately vary; the verdict artifact and the metrics
+/// snapshot are deterministic.
+pub fn supervisord_stage(opts: &SupervisordOpts, jobs: usize) -> StageOutput {
+    use dui_core::supervisord::{self, Config as SupConfig, ProducerSpec};
+    use dui_core::telemetry::delta::{DeltaEncoder, Frame};
+    use std::sync::Arc;
+
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let groups = opts.producers.div_ceil(2);
+    let _ = writeln!(
+        r,
+        "== SV: supervisord streaming detection ({} producers, {} groups, {} epochs) ==\n",
+        opts.producers, groups, opts.epochs
+    );
+
+    // One deterministic delta stream per producer. Groups pair
+    // producers; the group's profile decides which signal its members
+    // poison. All producers emit all three metric families so every
+    // window sees realistic benign baselines.
+    let onset = opts.epochs / 3;
+    let epochs = opts.epochs;
+    let master_seed = opts.master_seed;
+    let gen = move |i: usize| -> Vec<Frame> {
+        let profile = (i / 2) % 4;
+        let mut rng = Rng::new(task_seed(master_seed, i as u64));
+        let mut reg = Registry::new();
+        let blink = reg.gauge("blink.cells.malicious");
+        let qoe: Vec<_> = (0..5)
+            .map(|k| reg.gauge(&format!("pytheas.qoe.p{i}.c{k}")))
+            .collect();
+        let high_lossy = reg.counter("pcc.mi.high_lossy");
+        let high_total = reg.counter("pcc.mi.high_total");
+        let low_lossy = reg.counter("pcc.mi.low_lossy");
+        let low_total = reg.counter("pcc.mi.low_total");
+        let mut enc = DeltaEncoder::new(i as u32);
+        let mut frames = Vec::with_capacity(epochs as usize);
+        for e in 0..epochs {
+            let attacking = e >= onset;
+            // Blink cell occupancy: benign churn vs a takeover ramp.
+            let occ = if profile == 1 && attacking {
+                (2.0 + 1.4 * (e - onset) as f64).min(58.0)
+            } else {
+                2.0 + rng.range_f64(0.0, 2.0)
+            };
+            reg.observe(blink, occ);
+            // Pytheas per-member QoE: the poisoned pair drags two of
+            // its members' windows down.
+            for (k, &g) in qoe.iter().enumerate() {
+                let v = if profile == 2 && attacking && k >= 3 {
+                    0.02 + rng.range_f64(0.0, 0.01)
+                } else {
+                    0.65 + rng.range_f64(0.0, 0.1)
+                };
+                reg.observe(g, v);
+            }
+            // PCC monitor-interval loss pattern: the equalizer pair
+            // concentrates loss on high-rate intervals.
+            reg.add(high_total, 50);
+            reg.add(low_total, 50);
+            let h = if profile == 3 && attacking {
+                30
+            } else {
+                rng.below(3)
+            };
+            reg.add(high_lossy, h);
+            reg.add(low_lossy, rng.below(3));
+            frames.push(enc.encode(e, &reg.snapshot(), 0));
+        }
+        frames
+    };
+    let frame_sets: Vec<Vec<Frame>> = run_indexed(opts.producers, jobs, gen);
+    let sources = |sets: &[Vec<Frame>]| -> Vec<(ProducerSpec, std::vec::IntoIter<Frame>)> {
+        sets.iter()
+            .enumerate()
+            .map(|(i, frames)| {
+                let spec = ProducerSpec {
+                    id: i as u32,
+                    group: format!("site-g{}", i / 2),
+                };
+                (spec, frames.clone().into_iter())
+            })
+            .collect()
+    };
+
+    // Reference run: 1 worker, no clock — the deterministic artifact
+    // and metrics come from here.
+    let reference = supervisord::run(&SupConfig::default(), sources(&frame_sets));
+    let ref_jsonl = reference.to_jsonl();
+
+    let mut sweep = vec![1usize, 2, 4];
+    if !sweep.contains(&opts.workers) {
+        sweep.push(opts.workers);
+        sweep.sort_unstable();
+    }
+    let mut csv = Table::new([
+        "workers",
+        "producers",
+        "groups",
+        "epochs",
+        "frames",
+        "allow",
+        "constrain",
+        "veto",
+        "flagged_groups",
+        "snapshots_per_sec",
+        "p50_latency_us",
+        "p95_latency_us",
+    ]);
+    let mut show = Table::new([
+        "workers",
+        "frames",
+        "allow / constrain / veto",
+        "snapshots/s",
+        "p50 / p95 latency [µs]",
+    ]);
+    let count = |report: &supervisord::PipelineReport, action: supervisord::Action| {
+        report.verdicts.iter().filter(|v| v.action == action).count()
+    };
+    let allow = count(&reference, supervisord::Action::Allow);
+    let constrain = count(&reference, supervisord::Action::Constrain);
+    let veto = count(&reference, supervisord::Action::Veto);
+    let flagged: std::collections::BTreeSet<&str> = reference
+        .verdicts
+        .iter()
+        .filter(|v| v.action != supervisord::Action::Allow)
+        .map(|v| v.group.as_str())
+        .collect();
+    for &workers in &sweep {
+        let t0 = std::time::Instant::now();
+        let clock: supervisord::Clock = Arc::new(move || t0.elapsed().as_nanos() as u64);
+        let cfg = SupConfig {
+            workers,
+            clock: Some(clock),
+            ..SupConfig::default()
+        };
+        let run = supervisord::run(&cfg, sources(&frame_sets));
+        let wall = t0.elapsed().as_secs_f64();
+        // In-stage determinism self-check, same spirit as the
+        // parallel-scaling hash column: the verdict log must not
+        // depend on the worker count or on the injected clock.
+        assert_eq!(
+            run.to_jsonl(),
+            ref_jsonl,
+            "supervisord verdict log diverged at workers={workers}"
+        );
+        let rate = run.frames as f64 / wall.max(1e-9);
+        let p50 = run.latency_ns.quantile(0.5) as f64 / 1_000.0;
+        let p95 = run.latency_ns.quantile(0.95) as f64 / 1_000.0;
+        csv.row([
+            workers.to_string(),
+            opts.producers.to_string(),
+            groups.to_string(),
+            opts.epochs.to_string(),
+            run.frames.to_string(),
+            allow.to_string(),
+            constrain.to_string(),
+            veto.to_string(),
+            flagged.len().to_string(),
+            format!("{rate:.0}"),
+            format!("{p50:.1}"),
+            format!("{p95:.1}"),
+        ]);
+        show.row([
+            workers.to_string(),
+            run.frames.to_string(),
+            format!("{allow} / {constrain} / {veto}"),
+            format!("{rate:.0}"),
+            format!("{p50:.1} / {p95:.1}"),
+        ]);
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    let _ = writeln!(
+        r,
+        "verdict log byte-identical across workers {{{}}}; flagged groups: {}\n\
+         (profiles: benign / Blink-ramp / Pytheas-poison / PCC-equalizer, onset at epoch {onset})\n",
+        sweep
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        flagged
+            .iter()
+            .copied()
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+
+    out.table("supervisord.csv", csv);
+    out.artifact("supervisord_verdicts.jsonl", ref_jsonl);
+    let mut reg = Registry::new();
+    let c = reg.counter("supervisord.frames");
+    reg.add(c, reference.frames);
+    let c = reg.counter("supervisord.verdicts.allow");
+    reg.add(c, allow as u64);
+    let c = reg.counter("supervisord.verdicts.constrain");
+    reg.add(c, constrain as u64);
+    let c = reg.counter("supervisord.verdicts.veto");
+    reg.add(c, veto as u64);
+    let c = reg.counter("supervisord.groups.flagged");
+    reg.add(c, flagged.len() as u64);
+    let risk = reg.histogram("supervisord.risk.milli");
+    for v in &reference.verdicts {
+        reg.record(risk, (v.risk * 1000.0) as u64);
+    }
+    out.metrics = reg.snapshot();
+    out.report = report;
     out
 }

@@ -245,17 +245,18 @@ impl AttackSim {
         if self.done {
             return None;
         }
-        let horizon_reached = match self.heap.peek() {
-            Some(&Reverse((t, _))) => t.as_nanos() > self.cfg.horizon.as_nanos(),
-            None => true,
+        // Past-horizon events stay in the heap (its contents feed the
+        // state digest), so peek first and only pop what we consume.
+        let (t, i) = match self.heap.peek() {
+            Some(&Reverse((t, i))) if t.as_nanos() <= self.cfg.horizon.as_nanos() => (t, i),
+            _ => {
+                self.done = true;
+                // Flush remaining sample points up to the horizon.
+                self.emit_due_samples(SimTime::ZERO + self.cfg.horizon);
+                return None;
+            }
         };
-        if horizon_reached {
-            self.done = true;
-            // Flush remaining sample points up to the horizon.
-            self.emit_due_samples(SimTime::ZERO + self.cfg.horizon);
-            return None;
-        }
-        let Reverse((t, i)) = self.heap.pop().expect("peeked");
+        self.heap.pop();
         // Emit samples up to t.
         self.emit_due_samples(t);
         let cfg = &self.cfg;

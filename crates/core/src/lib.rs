@@ -22,6 +22,8 @@
 //! * [`defense`] — the §5 countermeasures (Fig. 3 driver/supervisor)
 //! * [`replay`] — deterministic record/replay: state hashing, recordings,
 //!   checkpoint resume, first-divergence pinpointing
+//! * [`supervisord`] — streaming supervisor-as-a-service: sharded online
+//!   risk evaluation over telemetry snapshot deltas
 //! * [`telemetry`] — zero-dep metrics registry, span tracing, self-profiler
 
 #![forbid(unsafe_code)]
@@ -37,6 +39,7 @@ pub use dui_pcc as pcc;
 pub use dui_pytheas as pytheas;
 pub use dui_replay as replay;
 pub use dui_stats as stats;
+pub use dui_supervisord as supervisord;
 pub use dui_survey as survey;
 pub use dui_tcp as tcp;
 pub use dui_telemetry as telemetry;

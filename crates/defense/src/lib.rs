@@ -13,6 +13,7 @@
 //! | [`pcc_guard`] | "monitor when packets are dropped in every +ε or −ε phase as well as limit the amplitude of the oscillations" | PCC (§4.2 attack) |
 //! | [`input_quality`] | point I: "improving input quality by using many independent inputs" | generic |
 //! | [`fuzzing`] | point II: "fuzzing techniques that enable auto-generation of (realistic) adversarial inputs" | testing Blink |
+//! | [`streaming`] | Fig. 3 as a service: incremental `observe(delta) -> Risk` with windowed state | all three, online (consumed by `dui-supervisord`) |
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -22,10 +23,14 @@ pub mod fuzzing;
 pub mod input_quality;
 pub mod pcc_guard;
 pub mod pytheas_guard;
+pub mod streaming;
 pub mod supervisor;
 
 pub use blink_guard::BlinkRtoGuard;
 pub use fuzzing::{BlinkFuzzer, FuzzConfig};
 pub use pcc_guard::PccLossPatternMonitor;
 pub use pytheas_guard::MadReportFilter;
+pub use streaming::{
+    DropPatternWindow, GroupOutlierWindow, OccupancyWindow, StreamingSupervisor,
+};
 pub use supervisor::{OperatingRange, Risk, SnapshotSupervisor, Supervised, Supervisor};

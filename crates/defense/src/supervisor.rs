@@ -175,6 +175,16 @@ impl SnapshotSupervisor {
             veto_above: 0.5,
         }
     }
+
+    /// The incremental form of this supervisor for the streaming
+    /// pipeline: same metric and capacity, but fed snapshot *deltas*
+    /// and smoothed over the last `window` of them (see
+    /// [`OccupancyWindow`](crate::streaming::OccupancyWindow)). With
+    /// `window = 1`, each `observe(delta)` returns exactly what
+    /// [`Supervisor::assess`] returns on that delta.
+    pub fn streaming(&self, window: usize) -> crate::streaming::OccupancyWindow {
+        crate::streaming::OccupancyWindow::new(&self.metric, self.capacity, window)
+    }
 }
 
 impl Supervisor<dui_telemetry::Snapshot, f64> for SnapshotSupervisor {

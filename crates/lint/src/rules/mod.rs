@@ -104,6 +104,7 @@ impl<'a> PathClass<'a> {
     /// bans unsynchronized shared mutability outright.
     pub fn is_parallel_engine(&self) -> bool {
         self.path.starts_with("crates/netsim/src/parallel/")
+            || self.path.starts_with("crates/supervisord/src/")
     }
 
     /// A digest-defining file for `cast/lossy-in-digest` scoping.

@@ -1,5 +1,6 @@
 //! `parallel/no-shared-mut`: the domain-parallel engine under
-//! `crates/netsim/src/parallel/` must not smuggle in unsynchronized
+//! `crates/netsim/src/parallel/` and the streaming detection pipeline
+//! under `crates/supervisord/src/` must not smuggle in unsynchronized
 //! shared mutability.
 //!
 //! The parallel engine's determinism proof rests on a simple discipline:

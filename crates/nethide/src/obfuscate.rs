@@ -151,7 +151,9 @@ fn simple_paths(
         if out.len() >= cap {
             return;
         }
-        let cur = *stack.last().expect("stack non-empty");
+        let Some(&cur) = stack.last() else {
+            return; // seeded with `src` and never popped below its root
+        };
         if cur == dst {
             out.push(stack.clone());
             return;
@@ -203,11 +205,7 @@ pub fn obfuscate(
                 .into_iter()
                 .map(|p| p[1..].iter().map(|&n| topo.node(n).addr).collect())
                 .collect();
-        cands.sort_by(|a, b| {
-            path_accuracy(&phys, b)
-                .partial_cmp(&path_accuracy(&phys, a))
-                .expect("no NaN")
-        });
+        cands.sort_by(|a, b| path_accuracy(&phys, b).total_cmp(&path_accuracy(&phys, a)));
         cands.truncate(cfg.candidates_per_flow);
         physical.push(phys);
         candidates.push(cands);

@@ -849,7 +849,9 @@ impl Simulator {
             if et > t {
                 break;
             }
-            let (time, event) = self.core.queue.pop().expect("peeked");
+            let Some((time, event)) = self.core.queue.pop() else {
+                break;
+            };
             debug_assert!(time >= self.core.now, "time went backwards");
             self.core.now = time;
             self.dispatch(time, event);
@@ -922,9 +924,8 @@ impl Simulator {
     /// drives the engine through.
     pub fn step_limited(&mut self, limit: SimTime) -> Option<SteppedEvent> {
         self.start_if_needed();
-        match self.core.queue.peek_time() {
-            Some(et) if et <= limit => {
-                let (time, event) = self.core.queue.pop().expect("peeked");
+        if self.core.queue.peek_time().is_some_and(|et| et <= limit) {
+            if let Some((time, event)) = self.core.queue.pop() {
                 debug_assert!(time >= self.core.now, "time went backwards");
                 self.core.now = time;
                 let kind = event.kind();
@@ -932,14 +933,12 @@ impl Simulator {
                 event.state_digest(&mut d, &self.core.arena);
                 let digest = d.finish();
                 self.dispatch(time, event);
-                Some(SteppedEvent { time, kind, digest })
-            }
-            _ => {
-                self.core.now = limit;
-                self.core.sync_structural_metrics();
-                None
+                return Some(SteppedEvent { time, kind, digest });
             }
         }
+        self.core.now = limit;
+        self.core.sync_structural_metrics();
+        None
     }
 
     /// Fold the engine's complete logical state into `d`: clock, RNG,

@@ -96,7 +96,7 @@ impl DiscountedUcb {
     /// The arm with the highest discounted mean (exploitation choice).
     pub fn best_arm(&self) -> usize {
         (0..self.arms())
-            .max_by(|&a, &b| self.mean(a).partial_cmp(&self.mean(b)).expect("no NaN"))
+            .max_by(|&a, &b| self.mean(a).total_cmp(&self.mean(b)))
             .unwrap_or(0)
     }
 

@@ -184,7 +184,9 @@ impl PytheasEngine {
         for key in group_keys {
             let mut batch: Vec<Report> = Vec::with_capacity(self.cfg.sessions_per_round);
             for _ in 0..self.cfg.sessions_per_round {
-                let ucb = self.groups.get(&key).expect("group exists");
+                let Some(ucb) = self.groups.get(&key) else {
+                    break; // keys snapshot above; groups are never removed
+                };
                 let arm = ucb.pick(&mut self.rng);
                 arm_counts[arm] += 1;
                 self.arm_pulls[arm] += 1;
@@ -245,7 +247,9 @@ impl PytheasEngine {
             }
             let accepted = filter.filter(key, &batch);
             self.filtered_reports += batch.len().saturating_sub(accepted.len()) as u64;
-            let ucb = self.groups.get_mut(&key).expect("group exists");
+            let Some(ucb) = self.groups.get_mut(&key) else {
+                continue; // keys snapshot above; groups are never removed
+            };
             for r in accepted {
                 ucb.update(r.arm, r.value);
             }

@@ -52,11 +52,7 @@ impl QoeModel {
     /// The genuinely best arm.
     pub fn best_arm(&self) -> usize {
         (0..self.arms())
-            .max_by(|&a, &b| {
-                self.qualities[a]
-                    .partial_cmp(&self.qualities[b])
-                    .expect("no NaN")
-            })
+            .max_by(|&a, &b| self.qualities[a].total_cmp(&self.qualities[b]))
             .unwrap_or(0)
     }
 

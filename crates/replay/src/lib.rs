@@ -33,7 +33,7 @@ pub mod record;
 pub mod replay;
 pub mod subjects;
 
-pub use diverge::{first_divergence, ComponentDiff, Divergence};
+pub use diverge::{first_divergence, first_line_divergence, ComponentDiff, Divergence, LineDivergence};
 pub use hash::StateHash;
 pub use record::{CheckpointFrame, EventFrame, Recorder, Recording};
 pub use replay::{ReplayError, ReplayReport, ReplaySubject, Replayer, StepInfo};

@@ -1,0 +1,230 @@
+//! Bounded single-producer/single-consumer channel with blocking
+//! backpressure, built on `std::sync` only (per the
+//! `parallel/no-shared-mut` rule: no ad-hoc shared mutability, just a
+//! `Mutex` + two `Condvar`s).
+//!
+//! This is the transport between a telemetry producer and its
+//! supervisord worker. Semantics chosen for determinism and bounded
+//! memory:
+//!
+//! * [`Sender::send`] **blocks** while the queue holds `capacity`
+//!   items — a slow consumer exerts backpressure instead of letting the
+//!   queue grow. It returns the value in `Err` if the receiver is gone.
+//! * [`Receiver::recv`] blocks while the queue is empty and returns
+//!   `None` once the queue is drained *and* the sender is dropped, so
+//!   end-of-stream is unambiguous.
+//! * FIFO order is preserved; with one sender per channel this gives
+//!   the per-producer `seq` order the merge layer relies on.
+//!
+//! The handles are `Send` but deliberately not `Clone`: one producer,
+//! one consumer. Poisoned locks are tolerated (`into_inner`) because
+//! the protected state is a plain `VecDeque` that is valid at every
+//! instruction boundary.
+//!
+//! ```
+//! use dui_telemetry::channel::bounded;
+//!
+//! let (tx, rx) = bounded::<u32>(2);
+//! std::thread::spawn(move || {
+//!     for v in 0..5 {
+//!         tx.send(v).ok();
+//!     }
+//! });
+//! let got: Vec<u32> = std::iter::from_fn(|| rx.recv()).collect();
+//! assert_eq!(got, vec![0, 1, 2, 3, 4]);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Sending half of a bounded SPSC channel; dropping it closes the
+/// stream (the receiver drains the queue, then sees `None`).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half of a bounded SPSC channel; dropping it makes every
+/// subsequent `send` fail fast.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error returned by [`Sender::send`] when the receiver is gone; owns
+/// the unsent value.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Create a bounded SPSC channel holding at most `capacity` items
+/// (`capacity` is clamped to at least 1 so `send` can always make
+/// progress).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            sender_alive: true,
+            receiver_alive: true,
+        }),
+        capacity: capacity.max(1),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`, blocking while the channel is full. Returns the
+    /// value back if the receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.lock();
+        loop {
+            if !inner.receiver_alive {
+                return Err(SendError(value));
+            }
+            if inner.queue.len() < self.shared.capacity {
+                inner.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .shared
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.sender_alive = false;
+        drop(inner);
+        self.shared.not_empty.notify_one();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the next item, blocking while the channel is empty.
+    /// Returns `None` once the channel is drained and the sender is
+    /// dropped.
+    pub fn recv(&self) -> Option<T> {
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Some(v);
+            }
+            if !inner.sender_alive {
+                return None;
+            }
+            inner = self
+                .shared
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking variant of [`recv`](Self::recv): `Ok(Some(v))` on
+    /// data, `Ok(None)` when currently empty but still open, `Err(())`
+    /// when drained and closed.
+    pub fn try_recv(&self) -> Result<Option<T>, ()> {
+        let mut inner = self.shared.lock();
+        if let Some(v) = inner.queue.pop_front() {
+            self.shared.not_full.notify_one();
+            return Ok(Some(v));
+        }
+        if !inner.sender_alive {
+            return Err(());
+        }
+        Ok(None)
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.receiver_alive = false;
+        inner.queue.clear();
+        drop(inner);
+        self.shared.not_full.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, rx) = bounded(4);
+        for v in 0..4 {
+            tx.send(v).ok();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_sees_end_of_stream_after_sender_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(tx);
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.try_recv(), Err(()));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(42), Err(SendError(42)));
+    }
+
+    #[test]
+    fn full_channel_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).ok();
+        let h = thread::spawn(move || {
+            // Blocks until the receiver drains the first item.
+            tx.send(2).ok();
+        });
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        h.join().ok();
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn try_recv_reports_open_empty() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(rx.try_recv(), Ok(None));
+        tx.send(9).ok();
+        assert_eq!(rx.try_recv(), Ok(Some(9)));
+    }
+}

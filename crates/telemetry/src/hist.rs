@@ -143,6 +143,43 @@ impl LogHistogram {
         self.max
     }
 
+    /// The samples recorded since `earlier`, assuming `earlier` is a
+    /// previous snapshot of this same histogram (bucket counts
+    /// pointwise ≥). Bucket counts, sample count, and total subtract
+    /// exactly; `min`/`max` cannot be recovered from the subtraction
+    /// alone, so they are approximated by the lower bounds of the
+    /// first/last non-empty delta bucket (≤ 6.25% relative error, the
+    /// same bound as quantiles). If `earlier` is not actually an
+    /// ancestor, mismatched buckets clamp to zero rather than
+    /// underflowing, and the delta is merely approximate.
+    pub fn diff_since(&self, earlier: &LogHistogram) -> LogHistogram {
+        let mut counts = vec![0u64; self.counts.len()];
+        let mut count = 0u64;
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for (idx, slot) in counts.iter_mut().enumerate() {
+            let prev = earlier.counts.get(idx).copied().unwrap_or(0);
+            let d = self.counts[idx].saturating_sub(prev);
+            if d > 0 {
+                *slot = d;
+                count += d;
+                lo = lo.min(idx);
+                hi = idx;
+            }
+        }
+        if count == 0 {
+            return LogHistogram::new();
+        }
+        counts.truncate(hi + 1);
+        LogHistogram {
+            counts,
+            count,
+            total: self.total.saturating_sub(earlier.total),
+            min: bucket_lo(lo),
+            max: bucket_lo(hi),
+        }
+    }
+
     /// Merge another histogram into this one (element-wise bucket sums).
     pub fn merge(&mut self, other: &LogHistogram) {
         if other.counts.len() > self.counts.len() {
@@ -232,6 +269,31 @@ mod tests {
         assert_eq!(a.count(), 5);
         assert_eq!(a.min(), 1);
         assert_eq!(a.max(), 2_000_000);
+    }
+
+    #[test]
+    fn diff_since_recovers_new_samples() {
+        let mut h = LogHistogram::new();
+        for v in [3u64, 900, 17] {
+            h.record(v);
+        }
+        let earlier = h.clone();
+        for v in [5u64, 45_000] {
+            h.record(v);
+        }
+        let d = h.diff_since(&earlier);
+        assert_eq!(d.count(), 2);
+        // min/max come from bucket lower bounds: exact for 5 (< 16),
+        // within 1/16 for 45_000.
+        assert_eq!(d.min(), 5);
+        assert!(d.max() <= 45_000 && 45_000 - d.max() <= 45_000 / 16);
+        // merge(earlier, delta) reconstructs the bucket contents.
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&d);
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.counts, h.counts);
+        // Diff against self is empty.
+        assert_eq!(h.diff_since(&h).count(), 0);
     }
 
     #[test]

@@ -8,14 +8,22 @@
 //! workspace crate (the simulator records into it from its event hot
 //! loop), so it depends on nothing but `std`.
 //!
-//! Three parts:
+//! The pieces:
 //!
 //! * [`registry`] — named counters, gauges, and log-linear
 //!   [`hist::LogHistogram`]s behind copyable ids; freeze with
 //!   [`Registry::snapshot`] into mergeable, exportable [`Snapshot`]s.
+//! * [`delta`] — snapshot delta/sequence framing ([`Frame`],
+//!   [`DeltaEncoder`]) for streaming telemetry to the
+//!   `dui-supervisord` detection pipeline.
+//! * [`channel`] — a bounded SPSC channel (`Mutex` + `Condvar`) with
+//!   blocking backpressure, the transport between producers and
+//!   supervisord workers.
 //! * [`span`] — nested spans in a bounded ring buffer, timestamped with
 //!   caller-supplied nanoseconds (the simulator passes deterministic
 //!   `SimTime` nanos; no clock is read here).
+//! * [`json`] — the deterministic float/string JSON formatting shared
+//!   by every byte-compared exporter.
 //! * [`wallclock`] — the **only** library module allowed to read the
 //!   monotonic wall clock (enforced by the `dui-lint`
 //!   `determinism/wall-clock` rule); a process-global profiler for the
@@ -52,11 +60,15 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod channel;
+pub mod delta;
 pub mod hist;
+pub mod json;
 pub mod registry;
 pub mod span;
 pub mod wallclock;
 
+pub use delta::{DeltaEncoder, Frame};
 pub use hist::LogHistogram;
 pub use registry::{CounterId, GaugeId, HistId, Registry, Snapshot};
 pub use span::{Span, SpanRecorder};

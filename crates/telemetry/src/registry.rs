@@ -14,6 +14,7 @@
 //! writer.
 
 use crate::hist::LogHistogram;
+use crate::json::{json_f64, push_json_str};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -221,6 +222,47 @@ impl Snapshot {
         }
     }
 
+    /// The change from `earlier` to `self`, assuming `earlier` is a
+    /// previous snapshot of the same monotonically-growing registry:
+    /// counters subtract, gauges subtract `(sum, n)` pairwise, and
+    /// histograms subtract bucket-wise via
+    /// [`LogHistogram::diff_since`]. Metrics whose delta is empty
+    /// (counter unchanged, no new gauge observations, no new histogram
+    /// samples) are omitted, so an idle interval yields an empty delta.
+    ///
+    /// This is the inverse of [`Snapshot::merge`] on the streaming
+    /// path: `earlier.merge(&current.diff_since(&earlier))`
+    /// reconstructs `current` (exactly for counters/gauges/hist
+    /// buckets; histogram min/max are approximated from bucket bounds).
+    /// Metrics present in `earlier` but not `self` are treated as
+    /// unchanged; regressions (counter decreased) clamp to zero.
+    pub fn diff_since(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for (k, &v) in &self.counters {
+            let d = v.saturating_sub(earlier.counter(k));
+            if d > 0 {
+                out.counters.insert(k.clone(), d);
+            }
+        }
+        for (k, &(sum, n)) in &self.gauges {
+            let (psum, pn) = earlier.gauges.get(k).copied().unwrap_or((0.0, 0));
+            let dn = n.saturating_sub(pn);
+            if dn > 0 {
+                out.gauges.insert(k.clone(), (sum - psum, dn));
+            }
+        }
+        for (k, h) in &self.hists {
+            let d = match earlier.hists.get(k) {
+                Some(p) => h.diff_since(p),
+                None => h.clone(),
+            };
+            if d.count() > 0 {
+                out.hists.insert(k.clone(), d);
+            }
+        }
+        out
+    }
+
     /// Return a copy with every metric name prefixed by `prefix` and a
     /// dot (e.g. `"blink"` turns `reroutes` into `blink.reroutes`).
     pub fn with_prefix(&self, prefix: &str) -> Snapshot {
@@ -326,41 +368,6 @@ impl Snapshot {
         }
         rows
     }
-}
-
-/// Format an `f64` deterministically: `Display` gives the shortest
-/// round-trip representation, with a trailing `.0` added to integral
-/// values so the output is unambiguously a float.
-fn json_f64(v: f64) -> String {
-    if !v.is_finite() {
-        return "null".to_string();
-    }
-    let s = format!("{v}");
-    if s.contains('.') || s.contains('e') || s.contains("inf") {
-        s
-    } else {
-        format!("{s}.0")
-    }
-}
-
-/// Append `s` as a JSON string literal (escaping quotes, backslashes,
-/// and control characters).
-fn push_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
 
 #[cfg(test)]

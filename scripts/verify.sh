@@ -78,6 +78,22 @@ PARDIR="$(mktemp -d)"
 rm -rf "$PARDIR"
 echo "blink-packet CSV + metrics JSONL byte-identical at 1 vs 4 sim threads: OK"
 
+echo "== supervisord verdict-log byte-identity (--workers) =="
+# The streaming supervisor pipeline must emit the same verdict JSONL at
+# any worker count (docs/supervisord.md). The stage already asserts
+# this in-process across its sweep; this byte-compares the exported log
+# across two separate invocations at 1 and 4 workers.
+SVDIR="$(mktemp -d)"
+(
+  cd "$SVDIR"
+  "$EXP" supervisord --workers 1
+  mv results/supervisord_verdicts.jsonl verdicts.w1.jsonl
+  "$EXP" supervisord --workers 4
+  cmp verdicts.w1.jsonl results/supervisord_verdicts.jsonl
+) >/dev/null
+rm -rf "$SVDIR"
+echo "supervisord verdict JSONL byte-identical at 1 vs 4 workers: OK"
+
 echo "== docs (intra-repo links) =="
 bash scripts/check_docs.sh
 echo "docs links: OK"
