@@ -109,12 +109,64 @@ fn metrics_summary(per_stage: &[(&str, &StageOutput)]) -> Table {
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [{} | all] [--jobs N] [--sim-threads N] [--workers N] [--metrics]\n\
+         \x20      experiments scenario <FILE|DIR> [--jobs N] [--sim-threads N]\n\
          \x20      experiments record <{}> [--out FILE] [--ckpt-every N]\n\
          \x20      experiments replay <FILE> [--check] [--resume <idx|mid>]",
         STAGE_NAMES.join(" | "),
         RECORD_STAGES.join(" | ")
     );
     std::process::exit(2);
+}
+
+/// `experiments scenario <file|dir>`: run a declarative scenario corpus
+/// to a verdict table and `results/scenarios.csv`. Exit code 0 when
+/// every expectation holds, 1 when any check fails, 2 on parse/compile
+/// diagnostics (printed as `file:line:col: message`).
+fn cmd_scenario(args: &[String]) -> ! {
+    use dui_bench::scenario::{collect_files, load, run_corpus};
+    let mut path: Option<PathBuf> = None;
+    let mut jobs = default_jobs();
+    let mut sim_threads = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            s if s.starts_with("--jobs=") => {
+                jobs = s["--jobs=".len()..].parse().unwrap_or_else(|_| usage());
+            }
+            "--sim-threads" => {
+                sim_threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            s if s.starts_with("--sim-threads=") => {
+                sim_threads = s["--sim-threads=".len()..].parse().unwrap_or_else(|_| usage());
+            }
+            s if path.is_none() && !s.starts_with('-') => path = Some(PathBuf::from(s)),
+            _ => usage(),
+        }
+    }
+    if jobs == 0 {
+        usage();
+    }
+    let path = path.unwrap_or_else(|| usage());
+    let t0 = std::time::Instant::now();
+    let compiled = collect_files(&path).and_then(|files| load(&files));
+    let compiled = match compiled {
+        Ok(c) => c,
+        Err(diag) => {
+            eprintln!("{diag}");
+            std::process::exit(2);
+        }
+    };
+    let report = run_corpus(&compiled, jobs, sim_threads);
+    print!("{}", report.text);
+    std::fs::create_dir_all(results_dir()).expect("create results dir");
+    let csv_path = results_dir().join("scenarios.csv");
+    report.csv.write_csv(&csv_path).expect("write scenarios.csv");
+    println!("[saved {}]", csv_path.display());
+    println!("[done in {:.1} s]", t0.elapsed().as_secs_f64());
+    std::process::exit(if report.failed == 0 { 0 } else { 1 });
 }
 
 /// Write the stage's series CSV (if it produces one) next to the other
@@ -246,6 +298,7 @@ fn main() {
     match raw.first().map(String::as_str) {
         Some("record") => cmd_record(&raw[1..]),
         Some("replay") => cmd_replay(&raw[1..]),
+        Some("scenario") => cmd_scenario(&raw[1..]),
         _ => {}
     }
     while let Some(a) = args.next() {

@@ -33,6 +33,25 @@ use dui_tcp::TcpHost;
 // Silence a false "unused import" for TcpFlags used only in doc positions.
 const _: fn() -> TcpFlags = TcpFlags::default;
 
+/// Errors from scenario observation accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The queried prefix is not monitored by the scenario's Blink program.
+    PrefixNotMonitored(Prefix),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::PrefixNotMonitored(p) => {
+                write!(f, "prefix {p} is not monitored by the Blink program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 /// Parameters for the packet-level Blink case study.
 #[derive(Debug, Clone)]
 pub struct BlinkScenarioConfig {
@@ -216,32 +235,42 @@ impl BlinkScenario {
     }
 
     /// Number of selector cells currently held by attacker flows.
-    pub fn malicious_cells(&mut self) -> usize {
+    ///
+    /// Errors if the victim prefix is not monitored by the ingress Blink
+    /// program (impossible for a scenario built by [`BlinkScenario::build`],
+    /// but external callers can reconfigure the program).
+    pub fn malicious_cells(&mut self) -> Result<usize, ScenarioError> {
         let keys = self.malicious_keys.clone();
         let prefix = self.prefix;
         let blink = self.blink();
-        let st = blink.prefix_state(prefix).expect("prefix monitored");
-        st.selector.count_matching(|k| keys.contains(k))
+        let st = blink
+            .prefix_state(prefix)
+            .ok_or(ScenarioError::PrefixNotMonitored(prefix))?;
+        Ok(st.selector.count_matching(|k| keys.contains(k)))
     }
 
-    /// Reroute events so far for the victim prefix.
-    pub fn reroutes(&mut self) -> usize {
+    /// Reroute events so far for the victim prefix (see
+    /// [`Self::malicious_cells`] for the error condition).
+    pub fn reroutes(&mut self) -> Result<usize, ScenarioError> {
         let prefix = self.prefix;
-        self.blink()
+        Ok(self
+            .blink()
             .prefix_state(prefix)
-            .expect("prefix monitored")
+            .ok_or(ScenarioError::PrefixNotMonitored(prefix))?
             .reroute
-            .reroute_count()
+            .reroute_count())
     }
 
-    /// Is the prefix currently forwarded via the primary path?
-    pub fn on_primary(&mut self) -> bool {
+    /// Is the prefix currently forwarded via the primary path? (See
+    /// [`Self::malicious_cells`] for the error condition.)
+    pub fn on_primary(&mut self) -> Result<bool, ScenarioError> {
         let prefix = self.prefix;
-        self.blink()
+        Ok(self
+            .blink()
             .prefix_state(prefix)
-            .expect("prefix monitored")
+            .ok_or(ScenarioError::PrefixNotMonitored(prefix))?
             .reroute
-            .on_primary()
+            .on_primary())
     }
 
     /// Reroutes vetoed by the guard (0 when unguarded).
@@ -257,7 +286,7 @@ impl BlinkScenario {
     /// [`SnapshotSupervisor`](dui_defense::supervisor::SnapshotSupervisor)
     /// consume.
     pub fn metrics(&mut self) -> dui_telemetry::Snapshot {
-        let malicious = self.malicious_cells() as f64;
+        let malicious = self.malicious_cells().unwrap_or(0) as f64;
         let mut reg = dui_telemetry::Registry::new();
         self.blink().export_metrics(&mut reg);
         let g = reg.gauge("blink.cells.malicious");
@@ -586,6 +615,73 @@ pub mod topologies {
     fn b_link_missing(_routers: &[NodeId], i: usize, j: usize) -> bool {
         i != j && (i + 1) % _routers.len() != j && (j + 1) % _routers.len() != i
     }
+
+    /// A chain of `n` routers `r0—r1—…` with one host per router — the
+    /// simplest single-path topology (every host pair is cut by any
+    /// interior link failure, which makes it the reference setting for
+    /// recovery-after-healing checks).
+    pub fn linear(n: usize) -> (Topology, Vec<NodeId>) {
+        assert!(n >= 2, "linear chain needs at least 2 routers");
+        let mut b = TopologyBuilder::new();
+        let bw = Bandwidth::mbps(100);
+        let d = SimDuration::from_millis(1);
+        let routers: Vec<NodeId> = (0..n).map(|i| b.router(&format!("r{i}"))).collect();
+        for i in 0..n - 1 {
+            b.link(routers[i], routers[i + 1], bw, d, 64);
+        }
+        let mut hosts = Vec::new();
+        for (i, &r) in routers.iter().enumerate() {
+            let h = b.host(&format!("h{i}"), Addr::new(10, 30, i as u8, 1));
+            b.link(h, r, bw, d, 64);
+            hosts.push(h);
+        }
+        (b.build(), hosts)
+    }
+
+    /// A k-ary fat tree: `(k/2)²` core routers, `k` pods of `k/2`
+    /// aggregation + `k/2` edge routers, and `k/2` hosts per edge router.
+    /// Names follow `c{i}`, `a{pod}_{j}`, `e{pod}_{j}`, `h{pod}_{j}_{m}`.
+    /// `k` must be even and ≥ 2; `k = 4` yields the textbook 16-host tree.
+    pub fn fat_tree(k: usize) -> (Topology, Vec<NodeId>) {
+        assert!(k >= 2 && k % 2 == 0, "fat tree needs an even k ≥ 2");
+        assert!(k <= 14, "k > 14 overflows the 10.pod.x.y host addressing");
+        let mut b = TopologyBuilder::new();
+        let bw = Bandwidth::mbps(100);
+        let d = SimDuration::from_millis(1);
+        let half = k / 2;
+        let cores: Vec<NodeId> = (0..half * half)
+            .map(|i| b.router(&format!("c{i}")))
+            .collect();
+        let mut hosts = Vec::new();
+        for pod in 0..k {
+            let aggs: Vec<NodeId> = (0..half)
+                .map(|j| b.router(&format!("a{pod}_{j}")))
+                .collect();
+            let edges: Vec<NodeId> = (0..half)
+                .map(|j| b.router(&format!("e{pod}_{j}")))
+                .collect();
+            for (j, &a) in aggs.iter().enumerate() {
+                // Aggregation router j of every pod reaches core group j.
+                for i in 0..half {
+                    b.link(a, cores[j * half + i], bw, d, 64);
+                }
+                for &e in &edges {
+                    b.link(a, e, bw, d, 64);
+                }
+            }
+            for (j, &e) in edges.iter().enumerate() {
+                for m in 0..half {
+                    let h = b.host(
+                        &format!("h{pod}_{j}_{m}"),
+                        Addr::new(10, pod as u8 + 100, j as u8, m as u8 + 2),
+                    );
+                    b.link(h, e, bw, d, 64);
+                    hosts.push(h);
+                }
+            }
+        }
+        (b.build(), hosts)
+    }
 }
 
 #[cfg(test)]
@@ -610,7 +706,7 @@ mod tests {
             st.selector.occupied()
         };
         assert!(occupied > 10, "selector should fill up: {occupied}");
-        assert!(sc.on_primary(), "no failure, no reroute");
+        assert!(sc.on_primary().unwrap(), "no failure, no reroute");
     }
 
     #[test]

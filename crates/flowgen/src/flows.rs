@@ -198,6 +198,23 @@ impl FlowPopulation {
         }
     }
 
+    /// A copy with every flow's start delayed by `offset` — generate a
+    /// population on a local time axis, then splice it onto a later
+    /// window (load surges in the scenario runner).
+    pub fn shifted(&self, offset: SimDuration) -> FlowPopulation {
+        FlowPopulation {
+            flows: self
+                .flows
+                .iter()
+                .map(|f| SyntheticFlow {
+                    start: f.start + offset,
+                    ..*f
+                })
+                .collect(),
+            prefix: self.prefix,
+        }
+    }
+
     /// Number of flows active at `t`.
     pub fn active_at(&self, t: SimTime) -> usize {
         self.flows.iter().filter(|f| f.active_at(t)).count()

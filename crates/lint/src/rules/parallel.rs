@@ -43,7 +43,7 @@ pub fn no_shared_mut(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
     if !PathClass::of(file).is_parallel_engine() {
         return;
     }
-    let mut push = |i: usize, what: &str, out: &mut Vec<Finding>| {
+    let push = |i: usize, what: &str, out: &mut Vec<Finding>| {
         let t = file.ct(i);
         if file.line_or_above_contains(t.line, ALLOW) {
             return;

@@ -175,20 +175,42 @@ fn simple_paths(
     out
 }
 
+/// An input flow the solver cannot place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnroutableFlow {
+    /// Flow source.
+    pub src: NodeId,
+    /// Flow destination.
+    pub dst: NodeId,
+}
+
+impl std::fmt::Display for UnroutableFlow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flow {:?} -> {:?} has no route in the physical topology",
+            self.src, self.dst
+        )
+    }
+}
+
+impl std::error::Error for UnroutableFlow {}
+
 /// Run the obfuscation solver.
 ///
 /// `protected` selects the edges the density budget applies to (the
 /// DDoS-critical links the operator wants to hide, per NetHide); an empty
 /// slice protects every edge. Edges with no routing alternative (e.g. an
 /// access link every flow must cross) can never be spread and are skipped
-/// once proven stuck.
+/// once proven stuck. Errors if any requested flow has no route at all
+/// (a disconnected topology).
 pub fn obfuscate(
     topo: &Topology,
     routing: &Routing,
     flows: &[(NodeId, NodeId)],
     cfg: &ObfuscationConfig,
     protected: &[(Addr, Addr)],
-) -> (VirtualTopology, SolveReport) {
+) -> Result<(VirtualTopology, SolveReport), UnroutableFlow> {
     let norm = |e: (Addr, Addr)| if e.0 <= e.1 { e } else { (e.1, e.0) };
     let protected: std::collections::HashSet<(Addr, Addr)> =
         protected.iter().map(|&e| norm(e)).collect();
@@ -198,7 +220,7 @@ pub fn obfuscate(
     let mut candidates: Vec<Vec<Vec<Addr>>> = Vec::with_capacity(flows.len());
     for &(s, d) in flows {
         let phys = node_path_addrs(topo, routing, s, d)
-            .unwrap_or_else(|| panic!("flow {s:?}->{d:?} unroutable"));
+            .ok_or(UnroutableFlow { src: s, dst: d })?;
         let shortest = phys.len();
         let mut cands: Vec<Vec<Addr>> =
             simple_paths(topo, s, d, shortest + cfg.max_extra_hops, 256)
@@ -304,7 +326,7 @@ pub fn obfuscate(
     for (i, &(s, d)) in flows.iter().enumerate() {
         vt.set_path(topo.node(s).addr, topo.node(d).addr, final_paths[i].clone());
     }
-    (vt, report)
+    Ok((vt, report))
 }
 
 #[cfg(test)]
@@ -377,9 +399,9 @@ mod tests {
             ..Default::default()
         };
         // Protect the core link c1-c2 (the DDoS-critical one).
-        let c1 = topo.node(topo.node_by_name("c1")).addr;
-        let c2 = topo.node(topo.node_by_name("c2")).addr;
-        let (_vt, report) = obfuscate(&topo, &routing, &flows, &cfg, &[(c1, c2)]);
+        let c1 = topo.node(topo.node_by_name("c1").unwrap()).addr;
+        let c2 = topo.node(topo.node_by_name("c2").unwrap()).addr;
+        let (_vt, report) = obfuscate(&topo, &routing, &flows, &cfg, &[(c1, c2)]).unwrap();
         assert!(
             report.physical_max_density >= 4,
             "all 4 flows share c1-c2 physically: {}",
@@ -396,8 +418,8 @@ mod tests {
     fn obfuscation_trades_accuracy_for_security() {
         let (topo, flows) = bowtie();
         let routing = Routing::shortest_paths(&topo);
-        let c1 = topo.node(topo.node_by_name("c1")).addr;
-        let c2 = topo.node(topo.node_by_name("c2")).addr;
+        let c1 = topo.node(topo.node_by_name("c1").unwrap()).addr;
+        let c2 = topo.node(topo.node_by_name("c2").unwrap()).addr;
         let strict = obfuscate(
             &topo,
             &routing,
@@ -408,6 +430,7 @@ mod tests {
             },
             &[(c1, c2)],
         )
+        .unwrap()
         .1;
         let loose = obfuscate(
             &topo,
@@ -419,6 +442,7 @@ mod tests {
             },
             &[(c1, c2)],
         )
+        .unwrap()
         .1;
         assert!(loose.accuracy >= strict.accuracy);
         assert!(strict.accuracy > 0.4, "lying stays bounded: {strict:?}");

@@ -181,8 +181,8 @@ mod tests {
             crate::traceroute::physical_path_addrs(
                 topo,
                 &routing,
-                topo.node_by_name("h1"),
-                topo.node_by_name("h2"),
+                topo.node_by_name("h1").unwrap(),
+                topo.node_by_name("h2").unwrap(),
             )
             .unwrap()
         };

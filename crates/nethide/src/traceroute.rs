@@ -198,7 +198,7 @@ mod tests {
     fn silent_router_shows_as_timeout() {
         let (mut sim, h1, _h2, _) = chain();
         // Disable time-exceeded on r2.
-        let r2 = sim.core().topo().node_by_name("r2");
+        let r2 = sim.core().topo().node_by_name("r2").unwrap();
         let mut quiet = RouterLogic::new();
         quiet.respond_time_exceeded = false;
         sim.set_logic(r2, Box::new(quiet));

@@ -89,7 +89,7 @@ prop_check! {
         }
         for budget in [8usize, 4, 2, 1] {
             let cfg = ObfuscationConfig { max_density: budget, max_extra_hops: 3, ..Default::default() };
-            let (_vt, rep) = obfuscate(&topo, &routing, &flows, &cfg, &[]);
+            let (_vt, rep) = obfuscate(&topo, &routing, &flows, &cfg, &[]).unwrap();
             // The solver's contract: a within-budget report really is
             // within budget, accuracy is a valid fraction and is perfect
             // when no lying was needed, and the whole thing is
@@ -102,7 +102,7 @@ prop_check! {
             if budget >= rep.physical_max_density {
                 prop_assert!((rep.accuracy - 1.0).abs() < 1e-12, "no lying needed");
             }
-            let (_vt2, rep2) = obfuscate(&topo, &routing, &flows, &cfg, &[]);
+            let (_vt2, rep2) = obfuscate(&topo, &routing, &flows, &cfg, &[]).unwrap();
             prop_assert_eq!(rep2.achieved_max_density, rep.achieved_max_density);
             prop_assert_eq!(rep2.accuracy, rep.accuracy);
         }

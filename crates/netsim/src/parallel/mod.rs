@@ -110,6 +110,20 @@ pub enum FallbackReason {
     SpansEnabled,
 }
 
+impl FallbackReason {
+    /// Short stable slug used in telemetry counter names
+    /// (`netsim.parallel.fallback.<key>`) and CSV cells.
+    pub fn key(&self) -> &'static str {
+        match self {
+            FallbackReason::SingleDomain => "single_domain",
+            FallbackReason::TapsInstalled => "taps",
+            FallbackReason::ActiveFaults => "faults",
+            FallbackReason::TraceEnabled => "trace",
+            FallbackReason::SpansEnabled => "spans",
+        }
+    }
+}
+
 impl std::fmt::Display for FallbackReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

@@ -839,6 +839,15 @@ impl Simulator {
                     return;
                 }
                 Err(reason) => {
+                    // Count the fallback (total + per reason) so harnesses
+                    // can report how often the parallel path declined.
+                    let total = self.core.registry.counter("netsim.parallel.fallback");
+                    self.core.registry.inc(total);
+                    let by_reason = self
+                        .core
+                        .registry
+                        .counter(&format!("netsim.parallel.fallback.{}", reason.key()));
+                    self.core.registry.inc(by_reason);
                     self.last_parallel =
                         Some(crate::parallel::ParallelOutcome::Fallback(reason));
                     // fall through to the sequential engine

@@ -109,14 +109,12 @@ impl Topology {
             .collect()
     }
 
-    /// Node id by name (panics if absent — names are developer-facing).
-    pub fn node_by_name(&self, name: &str) -> NodeId {
-        NodeId(
-            self.nodes
-                .iter()
-                .position(|n| n.name == name)
-                .unwrap_or_else(|| panic!("no node named {name}")),
-        )
+    /// Node id by name (`None` if absent).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(NodeId)
     }
 }
 
@@ -336,7 +334,7 @@ mod tests {
         assert_eq!(t.node_count(), 3);
         assert_eq!(t.neighbors(r).len(), 2);
         assert_eq!(t.node_by_addr(Addr::new(10, 0, 0, 2)), Some(h2));
-        assert_eq!(t.node_by_name("h1"), h1);
+        assert_eq!(t.node_by_name("h1"), Some(h1));
         assert!(t.link_between(h1, r).is_some());
         assert!(t.link_between(h1, h2).is_none());
     }

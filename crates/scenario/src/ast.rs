@@ -1,0 +1,557 @@
+//! The typed scenario AST and its canonical printer.
+//!
+//! A [`Scenario`] is the fully validated in-memory form of a `.dsc` file.
+//! [`Scenario::print`] emits the *canonical* text form: sections in a fixed
+//! order, keys in a fixed order, durations in their smallest exact unit.
+//! The canonical form is a fixed point of parse→print→parse (property-tested
+//! in `tests/parse_roundtrip.rs`), which keeps the format diffable and lets
+//! tooling rewrite scenario files without spurious churn.
+
+use dui_core::netsim::time::{SimDuration, SimTime};
+use std::fmt::Write as _;
+
+/// A parsed, validated scenario file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (`[A-Za-z0-9_-]+`); names the row in `scenarios.csv`.
+    pub name: String,
+    /// Master seed: workload generation and (by default) chaos jitter.
+    pub seed: u64,
+    /// Sampling interval of the runner's observation grid.
+    pub sample_every: SimDuration,
+    /// What to build.
+    pub topology: TopologySpec,
+    /// What to run over it.
+    pub workload: WorkloadSpec,
+    /// Seed for chaos-schedule jitter (defaults to `seed`).
+    pub chaos_seed: Option<u64>,
+    /// Chaos declarations, in file order.
+    pub chaos: Vec<ChaosDecl>,
+    /// Expectations, in file order.
+    pub expect: Vec<Expectation>,
+}
+
+/// `[topology] kind = ...` plus its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// The §3.1 Blink setup (fixed 6-node topology built by `BlinkScenario`).
+    Blink,
+    /// The §4.2 PCC dumbbell (senders + 2 routers + receiver).
+    Pcc,
+    /// The §4.1 Pytheas round-based engine (no packet-level topology).
+    Pytheas,
+    /// Ring of `nodes` routers, one host each.
+    Ring {
+        /// Router count (≥ 3).
+        nodes: usize,
+    },
+    /// Ring with chords every `chord` steps.
+    ChordedRing {
+        /// Router count (≥ 5).
+        nodes: usize,
+        /// Chord step (≥ 2).
+        chord: usize,
+    },
+    /// Chain of `nodes` routers, one host each.
+    Linear {
+        /// Router count (≥ 2).
+        nodes: usize,
+    },
+    /// k-ary fat tree with `pods` pods (even, ≥ 2).
+    FatTree {
+        /// The fat-tree `k` parameter.
+        pods: usize,
+    },
+    /// The NetHide bowtie with `leaves` host pairs per side.
+    Bowtie {
+        /// Host pairs per side (≥ 1).
+        leaves: usize,
+    },
+}
+
+impl TopologySpec {
+    /// The `kind =` token.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TopologySpec::Blink => "blink",
+            TopologySpec::Pcc => "pcc",
+            TopologySpec::Pytheas => "pytheas",
+            TopologySpec::Ring { .. } => "ring",
+            TopologySpec::ChordedRing { .. } => "chorded_ring",
+            TopologySpec::Linear { .. } => "linear",
+            TopologySpec::FatTree { .. } => "fat_tree",
+            TopologySpec::Bowtie { .. } => "bowtie",
+        }
+    }
+}
+
+/// `[workload] kind = ...` plus its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// Legit TCP churn + the spoofed-retransmission attacker over the
+    /// Blink topology (lowers onto `BlinkScenarioConfig`).
+    Blink {
+        /// Concurrent legitimate flows at steady state.
+        legit_flows: usize,
+        /// Spoofed malicious flows (0 = no attacker traffic).
+        malicious_flows: usize,
+        /// Mean legitimate flow lifetime.
+        mean_lifetime: SimDuration,
+        /// Packet interval of all flows while active.
+        pkt_interval: SimDuration,
+        /// When the attacker's flows first appear.
+        attack_start: SimTime,
+        /// When fake retransmissions begin (`None` = infiltration only).
+        trigger_at: Option<SimTime>,
+        /// Install the §5 RTO-plausibility guard.
+        guarded: bool,
+        /// Run horizon.
+        horizon: SimDuration,
+    },
+    /// PCC flows over the dumbbell (lowers onto `PccScenarioConfig`).
+    Pcc {
+        /// Number of PCC flows.
+        flows: usize,
+        /// Bottleneck bandwidth in Mbit/s.
+        bottleneck_mbps: u64,
+        /// Install the §4.2 equalizer tap on every flow.
+        attacked: bool,
+        /// Attacker pins flows to this rate in Mbit/s.
+        pin_to_mbps: Option<f64>,
+        /// Run horizon.
+        horizon: SimDuration,
+    },
+    /// The round-based Pytheas engine (lowers onto `pytheas_run`).
+    Pytheas {
+        /// Session groups.
+        groups: usize,
+        /// Rounds to run.
+        rounds: usize,
+        /// Fraction of sessions that are attacker bots.
+        poison_fraction: f64,
+        /// Install the §5 MAD report filter.
+        defended: bool,
+    },
+    /// Generic legit TCP flow population between named hosts of a
+    /// parametric topology, optionally with an in-path bounce attack.
+    Tcp {
+        /// Concurrent flows at steady state (split across `src` hosts).
+        flows: usize,
+        /// Mean flow lifetime.
+        mean_lifetime: SimDuration,
+        /// Packet interval while active.
+        pkt_interval: SimDuration,
+        /// Run horizon.
+        horizon: SimDuration,
+        /// Source host names (flows round-robin across them).
+        src: Vec<String>,
+        /// Destination host name (announces the workload prefix).
+        dst: String,
+        /// Optional data-plane attack.
+        attack: Option<AttackSpec>,
+    },
+}
+
+impl WorkloadSpec {
+    /// The `kind =` token.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Blink { .. } => "blink",
+            WorkloadSpec::Pcc { .. } => "pcc",
+            WorkloadSpec::Pytheas { .. } => "pytheas",
+            WorkloadSpec::Tcp { .. } => "tcp",
+        }
+    }
+
+    /// The packet-level run horizon (`None` for round-based Pytheas).
+    pub fn horizon(&self) -> Option<SimDuration> {
+        match self {
+            WorkloadSpec::Blink { horizon, .. }
+            | WorkloadSpec::Pcc { horizon, .. }
+            | WorkloadSpec::Tcp { horizon, .. } => Some(*horizon),
+            WorkloadSpec::Pytheas { .. } => None,
+        }
+    }
+}
+
+/// An in-path attack for the generic TCP workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackSpec {
+    /// The operator bounce pair: traffic toward the workload prefix is
+    /// bounced `bounces` times between two adjacent routers.
+    Bounce {
+        /// The router pair (must share a link).
+        via: (String, String),
+        /// Bounce count (≥ 1); high counts burn TTL to death.
+        bounces: u32,
+    },
+}
+
+/// One `[chaos]` declaration: a fault kind plus an occurrence schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosDecl {
+    /// What breaks.
+    pub kind: ChaosKind,
+    /// First occurrence time.
+    pub at: SimTime,
+    /// Number of occurrences.
+    pub repeat: u32,
+    /// Spacing between occurrence starts (required if `repeat > 1`).
+    pub every: SimDuration,
+    /// Uniform random delay in `[0, jitter)` added per occurrence, drawn
+    /// from the chaos seed (0 = exact schedule).
+    pub jitter: SimDuration,
+}
+
+/// The fault kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosKind {
+    /// Both directions of the `a`–`b` link drop everything while down.
+    /// On the `blink` topology the only valid target is `primary`
+    /// (written `link_flap = primary ...`), which lowers onto
+    /// `fail_primary_forward` / `heal_primary`.
+    LinkFlap {
+        /// One endpoint (or the literal `primary` on blink).
+        a: String,
+        /// Other endpoint (empty for the blink `primary` alias).
+        b: String,
+        /// How long the link stays down.
+        down: SimDuration,
+    },
+    /// Every link crossing the `left` | `right` node split drops
+    /// everything while down.
+    Partition {
+        /// Left side node names.
+        left: Vec<String>,
+        /// Right side node names.
+        right: Vec<String>,
+        /// How long the partition lasts.
+        down: SimDuration,
+    },
+    /// All links adjacent to `node` are administratively down.
+    RouterChurn {
+        /// The churning router.
+        node: String,
+        /// How long it stays down.
+        down: SimDuration,
+    },
+    /// `flows` extra TCP flows arrive over a `duration` window (generic
+    /// TCP workload only; baked into the flow schedule at build time).
+    LoadSurge {
+        /// Extra flows.
+        flows: usize,
+        /// Arrival window.
+        duration: SimDuration,
+    },
+}
+
+impl ChaosKind {
+    /// The `[chaos]` key this declaration is written under.
+    pub fn key(&self) -> &'static str {
+        match self {
+            ChaosKind::LinkFlap { .. } => "link_flap",
+            ChaosKind::Partition { .. } => "partition",
+            ChaosKind::RouterChurn { .. } => "router_churn",
+            ChaosKind::LoadSurge { .. } => "load_surge",
+        }
+    }
+
+    /// Does this kind cut connectivity (vs. merely adding load)?
+    pub fn is_fault(&self) -> bool {
+        !matches!(self, ChaosKind::LoadSurge { .. })
+    }
+}
+
+/// One `[expect]` line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expectation {
+    /// Blink must reroute within this of the first fault start.
+    RerouteWithin(SimDuration),
+    /// Endpoint delivery must resume within this of the last fault heal.
+    RecoveryWithin(SimDuration),
+    /// Some whole sampling window inside a fault must deliver nothing
+    /// (proves the chaos actually cut the traffic).
+    BlackoutDuringChaos,
+    /// At least this many Blink reroutes by the end.
+    MinReroutes(u64),
+    /// At most this many Blink reroutes by the end.
+    MaxReroutes(u64),
+    /// Final Blink next-hop is (not) the primary.
+    FinalOnPrimary(bool),
+    /// At least this many attacker-held selector cells at the end.
+    MaliciousCellsMin(u64),
+    /// At most this many attacker-held selector cells at the end.
+    MaliciousCellsMax(u64),
+    /// At least this many guard vetoes.
+    VetoedMin(u64),
+    /// Total drop fraction (drops / packets created) at most this.
+    DropRateMax(f64),
+    /// At least this many packets delivered to endpoints.
+    DeliveredMin(u64),
+    /// Steady-state honest QoE at least this (Pytheas).
+    QoeMin(f64),
+    /// Steady-state honest QoE at most this (pins attack damage).
+    QoeMax(f64),
+    /// Steady-state best-arm share at least this (Pytheas).
+    OnBestMin(f64),
+    /// Every flow's steady-state rate at least this (PCC), Mbit/s.
+    RateMinMbps(f64),
+    /// Every flow's steady-state rate at most this (PCC), Mbit/s.
+    RateMaxMbps(f64),
+    /// Worst per-flow relative oscillation amplitude at most this (PCC).
+    OscillationMax(f64),
+    /// Named telemetry counter at least this at the end.
+    CounterMin(String, u64),
+    /// Named telemetry counter at most this at the end.
+    CounterMax(String, u64),
+}
+
+impl Expectation {
+    /// The `[expect]` key.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Expectation::RerouteWithin(_) => "reroute_within",
+            Expectation::RecoveryWithin(_) => "recovery_within",
+            Expectation::BlackoutDuringChaos => "blackout_during_chaos",
+            Expectation::MinReroutes(_) => "min_reroutes",
+            Expectation::MaxReroutes(_) => "max_reroutes",
+            Expectation::FinalOnPrimary(_) => "final_on_primary",
+            Expectation::MaliciousCellsMin(_) => "malicious_cells_min",
+            Expectation::MaliciousCellsMax(_) => "malicious_cells_max",
+            Expectation::VetoedMin(_) => "vetoed_min",
+            Expectation::DropRateMax(_) => "drop_rate_max",
+            Expectation::DeliveredMin(_) => "delivered_min",
+            Expectation::QoeMin(_) => "qoe_min",
+            Expectation::QoeMax(_) => "qoe_max",
+            Expectation::OnBestMin(_) => "on_best_min",
+            Expectation::RateMinMbps(_) => "rate_min_mbps",
+            Expectation::RateMaxMbps(_) => "rate_max_mbps",
+            Expectation::OscillationMax(_) => "oscillation_max",
+            Expectation::CounterMin(..) => "counter_min",
+            Expectation::CounterMax(..) => "counter_max",
+        }
+    }
+
+    /// The canonical `key = value` line (used in printing and as the
+    /// check label in `scenarios.csv`).
+    pub fn line(&self) -> String {
+        match self {
+            Expectation::RerouteWithin(d) => format!("reroute_within = {}", dur(*d)),
+            Expectation::RecoveryWithin(d) => format!("recovery_within = {}", dur(*d)),
+            Expectation::BlackoutDuringChaos => "blackout_during_chaos = true".to_string(),
+            Expectation::MinReroutes(n) => format!("min_reroutes = {n}"),
+            Expectation::MaxReroutes(n) => format!("max_reroutes = {n}"),
+            Expectation::FinalOnPrimary(b) => format!("final_on_primary = {b}"),
+            Expectation::MaliciousCellsMin(n) => format!("malicious_cells_min = {n}"),
+            Expectation::MaliciousCellsMax(n) => format!("malicious_cells_max = {n}"),
+            Expectation::VetoedMin(n) => format!("vetoed_min = {n}"),
+            Expectation::DropRateMax(r) => format!("drop_rate_max = {r}"),
+            Expectation::DeliveredMin(n) => format!("delivered_min = {n}"),
+            Expectation::QoeMin(v) => format!("qoe_min = {v}"),
+            Expectation::QoeMax(v) => format!("qoe_max = {v}"),
+            Expectation::OnBestMin(v) => format!("on_best_min = {v}"),
+            Expectation::RateMinMbps(v) => format!("rate_min_mbps = {v}"),
+            Expectation::RateMaxMbps(v) => format!("rate_max_mbps = {v}"),
+            Expectation::OscillationMax(v) => format!("oscillation_max = {v}"),
+            Expectation::CounterMin(c, n) => format!("counter_min = {c} {n}"),
+            Expectation::CounterMax(c, n) => format!("counter_max = {c} {n}"),
+        }
+    }
+}
+
+/// Canonical duration text: the largest unit that divides it exactly
+/// (`5s`, `250ms`, `40us`, `17ns`). `0ns` stays `0s` for readability.
+pub fn dur(d: SimDuration) -> String {
+    let ns = d.as_nanos();
+    if ns == 0 {
+        "0s".to_string()
+    } else if ns % 1_000_000_000 == 0 {
+        format!("{}s", ns / 1_000_000_000)
+    } else if ns % 1_000_000 == 0 {
+        format!("{}ms", ns / 1_000_000)
+    } else if ns % 1_000 == 0 {
+        format!("{}us", ns / 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Canonical time text (offset from t = 0, same units as [`dur`]).
+pub fn time(t: SimTime) -> String {
+    dur(SimDuration(t.0))
+}
+
+impl Scenario {
+    /// Emit the canonical text form (see module docs).
+    pub fn print(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "[scenario]");
+        let _ = writeln!(s, "name = {}", self.name);
+        let _ = writeln!(s, "seed = {}", self.seed);
+        let _ = writeln!(s, "sample_every = {}", dur(self.sample_every));
+        let _ = writeln!(s);
+        let _ = writeln!(s, "[topology]");
+        match self.topology {
+            TopologySpec::Blink | TopologySpec::Pcc | TopologySpec::Pytheas => {
+                let _ = writeln!(s, "kind = {}", self.topology.kind());
+            }
+            TopologySpec::Ring { nodes } | TopologySpec::Linear { nodes } => {
+                let _ = writeln!(s, "kind = {}", self.topology.kind());
+                let _ = writeln!(s, "nodes = {nodes}");
+            }
+            TopologySpec::ChordedRing { nodes, chord } => {
+                let _ = writeln!(s, "kind = chorded_ring");
+                let _ = writeln!(s, "nodes = {nodes}");
+                let _ = writeln!(s, "chord = {chord}");
+            }
+            TopologySpec::FatTree { pods } => {
+                let _ = writeln!(s, "kind = fat_tree");
+                let _ = writeln!(s, "pods = {pods}");
+            }
+            TopologySpec::Bowtie { leaves } => {
+                let _ = writeln!(s, "kind = bowtie");
+                let _ = writeln!(s, "leaves = {leaves}");
+            }
+        }
+        let _ = writeln!(s);
+        let _ = writeln!(s, "[workload]");
+        match &self.workload {
+            WorkloadSpec::Blink {
+                legit_flows,
+                malicious_flows,
+                mean_lifetime,
+                pkt_interval,
+                attack_start,
+                trigger_at,
+                guarded,
+                horizon,
+            } => {
+                let _ = writeln!(s, "kind = blink");
+                let _ = writeln!(s, "legit_flows = {legit_flows}");
+                let _ = writeln!(s, "malicious_flows = {malicious_flows}");
+                let _ = writeln!(s, "mean_lifetime = {}", dur(*mean_lifetime));
+                let _ = writeln!(s, "pkt_interval = {}", dur(*pkt_interval));
+                let _ = writeln!(s, "attack_start = {}", time(*attack_start));
+                if let Some(t) = trigger_at {
+                    let _ = writeln!(s, "trigger_at = {}", time(*t));
+                }
+                let _ = writeln!(s, "guarded = {guarded}");
+                let _ = writeln!(s, "horizon = {}", dur(*horizon));
+            }
+            WorkloadSpec::Pcc {
+                flows,
+                bottleneck_mbps,
+                attacked,
+                pin_to_mbps,
+                horizon,
+            } => {
+                let _ = writeln!(s, "kind = pcc");
+                let _ = writeln!(s, "flows = {flows}");
+                let _ = writeln!(s, "bottleneck_mbps = {bottleneck_mbps}");
+                let _ = writeln!(s, "attacked = {attacked}");
+                if let Some(p) = pin_to_mbps {
+                    let _ = writeln!(s, "pin_to_mbps = {p}");
+                }
+                let _ = writeln!(s, "horizon = {}", dur(*horizon));
+            }
+            WorkloadSpec::Pytheas {
+                groups,
+                rounds,
+                poison_fraction,
+                defended,
+            } => {
+                let _ = writeln!(s, "kind = pytheas");
+                let _ = writeln!(s, "groups = {groups}");
+                let _ = writeln!(s, "rounds = {rounds}");
+                let _ = writeln!(s, "poison_fraction = {poison_fraction}");
+                let _ = writeln!(s, "defended = {defended}");
+            }
+            WorkloadSpec::Tcp {
+                flows,
+                mean_lifetime,
+                pkt_interval,
+                horizon,
+                src,
+                dst,
+                attack,
+            } => {
+                let _ = writeln!(s, "kind = tcp");
+                let _ = writeln!(s, "flows = {flows}");
+                let _ = writeln!(s, "mean_lifetime = {}", dur(*mean_lifetime));
+                let _ = writeln!(s, "pkt_interval = {}", dur(*pkt_interval));
+                let _ = writeln!(s, "horizon = {}", dur(*horizon));
+                let _ = writeln!(s, "src = {}", src.join(","));
+                let _ = writeln!(s, "dst = {dst}");
+                if let Some(AttackSpec::Bounce { via, bounces }) = attack {
+                    let _ = writeln!(s, "attack = bounce via={}-{} bounces={bounces}", via.0, via.1);
+                }
+            }
+        }
+        if self.chaos_seed.is_some() || !self.chaos.is_empty() {
+            let _ = writeln!(s);
+            let _ = writeln!(s, "[chaos]");
+            if let Some(cs) = self.chaos_seed {
+                let _ = writeln!(s, "seed = {cs}");
+            }
+            for decl in &self.chaos {
+                let _ = writeln!(s, "{}", decl.line());
+            }
+        }
+        if !self.expect.is_empty() {
+            let _ = writeln!(s);
+            let _ = writeln!(s, "[expect]");
+            for e in &self.expect {
+                let _ = writeln!(s, "{}", e.line());
+            }
+        }
+        s
+    }
+}
+
+impl ChaosDecl {
+    /// The canonical `key = value` line.
+    pub fn line(&self) -> String {
+        let mut v = match &self.kind {
+            ChaosKind::LinkFlap { a, b, down } => {
+                let target = if b.is_empty() { a.clone() } else { format!("{a}-{b}") };
+                format!("link_flap = {target} at={} down={}", time(self.at), dur(*down))
+            }
+            ChaosKind::Partition { left, right, down } => format!(
+                "partition = {} | {} at={} down={}",
+                left.join(","),
+                right.join(","),
+                time(self.at),
+                dur(*down)
+            ),
+            ChaosKind::RouterChurn { node, down } => {
+                format!("router_churn = {node} at={} down={}", time(self.at), dur(*down))
+            }
+            ChaosKind::LoadSurge { flows, duration } => format!(
+                "load_surge = at={} flows={flows} duration={}",
+                time(self.at),
+                dur(*duration)
+            ),
+        };
+        if self.repeat > 1 {
+            let _ = write!(v, " repeat={} every={}", self.repeat, dur(self.every));
+        }
+        if self.jitter != SimDuration::ZERO {
+            let _ = write!(v, " jitter={}", dur(self.jitter));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_canonical_units() {
+        assert_eq!(dur(SimDuration::ZERO), "0s");
+        assert_eq!(dur(SimDuration::from_secs(5)), "5s");
+        assert_eq!(dur(SimDuration::from_millis(250)), "250ms");
+        assert_eq!(dur(SimDuration::from_micros(40)), "40us");
+        assert_eq!(dur(SimDuration::from_nanos(1_000_000_017)), "1000000017ns");
+    }
+}

@@ -1,0 +1,97 @@
+//! Chaos-schedule expansion: declarations → concrete fault windows.
+//!
+//! Each [`ChaosDecl`] expands into `repeat` windows spaced `every` apart,
+//! each delayed by a uniform draw in `[0, jitter)` from a per-declaration
+//! fork of the chaos seed. Expansion is a pure function of
+//! `(decls, seed)` — the same inputs always produce the same schedule
+//! (property-tested in `tests/chaos_determinism.rs`), which is what makes
+//! chaotic scenarios replayable and `--jobs`-invariant.
+
+use crate::ast::{ChaosDecl, ChaosKind};
+use dui_core::netsim::time::{SimDuration, SimTime};
+use dui_core::stats::Rng;
+
+/// One concrete occurrence of a chaos declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosWindow {
+    /// Index into `Scenario::chaos`.
+    pub decl: usize,
+    /// When the fault begins (load surges: when arrivals begin).
+    pub start: SimTime,
+    /// When it heals (load surges: when arrivals end).
+    pub end: SimTime,
+}
+
+/// Expand declarations into a start-sorted window list.
+pub fn expand(decls: &[ChaosDecl], seed: u64) -> Vec<ChaosWindow> {
+    let mut out = Vec::new();
+    let mut root = Rng::new(seed);
+    for (i, decl) in decls.iter().enumerate() {
+        // A per-declaration fork keeps each declaration's jitter stream
+        // independent of the others' draw counts.
+        let mut rng = root.fork(i as u64);
+        let hold = match &decl.kind {
+            ChaosKind::LinkFlap { down, .. }
+            | ChaosKind::Partition { down, .. }
+            | ChaosKind::RouterChurn { down, .. } => *down,
+            ChaosKind::LoadSurge { duration, .. } => *duration,
+        };
+        for k in 0..decl.repeat {
+            let base = decl.at + SimDuration(decl.every.0.saturating_mul(k as u64));
+            let jit = if decl.jitter == SimDuration::ZERO {
+                SimDuration::ZERO
+            } else {
+                SimDuration(rng.below(decl.jitter.0))
+            };
+            let start = base + jit;
+            out.push(ChaosWindow {
+                decl: i,
+                start,
+                end: start + hold,
+            });
+        }
+    }
+    out.sort_by_key(|w| (w.start, w.decl, w.end));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flap(at: u64, down: u64, repeat: u32, every: u64, jitter: u64) -> ChaosDecl {
+        ChaosDecl {
+            kind: ChaosKind::LinkFlap {
+                a: "r0".into(),
+                b: "r1".into(),
+                down: SimDuration::from_secs(down),
+            },
+            at: SimTime::from_secs(at),
+            repeat,
+            every: SimDuration::from_secs(every),
+            jitter: SimDuration::from_secs(jitter),
+        }
+    }
+
+    #[test]
+    fn exact_schedule_without_jitter() {
+        let w = expand(&[flap(20, 5, 3, 10, 0)], 1);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].start, SimTime::from_secs(20));
+        assert_eq!(w[1].start, SimTime::from_secs(30));
+        assert_eq!(w[2].end, SimTime::from_secs(45));
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let a = expand(&[flap(20, 5, 4, 10, 3)], 7);
+        let b = expand(&[flap(20, 5, 4, 10, 3)], 7);
+        let c = expand(&[flap(20, 5, 4, 10, 3)], 8);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed should move at least one window");
+        for (k, w) in a.iter().enumerate() {
+            let base = SimTime::from_secs(20 + 10 * k as u64);
+            assert!(w.start >= base && w.start < base + SimDuration::from_secs(3));
+        }
+    }
+}

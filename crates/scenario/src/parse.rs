@@ -1,0 +1,1431 @@
+//! The `.dsc` parser: line-oriented, positioned, typed — never panics.
+//!
+//! Grammar (one construct per line; `#` starts a comment anywhere):
+//!
+//! ```text
+//! [section]            # scenario | topology | workload | chaos | expect
+//! key = value          # unknown keys and sections are hard errors
+//! ```
+//!
+//! `[chaos]` and `[expect]` keys may repeat (each line is one declaration);
+//! everywhere else a repeated key is a [`ParseErrorKind::DuplicateKey`].
+//! `kind` must be the first key of `[topology]` and `[workload]` so the
+//! remaining keys can be checked against the chosen kind as they stream by.
+//! Every diagnostic carries `file:line:col` and a typed
+//! [`ParseErrorKind`]; the bad-fixture corpus under `fixtures/bad/` pins the
+//! rendered form of each one exactly.
+
+use crate::ast::*;
+use dui_core::netsim::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// A positioned parse diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// File label (whatever the caller passed; usually the path).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The typed diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseErrorKind {
+    /// `[foo]` where `foo` is not a known section.
+    UnknownSection(String),
+    /// A key the active section (and kind) does not define.
+    UnknownKey {
+        /// Section the key appeared in.
+        section: &'static str,
+        /// The key.
+        key: String,
+    },
+    /// A key that exists but does not apply to the declared kind.
+    KeyNotApplicable {
+        /// The key.
+        key: String,
+        /// E.g. `topology kind 'ring'`.
+        what: String,
+    },
+    /// A non-repeatable key appeared twice in one section.
+    DuplicateKey {
+        /// Section the key appeared in.
+        section: &'static str,
+        /// The key.
+        key: String,
+    },
+    /// The same section header appeared twice.
+    DuplicateSection(String),
+    /// A `key = value` line before any section header.
+    KeyOutsideSection(String),
+    /// A line with no `=` (and not a header or comment).
+    MissingEquals,
+    /// A `[...` header missing its `]`.
+    UnclosedSection,
+    /// `kind` was not the first key of `[topology]` / `[workload]`.
+    KindNotFirst {
+        /// The section.
+        section: &'static str,
+    },
+    /// A value that failed to parse or is out of range.
+    InvalidValue {
+        /// The key.
+        key: String,
+        /// What was expected.
+        expected: &'static str,
+        /// The offending text.
+        got: String,
+    },
+    /// An unknown `opt=value` token in a chaos/attack declaration.
+    UnknownOption {
+        /// The declaration key (`link_flap`, ...).
+        decl: String,
+        /// The option.
+        opt: String,
+    },
+    /// A required `opt=value` token was absent.
+    MissingOption {
+        /// The declaration key.
+        decl: String,
+        /// The option.
+        opt: &'static str,
+    },
+    /// A required key was never set (positioned at the section header).
+    MissingKey {
+        /// The section.
+        section: &'static str,
+        /// The key.
+        key: &'static str,
+    },
+    /// A required section was never opened (positioned at end of file).
+    MissingSection(&'static str),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnknownSection(s) => write!(f, "unknown section [{s}]"),
+            ParseErrorKind::UnknownKey { section, key } => {
+                write!(f, "unknown key '{key}' in [{section}]")
+            }
+            ParseErrorKind::KeyNotApplicable { key, what } => {
+                write!(f, "key '{key}' does not apply to {what}")
+            }
+            ParseErrorKind::DuplicateKey { section, key } => {
+                write!(f, "duplicate key '{key}' in [{section}]")
+            }
+            ParseErrorKind::DuplicateSection(s) => write!(f, "duplicate section [{s}]"),
+            ParseErrorKind::KeyOutsideSection(k) => {
+                write!(f, "key '{k}' before any [section] header")
+            }
+            ParseErrorKind::MissingEquals => write!(f, "expected 'key = value'"),
+            ParseErrorKind::UnclosedSection => write!(f, "expected ']' to close section header"),
+            ParseErrorKind::KindNotFirst { section } => {
+                write!(f, "the first key in [{section}] must be 'kind'")
+            }
+            ParseErrorKind::InvalidValue { key, expected, got } => {
+                write!(f, "invalid value for '{key}': expected {expected}, got '{got}'")
+            }
+            ParseErrorKind::UnknownOption { decl, opt } => {
+                write!(f, "unknown option '{opt}' in '{decl}'")
+            }
+            ParseErrorKind::MissingOption { decl, opt } => {
+                write!(f, "missing option '{opt}' in '{decl}'")
+            }
+            ParseErrorKind::MissingKey { section, key } => {
+                write!(f, "missing required key '{key}' in [{section}]")
+            }
+            ParseErrorKind::MissingSection(s) => write!(f, "missing required section [{s}]"),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: {}", self.file, self.line, self.col, self.kind)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Internal position cursor.
+#[derive(Clone, Copy)]
+struct Pos {
+    line: u32,
+    col: u32,
+}
+
+struct Ctx<'a> {
+    file: &'a str,
+}
+
+impl Ctx<'_> {
+    fn err(&self, pos: Pos, kind: ParseErrorKind) -> ParseError {
+        ParseError {
+            file: self.file.to_string(),
+            line: pos.line,
+            col: pos.col,
+            kind,
+        }
+    }
+}
+
+/// Split `s` into whitespace-separated tokens with 1-based columns,
+/// where column numbers are relative to the full line (`base` is the
+/// 0-based char offset of `s` within it).
+fn tokens(s: &str, base: u32) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let mut col = base;
+    let mut start: Option<(u32, usize)> = None;
+    for (i, ch) in s.char_indices() {
+        col += 1;
+        if ch.is_whitespace() {
+            if let Some((c0, i0)) = start.take() {
+                out.push((c0, s[i0..i].to_string()));
+            }
+        } else if start.is_none() {
+            start = Some((col, i));
+        }
+    }
+    if let Some((c0, i0)) = start {
+        out.push((c0, s[i0..].to_string()));
+    }
+    out
+}
+
+fn parse_u64(ctx: &Ctx, pos: Pos, key: &str, v: &str) -> Result<u64, ParseError> {
+    v.parse::<u64>().map_err(|_| {
+        ctx.err(
+            pos,
+            ParseErrorKind::InvalidValue {
+                key: key.to_string(),
+                expected: "a non-negative integer",
+                got: v.to_string(),
+            },
+        )
+    })
+}
+
+fn parse_usize(ctx: &Ctx, pos: Pos, key: &str, v: &str) -> Result<usize, ParseError> {
+    Ok(parse_u64(ctx, pos, key, v)? as usize)
+}
+
+fn parse_u32(ctx: &Ctx, pos: Pos, key: &str, v: &str) -> Result<u32, ParseError> {
+    v.parse::<u32>().map_err(|_| {
+        ctx.err(
+            pos,
+            ParseErrorKind::InvalidValue {
+                key: key.to_string(),
+                expected: "a non-negative integer",
+                got: v.to_string(),
+            },
+        )
+    })
+}
+
+fn parse_f64(ctx: &Ctx, pos: Pos, key: &str, v: &str) -> Result<f64, ParseError> {
+    match v.parse::<f64>() {
+        Ok(x) if x.is_finite() => Ok(x),
+        _ => Err(ctx.err(
+            pos,
+            ParseErrorKind::InvalidValue {
+                key: key.to_string(),
+                expected: "a finite number",
+                got: v.to_string(),
+            },
+        )),
+    }
+}
+
+fn parse_bool(ctx: &Ctx, pos: Pos, key: &str, v: &str) -> Result<bool, ParseError> {
+    match v {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        _ => Err(ctx.err(
+            pos,
+            ParseErrorKind::InvalidValue {
+                key: key.to_string(),
+                expected: "'true' or 'false'",
+                got: v.to_string(),
+            },
+        )),
+    }
+}
+
+/// Parse a duration literal: `<number><unit>` with unit one of
+/// `ns`, `us`, `ms`, `s` (e.g. `250ms`, `5s`, `1.5s`).
+fn parse_duration(ctx: &Ctx, pos: Pos, key: &str, v: &str) -> Result<SimDuration, ParseError> {
+    let bad = || {
+        ctx.err(
+            pos,
+            ParseErrorKind::InvalidValue {
+                key: key.to_string(),
+                expected: "a duration like '250ms' or '5s'",
+                got: v.to_string(),
+            },
+        )
+    };
+    let split = v
+        .char_indices()
+        .find(|(_, c)| c.is_ascii_alphabetic())
+        .map(|(i, _)| i)
+        .ok_or_else(bad)?;
+    let (num, unit) = v.split_at(split);
+    let scale: u64 = match unit {
+        "ns" => 1,
+        "us" => 1_000,
+        "ms" => 1_000_000,
+        "s" => 1_000_000_000,
+        _ => return Err(bad()),
+    };
+    if let Ok(n) = num.parse::<u64>() {
+        let ns = n.checked_mul(scale).ok_or_else(bad)?;
+        return Ok(SimDuration(ns));
+    }
+    match num.parse::<f64>() {
+        Ok(x) if x.is_finite() && x >= 0.0 && x * scale as f64 <= u64::MAX as f64 => {
+            Ok(SimDuration((x * scale as f64).round() as u64))
+        }
+        _ => Err(bad()),
+    }
+}
+
+fn parse_time(ctx: &Ctx, pos: Pos, key: &str, v: &str) -> Result<SimTime, ParseError> {
+    parse_duration(ctx, pos, key, v).map(|d| SimTime(d.0))
+}
+
+fn is_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn is_node_name(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Chaos declaration options shared by every kind.
+struct Occur {
+    at: Option<SimTime>,
+    repeat: u32,
+    every: Option<SimDuration>,
+    jitter: SimDuration,
+}
+
+/// Parse a `.dsc` document. `file` is only used to label diagnostics.
+pub fn parse_str(file: &str, text: &str) -> Result<Scenario, ParseError> {
+    let ctx = Ctx { file };
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Section {
+        None,
+        Scenario,
+        Topology,
+        Workload,
+        Chaos,
+        Expect,
+    }
+
+    // [scenario]
+    let mut name: Option<String> = None;
+    let mut seed: u64 = 1;
+    let mut sample_every = SimDuration::from_secs(1);
+    // [topology]
+    let mut topo_kind: Option<&'static str> = None;
+    let mut topo_pos = Pos { line: 0, col: 0 };
+    let mut nodes: Option<(Pos, usize)> = None;
+    let mut chord: Option<(Pos, usize)> = None;
+    let mut pods: Option<(Pos, usize)> = None;
+    let mut leaves: Option<(Pos, usize)> = None;
+    // [workload]
+    let mut wl_kind: Option<&'static str> = None;
+    let mut wl_pos = Pos { line: 0, col: 0 };
+    let mut legit_flows: usize = 150;
+    let mut malicious_flows: usize = 0;
+    let mut mean_lifetime = SimDuration::from_secs(6);
+    let mut pkt_interval: Option<SimDuration> = None;
+    let mut attack_start = SimTime::from_secs(5);
+    let mut trigger_at: Option<SimTime> = None;
+    let mut guarded = false;
+    let mut horizon: Option<SimDuration> = None;
+    let mut flows: Option<usize> = None;
+    let mut bottleneck_mbps: u64 = 30;
+    let mut attacked = false;
+    let mut pin_to_mbps: Option<f64> = None;
+    let mut groups: usize = 4;
+    let mut rounds: usize = 400;
+    let mut poison_fraction: f64 = 0.0;
+    let mut defended = false;
+    let mut src: Option<Vec<String>> = None;
+    let mut dst: Option<String> = None;
+    let mut attack: Option<AttackSpec> = None;
+    // [chaos] / [expect]
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos: Vec<ChaosDecl> = Vec::new();
+    let mut expect: Vec<Expectation> = Vec::new();
+
+    let mut section = Section::None;
+    let mut seen_sections: Vec<String> = Vec::new();
+    let mut seen_keys: Vec<(Section, String)> = Vec::new();
+    let mut last_line = 0u32;
+
+    for (lineno0, raw) in text.lines().enumerate() {
+        let lineno = lineno0 as u32 + 1;
+        last_line = lineno;
+        let content = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        if content.trim().is_empty() {
+            continue;
+        }
+        let indent = content.chars().take_while(|c| c.is_whitespace()).count() as u32;
+        let pos = Pos {
+            line: lineno,
+            col: indent + 1,
+        };
+        let trimmed = content.trim();
+
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            let Some(sec_name) = rest.strip_suffix(']') else {
+                return Err(ctx.err(pos, ParseErrorKind::UnclosedSection));
+            };
+            let sec = match sec_name {
+                "scenario" => Section::Scenario,
+                "topology" => Section::Topology,
+                "workload" => Section::Workload,
+                "chaos" => Section::Chaos,
+                "expect" => Section::Expect,
+                other => {
+                    return Err(ctx.err(pos, ParseErrorKind::UnknownSection(other.to_string())))
+                }
+            };
+            if seen_sections.iter().any(|s| s == sec_name) {
+                return Err(ctx.err(pos, ParseErrorKind::DuplicateSection(sec_name.to_string())));
+            }
+            seen_sections.push(sec_name.to_string());
+            match sec {
+                Section::Topology => topo_pos = pos,
+                Section::Workload => wl_pos = pos,
+                _ => {}
+            }
+            section = sec;
+            continue;
+        }
+
+        // key = value
+        let Some(eq) = trimmed.find('=') else {
+            return Err(ctx.err(pos, ParseErrorKind::MissingEquals));
+        };
+        let key = trimmed[..eq].trim();
+        let val_off = content.len() - content.trim_start().len() + eq + 1;
+        let val_raw = &content[val_off..];
+        let val = val_raw.trim();
+        let vindent = val_raw.chars().take_while(|c| c.is_whitespace()).count() as u32;
+        let vpos = Pos {
+            line: lineno,
+            col: val_off as u32 + vindent + 1,
+        };
+        if key.is_empty() {
+            return Err(ctx.err(pos, ParseErrorKind::MissingEquals));
+        }
+
+        let section_name = match section {
+            Section::None => {
+                return Err(ctx.err(pos, ParseErrorKind::KeyOutsideSection(key.to_string())))
+            }
+            Section::Scenario => "scenario",
+            Section::Topology => "topology",
+            Section::Workload => "workload",
+            Section::Chaos => "chaos",
+            Section::Expect => "expect",
+        };
+
+        // Duplicate detection for non-repeatable keys.
+        let repeatable = matches!(section, Section::Expect)
+            || (matches!(section, Section::Chaos) && key != "seed");
+        if !repeatable {
+            if seen_keys
+                .iter()
+                .any(|(s, k)| *s == section && k == key)
+            {
+                return Err(ctx.err(
+                    pos,
+                    ParseErrorKind::DuplicateKey {
+                        section: section_name,
+                        key: key.to_string(),
+                    },
+                ));
+            }
+            seen_keys.push((section, key.to_string()));
+        }
+
+        match section {
+            Section::None => unreachable!("handled above"),
+            Section::Scenario => match key {
+                "name" => {
+                    if !is_name(val) {
+                        return Err(ctx.err(
+                            vpos,
+                            ParseErrorKind::InvalidValue {
+                                key: key.to_string(),
+                                expected: "a name of [A-Za-z0-9_-]",
+                                got: val.to_string(),
+                            },
+                        ));
+                    }
+                    name = Some(val.to_string());
+                }
+                "seed" => seed = parse_u64(&ctx, vpos, key, val)?,
+                "sample_every" => {
+                    let d = parse_duration(&ctx, vpos, key, val)?;
+                    if d == SimDuration::ZERO {
+                        return Err(ctx.err(
+                            vpos,
+                            ParseErrorKind::InvalidValue {
+                                key: key.to_string(),
+                                expected: "a positive duration",
+                                got: val.to_string(),
+                            },
+                        ));
+                    }
+                    sample_every = d;
+                }
+                _ => {
+                    return Err(ctx.err(
+                        pos,
+                        ParseErrorKind::UnknownKey {
+                            section: section_name,
+                            key: key.to_string(),
+                        },
+                    ))
+                }
+            },
+            Section::Topology => match key {
+                "kind" => {
+                    let k = match val {
+                        "blink" => "blink",
+                        "pcc" => "pcc",
+                        "pytheas" => "pytheas",
+                        "ring" => "ring",
+                        "chorded_ring" => "chorded_ring",
+                        "linear" => "linear",
+                        "fat_tree" => "fat_tree",
+                        "bowtie" => "bowtie",
+                        _ => {
+                            return Err(ctx.err(
+                                vpos,
+                                ParseErrorKind::InvalidValue {
+                                    key: key.to_string(),
+                                    expected: "one of blink, pcc, pytheas, ring, chorded_ring, linear, fat_tree, bowtie",
+                                    got: val.to_string(),
+                                },
+                            ))
+                        }
+                    };
+                    topo_kind = Some(k);
+                }
+                "nodes" | "chord" | "pods" | "leaves" => {
+                    let Some(k) = topo_kind else {
+                        return Err(ctx.err(pos, ParseErrorKind::KindNotFirst { section: "topology" }));
+                    };
+                    let applies = matches!(
+                        (key, k),
+                        ("nodes", "ring" | "chorded_ring" | "linear")
+                            | ("chord", "chorded_ring")
+                            | ("pods", "fat_tree")
+                            | ("leaves", "bowtie")
+                    );
+                    if !applies {
+                        return Err(ctx.err(
+                            pos,
+                            ParseErrorKind::KeyNotApplicable {
+                                key: key.to_string(),
+                                what: format!("topology kind '{k}'"),
+                            },
+                        ));
+                    }
+                    let n = parse_usize(&ctx, vpos, key, val)?;
+                    match key {
+                        "nodes" => nodes = Some((vpos, n)),
+                        "chord" => chord = Some((vpos, n)),
+                        "pods" => pods = Some((vpos, n)),
+                        _ => leaves = Some((vpos, n)),
+                    }
+                }
+                _ => {
+                    return Err(ctx.err(
+                        pos,
+                        ParseErrorKind::UnknownKey {
+                            section: section_name,
+                            key: key.to_string(),
+                        },
+                    ))
+                }
+            },
+            Section::Workload => {
+                if key == "kind" {
+                    let k = match val {
+                        "blink" => "blink",
+                        "pcc" => "pcc",
+                        "pytheas" => "pytheas",
+                        "tcp" => "tcp",
+                        _ => {
+                            return Err(ctx.err(
+                                vpos,
+                                ParseErrorKind::InvalidValue {
+                                    key: key.to_string(),
+                                    expected: "one of blink, pcc, pytheas, tcp",
+                                    got: val.to_string(),
+                                },
+                            ))
+                        }
+                    };
+                    wl_kind = Some(k);
+                    continue;
+                }
+                let Some(k) = wl_kind else {
+                    return Err(ctx.err(pos, ParseErrorKind::KindNotFirst { section: "workload" }));
+                };
+                let known = [
+                    "legit_flows",
+                    "malicious_flows",
+                    "mean_lifetime",
+                    "pkt_interval",
+                    "attack_start",
+                    "trigger_at",
+                    "guarded",
+                    "horizon",
+                    "flows",
+                    "bottleneck_mbps",
+                    "attacked",
+                    "pin_to_mbps",
+                    "groups",
+                    "rounds",
+                    "poison_fraction",
+                    "defended",
+                    "src",
+                    "dst",
+                    "attack",
+                ];
+                if !known.contains(&key) {
+                    return Err(ctx.err(
+                        pos,
+                        ParseErrorKind::UnknownKey {
+                            section: section_name,
+                            key: key.to_string(),
+                        },
+                    ));
+                }
+                let applies = matches!(
+                    (key, k),
+                    (
+                        "legit_flows" | "malicious_flows" | "attack_start" | "trigger_at" | "guarded",
+                        "blink"
+                    ) | ("mean_lifetime" | "pkt_interval", "blink" | "tcp")
+                        | ("horizon", "blink" | "pcc" | "tcp")
+                        | ("flows", "pcc" | "tcp")
+                        | ("bottleneck_mbps" | "attacked" | "pin_to_mbps", "pcc")
+                        | ("groups" | "rounds" | "poison_fraction" | "defended", "pytheas")
+                        | ("src" | "dst" | "attack", "tcp")
+                );
+                if !applies {
+                    return Err(ctx.err(
+                        pos,
+                        ParseErrorKind::KeyNotApplicable {
+                            key: key.to_string(),
+                            what: format!("workload kind '{k}'"),
+                        },
+                    ));
+                }
+                match key {
+                    "legit_flows" => legit_flows = parse_usize(&ctx, vpos, key, val)?,
+                    "malicious_flows" => malicious_flows = parse_usize(&ctx, vpos, key, val)?,
+                    "mean_lifetime" => mean_lifetime = parse_duration(&ctx, vpos, key, val)?,
+                    "pkt_interval" => pkt_interval = Some(parse_duration(&ctx, vpos, key, val)?),
+                    "attack_start" => attack_start = parse_time(&ctx, vpos, key, val)?,
+                    "trigger_at" => trigger_at = Some(parse_time(&ctx, vpos, key, val)?),
+                    "guarded" => guarded = parse_bool(&ctx, vpos, key, val)?,
+                    "horizon" => horizon = Some(parse_duration(&ctx, vpos, key, val)?),
+                    "flows" => {
+                        let n = parse_usize(&ctx, vpos, key, val)?;
+                        if n == 0 || n >= 250 {
+                            return Err(ctx.err(
+                                vpos,
+                                ParseErrorKind::InvalidValue {
+                                    key: key.to_string(),
+                                    expected: "an integer in 1..250",
+                                    got: val.to_string(),
+                                },
+                            ));
+                        }
+                        flows = Some(n);
+                    }
+                    "bottleneck_mbps" => {
+                        let n = parse_u64(&ctx, vpos, key, val)?;
+                        if n == 0 {
+                            return Err(ctx.err(
+                                vpos,
+                                ParseErrorKind::InvalidValue {
+                                    key: key.to_string(),
+                                    expected: "a positive integer",
+                                    got: val.to_string(),
+                                },
+                            ));
+                        }
+                        bottleneck_mbps = n;
+                    }
+                    "attacked" => attacked = parse_bool(&ctx, vpos, key, val)?,
+                    "pin_to_mbps" => pin_to_mbps = Some(parse_f64(&ctx, vpos, key, val)?),
+                    "groups" => {
+                        let n = parse_usize(&ctx, vpos, key, val)?;
+                        if n == 0 {
+                            return Err(ctx.err(
+                                vpos,
+                                ParseErrorKind::InvalidValue {
+                                    key: key.to_string(),
+                                    expected: "a positive integer",
+                                    got: val.to_string(),
+                                },
+                            ));
+                        }
+                        groups = n;
+                    }
+                    "rounds" => {
+                        let n = parse_usize(&ctx, vpos, key, val)?;
+                        if n < 10 {
+                            return Err(ctx.err(
+                                vpos,
+                                ParseErrorKind::InvalidValue {
+                                    key: key.to_string(),
+                                    expected: "an integer ≥ 10",
+                                    got: val.to_string(),
+                                },
+                            ));
+                        }
+                        rounds = n;
+                    }
+                    "poison_fraction" => {
+                        let x = parse_f64(&ctx, vpos, key, val)?;
+                        if !(0.0..=0.9).contains(&x) {
+                            return Err(ctx.err(
+                                vpos,
+                                ParseErrorKind::InvalidValue {
+                                    key: key.to_string(),
+                                    expected: "a fraction in 0..=0.9",
+                                    got: val.to_string(),
+                                },
+                            ));
+                        }
+                        poison_fraction = x;
+                    }
+                    "defended" => defended = parse_bool(&ctx, vpos, key, val)?,
+                    "src" => {
+                        let names: Vec<String> =
+                            val.split(',').map(|s| s.trim().to_string()).collect();
+                        if names.is_empty() || names.iter().any(|n| !is_node_name(n)) {
+                            return Err(ctx.err(
+                                vpos,
+                                ParseErrorKind::InvalidValue {
+                                    key: key.to_string(),
+                                    expected: "a comma-separated list of node names",
+                                    got: val.to_string(),
+                                },
+                            ));
+                        }
+                        src = Some(names);
+                    }
+                    "dst" => {
+                        if !is_node_name(val) {
+                            return Err(ctx.err(
+                                vpos,
+                                ParseErrorKind::InvalidValue {
+                                    key: key.to_string(),
+                                    expected: "a node name",
+                                    got: val.to_string(),
+                                },
+                            ));
+                        }
+                        dst = Some(val.to_string());
+                    }
+                    "attack" => {
+                        attack = Some(parse_attack(&ctx, vpos, val)?);
+                    }
+                    _ => unreachable!("filtered by `known`"),
+                }
+            }
+            Section::Chaos => match key {
+                "seed" => chaos_seed = Some(parse_u64(&ctx, vpos, key, val)?),
+                "link_flap" | "partition" | "router_churn" | "load_surge" => {
+                    chaos.push(parse_chaos_decl(&ctx, vpos, key, val)?);
+                }
+                _ => {
+                    return Err(ctx.err(
+                        pos,
+                        ParseErrorKind::UnknownKey {
+                            section: section_name,
+                            key: key.to_string(),
+                        },
+                    ))
+                }
+            },
+            Section::Expect => {
+                expect.push(parse_expectation(&ctx, pos, vpos, key, val)?);
+            }
+        }
+    }
+
+    let eof = Pos {
+        line: last_line + 1,
+        col: 1,
+    };
+    if !seen_sections.iter().any(|s| s == "scenario") {
+        return Err(ctx.err(eof, ParseErrorKind::MissingSection("scenario")));
+    }
+    let Some(name) = name else {
+        return Err(ctx.err(
+            eof,
+            ParseErrorKind::MissingKey {
+                section: "scenario",
+                key: "name",
+            },
+        ));
+    };
+    if !seen_sections.iter().any(|s| s == "topology") {
+        return Err(ctx.err(eof, ParseErrorKind::MissingSection("topology")));
+    }
+    if !seen_sections.iter().any(|s| s == "workload") {
+        return Err(ctx.err(eof, ParseErrorKind::MissingSection("workload")));
+    }
+
+    // Assemble [topology].
+    let missing_topo = |key| {
+        ctx.err(
+            topo_pos,
+            ParseErrorKind::MissingKey {
+                section: "topology",
+                key,
+            },
+        )
+    };
+    let range = |pv: (Pos, usize), key: &str, min: usize, expected: &'static str| {
+        if pv.1 < min {
+            Err(ctx.err(
+                pv.0,
+                ParseErrorKind::InvalidValue {
+                    key: key.to_string(),
+                    expected,
+                    got: pv.1.to_string(),
+                },
+            ))
+        } else {
+            Ok(pv.1)
+        }
+    };
+    let topology = match topo_kind {
+        None => return Err(missing_topo("kind")),
+        Some("blink") => TopologySpec::Blink,
+        Some("pcc") => TopologySpec::Pcc,
+        Some("pytheas") => TopologySpec::Pytheas,
+        Some("ring") => TopologySpec::Ring {
+            nodes: range(nodes.ok_or_else(|| missing_topo("nodes"))?, "nodes", 3, "an integer ≥ 3")?,
+        },
+        Some("chorded_ring") => TopologySpec::ChordedRing {
+            nodes: range(nodes.ok_or_else(|| missing_topo("nodes"))?, "nodes", 5, "an integer ≥ 5")?,
+            chord: range(chord.ok_or_else(|| missing_topo("chord"))?, "chord", 2, "an integer ≥ 2")?,
+        },
+        Some("linear") => TopologySpec::Linear {
+            nodes: range(nodes.ok_or_else(|| missing_topo("nodes"))?, "nodes", 2, "an integer ≥ 2")?,
+        },
+        Some("fat_tree") => {
+            let pv = pods.ok_or_else(|| missing_topo("pods"))?;
+            if pv.1 < 2 || pv.1 % 2 != 0 {
+                return Err(ctx.err(
+                    pv.0,
+                    ParseErrorKind::InvalidValue {
+                        key: "pods".to_string(),
+                        expected: "an even integer ≥ 2",
+                        got: pv.1.to_string(),
+                    },
+                ));
+            }
+            TopologySpec::FatTree { pods: pv.1 }
+        }
+        Some("bowtie") => TopologySpec::Bowtie {
+            leaves: range(leaves.ok_or_else(|| missing_topo("leaves"))?, "leaves", 1, "an integer ≥ 1")?,
+        },
+        Some(other) => unreachable!("kind validated: {other}"),
+    };
+
+    // Assemble [workload].
+    let missing_wl = |key| {
+        ctx.err(
+            wl_pos,
+            ParseErrorKind::MissingKey {
+                section: "workload",
+                key,
+            },
+        )
+    };
+    let workload = match wl_kind {
+        None => return Err(missing_wl("kind")),
+        Some("blink") => WorkloadSpec::Blink {
+            legit_flows,
+            malicious_flows,
+            mean_lifetime,
+            pkt_interval: pkt_interval.unwrap_or(SimDuration::from_millis(250)),
+            attack_start,
+            trigger_at,
+            guarded,
+            horizon: horizon.unwrap_or(SimDuration::from_secs(60)),
+        },
+        Some("pcc") => WorkloadSpec::Pcc {
+            flows: flows.unwrap_or(2),
+            bottleneck_mbps,
+            attacked,
+            pin_to_mbps,
+            horizon: horizon.unwrap_or(SimDuration::from_secs(60)),
+        },
+        Some("pytheas") => WorkloadSpec::Pytheas {
+            groups,
+            rounds,
+            poison_fraction,
+            defended,
+        },
+        Some("tcp") => WorkloadSpec::Tcp {
+            flows: flows.unwrap_or(40),
+            mean_lifetime,
+            pkt_interval: pkt_interval.unwrap_or(SimDuration::from_millis(100)),
+            horizon: horizon.unwrap_or(SimDuration::from_secs(45)),
+            src: src.ok_or_else(|| missing_wl("src"))?,
+            dst: dst.ok_or_else(|| missing_wl("dst"))?,
+            attack,
+        },
+        Some(other) => unreachable!("kind validated: {other}"),
+    };
+
+    Ok(Scenario {
+        name,
+        seed,
+        sample_every,
+        topology,
+        workload,
+        chaos_seed,
+        chaos,
+        expect,
+    })
+}
+
+/// Parse `attack = bounce via=r1-r2 bounces=6`.
+fn parse_attack(ctx: &Ctx, vpos: Pos, val: &str) -> Result<AttackSpec, ParseError> {
+    let toks = tokens(val, vpos.col - 1);
+    let bad_form = || {
+        ctx.err(
+            vpos,
+            ParseErrorKind::InvalidValue {
+                key: "attack".to_string(),
+                expected: "'bounce via=<a>-<b> bounces=<n>'",
+                got: val.to_string(),
+            },
+        )
+    };
+    let Some((_, first)) = toks.first() else {
+        return Err(bad_form());
+    };
+    if first != "bounce" {
+        return Err(bad_form());
+    }
+    let mut via: Option<(String, String)> = None;
+    let mut bounces: u32 = 4;
+    for (c, t) in &toks[1..] {
+        let tpos = Pos { line: vpos.line, col: *c };
+        let Some((opt, v)) = t.split_once('=') else {
+            return Err(ctx.err(
+                tpos,
+                ParseErrorKind::UnknownOption {
+                    decl: "attack".to_string(),
+                    opt: t.clone(),
+                },
+            ));
+        };
+        match opt {
+            "via" => {
+                let Some((a, b)) = v.split_once('-') else {
+                    return Err(ctx.err(
+                        tpos,
+                        ParseErrorKind::InvalidValue {
+                            key: "via".to_string(),
+                            expected: "a router pair '<a>-<b>'",
+                            got: v.to_string(),
+                        },
+                    ));
+                };
+                if !is_node_name(a) || !is_node_name(b) {
+                    return Err(ctx.err(
+                        tpos,
+                        ParseErrorKind::InvalidValue {
+                            key: "via".to_string(),
+                            expected: "a router pair '<a>-<b>'",
+                            got: v.to_string(),
+                        },
+                    ));
+                }
+                via = Some((a.to_string(), b.to_string()));
+            }
+            "bounces" => {
+                bounces = parse_u32(ctx, tpos, "bounces", v)?;
+                if bounces == 0 {
+                    return Err(ctx.err(
+                        tpos,
+                        ParseErrorKind::InvalidValue {
+                            key: "bounces".to_string(),
+                            expected: "a positive integer",
+                            got: v.to_string(),
+                        },
+                    ));
+                }
+            }
+            other => {
+                return Err(ctx.err(
+                    tpos,
+                    ParseErrorKind::UnknownOption {
+                        decl: "attack".to_string(),
+                        opt: other.to_string(),
+                    },
+                ))
+            }
+        }
+    }
+    let via = via.ok_or_else(|| {
+        ctx.err(
+            vpos,
+            ParseErrorKind::MissingOption {
+                decl: "attack".to_string(),
+                opt: "via",
+            },
+        )
+    })?;
+    Ok(AttackSpec::Bounce { via, bounces })
+}
+
+/// Parse one `[chaos]` declaration line.
+fn parse_chaos_decl(
+    ctx: &Ctx,
+    vpos: Pos,
+    key: &str,
+    val: &str,
+) -> Result<ChaosDecl, ParseError> {
+    let toks = tokens(val, vpos.col - 1);
+    let mut positional: Vec<(u32, String)> = Vec::new();
+    let mut occur = Occur {
+        at: None,
+        repeat: 1,
+        every: None,
+        jitter: SimDuration::ZERO,
+    };
+    let mut down: Option<SimDuration> = None;
+    let mut surge_flows: Option<usize> = None;
+    let mut surge_duration: Option<SimDuration> = None;
+
+    for (c, t) in &toks {
+        let tpos = Pos { line: vpos.line, col: *c };
+        // Positional tokens (the target expression) have no '=' — except
+        // that partition group lists may contain none either; anything
+        // before the first opt token is positional.
+        if let Some((opt, v)) = t.split_once('=') {
+            match opt {
+                "at" => occur.at = Some(parse_time(ctx, tpos, "at", v)?),
+                "down" if key != "load_surge" => {
+                    down = Some(parse_duration(ctx, tpos, "down", v)?)
+                }
+                "repeat" => {
+                    let n = parse_u32(ctx, tpos, "repeat", v)?;
+                    if n == 0 {
+                        return Err(ctx.err(
+                            tpos,
+                            ParseErrorKind::InvalidValue {
+                                key: "repeat".to_string(),
+                                expected: "a positive integer",
+                                got: v.to_string(),
+                            },
+                        ));
+                    }
+                    occur.repeat = n;
+                }
+                "every" => occur.every = Some(parse_duration(ctx, tpos, "every", v)?),
+                "jitter" => occur.jitter = parse_duration(ctx, tpos, "jitter", v)?,
+                "flows" if key == "load_surge" => {
+                    surge_flows = Some(parse_usize(ctx, tpos, "flows", v)?)
+                }
+                "duration" if key == "load_surge" => {
+                    surge_duration = Some(parse_duration(ctx, tpos, "duration", v)?)
+                }
+                other => {
+                    return Err(ctx.err(
+                        tpos,
+                        ParseErrorKind::UnknownOption {
+                            decl: key.to_string(),
+                            opt: other.to_string(),
+                        },
+                    ))
+                }
+            }
+        } else {
+            positional.push((*c, t.clone()));
+        }
+    }
+
+    let at = occur.at.ok_or_else(|| {
+        ctx.err(
+            vpos,
+            ParseErrorKind::MissingOption {
+                decl: key.to_string(),
+                opt: "at",
+            },
+        )
+    })?;
+    if occur.repeat > 1 && occur.every.is_none() {
+        return Err(ctx.err(
+            vpos,
+            ParseErrorKind::MissingOption {
+                decl: key.to_string(),
+                opt: "every",
+            },
+        ));
+    }
+    let need_down = || {
+        ctx.err(
+            vpos,
+            ParseErrorKind::MissingOption {
+                decl: key.to_string(),
+                opt: "down",
+            },
+        )
+    };
+
+    let kind = match key {
+        "link_flap" => {
+            let Some((c, target)) = positional.first() else {
+                return Err(ctx.err(
+                    vpos,
+                    ParseErrorKind::InvalidValue {
+                        key: key.to_string(),
+                        expected: "a link target '<a>-<b>' or 'primary'",
+                        got: val.to_string(),
+                    },
+                ));
+            };
+            let tpos = Pos { line: vpos.line, col: *c };
+            let (a, b) = if target == "primary" {
+                ("primary".to_string(), String::new())
+            } else {
+                let Some((a, b)) = target.split_once('-') else {
+                    return Err(ctx.err(
+                        tpos,
+                        ParseErrorKind::InvalidValue {
+                            key: key.to_string(),
+                            expected: "a link target '<a>-<b>' or 'primary'",
+                            got: target.clone(),
+                        },
+                    ));
+                };
+                if !is_node_name(a) || !is_node_name(b) {
+                    return Err(ctx.err(
+                        tpos,
+                        ParseErrorKind::InvalidValue {
+                            key: key.to_string(),
+                            expected: "a link target '<a>-<b>' or 'primary'",
+                            got: target.clone(),
+                        },
+                    ));
+                }
+                (a.to_string(), b.to_string())
+            };
+            ChaosKind::LinkFlap {
+                a,
+                b,
+                down: down.ok_or_else(need_down)?,
+            }
+        }
+        "partition" => {
+            let expr: Vec<&str> = positional.iter().map(|(_, t)| t.as_str()).collect();
+            let expr = expr.join(" ");
+            let bad = |got: String| {
+                ctx.err(
+                    vpos,
+                    ParseErrorKind::InvalidValue {
+                        key: key.to_string(),
+                        expected: "two node groups '<a>,<b> | <c>,<d>'",
+                        got,
+                    },
+                )
+            };
+            let mut sides = expr.split('|');
+            let (Some(l), Some(r), None) = (sides.next(), sides.next(), sides.next()) else {
+                return Err(bad(expr.clone()));
+            };
+            let parse_side = |side: &str| -> Result<Vec<String>, ParseError> {
+                let names: Vec<String> = side
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if names.is_empty() || names.iter().any(|n| !is_node_name(n)) {
+                    return Err(bad(side.trim().to_string()));
+                }
+                Ok(names)
+            };
+            ChaosKind::Partition {
+                left: parse_side(l)?,
+                right: parse_side(r)?,
+                down: down.ok_or_else(need_down)?,
+            }
+        }
+        "router_churn" => {
+            let Some((c, node)) = positional.first() else {
+                return Err(ctx.err(
+                    vpos,
+                    ParseErrorKind::InvalidValue {
+                        key: key.to_string(),
+                        expected: "a router name",
+                        got: val.to_string(),
+                    },
+                ));
+            };
+            if !is_node_name(node) {
+                return Err(ctx.err(
+                    Pos { line: vpos.line, col: *c },
+                    ParseErrorKind::InvalidValue {
+                        key: key.to_string(),
+                        expected: "a router name",
+                        got: node.clone(),
+                    },
+                ));
+            }
+            ChaosKind::RouterChurn {
+                node: node.clone(),
+                down: down.ok_or_else(need_down)?,
+            }
+        }
+        "load_surge" => {
+            if let Some((c, t)) = positional.first() {
+                return Err(ctx.err(
+                    Pos { line: vpos.line, col: *c },
+                    ParseErrorKind::UnknownOption {
+                        decl: key.to_string(),
+                        opt: t.clone(),
+                    },
+                ));
+            }
+            let flows = surge_flows.ok_or_else(|| {
+                ctx.err(
+                    vpos,
+                    ParseErrorKind::MissingOption {
+                        decl: key.to_string(),
+                        opt: "flows",
+                    },
+                )
+            })?;
+            let duration = surge_duration.ok_or_else(|| {
+                ctx.err(
+                    vpos,
+                    ParseErrorKind::MissingOption {
+                        decl: key.to_string(),
+                        opt: "duration",
+                    },
+                )
+            })?;
+            ChaosKind::LoadSurge { flows, duration }
+        }
+        other => unreachable!("dispatched on known decl keys: {other}"),
+    };
+
+    Ok(ChaosDecl {
+        kind,
+        at,
+        repeat: occur.repeat,
+        every: occur.every.unwrap_or(SimDuration::ZERO),
+        jitter: occur.jitter,
+    })
+}
+
+/// Parse one `[expect]` line.
+fn parse_expectation(
+    ctx: &Ctx,
+    pos: Pos,
+    vpos: Pos,
+    key: &str,
+    val: &str,
+) -> Result<Expectation, ParseError> {
+    let counter = |k: &str| -> Result<(String, u64), ParseError> {
+        let toks = tokens(val, vpos.col - 1);
+        let bad = || {
+            ctx.err(
+                vpos,
+                ParseErrorKind::InvalidValue {
+                    key: k.to_string(),
+                    expected: "'<counter.name> <integer>'",
+                    got: val.to_string(),
+                },
+            )
+        };
+        let [(_, name), (c, n)] = toks.as_slice() else {
+            return Err(bad());
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '.' || ch == '_')
+        {
+            return Err(bad());
+        }
+        let v = parse_u64(ctx, Pos { line: vpos.line, col: *c }, k, n)?;
+        Ok((name.clone(), v))
+    };
+    let frac = |k: &str| -> Result<f64, ParseError> {
+        let x = parse_f64(ctx, vpos, k, val)?;
+        if !(0.0..=1.0).contains(&x) {
+            return Err(ctx.err(
+                vpos,
+                ParseErrorKind::InvalidValue {
+                    key: k.to_string(),
+                    expected: "a fraction in 0..=1",
+                    got: val.to_string(),
+                },
+            ));
+        }
+        Ok(x)
+    };
+    Ok(match key {
+        "reroute_within" => Expectation::RerouteWithin(parse_duration(ctx, vpos, key, val)?),
+        "recovery_within" => Expectation::RecoveryWithin(parse_duration(ctx, vpos, key, val)?),
+        "blackout_during_chaos" => {
+            if !parse_bool(ctx, vpos, key, val)? {
+                return Err(ctx.err(
+                    vpos,
+                    ParseErrorKind::InvalidValue {
+                        key: key.to_string(),
+                        expected: "'true' (omit the line instead of 'false')",
+                        got: val.to_string(),
+                    },
+                ));
+            }
+            Expectation::BlackoutDuringChaos
+        }
+        "min_reroutes" => Expectation::MinReroutes(parse_u64(ctx, vpos, key, val)?),
+        "max_reroutes" => Expectation::MaxReroutes(parse_u64(ctx, vpos, key, val)?),
+        "final_on_primary" => Expectation::FinalOnPrimary(parse_bool(ctx, vpos, key, val)?),
+        "malicious_cells_min" => Expectation::MaliciousCellsMin(parse_u64(ctx, vpos, key, val)?),
+        "malicious_cells_max" => Expectation::MaliciousCellsMax(parse_u64(ctx, vpos, key, val)?),
+        "vetoed_min" => Expectation::VetoedMin(parse_u64(ctx, vpos, key, val)?),
+        "drop_rate_max" => Expectation::DropRateMax(frac(key)?),
+        "delivered_min" => Expectation::DeliveredMin(parse_u64(ctx, vpos, key, val)?),
+        "qoe_min" => Expectation::QoeMin(frac(key)?),
+        "qoe_max" => Expectation::QoeMax(frac(key)?),
+        "on_best_min" => Expectation::OnBestMin(frac(key)?),
+        "rate_min_mbps" => Expectation::RateMinMbps(parse_f64(ctx, vpos, key, val)?),
+        "rate_max_mbps" => Expectation::RateMaxMbps(parse_f64(ctx, vpos, key, val)?),
+        "oscillation_max" => Expectation::OscillationMax(parse_f64(ctx, vpos, key, val)?),
+        "counter_min" => {
+            let (c, n) = counter(key)?;
+            Expectation::CounterMin(c, n)
+        }
+        "counter_max" => {
+            let (c, n) = counter(key)?;
+            Expectation::CounterMax(c, n)
+        }
+        _ => {
+            return Err(ctx.err(
+                pos,
+                ParseErrorKind::UnknownKey {
+                    section: "expect",
+                    key: key.to_string(),
+                },
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "\
+[scenario]
+name = smoke
+[topology]
+kind = linear
+nodes = 3
+[workload]
+kind = tcp
+src = h0
+dst = h2
+";
+
+    #[test]
+    fn minimal_parses_with_defaults() {
+        let sc = parse_str("mem", MINIMAL).unwrap();
+        assert_eq!(sc.name, "smoke");
+        assert_eq!(sc.seed, 1);
+        assert_eq!(sc.topology, TopologySpec::Linear { nodes: 3 });
+        match &sc.workload {
+            WorkloadSpec::Tcp { src, dst, flows, .. } => {
+                assert_eq!(src, &vec!["h0".to_string()]);
+                assert_eq!(dst, "h2");
+                assert_eq!(*flows, 40);
+            }
+            other => panic!("wrong workload: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_key_is_positioned() {
+        let text = "[scenario]\nname = x\nbogus = 1\n";
+        let e = parse_str("f.dsc", text).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 1));
+        assert_eq!(e.to_string(), "f.dsc:3:1: unknown key 'bogus' in [scenario]");
+    }
+
+    #[test]
+    fn value_errors_point_at_the_value() {
+        let text = "[scenario]\nname = x\nseed =  nope\n";
+        let e = parse_str("f.dsc", text).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 9));
+        assert!(matches!(e.kind, ParseErrorKind::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn chaos_and_expect_lines_parse() {
+        let text = format!(
+            "{MINIMAL}[chaos]\nseed = 9\nlink_flap = r0-r1 at=20s down=5s repeat=2 every=10s jitter=1s\npartition = r0 | r1, r2 at=30s down=4s\n[expect]\nrecovery_within = 10s\ncounter_min = netsim.delivered.endpoint 100\n"
+        );
+        let sc = parse_str("mem", &text).unwrap();
+        assert_eq!(sc.chaos_seed, Some(9));
+        assert_eq!(sc.chaos.len(), 2);
+        assert_eq!(sc.expect.len(), 2);
+        assert_eq!(
+            sc.chaos[1].kind,
+            ChaosKind::Partition {
+                left: vec!["r0".into()],
+                right: vec!["r1".into(), "r2".into()],
+                down: SimDuration::from_secs(4),
+            }
+        );
+    }
+
+    #[test]
+    fn canonical_print_is_a_fixed_point() {
+        let text = format!(
+            "{MINIMAL}[chaos]\nlink_flap = r0-r1 at=20s down=5s\n[expect]\ndelivered_min = 1000\n"
+        );
+        let sc = parse_str("mem", &text).unwrap();
+        let printed = sc.print();
+        let re = parse_str("mem", &printed).unwrap();
+        assert_eq!(sc, re);
+        assert_eq!(printed, re.print());
+    }
+}

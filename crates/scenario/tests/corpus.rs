@@ -1,0 +1,128 @@
+//! Corpus-level properties of the `.dsc` front end: every shipped example
+//! parses and round-trips through the canonical printer, the chaos
+//! expansion is a pure function of (decls, seed), and every bad fixture
+//! fails with exactly the diagnostic recorded next to it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dui_scenario::chaos;
+use dui_scenario::parse_str;
+
+fn repo_root() -> PathBuf {
+    // crates/scenario -> crates -> repo root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn dsc_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "dsc"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// parse -> print -> parse is a fixed point for every shipped scenario:
+/// the second parse sees the canonical form and prints it unchanged.
+#[test]
+fn examples_roundtrip_through_canonical_print() {
+    let dir = repo_root().join("examples/scenarios");
+    let files = dsc_files(&dir);
+    assert!(files.len() >= 8, "corpus shrank to {} files", files.len());
+    for path in files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).unwrap();
+        let first = parse_str(&name, &text)
+            .unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+        let printed = first.print();
+        let second = parse_str(&name, &printed)
+            .unwrap_or_else(|e| panic!("{name} canonical form failed to re-parse: {e}"));
+        assert_eq!(
+            printed,
+            second.print(),
+            "{name}: print is not a fixed point of parse"
+        );
+    }
+}
+
+/// Every shipped scenario also compiles — the corpus never rots into
+/// parse-only validity.
+#[test]
+fn examples_compile() {
+    let dir = repo_root().join("examples/scenarios");
+    for path in dsc_files(&dir) {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).unwrap();
+        let sc = parse_str(&name, &text).unwrap();
+        dui_scenario::compile(&sc).unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+    }
+}
+
+/// Chaos expansion is deterministic in (decls, seed) and the jitter
+/// stream actually responds to the seed.
+#[test]
+fn chaos_expansion_is_seeded_and_deterministic() {
+    let text = "\
+[scenario]
+name = chaos_probe
+[topology]
+kind = ring
+nodes = 6
+[workload]
+kind = tcp
+src = h0
+dst = h3
+[chaos]
+link_flap = r0-r1 at=5s down=2s repeat=4 every=8s jitter=3s
+router_churn = r2 at=10s down=1s repeat=2 every=6s jitter=2s
+";
+    let sc = parse_str("chaos_probe.dsc", text).unwrap();
+    let a = chaos::expand(&sc.chaos, 7);
+    let b = chaos::expand(&sc.chaos, 7);
+    assert_eq!(a, b, "same seed must reproduce the same schedule");
+    let c = chaos::expand(&sc.chaos, 8);
+    assert_ne!(a, c, "jittered schedule ignored the seed");
+    // Windows arrive sorted by (start, decl, end) — the runner's boundary
+    // loop depends on it.
+    for w in a.windows(2) {
+        let key = |x: &chaos::ChaosWindow| (x.start, x.decl, x.end);
+        assert!(key(&w[0]) <= key(&w[1]), "schedule not sorted");
+    }
+}
+
+/// Every fixture under tests/fixtures/bad fails to parse with exactly
+/// the diagnostic in its sibling `.err` file (full `file:line:col:
+/// message` rendering).
+#[test]
+fn bad_fixtures_fail_with_recorded_diagnostics() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad");
+    let files = dsc_files(&dir);
+    assert!(files.len() >= 14, "bad corpus shrank to {} files", files.len());
+    let mut mismatches = Vec::new();
+    for path in files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).unwrap();
+        let actual = match parse_str(&name, &text) {
+            Err(e) => e.to_string(),
+            Ok(_) => format!("{name}: unexpectedly parsed"),
+        };
+        let err_path = path.with_extension("err");
+        let expected = fs::read_to_string(&err_path)
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|_| "<missing .err file>".to_string());
+        if actual != expected {
+            mismatches.push(format!("{name}:\n  expected: {expected}\n  actual:   {actual}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "fixture diagnostics drifted:\n{}",
+        mismatches.join("\n")
+    );
+}

@@ -87,7 +87,7 @@ fn main() {
             ..Default::default()
         },
         &[(c1, c2)],
-    );
+    ).unwrap();
     let vt = Arc::new(vt);
     let vt2 = vt.clone();
     let mk = move |honest: Addr| -> Box<dyn IcmpRewriter> {

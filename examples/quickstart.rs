@@ -28,7 +28,7 @@ fn main() {
     println!(
         "t=20s  monitored prefix {} on primary: {}",
         prefix,
-        sc.on_primary()
+        sc.on_primary().unwrap()
     );
     println!("       failing the primary path (forward direction only)...");
     sc.fail_primary_forward();
@@ -37,7 +37,7 @@ fn main() {
     for step in 1..=100 {
         let t = fail_at + step as f64 * 0.1;
         sc.sim.run_until(SimTime::from_secs_f64(t));
-        if !sc.on_primary() {
+        if !sc.on_primary().unwrap() {
             detected_at = Some(t);
             break;
         }
@@ -68,15 +68,15 @@ fn main() {
         sc.sim.run_until(SimTime::from_secs(t));
         println!(
             "t={t:>3}s attacker flows occupying {:>2}/64 Blink cells (threshold 32), reroutes: {}",
-            sc.malicious_cells(),
-            sc.reroutes()
+            sc.malicious_cells().unwrap(),
+            sc.reroutes().unwrap()
         );
     }
     sc.sim.run_until(SimTime::from_secs(95));
     println!(
         "t= 95s attacker sends fake retransmissions on its sampled flows -> reroutes: {} (on primary: {})",
-        sc.reroutes(),
-        sc.on_primary()
+        sc.reroutes().unwrap(),
+        sc.on_primary().unwrap()
     );
     println!(
         "\nNo link ever failed. One host with {} spoofed flows steered the network.\n\

@@ -24,14 +24,14 @@ fn main() {
     sc.sim.run_until(SimTime::from_secs(59));
     println!(
         "t=59s attacker holds {}/64 cells; attack burst starts at t=60s",
-        sc.malicious_cells()
+        sc.malicious_cells().unwrap()
     );
     sc.sim.run_until(SimTime::from_secs(70));
     println!(
         "t=70s reroutes: {}   vetoed by supervisor: {}   still on primary: {}",
-        sc.reroutes(),
+        sc.reroutes().unwrap(),
         sc.vetoed(),
-        sc.on_primary()
+        sc.on_primary().unwrap()
     );
     println!(
         "\nThe guard checked the retransmission *timing*: the attacker's bursts\n\
@@ -55,7 +55,7 @@ fn main() {
     for step in 1..=150 {
         let t = 20.0 + step as f64 * 0.1;
         sc.sim.run_until(SimTime::from_secs_f64(t));
-        if !sc.on_primary() {
+        if !sc.on_primary().unwrap() {
             rerouted_at = Some(t);
             break;
         }

@@ -94,6 +94,21 @@ SVDIR="$(mktemp -d)"
 rm -rf "$SVDIR"
 echo "supervisord verdict JSONL byte-identical at 1 vs 4 workers: OK"
 
+echo "== scenario corpus (experiments scenario, --jobs byte-identity) =="
+# Every shipped .dsc must parse, compile, and pass its expectations —
+# a file that fails to parse exits the runner with status 2 and fails
+# the gate — and the verdict CSV must not depend on --jobs.
+SCDIR="$(mktemp -d)"
+(
+  cd "$SCDIR"
+  "$EXP" scenario "$OLDPWD/examples/scenarios" --jobs 4
+  mv results/scenarios.csv scenarios.j4.csv
+  "$EXP" scenario "$OLDPWD/examples/scenarios" --jobs 1
+  cmp scenarios.j4.csv results/scenarios.csv
+) >/dev/null
+rm -rf "$SCDIR"
+echo "scenario corpus all-pass and CSV byte-identical at --jobs 1 vs 4: OK"
+
 echo "== docs (intra-repo links) =="
 bash scripts/check_docs.sh
 echo "docs links: OK"

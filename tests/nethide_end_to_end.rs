@@ -57,7 +57,7 @@ fn obfuscated_traceroute_matches_solver_output_exactly() {
             ..Default::default()
         },
         &[(c1, c2)],
-    );
+    ).unwrap();
     assert!(report.within_budget);
     let vt = Arc::new(vt);
     for &(src, dst) in &flows {
@@ -101,7 +101,7 @@ fn security_budget_trades_against_accuracy() {
                 ..Default::default()
             },
             &[], // protect everything
-        );
+        ).unwrap();
         assert!(
             report.accuracy <= last_accuracy + 1e-9,
             "tighter budgets cannot increase accuracy"
@@ -134,7 +134,7 @@ fn fiction_can_hide_a_hot_link_entirely() {
     let routing = Routing::shortest_paths(&topo);
     let c1 = topo.node(core.0).addr;
     let c2 = topo.node(core.1).addr;
-    let m_addr = topo.node(topo.node_by_name("m")).addr;
+    let m_addr = topo.node(topo.node_by_name("m").unwrap()).addr;
     // Build a fiction: every flow claims to go via m (the detour), never
     // via the direct c1-c2 edge.
     let mut vt = VirtualTopology::default();
