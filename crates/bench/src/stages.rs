@@ -577,7 +577,7 @@ pub fn caida_residency(jobs: usize) -> StageOutput {
             per_prefix_mean
                 .iter()
                 .cloned()
-                .min_by(|a, b| (a - 8.37).abs().partial_cmp(&(b - 8.37).abs()).unwrap())
+                .min_by(|a, b| (a - 8.37).abs().total_cmp(&(b - 8.37).abs()))
                 .unwrap_or(f64::NAN)
         ),
         "8.37 s".to_string(),
@@ -630,9 +630,14 @@ pub fn blink_packet(jobs: usize, sim_threads: usize) -> StageOutput {
         let on_primary = sc.on_primary().expect("prefix monitored");
         (occupancy, reroutes, sc.vetoed(), on_primary, snap)
     };
-    let mut both = run_indexed(2, jobs, |i| run(i == 1));
-    let (_, g_reroutes, g_vetoed, g_on_primary, g_snap) = both.pop().expect("guarded run");
-    let (occ, reroutes, _, on_primary, snap) = both.pop().expect("unguarded run");
+    let both = run_indexed(2, jobs, |i| run(i == 1));
+    let Ok(
+        [(occ, reroutes, _, on_primary, snap), (_, g_reroutes, g_vetoed, g_on_primary, g_snap)],
+    ) = <[_; 2]>::try_from(both)
+    else {
+        out.report = "blink-packet: run_indexed(2, ..) did not return two runs".to_string();
+        return out;
+    };
     out.metrics = snap.with_prefix("unguarded.");
     out.metrics.merge(&g_snap.with_prefix("guarded."));
     let mut csv = Table::new(["t_s", "malicious_cells"]);
@@ -1533,11 +1538,15 @@ pub fn fuzz(jobs: usize) -> StageOutput {
     out
 }
 
-/// L — static-analysis gate as an experiment stage: runs the six
-/// `dui-lint` rules over `crates/` + `src/`, applies `lint.baseline`,
-/// and reports per-rule totals. The stage fails loudly (in the report)
-/// on non-baselined findings, mirroring the `scripts/lint_determinism.sh`
-/// gate so `experiments all` exercises the same invariants.
+/// L — static-analysis gate as an experiment stage: runs the full
+/// `dui-lint` analyzer (token rules plus the cross-crate graph rules)
+/// over `crates/` + `src/`, applies `lint.baseline`, and reports
+/// per-rule totals. The stage fails loudly (in the report) on
+/// non-baselined findings, mirroring the `scripts/lint_determinism.sh`
+/// gate so `experiments all` exercises the same invariants. Exports
+/// deterministic `lint.rules.*.findings` / `lint.analysis.*` counters
+/// plus wall-clock phase timings (`*.wall_ns`, non-deterministic by
+/// design, like every `wall_*` column).
 pub fn lint(_jobs: usize) -> StageOutput {
     let mut out = StageOutput::default();
     let mut r = String::new();
@@ -1551,8 +1560,14 @@ pub fn lint(_jobs: usize) -> StageOutput {
         Err(_) => dui_lint::Baseline::default(),
     };
     let paths: Vec<String> = dui_lint::DEFAULT_PATHS.iter().map(|s| s.to_string()).collect();
-    let report = match dui_lint::lint_paths(&root, &paths, &baseline) {
-        Ok(rep) => rep,
+    // The lint crate never reads the clock itself; the harness injects
+    // one (bench is determinism-sanctioned), so the self-profile works
+    // without the library breaking its own `determinism/wall-clock` rule.
+    let epoch = std::time::Instant::now();
+    let mut clock = || epoch.elapsed().as_nanos() as u64;
+    let (report, profile) = match dui_lint::lint_paths_profiled(&root, &paths, &baseline, &mut clock)
+    {
+        Ok(pair) => pair,
         Err(e) => {
             let _ = writeln!(r, "lint stage could not scan the workspace: {e}");
             out.report = r;
@@ -1560,8 +1575,11 @@ pub fn lint(_jobs: usize) -> StageOutput {
         }
     };
 
-    let mut csv = Table::new(["rule", "total", "new", "baselined"]);
-    let mut show = Table::new(["rule", "total", "new", "baselined"]);
+    let mut reg = Registry::new();
+    let rule_ns: std::collections::HashMap<&str, u64> =
+        profile.rules.iter().copied().collect();
+    let mut csv = Table::new(["rule", "total", "new", "baselined", "wall_ms"]);
+    let mut show = Table::new(["rule", "total", "new", "baselined", "wall_ms"]);
     for rule in dui_lint::rules::RULE_IDS {
         let total = report.findings.iter().filter(|f| f.rule == *rule).count();
         let newc = report
@@ -1569,22 +1587,60 @@ pub fn lint(_jobs: usize) -> StageOutput {
             .iter()
             .filter(|f| f.rule == *rule && !f.baselined)
             .count();
+        let id = reg.counter(&format!("lint.rules.{rule}.findings"));
+        reg.add(id, total as u64);
+        let ns = rule_ns.get(rule).copied().unwrap_or(0);
         let row = [
             rule.to_string(),
             total.to_string(),
             newc.to_string(),
             (total - newc).to_string(),
+            format!("{:.3}", ns as f64 / 1e6),
         ];
         csv.row(row.clone());
         show.row(row);
     }
+    for (name, v) in [
+        ("lint.analysis.files", report.stats.files as u64),
+        ("lint.analysis.symbols", report.stats.symbols as u64),
+        ("lint.analysis.edges", report.stats.edges as u64),
+        ("lint.analysis.unknown_calls", report.stats.unknown as u64),
+    ] {
+        let id = reg.counter(name);
+        reg.add(id, v);
+    }
+    for (i, (phase, ns)) in profile.phases.iter().enumerate() {
+        let id = reg.counter(&format!("lint.analysis.{phase}.wall_ns"));
+        reg.add(id, *ns);
+        dui_core::telemetry::wallclock::record_task("lint_phase", i, *ns);
+    }
+    out.metrics = reg.snapshot();
+
     let _ = writeln!(r, "{}", show.to_text());
     let _ = writeln!(
         r,
-        "{} files scanned; {} finding(s), {} new (non-baselined).",
+        "{} files scanned; {} symbols, {} call edges ({} unknown callees); \
+         {} finding(s), {} new (non-baselined).",
         report.files_scanned,
+        report.stats.symbols,
+        report.stats.edges,
+        report.stats.unknown,
         report.findings.len(),
         report.new_count
+    );
+    let phase_ms = |name: &str| {
+        profile
+            .phases
+            .iter()
+            .find(|(p, _)| *p == name)
+            .map_or(0.0, |(_, ns)| *ns as f64 / 1e6)
+    };
+    let _ = writeln!(
+        r,
+        "wall-clock (non-deterministic): parse {:.1} ms, graph {:.1} ms, taint {:.1} ms.",
+        phase_ms("parse"),
+        phase_ms("graph"),
+        phase_ms("taint")
     );
     if report.new_count > 0 {
         let _ = writeln!(r, "\nNEW FINDINGS (gate would fail):");

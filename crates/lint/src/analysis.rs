@@ -1,0 +1,175 @@
+//! Whole-workspace analysis: parsed files + symbol graph + call
+//! graph, and the deterministic JSONL dump behind `--graph-dump`.
+
+use crate::callgraph::CallGraph;
+use crate::findings::json_escape;
+use crate::parse::ParsedFile;
+use crate::symbols::SymbolGraph;
+use crate::taint::Trace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Headline sizes of one analysis, for reports and telemetry.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AnalysisStats {
+    /// Files parsed.
+    pub files: usize,
+    /// Named fn/method symbols.
+    pub symbols: usize,
+    /// Resolved call edges (deduped caller→callee pairs).
+    pub edges: usize,
+    /// Unresolved callee records (deduped per caller).
+    pub unknown: usize,
+}
+
+/// The whole-workspace analysis the graph rules run over.
+#[derive(Debug)]
+pub struct Analysis<'s> {
+    /// Parsed files in path-sorted order.
+    pub files: Vec<ParsedFile<'s>>,
+    /// The symbol table.
+    pub symbols: SymbolGraph,
+    /// The call graph.
+    pub graph: CallGraph,
+}
+
+impl<'s> Analysis<'s> {
+    /// Build the symbol and call-graph layers over already-parsed
+    /// files (which must be path-sorted).
+    pub fn from_files(files: Vec<ParsedFile<'s>>) -> Analysis<'s> {
+        let symbols = SymbolGraph::build(&files);
+        let graph = CallGraph::build(&files, &symbols);
+        Analysis {
+            files,
+            symbols,
+            graph,
+        }
+    }
+
+    /// Parse `sources` (`(path, src)`, already sorted) and build.
+    pub fn build(sources: &'s [(String, String)]) -> Analysis<'s> {
+        let files: Vec<ParsedFile<'s>> = sources
+            .iter()
+            .map(|(p, s)| ParsedFile::parse(p, s))
+            .collect();
+        Analysis::from_files(files)
+    }
+
+    /// Headline sizes.
+    pub fn stats(&self) -> AnalysisStats {
+        AnalysisStats {
+            files: self.files.len(),
+            symbols: self.symbols.symbols.len(),
+            edges: self.graph.edge_count(),
+            unknown: self.graph.unknown_count(),
+        }
+    }
+
+    /// The canonical display path of symbol `sid` (`""` if out of
+    /// range — never happens for ids produced by this analysis).
+    pub fn path_of(&self, sid: u32) -> &str {
+        self.symbols
+            .symbols
+            .get(sid as usize)
+            .map_or("", |s| s.path.as_str())
+    }
+
+    /// The defining file of symbol `sid`.
+    pub fn file_of(&self, sid: u32) -> Option<&ParsedFile<'s>> {
+        let s = self.symbols.symbols.get(sid as usize)?;
+        self.files.get(s.file_idx as usize)
+    }
+
+    /// The `lint: allow(...)` names attached to symbol `sid`'s item.
+    pub fn item_allows(&self, sid: u32) -> &[String] {
+        let Some(s) = self.symbols.symbols.get(sid as usize) else {
+            return &[];
+        };
+        self.files
+            .get(s.file_idx as usize)
+            .and_then(|f| f.items.get(s.item_idx as usize))
+            .map_or(&[], |it| it.allows.as_slice())
+    }
+
+    /// Follow a taint trace from `start` toward its seed, returning
+    /// the hop chain `[start, …, seed]` as symbol ids.
+    pub fn chain(&self, start: u32, taint: &BTreeMap<u32, Trace>) -> Vec<u32> {
+        let mut out = vec![start];
+        let mut cur = start;
+        let mut guard = 0usize;
+        while let Some(tr) = taint.get(&cur) {
+            match tr.via {
+                Some((next, _, _)) if guard < 256 => {
+                    out.push(next);
+                    cur = next;
+                    guard += 1;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Render a hop chain as `a -> b -> c` of canonical paths.
+    pub fn chain_str(&self, ids: &[u32]) -> String {
+        let mut out = String::new();
+        for (k, &id) in ids.iter().enumerate() {
+            if k > 0 {
+                out.push_str(" -> ");
+            }
+            out.push_str(self.path_of(id));
+        }
+        out
+    }
+
+    /// The call graph as deterministic JSON lines: one `sym` record
+    /// per symbol (id order = path order), then per caller every
+    /// resolved call site (`call`) and unresolved callee (`unknown`).
+    /// Byte-identical across runs on an unchanged tree — verify.sh
+    /// dumps twice and byte-compares.
+    pub fn graph_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.symbols.symbols {
+            let file = self
+                .files
+                .get(s.file_idx as usize)
+                .map_or("", |f| f.scan.path.as_str());
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"sym\",\"path\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"test\":{},\"library\":{}}}",
+                json_escape(&s.path),
+                json_escape(file),
+                s.line,
+                s.col,
+                s.cfg_test,
+                s.library,
+            );
+        }
+        for (sid, sites) in self.graph.sites.iter().enumerate() {
+            let from = self.path_of(sid as u32);
+            for site in sites {
+                for &t in &site.targets {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"call\",\"from\":\"{}\",\"to\":\"{}\",\"line\":{},\"col\":{}}}",
+                        json_escape(from),
+                        json_escape(self.path_of(t)),
+                        site.line,
+                        site.col,
+                    );
+                }
+            }
+            for (d, l, c) in self.graph.unknown.get(sid).into_iter().flatten() {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"unknown\",\"from\":\"{}\",\"to\":\"{}\",\"line\":{},\"col\":{}}}",
+                    json_escape(from),
+                    json_escape(d),
+                    l,
+                    c,
+                );
+            }
+        }
+        out
+    }
+}

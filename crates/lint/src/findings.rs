@@ -60,7 +60,7 @@ pub fn sort_findings(findings: &mut [Finding]) {
 }
 
 /// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -138,20 +138,62 @@ impl Baseline {
     /// Serialize findings as a fresh baseline file (sorted, with a
     /// header comment). Used by `--write-baseline`.
     pub fn render(findings: &[Finding]) -> String {
-        let mut lines: Vec<String> = findings.iter().map(Finding::baseline_key).collect();
-        lines.sort();
-        let mut out = String::from(
-            "# dui-lint baseline: grandfathered findings, one `rule<TAB>file<TAB>snippet`\n\
-             # entry per line (duplicates allowed, matched as a multiset). Entries are\n\
-             # matched structurally, so edits that only move lines do not invalidate\n\
-             # them. Regenerate with: cargo run -p dui-lint -- --write-baseline\n",
-        );
-        for l in &lines {
-            out.push_str(l);
-            out.push('\n');
-        }
-        out
+        let lines: Vec<String> = findings.iter().map(Finding::baseline_key).collect();
+        render_lines(lines)
     }
+}
+
+/// The baseline file header.
+const BASELINE_HEADER: &str =
+    "# dui-lint baseline: grandfathered findings, one `rule<TAB>file<TAB>snippet`\n\
+     # entry per line (duplicates allowed, matched as a multiset). Entries are\n\
+     # matched structurally, so edits that only move lines do not invalidate\n\
+     # them. Regenerate with: cargo run -p dui-lint -- --write-baseline\n";
+
+fn render_lines(mut lines: Vec<String>) -> String {
+    lines.sort();
+    let mut out = String::from(BASELINE_HEADER);
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Rewrite a baseline for `--write-baseline` without losing entries
+/// outside the scanned scope: current `findings` replace every old
+/// entry whose file falls under one of `scanned_roots`, old entries
+/// outside the scope are kept verbatim — *unless* their file no
+/// longer exists at all (per `file_exists`), in which case they are
+/// pruned as dead weight. A malformed old entry (no file field) is
+/// dropped.
+pub fn merge_baseline(
+    old_text: &str,
+    findings: &[Finding],
+    scanned_roots: &[String],
+    file_exists: &dyn Fn(&str) -> bool,
+) -> String {
+    let in_scope = |file: &str| {
+        scanned_roots.iter().any(|r| {
+            let r = r.trim_end_matches('/');
+            file == r || file.starts_with(&format!("{r}/"))
+        })
+    };
+    let mut lines: Vec<String> = Vec::new();
+    for line in old_text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(file) = line.split('\t').nth(1) else {
+            continue;
+        };
+        if !in_scope(file) && file_exists(file) {
+            lines.push(line.to_string());
+        }
+    }
+    lines.extend(findings.iter().map(Finding::baseline_key));
+    render_lines(lines)
 }
 
 /// Mark findings covered by the baseline (consuming multiset entries
@@ -220,9 +262,9 @@ pub fn render_human(findings: &[Finding], show_baselined: bool) -> String {
     }
     per_rule.sort();
     if !per_rule.is_empty() {
-        let _ = writeln!(out, "\nrule                     total   new");
+        let _ = writeln!(out, "\nrule                               total   new");
         for (rule, total, new) in &per_rule {
-            let _ = writeln!(out, "{rule:<24} {total:>5} {new:>5}");
+            let _ = writeln!(out, "{rule:<34} {total:>5} {new:>5}");
         }
     }
     out
@@ -294,6 +336,32 @@ mod tests {
         assert_eq!(
             v.iter().map(|f| (f.file.as_str(), f.line)).collect::<Vec<_>>(),
             [("a.rs", 1), ("a.rs", 2), ("b.rs", 1)]
+        );
+    }
+
+    #[test]
+    fn merge_baseline_replaces_in_scope_keeps_foreign_prunes_missing() {
+        let old = "# header\n\
+                   r/a\tcrates/x/src/lib.rs\told_fixed()\n\
+                   r/a\tvendor/keep.rs\tkeep()\n\
+                   r/a\tvendor/gone.rs\tgone()\n";
+        let findings = vec![f("r/a", "crates/x/src/lib.rs", 1, "current()")];
+        let merged = merge_baseline(
+            old,
+            &findings,
+            &["crates".to_string(), "src".to_string()],
+            &|file| file != "vendor/gone.rs",
+        );
+        let body: Vec<&str> = merged.lines().filter(|l| !l.starts_with('#')).collect();
+        // In-scope old entry replaced by the current findings, the
+        // out-of-scope entry with a live file kept, the entry whose
+        // file vanished pruned.
+        assert_eq!(
+            body,
+            [
+                "r/a\tcrates/x/src/lib.rs\tcurrent()",
+                "r/a\tvendor/keep.rs\tkeep()",
+            ]
         );
     }
 

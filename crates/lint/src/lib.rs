@@ -9,15 +9,28 @@
 //! rests on simulations being pure functions of `(config, seed)`. A
 //! grep pattern cannot see `use`-aliasing, comments, or string
 //! literals, and silently misses renamed imports of `Instant` or
-//! `thread_rng`. This crate makes the invariants machine-checked
-//! properties of the codebase:
+//! `thread_rng` — and *no* per-file check can see a wall-clock read
+//! laundered through two crates of helper functions. The analyzer is
+//! layered accordingly:
 //!
 //! * [`lexer`] — a hand-rolled, lossless Rust lexer (raw strings,
 //!   nested block comments, lifetimes, char literals);
 //! * [`scan`] — a lightweight item scanner tracking `use`
 //!   declarations, `fn` boundaries, `impl` blocks, and `#[cfg(test)]`
-//!   regions — enough resolution for real rules without a parser;
-//! * [`rules`] — the six shipped rules (see that module's table);
+//!   regions — enough resolution for the per-file rules;
+//! * [`parse`] — an item-level parser over the same token stream:
+//!   every `fn`/method with its body span, module path, enclosing
+//!   type, and per-item `lint: allow(...)` attributes, plus the
+//!   `owner` partition mapping each code token to its innermost `fn`;
+//! * [`symbols`] — the cross-crate symbol graph (canonical paths,
+//!   suffix/method indexes);
+//! * [`callgraph`] — a conservative call graph (direct calls, alias
+//!   and `::`-path resolution, receiver-type method heuristics;
+//!   unresolved calls recorded as explicit Unknown edges);
+//! * [`taint`] — deterministic interprocedural taint propagation with
+//!   canonical witness paths;
+//! * [`rules`] — the shipped rules (see that module's table): eight
+//!   per-file token rules and four whole-workspace graph rules;
 //! * [`findings`] — deterministic findings, JSON-lines export, and the
 //!   grandfathering [`Baseline`].
 //!
@@ -27,15 +40,16 @@
 //! cargo run -p dui-lint                         # lint crates/ + src/
 //! cargo run -p dui-lint -- --json --baseline lint.baseline
 //! cargo run -p dui-lint -- --write-baseline     # regenerate lint.baseline
+//! cargo run -p dui-lint -- --graph-dump         # call graph as JSONL
 //! cargo run -p dui-lint -- crates/netsim        # lint a subtree
 //! ```
 //!
 //! Output is deterministic: findings sort by `(file, line, col,
 //! rule)`, the human table goes to stderr, and `--json` writes
 //! byte-identical-across-runs JSON lines to `results/lint.jsonl`
-//! (verified by `scripts/verify.sh`, which runs the lint twice and
-//! byte-compares). Exit code is nonzero iff a finding is not
-//! grandfathered by the baseline.
+//! (verified by `scripts/verify.sh`, which runs the lint — and the
+//! graph dump — twice and byte-compares). Exit code is nonzero iff a
+//! finding is not grandfathered by the baseline.
 //!
 //! ## Library use
 //!
@@ -49,32 +63,127 @@
 //! );
 //! assert!(findings.iter().any(|f| f.rule == "determinism/wall-clock"));
 //! ```
+//!
+//! Multi-file (cross-crate) inputs go through [`lint_sources`]:
+//!
+//! ```
+//! let findings = dui_lint::lint_sources(&[
+//!     (
+//!         "crates/a/src/lib.rs".to_string(),
+//!         "pub fn t() -> u64 { std::time::Instant::now().elapsed().as_nanos() as u64 }\n"
+//!             .to_string(),
+//!     ),
+//!     (
+//!         "crates/b/src/lib.rs".to_string(),
+//!         "pub fn run() -> u64 { dui_a::t() }\n".to_string(),
+//!     ),
+//! ]);
+//! assert!(findings
+//!     .iter()
+//!     .any(|f| f.rule == "determinism/transitive-wall-clock" && f.file == "crates/b/src/lib.rs"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod analysis;
+pub mod callgraph;
 pub mod findings;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
+pub mod taint;
 
+pub use analysis::{Analysis, AnalysisStats};
 pub use findings::{
     apply_baseline, render_human, sort_findings, Baseline, Finding, Severity,
 };
 
-use scan::ScannedFile;
+use parse::ParsedFile;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// Self-profile of one analyzer run: wall-clock nanoseconds per phase
+/// and per rule, read from an injected clock (the lint crate itself
+/// never touches `std::time` — the bench harness passes
+/// `Instant`-based closures, tests pass counters or zeros).
+#[derive(Debug, Default, Clone)]
+pub struct Profile {
+    /// `(phase, ns)` for the analysis phases: `parse`, `graph`
+    /// (symbol + call graph construction), `taint` (the graph rules).
+    pub phases: Vec<(&'static str, u64)>,
+    /// `(rule id, ns)` for every rule, file rules then graph rules.
+    pub rules: Vec<(&'static str, u64)>,
+}
+
+/// Run the full analyzer over in-memory sources (`(path, src)`,
+/// **must be path-sorted** — symbol ids and witness chains depend on
+/// input order only through this canonical order). `clock` is sampled
+/// around each phase and rule for the self-profile; pass `|| 0` when
+/// timing is not wanted.
+pub fn run_rules(
+    sources: &[(String, String)],
+    clock: &mut dyn FnMut() -> u64,
+) -> (Vec<Finding>, AnalysisStats, Profile) {
+    let t0 = clock();
+    let files: Vec<ParsedFile<'_>> = sources
+        .iter()
+        .map(|(p, s)| ParsedFile::parse(p, s))
+        .collect();
+    let parse_ns = clock().saturating_sub(t0);
+
+    let mut findings = Vec::new();
+    let mut rule_times: Vec<(&'static str, u64)> = Vec::new();
+    for &(id, rule) in rules::FILE_RULES {
+        let r0 = clock();
+        for f in &files {
+            rule(&f.scan, &mut findings);
+        }
+        rule_times.push((id, clock().saturating_sub(r0)));
+    }
+
+    let g0 = clock();
+    let a = Analysis::from_files(files);
+    let graph_ns = clock().saturating_sub(g0);
+    let stats = a.stats();
+
+    let t1 = clock();
+    for &(id, rule) in rules::GRAPH_RULES {
+        let r0 = clock();
+        rule(&a, &mut findings);
+        rule_times.push((id, clock().saturating_sub(r0)));
+    }
+    let taint_ns = clock().saturating_sub(t1);
+
+    sort_findings(&mut findings);
+    (
+        findings,
+        stats,
+        Profile {
+            phases: vec![("parse", parse_ns), ("graph", graph_ns), ("taint", taint_ns)],
+            rules: rule_times,
+        },
+    )
+}
+
+/// Lint in-memory sources (`(path, src)`, any order — sorted and
+/// deduplicated internally) through the full analyzer, per-file and
+/// graph rules both. This is how the fixture tests exercise
+/// cross-crate rules against synthetic multi-file inputs.
+pub fn lint_sources(sources: &[(String, String)]) -> Vec<Finding> {
+    let mut sorted: Vec<(String, String)> = sources.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    let (findings, _, _) = run_rules(&sorted, &mut || 0);
+    findings
+}
+
 /// Lint one in-memory source as if it lived at `path` (repo-relative,
-/// `/`-separated). This is how the fixture tests exercise path-scoped
-/// rules against synthetic files.
+/// `/`-separated).
 pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
-    let file = ScannedFile::new(path, src);
-    let mut out = Vec::new();
-    rules::check_file(&file, &mut out);
-    sort_findings(&mut out);
-    out
+    lint_sources(&[(path.to_string(), src.to_string())])
 }
 
 /// What one lint run produced.
@@ -86,8 +195,14 @@ pub struct Report {
     pub files_scanned: usize,
     /// Findings not grandfathered by the baseline.
     pub new_count: usize,
-    /// Baseline entries that matched nothing (candidates for removal).
+    /// Baseline entries that matched nothing although their file still
+    /// exists (the code was fixed — candidates for removal).
     pub stale_baseline: Vec<String>,
+    /// Baseline entries whose file no longer exists on disk at all
+    /// (pruned automatically by `--write-baseline`).
+    pub stale_missing_file: Vec<String>,
+    /// Headline analysis sizes (files, symbols, call edges, unknowns).
+    pub stats: AnalysisStats,
 }
 
 impl Report {
@@ -139,9 +254,9 @@ fn walk(dir: &Path, rel: &str, out: &mut Vec<(String, PathBuf)>) -> io::Result<(
     Ok(())
 }
 
-/// Lint the `.rs` files under `paths` (repo-relative, resolved against
-/// `root`), apply `baseline`, and return the [`Report`].
-pub fn lint_paths(root: &Path, paths: &[String], baseline: &Baseline) -> io::Result<Report> {
+/// Read every `.rs` file under `paths` (repo-relative, resolved
+/// against `root`) into path-sorted `(rel_path, src)` pairs.
+pub fn read_sources(root: &Path, paths: &[String]) -> io::Result<Vec<(String, String)>> {
     let mut files: Vec<(String, PathBuf)> = Vec::new();
     for p in paths {
         let full = root.join(p);
@@ -157,23 +272,75 @@ pub fn lint_paths(root: &Path, paths: &[String], baseline: &Baseline) -> io::Res
     }
     files.sort();
     files.dedup();
-    let mut findings = Vec::new();
-    let files_scanned = files.len();
+    let mut out: Vec<(String, String)> = Vec::with_capacity(files.len());
     for (rel, full) in files {
         let src = std::fs::read_to_string(&full).map_err(|e| {
             io::Error::new(e.kind(), format!("cannot read {}: {e}", full.display()))
         })?;
-        let file = ScannedFile::new(&rel, &src);
-        rules::check_file(&file, &mut findings);
+        out.push((rel, src));
     }
-    sort_findings(&mut findings);
-    let (new_count, stale_baseline) = apply_baseline(&mut findings, baseline);
-    Ok(Report {
-        findings,
-        files_scanned,
-        new_count,
-        stale_baseline,
-    })
+    Ok(out)
+}
+
+/// Lint the `.rs` files under `paths`, apply `baseline`, and return
+/// the [`Report`] plus the analyzer self-[`Profile`] read from
+/// `clock`.
+pub fn lint_paths_profiled(
+    root: &Path,
+    paths: &[String],
+    baseline: &Baseline,
+    clock: &mut dyn FnMut() -> u64,
+) -> io::Result<(Report, Profile)> {
+    let sources = read_sources(root, paths)?;
+    let (mut findings, stats, profile) = run_rules(&sources, clock);
+    let (new_count, stale) = apply_baseline(&mut findings, baseline);
+    // Split stale entries: file still exists (the finding was fixed)
+    // vs file gone entirely (the entry can only be dead weight).
+    let mut stale_baseline = Vec::new();
+    let mut stale_missing_file = Vec::new();
+    for entry in stale {
+        let file = entry.split('\t').nth(1).unwrap_or("");
+        let scanned = sources.binary_search_by(|(p, _)| p.as_str().cmp(file)).is_ok();
+        if scanned || root.join(file).exists() {
+            stale_baseline.push(entry);
+        } else {
+            stale_missing_file.push(entry);
+        }
+    }
+    Ok((
+        Report {
+            findings,
+            files_scanned: sources.len(),
+            new_count,
+            stale_baseline,
+            stale_missing_file,
+            stats,
+        },
+        profile,
+    ))
+}
+
+/// [`lint_paths_profiled`] without the self-profile.
+pub fn lint_paths(root: &Path, paths: &[String], baseline: &Baseline) -> io::Result<Report> {
+    let (report, _) = lint_paths_profiled(root, paths, baseline, &mut || 0)?;
+    Ok(report)
+}
+
+/// The call graph of in-memory sources as deterministic JSONL (see
+/// [`Analysis::graph_jsonl`]). Input order does not matter.
+pub fn graph_dump_sources(sources: &[(String, String)]) -> String {
+    let mut sorted: Vec<(String, String)> = sources.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    Analysis::build(&sorted).graph_jsonl()
+}
+
+/// The call graph of the `.rs` files under `paths` as deterministic
+/// JSONL — the `--graph-dump` payload, byte-compared across two runs
+/// by `scripts/verify.sh`.
+pub fn graph_dump_paths(root: &Path, paths: &[String]) -> io::Result<String> {
+    let sources = read_sources(root, paths)?;
+    Ok(Analysis::build(&sources).graph_jsonl())
 }
 
 /// Serialize findings as JSON lines (the `results/lint.jsonl`
@@ -210,5 +377,25 @@ mod tests {
         let jsonl = to_jsonl(&f);
         assert_eq!(jsonl.lines().count(), f.len());
         assert!(jsonl.lines().all(|l| l.starts_with("{\"rule\":")));
+    }
+
+    #[test]
+    fn profile_covers_every_phase_and_rule() {
+        let sources = [(
+            "crates/x/src/lib.rs".to_string(),
+            "pub fn f() {}\n".to_string(),
+        )];
+        let mut tick = 0u64;
+        let (_, stats, profile) = run_rules(&sources, &mut || {
+            tick += 1;
+            tick
+        });
+        assert_eq!(stats.files, 1);
+        assert_eq!(stats.symbols, 1);
+        assert_eq!(
+            profile.phases.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            ["parse", "graph", "taint"]
+        );
+        assert_eq!(profile.rules.len(), rules::RULE_IDS.len());
     }
 }

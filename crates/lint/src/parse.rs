@@ -1,0 +1,482 @@
+//! Item-level parser: named `fn`/method items with body spans, the
+//! inline-`mod` tree, and per-token ownership — the symbol layer's
+//! view of one file.
+//!
+//! Builds on [`crate::scan::ScannedFile`]'s lossless code-token
+//! stream with a second forward pass that mirrors the scanner's
+//! state machine but keeps *structure*: every named function becomes
+//! an [`Item`] carrying its module path, enclosing `impl`/`trait`
+//! self type, `#[cfg(test)]` gating, `// lint: allow(...)`
+//! annotations, and the code-token range of its body. A parallel
+//! `owner` vector maps every code token to the innermost `fn` item
+//! whose body contains it (0 = the whole-file pseudo-item), which
+//! gives the call-graph and taint layers an exact, gap-free
+//! partition of the token stream — the property the parser propcheck
+//! suite pins down.
+//!
+//! Like the scanner, this is a heuristic single pass, not a grammar:
+//! macro bodies are treated as code, and exotic shapes (multi-line
+//! attributes, const-generic default braces) may mis-assign a span.
+//! It is total (never panics) and fully deterministic.
+
+use crate::lexer::TokKind;
+use crate::scan::ScannedFile;
+
+/// One named item: a free `fn`, a method in an `impl`/`trait` block,
+/// or the implicit whole-file pseudo-item at index 0.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The item's name (`""` for the file pseudo-item).
+    pub name: String,
+    /// Inline `mod` path from the file root down to the item.
+    pub module: Vec<String>,
+    /// Enclosing `impl`/`trait` self-type, when the item is a method.
+    pub self_type: Option<String>,
+    /// Trait implemented by the enclosing `impl` block, if any.
+    pub trait_name: Option<String>,
+    /// Gated behind `#[cfg(test)]` / `#[test]`, directly or via an
+    /// enclosing gated block.
+    pub cfg_test: bool,
+    /// 1-based line of the `fn` keyword (0 for the file pseudo-item).
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// `lint: allow(...)` names from the item's line or the
+    /// comment/attribute run directly above it, sorted + deduped.
+    pub allows: Vec<String>,
+    /// Code-token range of the body: `(open_brace, close_brace)`
+    /// inclusive, or `None` for bodyless items (trait signatures,
+    /// `extern` declarations).
+    pub body: Option<(usize, usize)>,
+}
+
+impl Item {
+    fn file_pseudo() -> Item {
+        Item {
+            name: String::new(),
+            module: Vec::new(),
+            self_type: None,
+            trait_name: None,
+            cfg_test: false,
+            line: 0,
+            col: 0,
+            allows: Vec::new(),
+            body: None,
+        }
+    }
+}
+
+/// A scanned file plus its item layer.
+#[derive(Debug)]
+pub struct ParsedFile<'s> {
+    /// The underlying token-level scan.
+    pub scan: ScannedFile<'s>,
+    /// Items in definition order; index 0 is the file pseudo-item.
+    pub items: Vec<Item>,
+    /// For each code token, the index into `items` of the innermost
+    /// `fn` item whose body contains it (0 = file level). Same length
+    /// as `scan.code` — a total, gap-free ownership assignment.
+    pub owner: Vec<u32>,
+}
+
+enum FrameKind {
+    Plain,
+    Fn,
+    Mod,
+    Type,
+}
+
+struct Frame {
+    kind: FrameKind,
+    test: bool,
+}
+
+impl<'s> ParsedFile<'s> {
+    /// Lex, scan, and parse `src` as the file at `path`
+    /// (repo-relative, `/`-separated).
+    pub fn parse(path: &str, src: &'s str) -> Self {
+        let scan = ScannedFile::new(path, src);
+        let mut items = vec![Item::file_pseudo()];
+        let mut owner: Vec<u32> = Vec::with_capacity(scan.code.len());
+
+        let mut frames: Vec<Frame> = vec![Frame {
+            kind: FrameKind::Plain,
+            test: false,
+        }];
+        let mut fn_stack: Vec<u32> = Vec::new();
+        let mut mod_path: Vec<String> = Vec::new();
+        let mut type_stack: Vec<(String, Option<String>)> = Vec::new();
+
+        let mut pending_test = false;
+        let mut pending_fn: Option<Item> = None;
+        let mut pending_impl: Option<Vec<String>> = None;
+        let mut pending_trait: Option<String> = None;
+        let mut pending_mod: Option<String> = None;
+        // `(`/`[` nesting depth: a `;` only terminates a pending item
+        // at depth 0 (so `fn f(x: [u8; 4])` keeps its body).
+        let mut depth = 0i32;
+
+        let mut i = 0usize;
+        while i < scan.code.len() {
+            let cur_owner = fn_stack.last().copied().unwrap_or(0);
+            owner.push(cur_owner);
+            let top_test = frames.last().is_some_and(|f| f.test);
+            let tok = *scan.ct(i);
+            match tok.text {
+                "#" => {
+                    let inner = scan.ctext(i + 1) == "!";
+                    let open = if inner { i + 2 } else { i + 1 };
+                    if scan.ctext(open) == "[" {
+                        let (idents, end) = scan.collect_bracketed_idents(open);
+                        if !inner
+                            && idents.iter().any(|s| s == "test")
+                            && !idents.iter().any(|s| s == "not")
+                        {
+                            pending_test = true;
+                        }
+                        while owner.len() < end.min(scan.code.len()) {
+                            owner.push(cur_owner);
+                        }
+                        i = end;
+                        continue;
+                    }
+                }
+                "fn" => {
+                    let name = scan.ctext(i + 1);
+                    if !name.is_empty()
+                        && scan.ct(i + 1).kind == TokKind::Ident
+                        && pending_impl.is_none()
+                        && pending_fn.is_none()
+                    {
+                        // Nested fns (inside another fn's body) are
+                        // plain items: the enclosing impl type does
+                        // not qualify them.
+                        let (self_type, trait_name) = if fn_stack.is_empty() {
+                            match type_stack.last() {
+                                Some((t, tr)) => (Some(t.clone()), tr.clone()),
+                                None => (None, None),
+                            }
+                        } else {
+                            (None, None)
+                        };
+                        pending_fn = Some(Item {
+                            name: name.to_string(),
+                            module: mod_path.clone(),
+                            self_type,
+                            trait_name,
+                            cfg_test: top_test || pending_test,
+                            line: tok.line,
+                            col: tok.col,
+                            allows: collect_allows(&scan, tok.line),
+                            body: None,
+                        });
+                    }
+                }
+                "impl" if pending_fn.is_none() && pending_impl.is_none() => {
+                    let prev = if i == 0 { "" } else { scan.ctext(i - 1) };
+                    if matches!(prev, "" | "}" | "{" | ";" | "]" | "unsafe") {
+                        pending_impl = Some(Vec::new());
+                    }
+                }
+                "trait" if pending_fn.is_none() && pending_impl.is_none() => {
+                    let prev = if i == 0 { "" } else { scan.ctext(i - 1) };
+                    let name = scan.ctext(i + 1);
+                    if matches!(prev, "" | "}" | "{" | ";" | "]" | "pub" | ")" | "unsafe")
+                        && !name.is_empty()
+                        && scan.ct(i + 1).kind == TokKind::Ident
+                    {
+                        pending_trait = Some(name.to_string());
+                    }
+                }
+                "mod" if pending_fn.is_none() && pending_impl.is_none() => {
+                    let prev = if i == 0 { "" } else { scan.ctext(i - 1) };
+                    let name = scan.ctext(i + 1);
+                    if matches!(prev, "" | "}" | "{" | ";" | "]" | "pub" | ")")
+                        && !name.is_empty()
+                        && scan.ct(i + 1).kind == TokKind::Ident
+                    {
+                        pending_mod = Some(name.to_string());
+                    }
+                }
+                "use" => {
+                    let prev = if i == 0 { "" } else { scan.ctext(i - 1) };
+                    if matches!(prev, "" | "}" | ";" | "]" | "{" | "pub" | ")") {
+                        let mut end = i + 1;
+                        while end < scan.code.len() && scan.ctext(end) != ";" {
+                            end += 1;
+                        }
+                        end += 1;
+                        while owner.len() < end.min(scan.code.len()) {
+                            owner.push(cur_owner);
+                        }
+                        i = end;
+                        continue;
+                    }
+                }
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = (depth - 1).max(0),
+                "{" => {
+                    let gate = std::mem::take(&mut pending_test);
+                    if let Some(mut item) = pending_fn.take() {
+                        item.cfg_test = item.cfg_test || gate || top_test;
+                        item.body = Some((i, i)); // end patched at the `}`
+                        let id = items.len() as u32;
+                        let test = top_test || item.cfg_test;
+                        items.push(item);
+                        fn_stack.push(id);
+                        frames.push(Frame {
+                            kind: FrameKind::Fn,
+                            test,
+                        });
+                        pending_impl = None;
+                        pending_trait = None;
+                        pending_mod = None;
+                    } else if let Some(header) = pending_impl.take() {
+                        let (trait_name, type_name) = split_impl_header(&header);
+                        type_stack.push((type_name, trait_name));
+                        frames.push(Frame {
+                            kind: FrameKind::Type,
+                            test: top_test || gate,
+                        });
+                    } else if let Some(name) = pending_trait.take() {
+                        type_stack.push((name, None));
+                        frames.push(Frame {
+                            kind: FrameKind::Type,
+                            test: top_test || gate,
+                        });
+                    } else if let Some(name) = pending_mod.take() {
+                        mod_path.push(name);
+                        frames.push(Frame {
+                            kind: FrameKind::Mod,
+                            test: top_test || gate,
+                        });
+                    } else {
+                        frames.push(Frame {
+                            kind: FrameKind::Plain,
+                            test: top_test || gate,
+                        });
+                    }
+                }
+                "}" => {
+                    if frames.len() > 1 {
+                        if let Some(fr) = frames.pop() {
+                            match fr.kind {
+                                FrameKind::Fn => {
+                                    if let Some(id) = fn_stack.pop() {
+                                        if let Some(it) = items.get_mut(id as usize) {
+                                            if let Some((s, _)) = it.body {
+                                                it.body = Some((s, i));
+                                            }
+                                        }
+                                    }
+                                }
+                                FrameKind::Mod => {
+                                    mod_path.pop();
+                                }
+                                FrameKind::Type => {
+                                    type_stack.pop();
+                                }
+                                FrameKind::Plain => {}
+                            }
+                        }
+                    }
+                }
+                ";" if depth == 0 => {
+                    if let Some(item) = pending_fn.take() {
+                        items.push(item); // bodyless: trait sig / extern decl
+                    }
+                    pending_impl = None;
+                    pending_trait = None;
+                    pending_mod = None;
+                    pending_test = false;
+                }
+                _ => {
+                    if tok.kind == TokKind::Ident {
+                        if let Some(h) = pending_impl.as_mut() {
+                            h.push(tok.text.to_string());
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        ParsedFile { scan, items, owner }
+    }
+
+    /// Maximal runs of same-owner code tokens as `(start, end, owner)`
+    /// half-open ranges — by construction a gap-free, overlap-free
+    /// partition of `0..scan.code.len()` (the parser propcheck pins
+    /// this down).
+    pub fn owner_spans(&self) -> Vec<(usize, usize, u32)> {
+        let mut spans = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=self.owner.len() {
+            if i == self.owner.len() || self.owner[i] != self.owner[start] {
+                spans.push((start, i, self.owner[start]));
+                start = i;
+            }
+        }
+        spans
+    }
+}
+
+/// Trait / self-type split of an impl-header ident run (same
+/// heuristic as the scanner's): `for` splits trait from type.
+fn split_impl_header(idents: &[String]) -> (Option<String>, String) {
+    const SKIP: &[&str] = &["mut", "dyn", "const", "where", "as", "crate", "self", "Self"];
+    if let Some(pos) = idents.iter().position(|s| s == "for") {
+        let trait_name = idents[..pos]
+            .iter()
+            .rev()
+            .find(|s| !SKIP.contains(&s.as_str()))
+            .cloned();
+        let type_name = idents[pos + 1..]
+            .iter()
+            .find(|s| !SKIP.contains(&s.as_str()))
+            .cloned()
+            .unwrap_or_default();
+        (trait_name, type_name)
+    } else {
+        let type_name = idents
+            .iter()
+            .find(|s| !SKIP.contains(&s.as_str()))
+            .cloned()
+            .unwrap_or_default();
+        (None, type_name)
+    }
+}
+
+/// `lint: allow(NAME)` names on `fn_line` or the comment/attribute
+/// run directly above it (up to 10 lines), sorted + deduped.
+fn collect_allows(scan: &ScannedFile<'_>, fn_line: u32) -> Vec<String> {
+    fn push_line(text: &str, names: &mut Vec<String>) {
+        let mut rest = text;
+        const MARK: &str = "lint: allow(";
+        while let Some(p) = rest.find(MARK) {
+            let after = &rest[p + MARK.len()..];
+            match after.find(')') {
+                Some(end) => {
+                    let name = after[..end].trim();
+                    if !name.is_empty() {
+                        names.push(name.to_string());
+                    }
+                    rest = &after[end + 1..];
+                }
+                None => break,
+            }
+        }
+    }
+    let mut names = Vec::new();
+    push_line(scan.line_text(fn_line), &mut names);
+    let mut l = fn_line.saturating_sub(1);
+    let mut budget = 10;
+    while l >= 1 && budget > 0 {
+        let text = scan.line_text(l);
+        if !(text.starts_with("//") || text.starts_with('#')) {
+            break;
+        }
+        push_line(text, &mut names);
+        l -= 1;
+        budget -= 1;
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(src: &str) -> ParsedFile<'_> {
+        ParsedFile::parse("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn items_carry_module_and_type_context() {
+        let f = parsed(
+            "fn free() { helper(); }\n\
+             mod inner {\n  pub fn nested_mod_fn() {}\n}\n\
+             impl Widget { fn method(&self) {} }\n\
+             impl Render for Widget { fn draw(&self) {} }\n\
+             trait Shape { fn area(&self) -> f64; fn default_m(&self) { self.area(); } }\n",
+        );
+        let by_name = |n: &str| f.items.iter().find(|i| i.name == n).expect(n);
+        assert_eq!(by_name("free").module, Vec::<String>::new());
+        assert_eq!(by_name("nested_mod_fn").module, ["inner"]);
+        assert_eq!(by_name("method").self_type.as_deref(), Some("Widget"));
+        let draw = by_name("draw");
+        assert_eq!(draw.self_type.as_deref(), Some("Widget"));
+        assert_eq!(draw.trait_name.as_deref(), Some("Render"));
+        assert_eq!(by_name("default_m").self_type.as_deref(), Some("Shape"));
+        assert!(by_name("area").body.is_none(), "trait sig has no body");
+    }
+
+    #[test]
+    fn owner_is_a_partition_and_tracks_bodies() {
+        let f = parsed("fn a() { x(); }\nfn b() { fn c() { y(); } c(); }\n");
+        assert_eq!(f.owner.len(), f.scan.code.len());
+        let spans = f.owner_spans();
+        assert_eq!(spans.first().map(|s| s.0), Some(0));
+        assert_eq!(spans.last().map(|s| s.1), Some(f.scan.code.len()));
+        for w in spans.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "no gaps or overlaps");
+        }
+        let idx_of = |name: &str| {
+            (0..f.scan.code.len())
+                .find(|&i| f.scan.ctext(i) == name)
+                .expect(name)
+        };
+        let item_named = |n: &str| {
+            f.items.iter().position(|i| i.name == n).expect(n) as u32
+        };
+        assert_eq!(f.owner[idx_of("x")], item_named("a"));
+        assert_eq!(f.owner[idx_of("y")], item_named("c"), "nested fn owns its body");
+    }
+
+    #[test]
+    fn cfg_test_gating_propagates() {
+        let f = parsed(
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n  #[test]\n  fn case() {}\n}\n",
+        );
+        let by_name = |n: &str| f.items.iter().find(|i| i.name == n).expect(n);
+        assert!(!by_name("lib").cfg_test);
+        assert!(by_name("helper").cfg_test);
+        assert!(by_name("case").cfg_test);
+    }
+
+    #[test]
+    fn allows_are_collected_above_the_item() {
+        let f = parsed(
+            "// lint: allow(panic): invariant documented\n\
+             // lint: allow(transitive-wall-clock): quarantined\n\
+             fn noisy() {}\n\
+             fn clean() {}\n",
+        );
+        let by_name = |n: &str| f.items.iter().find(|i| i.name == n).expect(n);
+        assert_eq!(by_name("noisy").allows, ["panic", "transitive-wall-clock"]);
+        assert!(by_name("clean").allows.is_empty());
+    }
+
+    #[test]
+    fn semicolons_inside_brackets_do_not_kill_the_body() {
+        let f = parsed("fn packed(x: [u8; 4]) { consume(x); }\n");
+        let packed = f.items.iter().find(|i| i.name == "packed").expect("packed");
+        assert!(packed.body.is_some(), "array-typed arg keeps the body");
+        let idx = (0..f.scan.code.len())
+            .find(|&i| f.scan.ctext(i) == "consume")
+            .expect("consume");
+        assert_eq!(f.items[f.owner[idx] as usize].name, "packed");
+    }
+
+    #[test]
+    fn body_spans_are_brace_delimited() {
+        let f = parsed("fn a() { x(); }\n");
+        let a = f.items.iter().find(|i| i.name == "a").expect("a");
+        let (b0, b1) = a.body.expect("body");
+        assert_eq!(f.scan.ctext(b0), "{");
+        assert_eq!(f.scan.ctext(b1), "}");
+        assert!(b0 < b1);
+    }
+}

@@ -19,6 +19,10 @@
 //! (the harness times stages and owns the CLI) and
 //! `crates/telemetry/src/wallclock.rs` (the explicitly
 //! non-deterministic self-profiler).
+//!
+//! The raw hit detectors (`wall_clock_hits`, `ambient_rng_hits`)
+//! are shared with the transitive taint rules in
+//! [`crate::rules::transitive`], which use them as seed sites.
 
 use super::{finding_at, PathClass};
 use crate::findings::{Finding, Severity};
@@ -35,29 +39,20 @@ fn is_std_time(path: &[String]) -> bool {
     matches!(path, [a, b, ..] if a == "std" && b == "time")
 }
 
-/// `determinism/wall-clock`.
-pub fn wall_clock(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
-    if PathClass::of(file).determinism_sanctioned() {
-        return;
-    }
+/// Raw wall-clock hits in one file, regardless of path sanctioning:
+/// `(code index, what)` pairs, deduped by source position. `what` is
+/// the short description the direct rule embeds in its message and
+/// the transitive rules embed in seed descriptions.
+pub(crate) fn wall_clock_hits(file: &ScannedFile<'_>) -> Vec<(usize, String)> {
+    let mut hits: Vec<(usize, String)> = Vec::new();
     let mut seen: Vec<(u32, u32)> = Vec::new();
-    let mut push = |i: usize, what: &str, out: &mut Vec<Finding>| {
+    let mut push = |i: usize, what: String, hits: &mut Vec<(usize, String)>| {
         let t = file.ct(i);
         if seen.contains(&(t.line, t.col)) {
             return;
         }
         seen.push((t.line, t.col));
-        out.push(finding_at(
-            file,
-            i,
-            WALL,
-            Severity::Error,
-            format!(
-                "{what} — library code must be a pure function of (config, seed); \
-                 simulated time comes from SimTime, wall-clock timing belongs in \
-                 crates/bench or telemetry::wallclock"
-            ),
-        ));
+        hits.push((i, what));
     };
 
     // (a) Imports of the clock types, under any alias, incl. globs of
@@ -76,8 +71,8 @@ pub fn wall_clock(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
             }) {
                 push(
                     i,
-                    &format!("imports wall-clock type `{}`", u.path.join("::")),
-                    out,
+                    format!("imports wall-clock type `{}`", u.path.join("::")),
+                    &mut hits,
                 );
             }
         }
@@ -96,15 +91,12 @@ pub fn wall_clock(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
             && file.path_sep(i + 4)
             && CLOCK_TYPES.contains(&file.ctext(i + 6))
         {
-            push(i, &format!("uses `std::time::{}`", file.ctext(i + 6)), out);
+            push(i, format!("uses `std::time::{}`", file.ctext(i + 6)), &mut hits);
             continue;
         }
         // (c) Bare `Instant::now` / `SystemTime::now`.
-        if CLOCK_TYPES.contains(&t.text)
-            && file.path_sep(i + 1)
-            && file.ctext(i + 3) == "now"
-        {
-            push(i, &format!("calls `{}::now`", t.text), out);
+        if CLOCK_TYPES.contains(&t.text) && file.path_sep(i + 1) && file.ctext(i + 3) == "now" {
+            push(i, format!("calls `{}::now`", t.text), &mut hits);
             continue;
         }
         // (d) Through aliases: `Clock::now` where `use … as Clock`, or
@@ -117,32 +109,46 @@ pub fn wall_clock(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
                 if aliased_clock {
                     push(
                         i,
-                        &format!("`{}` aliases `{}`", t.text, u.path.join("::")),
-                        out,
+                        format!("`{}` aliases `{}`", t.text, u.path.join("::")),
+                        &mut hits,
                     );
                 } else if module_alias && CLOCK_TYPES.contains(&file.ctext(i + 3)) {
                     push(
                         i,
-                        &format!("`{}::{}` resolves to std::time", t.text, file.ctext(i + 3)),
-                        out,
+                        format!("`{}::{}` resolves to std::time", t.text, file.ctext(i + 3)),
+                        &mut hits,
                     );
                 }
             }
         }
     }
+    hits
 }
 
-/// `determinism/ambient-rng`.
-pub fn ambient_rng(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
+/// `determinism/wall-clock`.
+pub fn wall_clock(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
     if PathClass::of(file).determinism_sanctioned() {
         return;
     }
-    let msg = |what: &str| {
-        format!(
-            "{what} — all randomness must flow from the seeded dui_stats::Rng so \
-             runs replay bit-identically"
-        )
-    };
+    for (i, what) in wall_clock_hits(file) {
+        out.push(finding_at(
+            file,
+            i,
+            WALL,
+            Severity::Error,
+            format!(
+                "{what} — library code must be a pure function of (config, seed); \
+                 simulated time comes from SimTime, wall-clock timing belongs in \
+                 crates/bench or telemetry::wallclock"
+            ),
+        ));
+    }
+}
+
+/// Raw ambient-randomness hits in one file, regardless of path
+/// sanctioning: `(code index, what)` pairs, deduped by position.
+pub(crate) fn ambient_rng_hits(file: &ScannedFile<'_>) -> Vec<(usize, String)> {
+    let mut hits: Vec<(usize, String)> = Vec::new();
     let mut seen: Vec<(u32, u32)> = Vec::new();
     // Ambient randomness entry points, caught as bare identifiers. The
     // full-token match means `strand` or `thread_rng_like` never
@@ -154,20 +160,20 @@ pub fn ambient_rng(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
             continue;
         }
         let hit = if AMBIENT_IDENTS.contains(&t.text) {
-            Some(msg(&format!("uses ambient randomness source `{}`", t.text)))
+            Some(format!("uses ambient randomness source `{}`", t.text))
         } else if t.text == "rand" && file.path_sep(i + 1) {
-            Some(msg("uses the `rand` crate"))
+            Some("uses the `rand` crate".to_string())
         } else if file.path_sep(i + 1) {
             file.resolve_use(t.text)
                 .filter(|u| u.path.first().is_some_and(|s| s == "rand"))
-                .map(|u| msg(&format!("`{}` aliases `{}`", t.text, u.path.join("::"))))
+                .map(|u| format!("`{}` aliases `{}`", t.text, u.path.join("::")))
         } else {
             None
         };
-        if let Some(m) = hit {
+        if let Some(what) = hit {
             if !seen.contains(&(t.line, t.col)) {
                 seen.push((t.line, t.col));
-                out.push(finding_at(file, i, RNG, Severity::Error, m));
+                hits.push((i, what));
             }
         }
     }
@@ -182,15 +188,29 @@ pub fn ambient_rng(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
                 let t = file.ct(i);
                 if !seen.contains(&(t.line, t.col)) {
                     seen.push((t.line, t.col));
-                    out.push(finding_at(
-                        file,
-                        i,
-                        RNG,
-                        Severity::Error,
-                        msg(&format!("imports `{}`", u.path.join("::"))),
-                    ));
+                    hits.push((i, format!("imports `{}`", u.path.join("::"))));
                 }
             }
         }
+    }
+    hits
+}
+
+/// `determinism/ambient-rng`.
+pub fn ambient_rng(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
+    if PathClass::of(file).determinism_sanctioned() {
+        return;
+    }
+    for (i, what) in ambient_rng_hits(file) {
+        out.push(finding_at(
+            file,
+            i,
+            RNG,
+            Severity::Error,
+            format!(
+                "{what} — all randomness must flow from the seeded dui_stats::Rng so \
+                 runs replay bit-identically"
+            ),
+        ));
     }
 }

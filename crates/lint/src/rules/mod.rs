@@ -10,22 +10,36 @@
 //! | `docs/missing-deny` | warning | every library crate root carries `#![deny(missing_docs)]` |
 //! | `arena/no-packet-clone` | warning | no `Packet` clones outside `crates/netsim/src/arena.rs` — packets move by handle |
 //! | `parallel/no-shared-mut` | error | no `unsafe` / `static mut` / `UnsafeCell` / `Cell` / `RefCell` / `Rc` / `transmute` in `crates/netsim/src/parallel/` — `std::sync` only |
+//! | `determinism/transitive-wall-clock` | error | nothing outside the quarantine *reaches* a wall-clock read through the call graph |
+//! | `determinism/transitive-rng` | error | nothing outside the quarantine reaches an ambient randomness source |
+//! | `parallel/lock-order` | error | lock-acquisition order is acyclic across the concurrent subsystems, composed through calls |
+//! | `parallel/transitive-shared-mut` | error | the shared-mut ban extends to everything reachable *from* the parallel engine |
+//!
+//! The first eight are per-file token rules ([`FILE_RULES`]); the last
+//! four run over the whole-workspace [`Analysis`] — symbol graph, call
+//! graph, taint — and report witness call chains ([`GRAPH_RULES`]).
 //!
 //! Sanctioned escapes (documented per rule): `crates/bench/` and
-//! `crates/telemetry/src/wallclock.rs` for the determinism rules;
-//! `sorted` / `write_unordered` markers for the hash rule;
-//! `// lint: allow(panic)`, `// lint: allow(cast)`,
+//! `crates/telemetry/src/wallclock.rs` for the determinism rules
+//! (direct and transitive); `sorted` / `write_unordered` markers for
+//! the hash rule; `// lint: allow(panic)`, `// lint: allow(cast)`,
 //! `// lint: allow(packet-clone)`, and `// lint: allow(shared-mut)`
-//! annotations for the panic, cast, arena, and parallel rules.
+//! line annotations for the panic, cast, arena, and parallel rules;
+//! per-item `// lint: allow(transitive-wall-clock)` /
+//! `(transitive-rng)` / `(transitive-shared-mut)` / `(lock-order)`
+//! annotations for the graph rules.
 
 pub mod arena;
 pub mod casts;
 pub mod determinism;
 pub mod docs;
 pub mod hash;
+pub mod lockorder;
 pub mod panics;
 pub mod parallel;
+pub mod transitive;
 
+use crate::analysis::Analysis;
 use crate::findings::{Finding, Severity};
 use crate::scan::ScannedFile;
 
@@ -39,18 +53,51 @@ pub const RULE_IDS: &[&str] = &[
     "docs/missing-deny",
     "arena/no-packet-clone",
     "parallel/no-shared-mut",
+    "determinism/transitive-wall-clock",
+    "determinism/transitive-rng",
+    "parallel/lock-order",
+    "parallel/transitive-shared-mut",
 ];
 
-/// Run every rule over one scanned file.
+/// The per-file token rules, paired with their ids (for per-rule
+/// timing in the bench self-profile).
+pub const FILE_RULES: &[(&str, fn(&ScannedFile<'_>, &mut Vec<Finding>))] = &[
+    ("determinism/wall-clock", determinism::wall_clock),
+    ("determinism/ambient-rng", determinism::ambient_rng),
+    ("hash/unordered-iter", hash::unordered_iter),
+    ("panic/library-unwrap", panics::library_unwrap),
+    ("cast/lossy-in-digest", casts::lossy_in_digest),
+    ("docs/missing-deny", docs::missing_deny),
+    ("arena/no-packet-clone", arena::no_packet_clone),
+    ("parallel/no-shared-mut", parallel::no_shared_mut),
+];
+
+/// The whole-workspace graph rules, paired with their ids.
+pub const GRAPH_RULES: &[(&str, fn(&Analysis<'_>, &mut Vec<Finding>))] = &[
+    (
+        "determinism/transitive-wall-clock",
+        transitive::transitive_wall_clock,
+    ),
+    ("determinism/transitive-rng", transitive::transitive_rng),
+    ("parallel/lock-order", lockorder::lock_order),
+    (
+        "parallel/transitive-shared-mut",
+        transitive::transitive_shared_mut,
+    ),
+];
+
+/// Run every per-file rule over one scanned file.
 pub fn check_file(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
-    determinism::wall_clock(file, out);
-    determinism::ambient_rng(file, out);
-    hash::unordered_iter(file, out);
-    panics::library_unwrap(file, out);
-    casts::lossy_in_digest(file, out);
-    docs::missing_deny(file, out);
-    arena::no_packet_clone(file, out);
-    parallel::no_shared_mut(file, out);
+    for (_, rule) in FILE_RULES {
+        rule(file, out);
+    }
+}
+
+/// Run every graph rule over the workspace analysis.
+pub fn check_graph(a: &Analysis<'_>, out: &mut Vec<Finding>) {
+    for (_, rule) in GRAPH_RULES {
+        rule(a, out);
+    }
 }
 
 /// Path classification shared by the rules. Paths are repo-relative
@@ -62,6 +109,12 @@ pub(crate) struct PathClass<'a> {
 impl<'a> PathClass<'a> {
     pub fn of(file: &'a ScannedFile<'_>) -> Self {
         PathClass { path: &file.path }
+    }
+
+    /// Classify a bare path (for the graph rules, which work from
+    /// symbols rather than scanned files).
+    pub fn from_path(path: &'a str) -> Self {
+        PathClass { path }
     }
 
     /// The bench harness: sanctioned to read wall clocks (it times

@@ -35,8 +35,9 @@ const RULE: &str = "parallel/no-shared-mut";
 /// The escape-hatch annotation.
 pub const ALLOW: &str = "lint: allow(shared-mut)";
 
-/// Type/function names whose bare appearance is a violation.
-const BANNED_IDENTS: &[&str] = &["UnsafeCell", "RefCell", "Cell", "Rc", "transmute"];
+/// Type/function names whose bare appearance is a violation (also
+/// matched by `parallel/transitive-shared-mut` outside the engine).
+pub(crate) const BANNED_IDENTS: &[&str] = &["UnsafeCell", "RefCell", "Cell", "Rc", "transmute"];
 
 /// `parallel/no-shared-mut`.
 pub fn no_shared_mut(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {

@@ -364,7 +364,7 @@ impl<'s> ScannedFile<'s> {
     /// Idents inside one balanced `[ … ]` starting at code index
     /// `open` (which must be `[`). Returns (idents, code index one
     /// past the closing `]`).
-    fn collect_bracketed_idents(&self, open: usize) -> (Vec<String>, usize) {
+    pub(crate) fn collect_bracketed_idents(&self, open: usize) -> (Vec<String>, usize) {
         let mut idents = Vec::new();
         let mut depth = 0i32;
         let mut i = open;

@@ -1,0 +1,40 @@
+//! Fixture: consistent A-then-B order everywhere — no cycle, and no
+//! self-edge on re-acquiring the same (sharded) identity.
+
+use std::sync::Mutex;
+
+/// Lock A.
+pub static ORD_A: Mutex<u32> = Mutex::new(0);
+/// Lock B.
+pub static ORD_B: Mutex<u32> = Mutex::new(0);
+
+/// A then B, both `let`-bound.
+pub fn one() {
+    let a = ORD_A.lock();
+    let b = ORD_B.lock();
+    drop(b);
+    drop(a);
+}
+
+/// Also A then B, the second a statement temporary.
+pub fn two() {
+    let a = ORD_A.lock();
+    ORD_B.lock();
+    drop(a);
+}
+
+/// Sequential, never overlapping: B acquired after A is released.
+pub fn three() {
+    let a = ORD_A.lock();
+    drop(a);
+    let b = ORD_B.lock();
+    drop(b);
+}
+
+/// Same identity twice (the sharded-slot pattern): no self-edge.
+pub fn shards() {
+    let a = ORD_A.lock();
+    let b = ORD_A.lock();
+    drop(b);
+    drop(a);
+}

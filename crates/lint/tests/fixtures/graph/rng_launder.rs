@@ -1,0 +1,6 @@
+//! Fixture: reaches the ambient generator through one hop.
+
+/// Transitively RNG-tainted through `dui_alpha::draw`.
+pub fn shuffle() -> u64 {
+    dui_alpha::draw()
+}

@@ -1,0 +1,6 @@
+//! Fixture: ambient-RNG seed.
+
+/// Draws from the thread-local generator (direct finding).
+pub fn draw() -> u64 {
+    thread_rng().next_u64()
+}

@@ -1,0 +1,6 @@
+//! Fixture: parallel-engine entry point reaching out-of-engine code.
+
+/// Engine entry: fans work out to the scratch helper.
+pub fn run_window() {
+    dui_netsim::scratch::bump();
+}

@@ -1,0 +1,7 @@
+//! Fixture: out-of-engine helper smuggling interior mutability.
+
+/// Uses `RefCell` — fine on its own, banned when the engine reaches it.
+pub fn bump() {
+    let c = std::cell::RefCell::new(0u32);
+    *c.borrow_mut() += 1;
+}

@@ -1,0 +1,14 @@
+//! Fixture: out-of-engine helper that honors the engine's ownership
+//! discipline — `std::sync` only.
+
+use std::sync::Mutex;
+
+/// Synchronized state: fine to reach from the engine.
+pub static COUNT: Mutex<u32> = Mutex::new(0);
+
+/// Bumps through the mutex.
+pub fn bump() {
+    if let Ok(mut c) = COUNT.lock() {
+        *c += 1;
+    }
+}

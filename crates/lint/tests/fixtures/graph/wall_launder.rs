@@ -1,0 +1,21 @@
+//! Fixture: second crate of the laundering chain — imports the
+//! wrapper and reaches the clock two hops away.
+
+use dui_alpha::elapsed_ms;
+
+/// Transitively clock-tainted through `elapsed_ms`.
+pub fn schedule() -> u64 {
+    elapsed_ms() + 1
+}
+
+/// Quarantined by an explicit per-item allow: no finding here, and
+/// taint does not propagate through it.
+// lint: allow(transitive-wall-clock): fixture — audited laundering stop
+pub fn allowed_schedule() -> u64 {
+    elapsed_ms() + 2
+}
+
+/// Calls only the allowed item — must stay clean.
+pub fn caller_of_allowed() -> u64 {
+    allowed_schedule()
+}

@@ -1,0 +1,7 @@
+//! Fixture: the bench harness may time whatever it likes — the
+//! quarantine is a taint barrier, not just a reporting filter.
+
+/// Calls straight into the clock-tainted helper; sanctioned.
+pub fn time_it() -> u64 {
+    dui_alpha::elapsed_ms()
+}

@@ -1,0 +1,12 @@
+//! Fixture: the taint seed crate — a wall-clock read plus a
+//! harmless-looking wrapper that launders it.
+
+/// Reads the wall clock (direct `determinism/wall-clock` finding).
+pub fn ticks() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+
+/// Launders the read behind an innocent name.
+pub fn elapsed_ms() -> u64 {
+    ticks() / 1_000_000
+}

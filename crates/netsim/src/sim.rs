@@ -241,6 +241,7 @@ impl SimCore {
     fn send_via(&mut self, from: NodeId, next: NodeId, mut pkt: Packet) {
         self.assign_id(&mut pkt);
         let Some(link) = self.topo.link_between(from, next) else {
+            // lint: allow(panic): routing only yields adjacent hops — a miss is a harness programming error, not input
             panic!(
                 "send_via: {} and {} are not adjacent",
                 self.topo.node(from).name,
@@ -365,6 +366,7 @@ impl SimCore {
             .dir_state(dir)
             .in_flight
             .take()
+            // lint: allow(panic): TxComplete is only scheduled after the transmitter placed a packet in flight here
             .expect("tx_complete with no in-flight packet");
         let size = self.pkt(pkt).size;
         let stats = self.links[link.0].stats_mut(dir);
@@ -721,9 +723,11 @@ impl Simulator {
     pub fn logic_mut<T: NodeLogic + 'static>(&mut self, node: NodeId) -> &mut T {
         self.logics[node.0]
             .as_mut()
+            // lint: allow(panic): documented contract — callers install logic before asking for it
             .expect("node has no logic installed")
             .as_any_mut()
             .downcast_mut::<T>()
+            // lint: allow(panic): documented contract — the caller names the installed concrete type
             .expect("node logic has a different concrete type")
     }
 

@@ -12,6 +12,17 @@ cmp results/lint.jsonl "$(pwd)/target/lint.jsonl.first"
 rm -f "$(pwd)/target/lint.jsonl.first"
 echo "lint.jsonl byte-identical across runs: OK"
 
+echo "== call-graph dump determinism (dui-lint --graph-dump) =="
+# The cross-crate symbol/call graph behind the interprocedural rules
+# must serialize byte-identically across runs — symbol ids, edges, and
+# unknown-callee lists are all canonically ordered.
+cargo run -q --release --offline -p dui-lint -- --graph-dump >/dev/null
+cp results/callgraph.jsonl "$(pwd)/target/callgraph.jsonl.first"
+cargo run -q --release --offline -p dui-lint -- --graph-dump >/dev/null
+cmp results/callgraph.jsonl "$(pwd)/target/callgraph.jsonl.first"
+rm -f "$(pwd)/target/callgraph.jsonl.first"
+echo "callgraph.jsonl byte-identical across runs: OK"
+
 echo "== build (release, offline) =="
 cargo build --release --offline
 
