@@ -12,6 +12,7 @@
 //! | [`pcc_oscillate`] — selective drops equalize PCC's A/B utilities, pinning it at ±5% oscillation | §4.2 | MitM | Endpoints |
 //! | [`traceroute_spoof`] — unauthenticated ICMP lets anyone in-path present fake topologies | §4.3 | MitM / Operator | Endpoints |
 //! | [`operator`] — data-plane program bounces selected traffic between devices, inflating latency | §4.1 | Operator | Endpoints |
+//! | [`syn_flood`] — spoofed SYNs exhaust a stateful listener's half-open backlog | §2 | Host | Infrastructure |
 //!
 //! [`privilege`] defines the attacker taxonomy and capability checks;
 //! [`primitives`] provides the generic building blocks (probabilistic
@@ -27,6 +28,7 @@ pub mod pcc_oscillate;
 pub mod primitives;
 pub mod privilege;
 pub mod pytheas_poison;
+pub mod syn_flood;
 pub mod traceroute_spoof;
 
 pub use blink_takeover::{BlinkTakeover, MaliciousRetxHost};
@@ -34,4 +36,5 @@ pub use operator::BounceProgram;
 pub use pcc_oscillate::PccEqualizerTap;
 pub use privilege::{AttackDescriptor, Capability, Privilege, Target};
 pub use pytheas_poison::{BotnetPoisoning, CdnThrottleAttack};
+pub use syn_flood::{SynFloodConfig, SynFloodHost};
 pub use traceroute_spoof::IcmpSpoofTap;

@@ -364,6 +364,93 @@ fn bench_supervisord(s: &mut Suite) {
     }
 }
 
+fn bench_flow_pool(s: &mut Suite) {
+    use dui_core::tcp::pool::FlowPool;
+    use dui_core::tcp::{TcpSender, TcpSenderConfig, TcpState};
+    use std::collections::HashMap;
+
+    fn bench_cfg(handshake: bool) -> TcpSenderConfig {
+        TcpSenderConfig {
+            total_bytes: Some(1460),
+            app_rate: None,
+            handshake,
+            time_wait: SimDuration::from_nanos(1),
+            ..Default::default()
+        }
+    }
+    // Churn steady state: 4096 live flows, one admit + one evict per
+    // iteration. The HashMap baseline is what `TcpHost` did before the
+    // SoA refactor (whole endpoint behind a per-flow map entry); the
+    // pool pays a slab write plus a free-list push.
+    const LIVE: u16 = 4096;
+    {
+        let keys = tcp_keys(LIVE, 80);
+        let mut map: HashMap<FlowKey, TcpSender> = HashMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            map.insert(*k, TcpSender::new(*k, bench_cfg(false), i as u32));
+        }
+        let mut i = 0usize;
+        s.bench("flow_hashmap_admit_evict", move || {
+            i = (i + 1) % keys.len();
+            map.remove(&keys[i]);
+            map.insert(keys[i], TcpSender::new(keys[i], bench_cfg(false), i as u32))
+        });
+    }
+    {
+        let keys = tcp_keys(LIVE, 80);
+        let mut pool = FlowPool::new();
+        let mut refs: Vec<_> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| pool.insert_sender(*k, bench_cfg(false), i as u32))
+            .collect();
+        let mut i = 0usize;
+        s.bench("flow_pool_admit_evict", move || {
+            i = (i + 1) % refs.len();
+            pool.free(refs[i]).expect("live handle");
+            refs[i] = pool.insert_sender(keys[i], bench_cfg(false), i as u32);
+            refs[i]
+        });
+    }
+    // One full RFC 9293 lifecycle per iteration — SYN handshake, one
+    // data segment, FIN/TIME-WAIT teardown — entirely inside the pool.
+    {
+        let key = FlowKey::tcp(Addr::new(198, 18, 0, 1), 4000, Addr::new(10, 0, 0, 1), 80);
+        let mut pool = FlowPool::new();
+        let mut isn = 0u32;
+        s.bench("flow_pool_handshake_lifecycle", move || {
+            isn = isn.wrapping_add(0x0100_0001);
+            let sr = pool.insert_sender(key, bench_cfg(true), isn);
+            let rr = pool.insert_listener(key);
+            pool.on_start(sr, SimTime::ZERO).expect("live handle");
+            let mut now = SimTime::ZERO;
+            loop {
+                let mut any = false;
+                for pkt in pool.take_out(sr).expect("live handle") {
+                    pool.on_segment(rr, now, &pkt).expect("live handle");
+                    any = true;
+                }
+                for pkt in pool.take_out(rr).expect("live handle") {
+                    pool.on_segment(sr, now, &pkt).expect("live handle");
+                    any = true;
+                }
+                if !any {
+                    if pool.state(sr) == Ok(TcpState::TimeWait) {
+                        now = now + SimDuration::from_millis(1);
+                        pool.on_tick(sr, now).expect("live handle");
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let done = pool.state(sr) == Ok(TcpState::Closed);
+            pool.free(sr).expect("live handle");
+            pool.free(rr).expect("live handle");
+            done
+        });
+    }
+}
+
 fn bench_lint(s: &mut Suite) {
     // Lexing throughput on a real, large source file (this crate's own
     // stage definitions) — the hot inner loop of every dui-lint run.
@@ -404,6 +491,7 @@ fn main() {
     bench_fastsim(&mut s);
     bench_replay(&mut s);
     bench_supervisord(&mut s);
+    bench_flow_pool(&mut s);
     bench_lint(&mut s);
     println!("\n{} benchmarks done.", s.results().len());
 }

@@ -115,7 +115,12 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("parallel task panicked"))
+            .flat_map(|h| match h.join() {
+                Ok(local) => local,
+                // Re-raise the worker's panic payload on the caller's
+                // thread instead of swallowing it behind a join error.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     indexed.sort_by_key(|&(i, _)| i);
@@ -159,7 +164,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "parallel task panicked")]
+    #[should_panic(expected = "boom")]
     fn worker_panic_propagates() {
         run_indexed(8, 4, |i| {
             if i == 5 {

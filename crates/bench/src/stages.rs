@@ -76,6 +76,7 @@ pub const STAGE_NAMES: &[&str] = &[
     "lint",
     "parallel-scaling",
     "supervisord",
+    "flow-scale",
 ];
 
 /// Cross-stage execution options, bundled so new knobs do not churn
@@ -145,6 +146,7 @@ pub fn run_stage_cfg(name: &str, cfg: &StageCfg) -> Option<StageOutput> {
         "lint" => lint(jobs),
         "parallel-scaling" => parallel_scaling(sim_threads),
         "supervisord" => supervisord_stage(&SupervisordOpts::scaled(cfg.workers), jobs),
+        "flow-scale" => flow_scale_with(&FlowScaleOpts::from_env(), jobs),
         _ => return None,
     })
 }
@@ -1898,6 +1900,337 @@ pub fn supervisord_stage(opts: &SupervisordOpts, jobs: usize) -> StageOutput {
     for v in &reference.verdicts {
         reg.record(risk, (v.risk * 1000.0) as u64);
     }
+    out.metrics = reg.snapshot();
+    out.report = report;
+    out
+}
+
+/// Options for the [`flow_scale`] sweep.
+#[derive(Debug, Clone)]
+pub struct FlowScaleOpts {
+    /// Concurrent-flow targets, each run as one sweep row.
+    pub sweep: Vec<usize>,
+    /// Master seed; row `i` streams its workload from
+    /// `task_seed(master_seed, i)`.
+    pub master_seed: u64,
+}
+
+impl FlowScaleOpts {
+    /// The full sweep: 10k → 100k → 1M concurrent flows.
+    pub fn paper() -> Self {
+        FlowScaleOpts {
+            sweep: vec![10_000, 100_000, 1_000_000],
+            master_seed: 11,
+        }
+    }
+
+    /// [`FlowScaleOpts::paper`], truncated by the `DUI_FLOW_SCALE_MAX`
+    /// environment variable when set (the CI smoke tier caps the sweep
+    /// at 10k so `scripts/verify.sh` stays fast; the recorded
+    /// `results/flow_scale.csv` always comes from the full sweep).
+    pub fn from_env() -> Self {
+        let mut opts = Self::paper();
+        if let Some(cap) = std::env::var("DUI_FLOW_SCALE_MAX")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            opts.sweep.retain(|&n| n <= cap);
+            if opts.sweep.is_empty() {
+                opts.sweep.push(cap.max(1));
+            }
+        }
+        opts
+    }
+}
+
+/// One deterministic flow-scale row plus its wall-clock measurements.
+struct FlowScaleRow {
+    flows: usize,
+    admitted: u64,
+    handshakes: u64,
+    completed: u64,
+    evicted: u64,
+    stale_rejected: u64,
+    peak_slots: u64,
+    bytes_acked: u64,
+    digest: u64,
+    admit_ns: f64,
+    step_ns: f64,
+    evict_ns: f64,
+    wall_s: f64,
+    peak_rss_mb: f64,
+}
+
+/// Peak resident set (VmHWM) in MiB, from `/proc/self/status`. 0.0 when
+/// the file is unavailable (non-Linux) — the column is a measurement,
+/// never part of the determinism contract.
+fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse::<f64>().ok())
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// Run one flow-scale row: stream `n` warm flows straight off a
+/// [`FlowStream`] (no materialized workload vector) into a single
+/// [`FlowPool`] as sender/listener pairs, walk every connection through
+/// the complete RFC 9293 lifecycle (handshake, one data segment, FIN /
+/// TIME-WAIT teardown), then evict everything and verify that every
+/// freed handle is refused by the generation check.
+///
+/// [`FlowStream`]: dui_core::flowgen::FlowStream
+/// [`FlowPool`]: dui_core::tcp::pool::FlowPool
+fn flow_scale_run(n: usize, seed: u64) -> FlowScaleRow {
+    use dui_core::flowgen::flows::{DurationDist, FlowPopulationConfig};
+    use dui_core::flowgen::FlowStream;
+    use dui_core::netsim::packet::{Addr, Prefix};
+    use dui_core::tcp::pool::{FlowPool, FlowRef};
+    use dui_core::tcp::{StaleFlowRef, TcpState};
+    use dui_core::stats::digest::StateDigest;
+
+    /// Unwrap a pool call on a handle the stage still owns (everything
+    /// before the evict phase); stale refs there are stage bugs.
+    fn live<T>(res: Result<T, StaleFlowRef>) -> T {
+        // lint: allow(panic): stage-owned handles are live until evicted
+        res.expect("flow-scale handle is live")
+    }
+
+    let pop_cfg = FlowPopulationConfig {
+        prefix: Prefix::new(Addr::new(10, 0, 0, 0), 8),
+        arrival_rate: 1.0,
+        duration: DurationDist::default(),
+        pkt_interval: SimDuration::from_millis(100),
+        // Zero horizon: the stream emits exactly the warm population and
+        // stops — the sweep measures concurrent state, not arrivals.
+        horizon: SimDuration::ZERO,
+        warm_start: Some(n),
+    };
+    let stream = FlowStream::new(pop_cfg, Rng::new(seed));
+
+    let wall_t0 = std::time::Instant::now();
+    let mut pool = FlowPool::new();
+    let mut pairs: Vec<(FlowRef, FlowRef)> = Vec::with_capacity(n);
+    let t0 = std::time::Instant::now();
+    let mut admitted = 0u64;
+    for (i, f) in stream.enumerate() {
+        let mut spec = f.to_flow_spec(1460);
+        // One data segment per flow and an instantly-expiring TIME-WAIT:
+        // the sweep is about per-flow state cost, not transfer volume.
+        spec.config.handshake = true;
+        spec.config.total_bytes = Some(1460);
+        spec.config.app_rate = None;
+        spec.config.time_wait = SimDuration::from_nanos(1);
+        let isn = (i as u32).wrapping_mul(0x0100_0001).wrapping_add(1);
+        let s = pool.insert_sender(spec.key, spec.config, isn);
+        let r = pool.insert_listener(spec.key);
+        // lint: allow(panic): handles fresh from insert are live
+        pool.on_start(s, SimTime::ZERO).expect("fresh handle");
+        pairs.push((s, r));
+        admitted += 1;
+    }
+    let admit_ns = t0.elapsed().as_nanos() as f64 / admitted.max(1) as f64;
+    let peak_slots = pool.live() as u64;
+
+    // Shuttle packets sender <-> receiver until every connection is
+    // CLOSED; ticks between quiescent rounds expire TIME-WAIT.
+    let t0 = std::time::Instant::now();
+    let mut ops = 0u64;
+    let mut now = SimTime::ZERO;
+    let mut handshakes = 0u64;
+    loop {
+        let mut any = false;
+        for &(s, r) in &pairs {
+            for pkt in live(pool.take_out(s)) {
+                let pre = live(pool.state(r));
+                live(pool.on_segment(r, now, &pkt));
+                if pre == TcpState::SynRcvd && live(pool.state(r)) == TcpState::Established {
+                    handshakes += 1;
+                }
+                ops += 1;
+                any = true;
+            }
+            for pkt in live(pool.take_out(r)) {
+                live(pool.on_segment(s, now, &pkt));
+                ops += 1;
+                any = true;
+            }
+        }
+        if !any {
+            now = now + SimDuration::from_millis(1);
+            let mut ticked = false;
+            for &(s, _) in &pairs {
+                if pool.state(s) == Ok(TcpState::TimeWait) {
+                    live(pool.on_tick(s, now));
+                    ops += 1;
+                    ticked = true;
+                }
+            }
+            if !ticked {
+                break;
+            }
+        }
+    }
+    let step_ns = t0.elapsed().as_nanos() as f64 / ops.max(1) as f64;
+
+    // Evict every pair, then prove generational safety at scale: all 2n
+    // freed handles must come back as typed stale errors.
+    let t0 = std::time::Instant::now();
+    let mut completed = 0u64;
+    let mut bytes_acked = 0u64;
+    let mut evicted = 0u64;
+    for &(s, r) in &pairs {
+        let stats = live(pool.sender_stats(s));
+        if stats.completed_at.is_some() {
+            completed += 1;
+        }
+        bytes_acked += stats.bytes_acked;
+        live(pool.free(s));
+        live(pool.free(r));
+        evicted += 2;
+    }
+    let evict_ns = t0.elapsed().as_nanos() as f64 / evicted.max(1) as f64;
+    let mut stale_rejected = 0u64;
+    for &(s, r) in &pairs {
+        stale_rejected += u64::from(pool.state(s).is_err());
+        stale_rejected += u64::from(pool.state(r).is_err());
+    }
+
+    let mut d = StateDigest::labeled("flow-scale");
+    d.write_u64(n as u64);
+    d.write_u64(admitted);
+    d.write_u64(handshakes);
+    d.write_u64(completed);
+    d.write_u64(bytes_acked);
+    d.write_u64(stale_rejected);
+    pool.state_digest(&mut d);
+    FlowScaleRow {
+        flows: n,
+        admitted,
+        handshakes,
+        completed,
+        evicted,
+        stale_rejected,
+        peak_slots,
+        bytes_acked,
+        digest: d.finish(),
+        admit_ns,
+        step_ns,
+        evict_ns,
+        wall_s: wall_t0.elapsed().as_secs_f64(),
+        peak_rss_mb: peak_rss_mb(),
+    }
+}
+
+/// FS — million-flow scale sweep over the generational [`FlowPool`]:
+/// per-row, `n` concurrent connections are streamed in (iterator-driven
+/// admission), walked through the full RFC 9293 lifecycle, evicted, and
+/// generation-checked. Columns `flows..digest` are deterministic and
+/// byte-identical across `--jobs`; `admit_ns..peak_rss_mb` are
+/// wall-clock/RSS measurements and legitimately vary (peak RSS is the
+/// process high-water mark, so later rows include earlier ones).
+///
+/// [`FlowPool`]: dui_core::tcp::pool::FlowPool
+pub fn flow_scale(jobs: usize) -> StageOutput {
+    flow_scale_with(&FlowScaleOpts::from_env(), jobs)
+}
+
+/// [`flow_scale`] with an explicit sweep.
+pub fn flow_scale_with(opts: &FlowScaleOpts, jobs: usize) -> StageOutput {
+    let mut out = StageOutput::default();
+    let mut report = String::new();
+    let r = &mut report;
+    let _ = writeln!(
+        r,
+        "== FS: flow-pool scale sweep ({} rows, up to {} concurrent flows) ==\n",
+        opts.sweep.len(),
+        opts.sweep.iter().max().copied().unwrap_or(0),
+    );
+    let master = opts.master_seed;
+    let sweep = opts.sweep.clone();
+    let rows = run_indexed(sweep.len(), jobs, move |i| {
+        flow_scale_run(sweep[i], task_seed(master, i as u64))
+    });
+    let mut csv = Table::new([
+        "flows",
+        "admitted",
+        "handshakes",
+        "completed",
+        "evicted",
+        "stale_rejected",
+        "peak_slots",
+        "bytes_acked",
+        "digest",
+        "admit_ns",
+        "step_ns",
+        "evict_ns",
+        "wall_s",
+        "peak_rss_mb",
+    ]);
+    let mut show = Table::new([
+        "flows",
+        "peak slots",
+        "handshakes",
+        "admit [ns]",
+        "step [ns]",
+        "evict [ns]",
+        "peak RSS [MiB]",
+    ]);
+    let mut reg = Registry::new();
+    for row in &rows {
+        assert_eq!(
+            row.stale_rejected, row.evicted,
+            "a recycled handle survived the generation check at n={}",
+            row.flows
+        );
+        csv.row([
+            row.flows.to_string(),
+            row.admitted.to_string(),
+            row.handshakes.to_string(),
+            row.completed.to_string(),
+            row.evicted.to_string(),
+            row.stale_rejected.to_string(),
+            row.peak_slots.to_string(),
+            row.bytes_acked.to_string(),
+            format!("{:016x}", row.digest),
+            format!("{:.1}", row.admit_ns),
+            format!("{:.1}", row.step_ns),
+            format!("{:.1}", row.evict_ns),
+            format!("{:.3}", row.wall_s),
+            format!("{:.1}", row.peak_rss_mb),
+        ]);
+        show.row([
+            row.flows.to_string(),
+            row.peak_slots.to_string(),
+            row.handshakes.to_string(),
+            format!("{:.0}", row.admit_ns),
+            format!("{:.0}", row.step_ns),
+            format!("{:.0}", row.evict_ns),
+            format!("{:.0}", row.peak_rss_mb),
+        ]);
+        let c = reg.counter("flow_scale.flows");
+        reg.add(c, row.admitted);
+        let c = reg.counter("flow_scale.handshakes");
+        reg.add(c, row.handshakes);
+        let c = reg.counter("flow_scale.evictions");
+        reg.add(c, row.evicted);
+        let c = reg.counter("flow_scale.stale_rejected");
+        reg.add(c, row.stale_rejected);
+        let g = reg.gauge("flow_scale.peak_slots");
+        reg.observe(g, row.peak_slots as f64);
+    }
+    let _ = writeln!(r, "{}", show.to_text());
+    let _ = writeln!(
+        r,
+        "columns flows..digest are deterministic (byte-identical across --jobs);\n\
+         every one of the {} recycled handles was refused by the generation check.\n",
+        rows.iter().map(|row| row.evicted).sum::<u64>(),
+    );
+    out.table("flow_scale.csv", csv);
     out.metrics = reg.snapshot();
     out.report = report;
     out

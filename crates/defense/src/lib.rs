@@ -32,5 +32,6 @@ pub use pcc_guard::PccLossPatternMonitor;
 pub use pytheas_guard::MadReportFilter;
 pub use streaming::{
     DropPatternWindow, GroupOutlierWindow, OccupancyWindow, StreamingSupervisor,
+    SynBacklogWindow,
 };
 pub use supervisor::{OperatingRange, Risk, SnapshotSupervisor, Supervised, Supervisor};

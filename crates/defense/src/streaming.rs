@@ -6,8 +6,8 @@
 //! producer ships a *delta* snapshot every epoch, and the supervisor
 //! must fold each delta into windowed state and re-emit a risk estimate
 //! online — `observe(delta) -> Risk`. That contract is
-//! [`StreamingSupervisor`], and this module provides the three
-//! concrete signals the paper's case studies call for:
+//! [`StreamingSupervisor`], and this module provides the concrete
+//! signals the paper's case studies call for:
 //!
 //! * [`OccupancyWindow`] — Blink cell occupancy (§3.1): windowed mean
 //!   of a gauge against a capacity, the streaming form of
@@ -21,6 +21,9 @@
 //!   [`PccLossPatternMonitor`](crate::PccLossPatternMonitor), and a
 //!   [`recommended_eps`](DropPatternWindow::recommended_eps) amplitude
 //!   clamp.
+//! * [`SynBacklogWindow`] — SYN-backlog pressure (§2): half-open
+//!   occupancy against a listener's backlog plus the windowed
+//!   SYN-refusal ratio, fed by the `tcp.handshake.*` metric family.
 //!
 //! Determinism contract: `observe` is a pure function of the sequence
 //! of deltas fed so far (plus construction-time config). Two replicas
@@ -256,6 +259,85 @@ impl StreamingSupervisor for DropPatternWindow {
     }
 }
 
+/// Streaming SYN-backlog signal: half-open handshake pressure at a
+/// stateful listener (§2's state-exhaustion class, the `syn_flood`
+/// scenario workload).
+///
+/// Consumes the `tcp.handshake.*` family a `TcpHost` exports under
+/// `--metrics`: the `synrcvd_live` gauge (current half-open entries)
+/// is read against the listener's backlog capacity, and the windowed
+/// `syn_dropped` / `synrcvd` counter ratio estimates the probability a
+/// fresh SYN is refused. Risk is the larger of the two pressures — a
+/// backlog can be saturated without dropping yet (occupancy warns
+/// early) and can churn below capacity while refusing floods (the
+/// refusal ratio catches reaper-masked attacks). Fewer than 10
+/// windowed handshake attempts is not enough evidence to accuse.
+#[derive(Debug, Clone)]
+pub struct SynBacklogWindow {
+    live: String,
+    dropped: String,
+    entered: String,
+    backlog: f64,
+    window: usize,
+    /// Per-delta rows: (live-gauge sum, live-gauge n, drops, entries).
+    recent: VecDeque<(f64, u64, u64, u64)>,
+}
+
+impl SynBacklogWindow {
+    /// Watch `<prefix>.{synrcvd_live,syn_dropped,synrcvd}` against a
+    /// listener backlog of `backlog` entries over the last `window`
+    /// non-empty deltas.
+    pub fn new(prefix: &str, backlog: f64, window: usize) -> Self {
+        assert!(backlog > 0.0, "backlog must be positive");
+        SynBacklogWindow {
+            live: format!("{prefix}.synrcvd_live"),
+            dropped: format!("{prefix}.syn_dropped"),
+            entered: format!("{prefix}.synrcvd"),
+            backlog,
+            window: window.max(1),
+            recent: VecDeque::new(),
+        }
+    }
+}
+
+impl StreamingSupervisor for SynBacklogWindow {
+    fn name(&self) -> &'static str {
+        "syn_backlog"
+    }
+
+    fn observe(&mut self, delta: &Snapshot) -> Risk {
+        let (gsum, gn) = delta.gauges.get(&self.live).copied().unwrap_or((0.0, 0));
+        let row = (
+            gsum,
+            gn,
+            delta.counter(&self.dropped),
+            delta.counter(&self.entered),
+        );
+        if row.1 > 0 || row.2 > 0 || row.3 > 0 {
+            if self.recent.len() == self.window {
+                self.recent.pop_front();
+            }
+            self.recent.push_back(row);
+        }
+        let (sum, n, drops, entries) = self.recent.iter().fold(
+            (0.0, 0u64, 0u64, 0u64),
+            |(s, c, d, e), &(ds, dc, dd, de)| (s + ds, c + dc, d + dd, e + de),
+        );
+        let occupancy = if n == 0 {
+            0.0
+        } else {
+            sum / n as f64 / self.backlog
+        };
+        let attempts = drops + entries;
+        let refusal = if attempts < 10 {
+            0.0
+        } else {
+            drops as f64 / attempts as f64
+        };
+        Risk::clamped(occupancy.max(refusal))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +437,41 @@ mod tests {
         }
         assert!(risk.0 < 0.1, "risk = {}", risk.0);
         assert_eq!(s2.recommended_eps(0.01, 0.05), 0.05);
+    }
+
+    #[test]
+    fn syn_backlog_sees_occupancy_and_refusals() {
+        let sample = |live: f64, dropped: u64, entered: u64| {
+            let mut reg = Registry::new();
+            let g = reg.gauge("tcp.handshake.synrcvd_live");
+            reg.observe(g, live);
+            let d = reg.counter("tcp.handshake.syn_dropped");
+            reg.add(d, dropped);
+            let e = reg.counter("tcp.handshake.synrcvd");
+            reg.add(e, entered);
+            reg.snapshot()
+        };
+        let mut s = SynBacklogWindow::new("tcp.handshake", 64.0, 4);
+        assert_eq!(s.observe(&Snapshot::default()), Risk::NONE);
+        // Half-full backlog, no refusals yet: occupancy warns early.
+        assert_eq!(s.observe(&sample(32.0, 0, 8)).0, 0.5);
+        // Flood saturates it and the cap starts refusing.
+        let risk = s.observe(&sample(64.0, 40, 10));
+        assert!(risk.0 >= 0.74, "risk = {}", risk.0);
+        // A reaper-masked flood: live stays low, refusals dominate.
+        let mut s2 = SynBacklogWindow::new("tcp.handshake", 64.0, 1);
+        assert_eq!(s2.observe(&sample(4.0, 90, 10)).0, 0.9);
+    }
+
+    #[test]
+    fn syn_backlog_needs_attempt_quorum() {
+        let mut s = SynBacklogWindow::new("tcp.handshake", 64.0, 4);
+        let mut reg = Registry::new();
+        let d = reg.counter("tcp.handshake.syn_dropped");
+        reg.add(d, 5);
+        // Five attempts, all refused — too few to accuse; no gauge
+        // observations means occupancy stays silent too.
+        assert_eq!(s.observe(&reg.snapshot()), Risk::NONE);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`malicious`] — the attacker's flow population: `m` spoofed always-
 //!   active 5-tuples that emit TCP segments with repeating sequence numbers
 //!   (fake retransmissions) on command.
+//! * [`stream`] — the lazy twin of [`flows`]: a [`stream::FlowStream`]
+//!   iterator derives the same flows on demand (byte-identical order) so
+//!   million-flow hosts admit arrivals without materializing the workload.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -29,8 +32,10 @@ pub mod caida_like;
 pub mod flows;
 pub mod malicious;
 pub mod prefixes;
+pub mod stream;
 
 pub use caida_like::{CaidaLikeConfig, CaidaLikeTrace};
 pub use flows::{FlowPopulation, FlowPopulationConfig, SyntheticFlow};
 pub use malicious::{MaliciousFlowSet, MaliciousFlowSetConfig};
 pub use prefixes::PrefixPopulation;
+pub use stream::{FlowStream, StreamSource};

@@ -1,0 +1,290 @@
+//! Lazy flow-arrival streaming.
+//!
+//! [`FlowStream`] is the iterator twin of
+//! [`FlowPopulation::generate`](crate::flows::FlowPopulation::generate):
+//! it derives each flow from the seeded RNG *on demand*, in exactly the
+//! order the materialized generator would have produced after its
+//! start-time sort. That equivalence is load-bearing — million-flow
+//! packet-level runs admit flows straight off the stream (constant
+//! memory) while staying byte-identical to the materialized path, and a
+//! propcheck suite pins it.
+//!
+//! The equivalence argument: `generate` pushes warm flows (all starting
+//! at `t = 0`) first, then Poisson arrivals whose start times are
+//! nondecreasing in generation order, and finally *stable*-sorts by
+//! start. The sort therefore never reorders anything, so emitting flows
+//! in generation order — warm first, then arrivals — reproduces the
+//! sorted vector element for element, provided the RNG is consumed in
+//! the same sequence (probe fork, then per-warm `duration, key`, then
+//! per-arrival `gap, key, duration`).
+
+use crate::flows::{random_key_in_prefix, FlowPopulationConfig, SyntheticFlow};
+use dui_netsim::time::SimTime;
+use dui_stats::digest::StateDigest;
+use dui_stats::{dist, Rng};
+use dui_tcp::{FlowSource, FlowSpec};
+
+/// An iterator that yields the same flows as [`FlowPopulation::generate`]
+/// with the same config and RNG, without materializing them.
+///
+/// [`FlowPopulation::generate`]: crate::flows::FlowPopulation::generate
+pub struct FlowStream {
+    cfg: FlowPopulationConfig,
+    rng: Rng,
+    mean_dur_secs: f64,
+    warm_total: usize,
+    warm_emitted: usize,
+    /// Poisson clock (seconds), advanced per arrival.
+    t: f64,
+    horizon_secs: f64,
+    sport: u16,
+    emitted: u64,
+    done: bool,
+}
+
+impl FlowStream {
+    /// Start a stream. Takes the RNG by value: the stream owns the
+    /// remainder of the sequence `generate` would have consumed.
+    pub fn new(cfg: FlowPopulationConfig, mut rng: Rng) -> Self {
+        assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
+        // Identical probe to `generate`: fork advances `rng` by one draw.
+        let mean_dur_secs = {
+            let mut probe = rng.fork(0xD0);
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += cfg.duration.sample(&mut probe).as_secs_f64();
+            }
+            acc / 1000.0
+        };
+        let warm_total = cfg
+            .warm_start
+            .unwrap_or((cfg.arrival_rate * mean_dur_secs).round() as usize);
+        let horizon_secs = cfg.horizon.as_secs_f64();
+        FlowStream {
+            cfg,
+            rng,
+            mean_dur_secs,
+            warm_total,
+            warm_emitted: 0,
+            t: 0.0,
+            horizon_secs,
+            sport: 1024,
+            emitted: 0,
+            done: false,
+        }
+    }
+
+    /// Empirical mean flow duration from the probe fork (the same
+    /// estimate `generate` uses to size the warm population).
+    pub fn mean_duration_estimate_secs(&self) -> f64 {
+        self.mean_dur_secs
+    }
+
+    /// Flows emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Fold the stream's resume state into a digest: the RNG words plus
+    /// the generation counters fully determine every future flow.
+    pub fn state_digest(&self, d: &mut StateDigest) {
+        for w in self.rng.state() {
+            d.write_u64(w);
+        }
+        d.write_u64(self.warm_total as u64);
+        d.write_u64(self.warm_emitted as u64);
+        d.write_u64(self.t.to_bits());
+        d.write_u64(self.emitted);
+        d.write_u32(u32::from(self.sport));
+        d.write_bool(self.done);
+    }
+}
+
+impl Iterator for FlowStream {
+    type Item = SyntheticFlow;
+
+    fn next(&mut self) -> Option<SyntheticFlow> {
+        if self.done {
+            return None;
+        }
+        if self.warm_emitted < self.warm_total {
+            // Warm start: same sample order as `generate` (duration, key).
+            let i = self.warm_emitted;
+            self.warm_emitted += 1;
+            self.emitted += 1;
+            let duration = self.cfg.duration.sample(&mut self.rng);
+            let key = random_key_in_prefix(self.cfg.prefix, &mut self.rng, 50_000 + i as u16);
+            return Some(SyntheticFlow {
+                key,
+                start: SimTime::ZERO,
+                duration,
+                pkt_interval: self.cfg.pkt_interval,
+            });
+        }
+        // Poisson arrival: same sample order as `generate` (gap, key,
+        // duration — struct literal field order).
+        self.t += dist::exponential(&mut self.rng, self.cfg.arrival_rate);
+        if self.t >= self.horizon_secs {
+            self.done = true;
+            return None;
+        }
+        self.sport = self.sport.wrapping_add(1).max(1024);
+        let key = random_key_in_prefix(self.cfg.prefix, &mut self.rng, self.sport);
+        let duration = self.cfg.duration.sample(&mut self.rng);
+        self.emitted += 1;
+        Some(SyntheticFlow {
+            key,
+            start: SimTime::from_secs_f64(self.t),
+            duration,
+            pkt_interval: self.cfg.pkt_interval,
+        })
+    }
+}
+
+/// Adapts a [`FlowStream`] to `dui-tcp`'s [`FlowSource`]: lowers each
+/// synthetic flow onto a sender spec as the host asks for it. Holds one
+/// look-ahead flow so the host can arm its wake timer.
+///
+/// Generative by design: `remaining()` stays `None`, which tells the
+/// host it cannot checkpoint mid-stream (use [`VecSource`] workloads for
+/// record/replay runs).
+///
+/// [`VecSource`]: dui_tcp::VecSource
+pub struct StreamSource {
+    stream: FlowStream,
+    mss: u32,
+    handshake: bool,
+    next: Option<FlowSpec>,
+}
+
+impl StreamSource {
+    /// Wrap a stream, lowering flows with the given MSS.
+    pub fn new(stream: FlowStream, mss: u32) -> Self {
+        let mut s = StreamSource {
+            stream,
+            mss,
+            handshake: false,
+            next: None,
+        };
+        s.refill();
+        s
+    }
+
+    /// Lower flows with the full RFC 9293 lifecycle (SYN handshake and
+    /// FIN/TIME-WAIT teardown) instead of the handshake-less model.
+    pub fn with_handshake(mut self, on: bool) -> Self {
+        self.handshake = on;
+        if let Some(spec) = &mut self.next {
+            spec.config.handshake = on;
+        }
+        self
+    }
+
+    fn refill(&mut self) {
+        self.next = self.stream.next().map(|f| {
+            let mut spec = f.to_flow_spec(self.mss);
+            spec.config.handshake = self.handshake;
+            spec
+        });
+    }
+}
+
+impl FlowSource for StreamSource {
+    fn pop_due(&mut self, now: SimTime) -> Option<FlowSpec> {
+        if self.next.as_ref()?.start <= now {
+            let spec = self.next.take();
+            self.refill();
+            spec
+        } else {
+            None
+        }
+    }
+
+    fn peek_start(&self) -> Option<SimTime> {
+        self.next.as_ref().map(|s| s.start)
+    }
+
+    fn state_digest(&self, d: &mut StateDigest) {
+        self.stream.state_digest(d);
+        d.write_u32(self.mss);
+        d.write_bool(self.handshake);
+        d.write_bool(self.next.is_some());
+        if let Some(spec) = &self.next {
+            d.write_u32(spec.key.src.0);
+            d.write_u32(spec.key.dst.0);
+            d.write_u32(u32::from(spec.key.sport));
+            d.write_u32(u32::from(spec.key.dport));
+            d.write_u64(spec.start.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::{DurationDist, FlowPopulation};
+    use dui_netsim::packet::{Addr, Prefix};
+    use dui_netsim::time::SimDuration;
+
+    fn config() -> FlowPopulationConfig {
+        FlowPopulationConfig {
+            prefix: Prefix::new(Addr::new(10, 0, 0, 0), 24),
+            arrival_rate: 10.0,
+            duration: DurationDist::default(),
+            pkt_interval: SimDuration::from_millis(100),
+            horizon: SimDuration::from_secs(100),
+            warm_start: None,
+        }
+    }
+
+    #[test]
+    fn stream_matches_materialized_generation() {
+        for seed in [1, 9, 42, 0xDEAD] {
+            let mut rng = Rng::new(seed);
+            let pop = FlowPopulation::generate(&config(), &mut rng);
+            let streamed: Vec<_> = FlowStream::new(config(), Rng::new(seed)).collect();
+            assert_eq!(pop.flows, streamed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stream_leaves_rng_in_same_state_as_generate() {
+        let mut a = Rng::new(7);
+        FlowPopulation::generate(&config(), &mut a);
+        let mut s = FlowStream::new(config(), Rng::new(7));
+        for _ in s.by_ref() {}
+        assert_eq!(a.state(), s.rng.state());
+    }
+
+    #[test]
+    fn source_pops_in_start_order() {
+        let mut src = StreamSource::new(FlowStream::new(config(), Rng::new(3)), 1460);
+        let mut last = SimTime::ZERO;
+        let mut n = 0usize;
+        while let Some(at) = src.peek_start() {
+            let spec = src.pop_due(at).expect("due at its own start");
+            assert!(spec.start >= last);
+            last = spec.start;
+            n += 1;
+        }
+        assert!(n > 500, "expected a full population, got {n}");
+    }
+
+    #[test]
+    fn source_respects_now() {
+        let mut src = StreamSource::new(FlowStream::new(config(), Rng::new(3)), 1460);
+        // Drain the warm flows at t=0; the first Poisson arrival is later.
+        while src.pop_due(SimTime::ZERO).is_some() {}
+        let next = src.peek_start().unwrap();
+        assert!(next > SimTime::ZERO);
+        assert!(src.pop_due(SimTime(next.0 - 1)).is_none());
+        assert!(src.pop_due(next).is_some());
+    }
+
+    #[test]
+    fn handshake_lowering_sets_config() {
+        let src = StreamSource::new(FlowStream::new(config(), Rng::new(5)), 1460)
+            .with_handshake(true);
+        assert!(src.next.as_ref().unwrap().config.handshake);
+    }
+}

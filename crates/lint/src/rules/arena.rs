@@ -1,3 +1,7 @@
+//! The arena discipline rules: state that lives in a slab moves by
+//! 8-byte handle, and nothing outside the slab may copy it by value or
+//! iterate it through an unordered side index.
+//!
 //! `arena/no-packet-clone`: packet bodies live in the `dui-netsim`
 //! `PacketArena` slab and move by 8-byte handle; cloning a `Packet`
 //! anywhere else silently reintroduces
@@ -5,6 +9,18 @@
 //! clone site is `PacketArena::snapshot_packet` (checkpoint
 //! materialization) inside `crates/netsim/src/arena.rs`, which this rule
 //! exempts wholesale.
+//!
+//! `arena/no-flow-clone`: the same contract for per-flow TCP state,
+//! which lives in `dui-tcp`'s `FlowPool` columns and moves by `FlowRef`.
+//! In pool code (`crates/tcp/src/`, `crates/flowgen/src/`) the rule
+//! forbids (a) iterating a `FlowKey`-keyed map — the `by_key` index is
+//! a lookup structure; pool slot order is the canonical iteration
+//! order, so iterating the map reintroduces the nondeterministic
+//! `HashMap` walks (and their `sorted-keys` workarounds) the pool
+//! refactor deleted — and (b) `.clone()` / `.cloned()` on bindings that
+//! name pooled flow state (`flow`, `endpoint`, `conn`, `sender`,
+//! `receiver` stems), which would copy a flow out of its columns.
+//! Escape hatch: `// lint: allow(flow-clone): <reason>`.
 //!
 //! Token patterns caught (alias-unaware on purpose — `Packet` is never
 //! re-aliased in this workspace):
@@ -27,15 +43,39 @@ use crate::lexer::TokKind;
 use crate::scan::ScannedFile;
 
 const RULE: &str = "arena/no-packet-clone";
+const FLOW_RULE: &str = "arena/no-flow-clone";
 
 /// The escape-hatch annotation.
 pub const ALLOW: &str = "lint: allow(packet-clone)";
+
+/// The flow rule's escape-hatch annotation.
+pub const FLOW_ALLOW: &str = "lint: allow(flow-clone)";
 
 /// True if `text` names a packet binding by convention.
 fn names_packet(text: &str) -> bool {
     let lower = text.to_ascii_lowercase();
     lower.contains("pkt") || lower.contains("packet")
 }
+
+/// True if `text` names pooled flow state by convention.
+fn names_flow(text: &str) -> bool {
+    let lower = text.to_ascii_lowercase();
+    ["flow", "endpoint", "conn", "sender", "receiver"]
+        .iter()
+        .any(|stem| lower.contains(stem))
+}
+
+/// Method names that walk a map's entries.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
 
 /// `arena/no-packet-clone`.
 pub fn no_packet_clone(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
@@ -92,4 +132,122 @@ pub fn no_packet_clone(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
             ));
         }
     }
+}
+
+/// `arena/no-flow-clone`.
+pub fn no_flow_clone(file: &ScannedFile<'_>, out: &mut Vec<Finding>) {
+    let class = PathClass::of(file);
+    if !class.is_flow_pool_scope() {
+        return;
+    }
+    for i in 0..file.code.len() {
+        let t = file.ct(i);
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if file.ctx.get(i).is_some_and(|c| c.in_cfg_test) {
+            continue;
+        }
+        // (a) `for .. in ..by_key.. {` — a loop over the lookup index.
+        // The pattern window is bounded: destructuring heads and the
+        // iterated expression are short in practice.
+        if t.text == "for" {
+            let Some(at) = for_loop_over_by_key(file, i) else {
+                continue;
+            };
+            let tk = file.ct(at);
+            if !file.line_or_above_contains(tk.line, FLOW_ALLOW) {
+                out.push(finding_at(
+                    file,
+                    at,
+                    FLOW_RULE,
+                    Severity::Warning,
+                    format!(
+                        "loop iterates the FlowKey-keyed index — `by_key` is a \
+                         lookup structure; pool slot order (FlowPool::iter_refs) \
+                         is the canonical iteration order; if the walk is \
+                         deliberate, annotate with `// {FLOW_ALLOW}: <reason>`"
+                    ),
+                ));
+            }
+            continue;
+        }
+        let method_call = file.ctext(i + 1) == "(" && file.ctext(i.wrapping_sub(1)) == ".";
+        if !method_call {
+            continue;
+        }
+        let recv = file.ctext(i.wrapping_sub(2));
+        // (b) iteration methods on the index.
+        if ITER_METHODS.contains(&t.text) && recv.contains("by_key") {
+            if file.line_or_above_contains(t.line, FLOW_ALLOW) {
+                continue;
+            }
+            out.push(finding_at(
+                file,
+                i,
+                FLOW_RULE,
+                Severity::Warning,
+                format!(
+                    "{recv}.{}() iterates the FlowKey-keyed index — `by_key` is \
+                     a lookup structure; pool slot order (FlowPool::iter_refs) \
+                     is the canonical iteration order; if the walk is \
+                     deliberate, annotate with `// {FLOW_ALLOW}: <reason>`",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        // (c) by-value clones of pooled flow state.
+        if (t.text == "clone" || t.text == "cloned") && names_flow(recv) {
+            if file.line_or_above_contains(t.line, FLOW_ALLOW) {
+                continue;
+            }
+            out.push(finding_at(
+                file,
+                i,
+                FLOW_RULE,
+                Severity::Warning,
+                format!(
+                    "{recv}.{}() copies pooled flow state by value — move the \
+                     FlowRef handle instead; if the copy is deliberate, \
+                     annotate with `// {FLOW_ALLOW}: <reason>`",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// For a `for` keyword at code index `i`, the code index of a token
+/// naming `by_key` inside the loop's iterated expression, if any.
+fn for_loop_over_by_key(file: &ScannedFile<'_>, i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    // Find the `in` separating the pattern from the expression.
+    loop {
+        if j >= file.code.len() || j - i > 24 {
+            return None;
+        }
+        let tj = file.ct(j);
+        if tj.kind == TokKind::Ident && tj.text == "in" {
+            break;
+        }
+        if tj.text == "{" {
+            return None;
+        }
+        j += 1;
+    }
+    // Scan the expression up to the body brace.
+    let start = j;
+    j += 1;
+    while j < file.code.len() && j - start <= 24 {
+        let tj = file.ct(j);
+        if tj.text == "{" {
+            return None;
+        }
+        if tj.kind == TokKind::Ident && tj.text.contains("by_key") {
+            return Some(j);
+        }
+        j += 1;
+    }
+    None
 }

@@ -9,13 +9,14 @@
 //! | `cast/lossy-in-digest` | warning | no `as u64` / `as f64` inside digest/StateHash paths |
 //! | `docs/missing-deny` | warning | every library crate root carries `#![deny(missing_docs)]` |
 //! | `arena/no-packet-clone` | warning | no `Packet` clones outside `crates/netsim/src/arena.rs` — packets move by handle |
+//! | `arena/no-flow-clone` | warning | no FlowKey-keyed map iteration or by-value flow clones in pool code (`crates/tcp/src/`, `crates/flowgen/src/`) — flows move by `FlowRef` |
 //! | `parallel/no-shared-mut` | error | no `unsafe` / `static mut` / `UnsafeCell` / `Cell` / `RefCell` / `Rc` / `transmute` in `crates/netsim/src/parallel/` — `std::sync` only |
 //! | `determinism/transitive-wall-clock` | error | nothing outside the quarantine *reaches* a wall-clock read through the call graph |
 //! | `determinism/transitive-rng` | error | nothing outside the quarantine reaches an ambient randomness source |
 //! | `parallel/lock-order` | error | lock-acquisition order is acyclic across the concurrent subsystems, composed through calls |
 //! | `parallel/transitive-shared-mut` | error | the shared-mut ban extends to everything reachable *from* the parallel engine |
 //!
-//! The first eight are per-file token rules ([`FILE_RULES`]); the last
+//! The first nine are per-file token rules ([`FILE_RULES`]); the last
 //! four run over the whole-workspace [`Analysis`] — symbol graph, call
 //! graph, taint — and report witness call chains ([`GRAPH_RULES`]).
 //!
@@ -23,7 +24,8 @@
 //! `crates/telemetry/src/wallclock.rs` for the determinism rules
 //! (direct and transitive); `sorted` / `write_unordered` markers for
 //! the hash rule; `// lint: allow(panic)`, `// lint: allow(cast)`,
-//! `// lint: allow(packet-clone)`, and `// lint: allow(shared-mut)`
+//! `// lint: allow(packet-clone)`, `// lint: allow(flow-clone)`, and
+//! `// lint: allow(shared-mut)`
 //! line annotations for the panic, cast, arena, and parallel rules;
 //! per-item `// lint: allow(transitive-wall-clock)` /
 //! `(transitive-rng)` / `(transitive-shared-mut)` / `(lock-order)`
@@ -52,6 +54,7 @@ pub const RULE_IDS: &[&str] = &[
     "cast/lossy-in-digest",
     "docs/missing-deny",
     "arena/no-packet-clone",
+    "arena/no-flow-clone",
     "parallel/no-shared-mut",
     "determinism/transitive-wall-clock",
     "determinism/transitive-rng",
@@ -69,6 +72,7 @@ pub const FILE_RULES: &[(&str, fn(&ScannedFile<'_>, &mut Vec<Finding>))] = &[
     ("cast/lossy-in-digest", casts::lossy_in_digest),
     ("docs/missing-deny", docs::missing_deny),
     ("arena/no-packet-clone", arena::no_packet_clone),
+    ("arena/no-flow-clone", arena::no_flow_clone),
     ("parallel/no-shared-mut", parallel::no_shared_mut),
 ];
 
@@ -151,6 +155,12 @@ impl<'a> PathClass<'a> {
     /// (`snapshot_packet`), exempt from `arena/no-packet-clone`.
     pub fn is_arena_module(&self) -> bool {
         self.path == "crates/netsim/src/arena.rs"
+    }
+
+    /// Pool code for `arena/no-flow-clone`: the crates whose per-flow
+    /// state lives in `FlowPool` columns and moves by `FlowRef`.
+    pub fn is_flow_pool_scope(&self) -> bool {
+        self.path.starts_with("crates/tcp/src/") || self.path.starts_with("crates/flowgen/src/")
     }
 
     /// Inside the domain-parallel engine, where `parallel/no-shared-mut`

@@ -143,6 +143,27 @@ fn arena_module_itself_is_exempt() {
     );
 }
 
+#[test]
+fn flow_bad_fires_on_index_iteration_and_flow_clones() {
+    let src = include_str!("fixtures/flow_bad.rs");
+    // by_key.iter() (for-loop + method), `for .. in &self.by_key`,
+    // by_key.keys(), sender.clone(), flows.clone().
+    assert!(count("crates/tcp/src/host.rs", src, "arena/no-flow-clone") >= 5);
+    assert!(count("crates/flowgen/src/stream.rs", src, "arena/no-flow-clone") >= 5);
+}
+
+#[test]
+fn flow_clean_lookup_slot_order_and_annotation_pass() {
+    let src = include_str!("fixtures/flow_clean.rs");
+    assert_eq!(count("crates/tcp/src/host.rs", src, "arena/no-flow-clone"), 0);
+}
+
+#[test]
+fn flow_rule_only_applies_to_pool_code() {
+    let src = include_str!("fixtures/flow_bad.rs");
+    assert_eq!(count(LIB, src, "arena/no-flow-clone"), 0);
+}
+
 const PAR: &str = "crates/netsim/src/parallel/fixture.rs";
 
 #[test]

@@ -1,0 +1,47 @@
+// BAD: pool code iterating the FlowKey index and cloning flow state.
+use std::collections::HashMap;
+
+pub struct FlowKey(pub u64);
+pub struct TcpSender {
+    pub cwnd: f64,
+}
+
+pub struct Host {
+    by_key: HashMap<u64, u32>,
+}
+
+impl Host {
+    pub fn digest_all(&self) -> u64 {
+        let mut acc = 0;
+        for (k, _) in self.by_key.iter() {
+            acc ^= k;
+        }
+        acc
+    }
+
+    pub fn sweep(&self) -> u64 {
+        let mut acc = 0;
+        for r in &self.by_key {
+            acc += *r.1 as u64;
+        }
+        acc
+    }
+
+    pub fn keys_snapshot(&self) -> Vec<u64> {
+        self.by_key.keys().copied().collect()
+    }
+}
+
+pub fn duplicate(sender: &TcpSender) -> TcpSender {
+    sender.clone()
+}
+
+pub fn collect(flows: &Vec<TcpSender>) -> Vec<TcpSender> {
+    flows.clone()
+}
+
+impl Clone for TcpSender {
+    fn clone(&self) -> Self {
+        TcpSender { cwnd: self.cwnd }
+    }
+}

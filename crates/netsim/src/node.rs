@@ -47,6 +47,14 @@ pub trait NodeLogic: Send {
     fn load_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
         Err("this node logic does not support checkpoint restore".into())
     }
+
+    /// Export this node's own metrics into `reg`.
+    ///
+    /// Called by [`crate::sim::Simulator::metrics_snapshot`] against a
+    /// fresh registry on every sampling call, so implementations must
+    /// report *current* values (register-and-set), not accumulate across
+    /// calls. The default contributes nothing.
+    fn export_metrics(&self, _reg: &mut dui_telemetry::registry::Registry) {}
 }
 
 /// What a data-plane program decides for a packet.

@@ -789,9 +789,21 @@ impl Simulator {
         self.core.spans.as_ref()
     }
 
-    /// Freeze the metrics registry into a mergeable snapshot.
+    /// Freeze the metrics registry into a mergeable snapshot, folding in
+    /// every node logic's own metrics ([`NodeLogic::export_metrics`]).
+    ///
+    /// Logics export into a fresh registry on each call (in node-index
+    /// order, so float sums stay byte-stable), which keeps repeated
+    /// sampling — e.g. a scenario runner snapshotting at every phase
+    /// boundary — idempotent: current values, not re-accumulated ones.
     pub fn metrics_snapshot(&self) -> Snapshot {
-        self.core.registry.snapshot()
+        let mut snap = self.core.registry.snapshot();
+        let mut node_reg = dui_telemetry::registry::Registry::new();
+        for logic in self.logics.iter().flatten() {
+            logic.export_metrics(&mut node_reg);
+        }
+        snap.merge(&node_reg.snapshot());
+        snap
     }
 
     /// Recorded trace events.

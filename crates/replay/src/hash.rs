@@ -88,6 +88,13 @@ impl StateHash for dui_tcp::host::TcpHost {
     }
 }
 
+impl StateHash for dui_tcp::pool::FlowPool {
+    fn state_digest(&self, d: &mut StateDigest) {
+        // Walks live slots in handle order — canonical, no key sorting.
+        dui_tcp::pool::FlowPool::state_digest(self, d);
+    }
+}
+
 impl StateHash for dui_pcc::control::Controller {
     fn state_digest(&self, d: &mut StateDigest) {
         dui_pcc::control::Controller::state_digest(self, d);
@@ -130,6 +137,26 @@ mod tests {
         assert_ne!(a.state_hash(), b.state_hash(), "drawing changes state");
         let restored = Rng::from_state(a.state());
         assert_eq!(a.state_hash(), restored.state_hash());
+    }
+
+    #[test]
+    fn flow_pool_hash_survives_codec_round_trip() {
+        use dui_netsim::packet::{Addr, FlowKey};
+        use dui_tcp::pool::FlowPool;
+        use dui_tcp::TcpSenderConfig;
+        let mut pool = FlowPool::new();
+        let key = FlowKey::tcp(Addr::new(10, 0, 0, 1), 4000, Addr::new(10, 0, 0, 2), 80);
+        let cfg = TcpSenderConfig {
+            total_bytes: Some(10_000),
+            handshake: true,
+            ..Default::default()
+        };
+        let r = pool.insert_sender(key, cfg, 1);
+        pool.on_start(r, dui_netsim::time::SimTime::ZERO).unwrap();
+        let _ = pool.take_out(r).unwrap();
+        pool.insert_listener(key.reversed());
+        let restored = FlowPool::from_bytes(&pool.to_bytes().unwrap()).unwrap();
+        assert_eq!(StateHash::state_hash(&pool), StateHash::state_hash(&restored));
     }
 
     #[test]

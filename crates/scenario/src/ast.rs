@@ -150,6 +150,52 @@ pub enum WorkloadSpec {
         /// Optional data-plane attack.
         attack: Option<AttackSpec>,
     },
+    /// High-churn TCP with the full RFC 9293 lifecycle: every flow
+    /// handshakes in and tears down through TIME-WAIT, CLOSED flows are
+    /// evicted so the source host's flow pool recycles slots, and flow
+    /// arrivals stream off the generator (no materialized schedule).
+    Churn {
+        /// Concurrent flows at steady state.
+        flows: usize,
+        /// Mean flow lifetime.
+        mean_lifetime: SimDuration,
+        /// Packet interval while active.
+        pkt_interval: SimDuration,
+        /// Run horizon.
+        horizon: SimDuration,
+        /// The single source host (streamed admission owns one stream).
+        src: String,
+        /// Destination host name (announces the workload prefix).
+        dst: String,
+    },
+    /// Legitimate handshaking TCP flows plus an attacker host spraying
+    /// spoofed SYNs at the destination's listener backlog.
+    SynFlood {
+        /// Concurrent legitimate flows at steady state.
+        flows: usize,
+        /// Mean legitimate flow lifetime.
+        mean_lifetime: SimDuration,
+        /// Packet interval while active.
+        pkt_interval: SimDuration,
+        /// Run horizon.
+        horizon: SimDuration,
+        /// Legitimate source host names.
+        src: Vec<String>,
+        /// Destination host name (announces the workload prefix).
+        dst: String,
+        /// The attacker's host.
+        attacker: String,
+        /// Spoofed SYNs per second while the flood is on.
+        syn_rate: u64,
+        /// Destination listener backlog (SYN-RCVD cap).
+        backlog: usize,
+        /// Destination SYN-RCVD reaper timeout (`None` = never reap).
+        syn_timeout: Option<SimDuration>,
+        /// When the flood starts.
+        attack_start: SimTime,
+        /// How long the flood runs.
+        attack_duration: SimDuration,
+    },
 }
 
 impl WorkloadSpec {
@@ -160,6 +206,8 @@ impl WorkloadSpec {
             WorkloadSpec::Pcc { .. } => "pcc",
             WorkloadSpec::Pytheas { .. } => "pytheas",
             WorkloadSpec::Tcp { .. } => "tcp",
+            WorkloadSpec::Churn { .. } => "churn",
+            WorkloadSpec::SynFlood { .. } => "syn_flood",
         }
     }
 
@@ -168,7 +216,9 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Blink { horizon, .. }
             | WorkloadSpec::Pcc { horizon, .. }
-            | WorkloadSpec::Tcp { horizon, .. } => Some(*horizon),
+            | WorkloadSpec::Tcp { horizon, .. }
+            | WorkloadSpec::Churn { horizon, .. }
+            | WorkloadSpec::SynFlood { horizon, .. } => Some(*horizon),
             WorkloadSpec::Pytheas { .. } => None,
         }
     }
@@ -300,6 +350,12 @@ pub enum Expectation {
     RateMaxMbps(f64),
     /// Worst per-flow relative oscillation amplitude at most this (PCC).
     OscillationMax(f64),
+    /// Peak SYN-RCVD occupancy across all hosts at most this (proves the
+    /// listener backlog cap held under the flood).
+    SynRcvdPeakMax(u64),
+    /// At least this many completed three-way handshakes (legitimate
+    /// traffic survived the backlog pressure).
+    HandshakeCompletedMin(u64),
     /// Named telemetry counter at least this at the end.
     CounterMin(String, u64),
     /// Named telemetry counter at most this at the end.
@@ -327,6 +383,8 @@ impl Expectation {
             Expectation::RateMinMbps(_) => "rate_min_mbps",
             Expectation::RateMaxMbps(_) => "rate_max_mbps",
             Expectation::OscillationMax(_) => "oscillation_max",
+            Expectation::SynRcvdPeakMax(_) => "synrcvd_peak_max",
+            Expectation::HandshakeCompletedMin(_) => "handshake_completed_min",
             Expectation::CounterMin(..) => "counter_min",
             Expectation::CounterMax(..) => "counter_max",
         }
@@ -353,6 +411,8 @@ impl Expectation {
             Expectation::RateMinMbps(v) => format!("rate_min_mbps = {v}"),
             Expectation::RateMaxMbps(v) => format!("rate_max_mbps = {v}"),
             Expectation::OscillationMax(v) => format!("oscillation_max = {v}"),
+            Expectation::SynRcvdPeakMax(n) => format!("synrcvd_peak_max = {n}"),
+            Expectation::HandshakeCompletedMin(n) => format!("handshake_completed_min = {n}"),
             Expectation::CounterMin(c, n) => format!("counter_min = {c} {n}"),
             Expectation::CounterMax(c, n) => format!("counter_max = {c} {n}"),
         }
@@ -485,6 +545,52 @@ impl Scenario {
                 if let Some(AttackSpec::Bounce { via, bounces }) = attack {
                     let _ = writeln!(s, "attack = bounce via={}-{} bounces={bounces}", via.0, via.1);
                 }
+            }
+            WorkloadSpec::Churn {
+                flows,
+                mean_lifetime,
+                pkt_interval,
+                horizon,
+                src,
+                dst,
+            } => {
+                let _ = writeln!(s, "kind = churn");
+                let _ = writeln!(s, "flows = {flows}");
+                let _ = writeln!(s, "mean_lifetime = {}", dur(*mean_lifetime));
+                let _ = writeln!(s, "pkt_interval = {}", dur(*pkt_interval));
+                let _ = writeln!(s, "horizon = {}", dur(*horizon));
+                let _ = writeln!(s, "src = {src}");
+                let _ = writeln!(s, "dst = {dst}");
+            }
+            WorkloadSpec::SynFlood {
+                flows,
+                mean_lifetime,
+                pkt_interval,
+                horizon,
+                src,
+                dst,
+                attacker,
+                syn_rate,
+                backlog,
+                syn_timeout,
+                attack_start,
+                attack_duration,
+            } => {
+                let _ = writeln!(s, "kind = syn_flood");
+                let _ = writeln!(s, "flows = {flows}");
+                let _ = writeln!(s, "mean_lifetime = {}", dur(*mean_lifetime));
+                let _ = writeln!(s, "pkt_interval = {}", dur(*pkt_interval));
+                let _ = writeln!(s, "horizon = {}", dur(*horizon));
+                let _ = writeln!(s, "src = {}", src.join(","));
+                let _ = writeln!(s, "dst = {dst}");
+                let _ = writeln!(s, "attacker = {attacker}");
+                let _ = writeln!(s, "syn_rate = {syn_rate}");
+                let _ = writeln!(s, "backlog = {backlog}");
+                if let Some(t) = syn_timeout {
+                    let _ = writeln!(s, "syn_timeout = {}", dur(*t));
+                }
+                let _ = writeln!(s, "attack_start = {}", time(*attack_start));
+                let _ = writeln!(s, "attack_duration = {}", dur(*attack_duration));
             }
         }
         if self.chaos_seed.is_some() || !self.chaos.is_empty() {

@@ -94,6 +94,12 @@ pub enum CompileError {
         /// The host named on both ends.
         name: String,
     },
+    /// The SYN-flood attacker host must not also carry legitimate
+    /// traffic or be the victim.
+    AttackerNotFree {
+        /// The doubly-used host.
+        name: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -139,6 +145,9 @@ impl fmt::Display for CompileError {
             CompileError::SrcIsDst { name } => {
                 write!(f, "'{name}' is both a source and the destination")
             }
+            CompileError::AttackerNotFree { name } => {
+                write!(f, "attacker host '{name}' is also a workload endpoint")
+            }
         }
     }
 }
@@ -157,7 +166,9 @@ pub enum ResolvedChaos {
     Surge,
 }
 
-/// The executable lowering of a generic-TCP scenario.
+/// The executable lowering of a generic-TCP scenario (also used by the
+/// `churn` and `syn_flood` workloads — the runner dispatches on the
+/// workload kind).
 #[derive(Debug, Clone)]
 pub struct TcpPlan {
     /// Source hosts, in `src =` order (flows round-robin across them).
@@ -168,6 +179,8 @@ pub struct TcpPlan {
     pub actions: Vec<ResolvedChaos>,
     /// Bounce attack: the router pair and bounce count.
     pub bounce: Option<(NodeId, NodeId, u32)>,
+    /// SYN-flood attacker host (`syn_flood` workload only).
+    pub attacker: Option<NodeId>,
 }
 
 /// Which case-study builder the runner should drive.
@@ -277,6 +290,68 @@ pub fn compile(sc: &Scenario) -> Result<Compiled, CompileError> {
                 dst_host,
                 actions,
                 bounce,
+                attacker: None,
+            })
+        }
+        WorkloadSpec::Churn { src, dst, .. } => {
+            // Streamed admission cannot absorb arrivals baked into a
+            // materialized schedule, so load surges don't lower here.
+            if let Some(d) = sc
+                .chaos
+                .iter()
+                .find(|d| matches!(d.kind, ChaosKind::LoadSurge { .. }))
+            {
+                return Err(CompileError::ChaosUnsupported {
+                    workload: "churn",
+                    chaos: d.kind.key(),
+                });
+            }
+            let topo = build_topology(&sc.topology);
+            if src == dst {
+                return Err(CompileError::SrcIsDst { name: src.clone() });
+            }
+            let src_hosts = vec![host(&topo, src)?];
+            let dst_host = host(&topo, dst)?;
+            let mut actions = Vec::new();
+            for d in &sc.chaos {
+                actions.push(resolve_chaos(&topo, &d.kind)?);
+            }
+            Plan::Tcp(TcpPlan {
+                src_hosts,
+                dst_host,
+                actions,
+                bounce: None,
+                attacker: None,
+            })
+        }
+        WorkloadSpec::SynFlood {
+            src, dst, attacker, ..
+        } => {
+            let topo = build_topology(&sc.topology);
+            let mut src_hosts = Vec::new();
+            for name in src {
+                src_hosts.push(host(&topo, name)?);
+                if name == dst {
+                    return Err(CompileError::SrcIsDst { name: name.clone() });
+                }
+            }
+            if attacker == dst || src.contains(attacker) {
+                return Err(CompileError::AttackerNotFree {
+                    name: attacker.clone(),
+                });
+            }
+            let dst_host = host(&topo, dst)?;
+            let attacker_host = host(&topo, attacker)?;
+            let mut actions = Vec::new();
+            for d in &sc.chaos {
+                actions.push(resolve_chaos(&topo, &d.kind)?);
+            }
+            Plan::Tcp(TcpPlan {
+                src_hosts,
+                dst_host,
+                actions,
+                bounce: None,
+                attacker: Some(attacker_host),
             })
         }
     };
@@ -303,6 +378,8 @@ fn check_kinds(sc: &Scenario) -> Result<(), CompileError> {
                     | TopologySpec::FatTree { .. }
                     | TopologySpec::Bowtie { .. },
                 WorkloadSpec::Tcp { .. }
+                    | WorkloadSpec::Churn { .. }
+                    | WorkloadSpec::SynFlood { .. }
             )
     );
     if ok {
@@ -418,6 +495,7 @@ fn resolve_chaos(topo: &Topology, kind: &ChaosKind) -> Result<ResolvedChaos, Com
 /// Which expectations each workload can answer.
 fn check_expectations(sc: &Scenario) -> Result<(), CompileError> {
     let wk = sc.workload.kind();
+    let tcp_family = matches!(wk, "tcp" | "churn" | "syn_flood");
     let any_fault = sc.chaos.iter().any(|d| d.kind.is_fault());
     for e in &sc.expect {
         let ok = match e {
@@ -438,8 +516,13 @@ fn check_expectations(sc: &Scenario) -> Result<(), CompileError> {
             | Expectation::DeliveredMin(_)
             | Expectation::CounterMin(..)
             | Expectation::CounterMax(..) => wk != "pytheas",
+            // Only the handshaking workloads run the RFC 9293 lifecycle,
+            // so only they populate the tcp.handshake.* metrics.
+            Expectation::SynRcvdPeakMax(_) | Expectation::HandshakeCompletedMin(_) => {
+                matches!(wk, "churn" | "syn_flood")
+            }
             Expectation::RecoveryWithin(_) => {
-                if !(wk == "blink" || wk == "tcp") {
+                if !(wk == "blink" || tcp_family) {
                     false
                 } else if !any_fault {
                     return Err(CompileError::RecoveryWithoutChaos);
@@ -448,7 +531,7 @@ fn check_expectations(sc: &Scenario) -> Result<(), CompileError> {
                 }
             }
             Expectation::BlackoutDuringChaos => {
-                if !(wk == "blink" || wk == "tcp") {
+                if !(wk == "blink" || tcp_family) {
                     false
                 } else if !any_fault {
                     return Err(CompileError::BlackoutWithoutChaos);

@@ -195,6 +195,20 @@ fn check(
             let got = obs.pcc.map(|p| p.oscillation_max).unwrap_or(0.0);
             (got <= *v, format!("worst oscillation {got:.4}"))
         }
+        Expectation::SynRcvdPeakMax(n) => {
+            // Peak SYN-RCVD gauge summed over hosts: only the listening
+            // destination ever enters SYN-RCVD, so the sum is its peak.
+            let got = obs
+                .snapshot
+                .gauges
+                .get("tcp.handshake.synrcvd_peak")
+                .map_or(0, |&(sum, _)| sum as u64);
+            (got <= *n, format!("peak SYN-RCVD occupancy {got}"))
+        }
+        Expectation::HandshakeCompletedMin(n) => {
+            let got = obs.snapshot.counter("tcp.handshake.completed");
+            (got >= *n, format!("{got} completed handshakes"))
+        }
         Expectation::CounterMin(name, n) => {
             let got = obs.snapshot.counter(name);
             (got >= *n, format!("{name} = {got}"))

@@ -363,6 +363,11 @@ pub fn parse_str(file: &str, text: &str) -> Result<Scenario, ParseError> {
     let mut src: Option<Vec<String>> = None;
     let mut dst: Option<String> = None;
     let mut attack: Option<AttackSpec> = None;
+    let mut attacker: Option<String> = None;
+    let mut syn_rate: u64 = 2000;
+    let mut backlog: usize = 64;
+    let mut syn_timeout: Option<SimDuration> = None;
+    let mut attack_duration = SimDuration::from_secs(20);
     // [chaos] / [expect]
     let mut chaos_seed: Option<u64> = None;
     let mut chaos: Vec<ChaosDecl> = Vec::new();
@@ -574,12 +579,14 @@ pub fn parse_str(file: &str, text: &str) -> Result<Scenario, ParseError> {
                         "pcc" => "pcc",
                         "pytheas" => "pytheas",
                         "tcp" => "tcp",
+                        "churn" => "churn",
+                        "syn_flood" => "syn_flood",
                         _ => {
                             return Err(ctx.err(
                                 vpos,
                                 ParseErrorKind::InvalidValue {
                                     key: key.to_string(),
-                                    expected: "one of blink, pcc, pytheas, tcp",
+                                    expected: "one of blink, pcc, pytheas, tcp, churn, syn_flood",
                                     got: val.to_string(),
                                 },
                             ))
@@ -611,6 +618,11 @@ pub fn parse_str(file: &str, text: &str) -> Result<Scenario, ParseError> {
                     "src",
                     "dst",
                     "attack",
+                    "attacker",
+                    "syn_rate",
+                    "backlog",
+                    "syn_timeout",
+                    "attack_duration",
                 ];
                 if !known.contains(&key) {
                     return Err(ctx.err(
@@ -624,14 +636,20 @@ pub fn parse_str(file: &str, text: &str) -> Result<Scenario, ParseError> {
                 let applies = matches!(
                     (key, k),
                     (
-                        "legit_flows" | "malicious_flows" | "attack_start" | "trigger_at" | "guarded",
+                        "legit_flows" | "malicious_flows" | "trigger_at" | "guarded",
                         "blink"
-                    ) | ("mean_lifetime" | "pkt_interval", "blink" | "tcp")
-                        | ("horizon", "blink" | "pcc" | "tcp")
-                        | ("flows", "pcc" | "tcp")
+                    ) | ("attack_start", "blink" | "syn_flood")
+                        | ("mean_lifetime" | "pkt_interval", "blink" | "tcp" | "churn" | "syn_flood")
+                        | ("horizon", "blink" | "pcc" | "tcp" | "churn" | "syn_flood")
+                        | ("flows", "pcc" | "tcp" | "churn" | "syn_flood")
                         | ("bottleneck_mbps" | "attacked" | "pin_to_mbps", "pcc")
                         | ("groups" | "rounds" | "poison_fraction" | "defended", "pytheas")
-                        | ("src" | "dst" | "attack", "tcp")
+                        | ("src" | "dst", "tcp" | "churn" | "syn_flood")
+                        | ("attack", "tcp")
+                        | (
+                            "attacker" | "syn_rate" | "backlog" | "syn_timeout" | "attack_duration",
+                            "syn_flood"
+                        )
                 );
                 if !applies {
                     return Err(ctx.err(
@@ -737,6 +755,18 @@ pub fn parse_str(file: &str, text: &str) -> Result<Scenario, ParseError> {
                                 },
                             ));
                         }
+                        // Streamed admission owns one flow stream, so the
+                        // churn workload has exactly one source host.
+                        if k == "churn" && names.len() != 1 {
+                            return Err(ctx.err(
+                                vpos,
+                                ParseErrorKind::InvalidValue {
+                                    key: key.to_string(),
+                                    expected: "a single source host name on kind churn",
+                                    got: val.to_string(),
+                                },
+                            ));
+                        }
                         src = Some(names);
                     }
                     "dst" => {
@@ -754,6 +784,53 @@ pub fn parse_str(file: &str, text: &str) -> Result<Scenario, ParseError> {
                     }
                     "attack" => {
                         attack = Some(parse_attack(&ctx, vpos, val)?);
+                    }
+                    "attacker" => {
+                        if !is_node_name(val) {
+                            return Err(ctx.err(
+                                vpos,
+                                ParseErrorKind::InvalidValue {
+                                    key: key.to_string(),
+                                    expected: "a node name",
+                                    got: val.to_string(),
+                                },
+                            ));
+                        }
+                        attacker = Some(val.to_string());
+                    }
+                    "syn_rate" => {
+                        let n = parse_u64(&ctx, vpos, key, val)?;
+                        if n == 0 {
+                            return Err(ctx.err(
+                                vpos,
+                                ParseErrorKind::InvalidValue {
+                                    key: key.to_string(),
+                                    expected: "a positive integer",
+                                    got: val.to_string(),
+                                },
+                            ));
+                        }
+                        syn_rate = n;
+                    }
+                    "backlog" => {
+                        let n = parse_usize(&ctx, vpos, key, val)?;
+                        if n == 0 {
+                            return Err(ctx.err(
+                                vpos,
+                                ParseErrorKind::InvalidValue {
+                                    key: key.to_string(),
+                                    expected: "a positive integer",
+                                    got: val.to_string(),
+                                },
+                            ));
+                        }
+                        backlog = n;
+                    }
+                    "syn_timeout" => {
+                        syn_timeout = Some(parse_duration(&ctx, vpos, key, val)?)
+                    }
+                    "attack_duration" => {
+                        attack_duration = parse_duration(&ctx, vpos, key, val)?
                     }
                     _ => unreachable!("filtered by `known`"),
                 }
@@ -904,6 +981,29 @@ pub fn parse_str(file: &str, text: &str) -> Result<Scenario, ParseError> {
             src: src.ok_or_else(|| missing_wl("src"))?,
             dst: dst.ok_or_else(|| missing_wl("dst"))?,
             attack,
+        },
+        Some("churn") => WorkloadSpec::Churn {
+            flows: flows.unwrap_or(40),
+            mean_lifetime,
+            pkt_interval: pkt_interval.unwrap_or(SimDuration::from_millis(100)),
+            horizon: horizon.unwrap_or(SimDuration::from_secs(45)),
+            // The parser already pinned churn's src list to one name.
+            src: src.ok_or_else(|| missing_wl("src"))?.remove(0),
+            dst: dst.ok_or_else(|| missing_wl("dst"))?,
+        },
+        Some("syn_flood") => WorkloadSpec::SynFlood {
+            flows: flows.unwrap_or(40),
+            mean_lifetime,
+            pkt_interval: pkt_interval.unwrap_or(SimDuration::from_millis(100)),
+            horizon: horizon.unwrap_or(SimDuration::from_secs(45)),
+            src: src.ok_or_else(|| missing_wl("src"))?,
+            dst: dst.ok_or_else(|| missing_wl("dst"))?,
+            attacker: attacker.ok_or_else(|| missing_wl("attacker"))?,
+            syn_rate,
+            backlog,
+            syn_timeout,
+            attack_start,
+            attack_duration,
         },
         Some(other) => unreachable!("kind validated: {other}"),
     };
@@ -1330,6 +1430,10 @@ fn parse_expectation(
         "rate_min_mbps" => Expectation::RateMinMbps(parse_f64(ctx, vpos, key, val)?),
         "rate_max_mbps" => Expectation::RateMaxMbps(parse_f64(ctx, vpos, key, val)?),
         "oscillation_max" => Expectation::OscillationMax(parse_f64(ctx, vpos, key, val)?),
+        "synrcvd_peak_max" => Expectation::SynRcvdPeakMax(parse_u64(ctx, vpos, key, val)?),
+        "handshake_completed_min" => {
+            Expectation::HandshakeCompletedMin(parse_u64(ctx, vpos, key, val)?)
+        }
         "counter_min" => {
             let (c, n) = counter(key)?;
             Expectation::CounterMin(c, n)

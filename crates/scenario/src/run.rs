@@ -12,9 +12,10 @@
 use crate::ast::{ChaosKind, WorkloadSpec};
 use crate::compile::{build_topology, Compiled, Plan, ResolvedChaos, TcpPlan};
 use crate::expect::{evaluate, BlinkObs, CheckResult, Observed, PccObs, PytheasObs, Sample};
-use dui_core::attacks::BounceProgram;
+use dui_core::attacks::{BounceProgram, SynFloodConfig, SynFloodHost};
 use dui_core::blink::program::BlinkConfig;
 use dui_core::flowgen::flows::{DurationDist, FlowPopulation, FlowPopulationConfig};
+use dui_core::flowgen::stream::{FlowStream, StreamSource};
 use dui_core::netsim::link::{Dir, FaultConfig};
 use dui_core::netsim::node::RouterLogic;
 use dui_core::netsim::packet::{Addr, Packet, Prefix};
@@ -26,8 +27,9 @@ use dui_core::pytheas::engine::{EngineConfig, PoisonStrategy};
 use dui_core::scenario::{
     pytheas_run, BlinkScenario, BlinkScenarioConfig, PccScenario, PccScenarioConfig,
 };
+use dui_core::stats::digest::StateDigest;
 use dui_core::stats::Rng;
-use dui_core::tcp::{FlowSpec, TcpHost};
+use dui_core::tcp::{FlowSource, FlowSpec, TcpHost, TcpHostConfig};
 
 /// The prefix a generic-TCP workload's flows target (announced at the
 /// scenario's `dst` host; flow keys draw random addresses inside it).
@@ -282,15 +284,31 @@ impl Compiled {
 
     fn run_tcp(&self, plan: &TcpPlan, sim_threads: usize) -> Observed {
         let sc = &self.scenario;
-        let WorkloadSpec::Tcp {
-            flows,
-            mean_lifetime,
-            pkt_interval,
-            horizon,
-            ..
-        } = &sc.workload
-        else {
-            unreachable!("tcp plan carries a tcp workload")
+        // Plan::Tcp covers the whole tcp family; the three kinds share
+        // the population parameters and differ in admission + lifecycle.
+        let (flows, mean_lifetime, pkt_interval, horizon) = match &sc.workload {
+            WorkloadSpec::Tcp {
+                flows,
+                mean_lifetime,
+                pkt_interval,
+                horizon,
+                ..
+            }
+            | WorkloadSpec::Churn {
+                flows,
+                mean_lifetime,
+                pkt_interval,
+                horizon,
+                ..
+            }
+            | WorkloadSpec::SynFlood {
+                flows,
+                mean_lifetime,
+                pkt_interval,
+                horizon,
+                ..
+            } => (*flows, *mean_lifetime, *pkt_interval, *horizon),
+            _ => unreachable!("tcp plan carries a tcp-family workload"),
         };
         let topo = build_topology(&sc.topology);
         let prefix = Prefix::new(Addr::new(TCP_PREFIX.0, TCP_PREFIX.1, 0, 0), 16);
@@ -310,40 +328,73 @@ impl Compiled {
         };
         let pop_cfg = FlowPopulationConfig {
             prefix,
-            arrival_rate: *flows as f64 / mean,
+            arrival_rate: flows as f64 / mean,
             duration,
-            pkt_interval: *pkt_interval,
-            horizon: *horizon,
-            warm_start: Some(*flows),
+            pkt_interval,
+            horizon,
+            warm_start: Some(flows),
         };
-        let mut all = FlowPopulation::generate(&pop_cfg, &mut rng).flows;
-        // Load surges: extra arrivals generated from the same rng (in
-        // window order, so the draw sequence is schedule-deterministic)
-        // and shifted onto the window.
-        for w in &self.windows {
-            if let ChaosKind::LoadSurge {
-                flows: extra,
-                duration: span,
-            } = &sc.chaos[w.decl].kind
-            {
-                let surge_cfg = FlowPopulationConfig {
-                    arrival_rate: *extra as f64 / span.as_secs_f64().max(1e-9),
-                    horizon: *span,
-                    warm_start: Some(0),
-                    ..pop_cfg
-                };
-                let surge = FlowPopulation::generate(&surge_cfg, &mut rng);
-                all.extend(surge.shifted(SimDuration(w.start.0)).flows);
-            }
-        }
 
-        // Round-robin the flows across the source hosts.
-        let mut per_src: Vec<Vec<FlowSpec>> = vec![Vec::new(); plan.src_hosts.len()];
-        for (i, f) in all.iter().enumerate() {
-            let slot = i % plan.src_hosts.len();
-            let mut spec = f.to_flow_spec(1460);
-            spec.key.src = topo.node(plan.src_hosts[slot]).addr;
-            per_src[slot].push(spec);
+        // Per-source host logic, built per workload kind.
+        let mut src_logic: Vec<TcpHost> = Vec::new();
+        if matches!(sc.workload, WorkloadSpec::Churn { .. }) {
+            // Streamed admission: the single source draws arrivals lazily
+            // from the generator as the simulation reaches them — no
+            // materialized schedule, flows handshake and are evicted on
+            // close so the pool stays at the steady-state population.
+            let stream = FlowStream::new(pop_cfg, rng);
+            let inner = StreamSource::new(stream, 1460).with_handshake(true);
+            let src_addr = topo.node(plan.src_hosts[0]).addr;
+            let mut h = TcpHost::with_source(Box::new(RewriteSrc { inner, src_addr }));
+            h.set_config(TcpHostConfig {
+                evict_closed: true,
+                ..TcpHostConfig::default()
+            });
+            src_logic.push(h);
+        } else {
+            let handshake = matches!(sc.workload, WorkloadSpec::SynFlood { .. });
+            let mut all = FlowPopulation::generate(&pop_cfg, &mut rng).flows;
+            // Load surges: extra arrivals generated from the same rng (in
+            // window order, so the draw sequence is schedule-deterministic)
+            // and shifted onto the window.
+            for w in &self.windows {
+                if let ChaosKind::LoadSurge {
+                    flows: extra,
+                    duration: span,
+                } = &sc.chaos[w.decl].kind
+                {
+                    let surge_cfg = FlowPopulationConfig {
+                        arrival_rate: *extra as f64 / span.as_secs_f64().max(1e-9),
+                        horizon: *span,
+                        warm_start: Some(0),
+                        ..pop_cfg
+                    };
+                    let surge = FlowPopulation::generate(&surge_cfg, &mut rng);
+                    all.extend(surge.shifted(SimDuration(w.start.0)).flows);
+                }
+            }
+
+            // Round-robin the flows across the source hosts.
+            let mut per_src: Vec<Vec<FlowSpec>> = vec![Vec::new(); plan.src_hosts.len()];
+            for (i, f) in all.iter().enumerate() {
+                let slot = i % plan.src_hosts.len();
+                let mut spec = f.to_flow_spec(1460);
+                spec.key.src = topo.node(plan.src_hosts[slot]).addr;
+                // Under a SYN flood the legitimate flows handshake, so
+                // they compete with the flood for the victim's backlog.
+                spec.config.handshake = handshake;
+                per_src[slot].push(spec);
+            }
+            for specs in per_src {
+                let mut h = TcpHost::with_flows(specs);
+                if handshake {
+                    h.set_config(TcpHostConfig {
+                        evict_closed: true,
+                        ..TcpHostConfig::default()
+                    });
+                }
+                src_logic.push(h);
+            }
         }
 
         let routers = topo.nodes_of_kind(NodeKind::Router);
@@ -363,9 +414,49 @@ impl Compiled {
             };
             sim.set_logic(r, Box::new(logic));
         }
-        sim.set_logic(plan.dst_host, Box::new(TcpHost::new()));
-        for (slot, &h) in plan.src_hosts.iter().enumerate() {
-            sim.set_logic(h, Box::new(TcpHost::with_flows(per_src[slot].clone())));
+        let mut dst = TcpHost::new();
+        match &sc.workload {
+            WorkloadSpec::Churn { .. } => dst.set_config(TcpHostConfig {
+                evict_closed: true,
+                ..TcpHostConfig::default()
+            }),
+            WorkloadSpec::SynFlood {
+                backlog,
+                syn_timeout,
+                ..
+            } => dst.set_config(TcpHostConfig {
+                listen_backlog: Some(*backlog),
+                evict_closed: true,
+                syn_rcvd_timeout: *syn_timeout,
+            }),
+            _ => {}
+        }
+        sim.set_logic(plan.dst_host, Box::new(dst));
+        for (host, logic) in plan.src_hosts.iter().zip(src_logic) {
+            sim.set_logic(*host, Box::new(logic));
+        }
+        if let WorkloadSpec::SynFlood {
+            syn_rate,
+            attack_start,
+            attack_duration,
+            ..
+        } = &sc.workload
+        {
+            // lint: allow(panic): compile() always resolves syn_flood's attacker
+            let attacker = plan.attacker.expect("syn_flood plan resolves an attacker");
+            // Aim at a fixed address inside the announced prefix so the
+            // flood routes to the victim; SYN-ACK backscatter to the
+            // spoofed TEST-NET-2 sources drops as no_route, as it would
+            // on a real network.
+            let cfg = SynFloodConfig {
+                victim: Addr(prefix.addr.0 | 1),
+                rate_per_sec: *syn_rate,
+                start: *attack_start,
+                duration: *attack_duration,
+                seed: sc.seed ^ 0x5f1d_f00d,
+                ..SynFloodConfig::default()
+            };
+            sim.set_logic(attacker, Box::new(SynFloodHost::new(cfg)));
         }
 
         // Boundary loop: advance, heal, fail, observe.
@@ -402,6 +493,34 @@ impl Compiled {
             snapshot: sim.metrics_snapshot(),
             ..Default::default()
         }
+    }
+}
+
+/// Pins a streamed source's flows to the emitting host's address.
+///
+/// The generator draws both endpoints of each 5-tuple from the target
+/// prefix; a host sourcing those flows must own the `src` side or the
+/// return path (ACKs, SYN-ACKs) routes into the void. Wraps the stream
+/// rather than materializing it, preserving lazy admission.
+struct RewriteSrc {
+    inner: StreamSource,
+    src_addr: Addr,
+}
+
+impl FlowSource for RewriteSrc {
+    fn pop_due(&mut self, now: SimTime) -> Option<FlowSpec> {
+        let mut spec = self.inner.pop_due(now)?;
+        spec.key.src = self.src_addr;
+        Some(spec)
+    }
+
+    fn peek_start(&self) -> Option<SimTime> {
+        self.inner.peek_start()
+    }
+
+    fn state_digest(&self, d: &mut StateDigest) {
+        self.inner.state_digest(d);
+        d.write_u32(self.src_addr.0);
     }
 }
 
@@ -452,6 +571,38 @@ mod tests {
              [chaos]\nlink_flap = r0-r1 at=10s down=5s\n\
              [expect]\nblackout_during_chaos = true\nrecovery_within = 5s\ndelivered_min = 1000\n",
         );
+        for c in &report.checks {
+            assert!(c.pass, "{}: {}", c.label, c.detail);
+        }
+    }
+
+    #[test]
+    fn churn_streams_flows_and_recycles_pool_slots() {
+        let report = run(
+            "[scenario]\nname = t\nseed = 9\n\
+             [topology]\nkind = linear\nnodes = 3\n\
+             [workload]\nkind = churn\nflows = 10\nmean_lifetime = 4s\nsrc = h0\ndst = h2\n\
+             horizon = 25s\n\
+             [expect]\nhandshake_completed_min = 10\ncounter_min = tcp.pool.recycled 1\n",
+        );
+        assert_eq!(report.kind, "churn");
+        for c in &report.checks {
+            assert!(c.pass, "{}: {}", c.label, c.detail);
+        }
+    }
+
+    #[test]
+    fn syn_flood_saturates_the_backlog_but_not_beyond() {
+        let report = run(
+            "[scenario]\nname = t\nseed = 9\n\
+             [topology]\nkind = linear\nnodes = 3\n\
+             [workload]\nkind = syn_flood\nflows = 8\nsrc = h0\ndst = h2\nattacker = h1\n\
+             syn_rate = 500\nbacklog = 16\nsyn_timeout = 3s\n\
+             attack_start = 5s\nattack_duration = 10s\nhorizon = 30s\n\
+             [expect]\nsynrcvd_peak_max = 16\nhandshake_completed_min = 8\n\
+             counter_min = tcp.handshake.syn_dropped 100\n",
+        );
+        assert_eq!(report.kind, "syn_flood");
         for c in &report.checks {
             assert!(c.pass, "{}: {}", c.label, c.detail);
         }

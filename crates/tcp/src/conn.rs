@@ -5,6 +5,28 @@
 //! `next_event_time` deadline the host must arm a timer for. No simulator
 //! types beyond `Packet`/`SimTime` leak in, so every protocol behavior is
 //! unit-testable below without an event loop.
+//!
+//! ## Column layout
+//!
+//! All per-connection state is factored into small column structs —
+//! `SeqState`, `RtxQueue`, `SenderMeta`, `RcvState` — and the
+//! protocol logic is written once against *borrowed views* over those
+//! columns (`SenderCols`, `RecvCols`). A standalone [`TcpSender`] /
+//! [`TcpReceiver`] owns one of each column (the unit-test and single-flow
+//! shape); [`crate::pool::FlowPool`] owns `Vec`s of them (the
+//! struct-of-arrays shape a [`crate::host::TcpHost`] runs millions of
+//! flows on). Split borrows over disjoint column vectors make the two
+//! shapes share every line of protocol code.
+//!
+//! ## Lifecycle
+//!
+//! With `TcpSenderConfig::handshake == false` (the default) connections
+//! behave exactly as the original model: data starts flowing on
+//! `on_start`, a FIN closes the stream, and there is no three-way
+//! handshake. With `handshake == true` the machines walk the full
+//! RFC 9293 lifecycle: SYN-SENT / SYN-RECEIVED setup, FIN-WAIT-1/2,
+//! CLOSE-WAIT / LAST-ACK and a timed TIME-WAIT — which is what the
+//! SYN-flood and connection-churn workloads exercise.
 
 use crate::reno::Reno;
 use crate::rtt::RttEstimator;
@@ -12,7 +34,7 @@ use crate::seq::{seq_dist, seq_ge, seq_gt, seq_lt};
 use dui_netsim::packet::{FlowKey, Header, Packet, TcpFlags};
 use dui_netsim::time::{SimDuration, SimTime};
 use dui_stats::digest::StateDigest;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Fold a flow key into `d` field by field (src, dst, sport, dport, proto).
 pub(crate) fn digest_flow_key(d: &mut StateDigest, key: &FlowKey) {
@@ -21,6 +43,75 @@ pub(crate) fn digest_flow_key(d: &mut StateDigest, key: &FlowKey) {
     d.write_u16(key.sport);
     d.write_u16(key.dport);
     d.write_u8(key.proto.code());
+}
+
+/// RFC 9293 connection states (plus `Idle`, the pre-open CLOSED a sender
+/// sits in between construction and `on_start`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// CLOSED before the connection was ever opened.
+    Idle,
+    /// Passive open: waiting for a SYN.
+    Listen,
+    /// Active open: SYN sent, waiting for the SYN-ACK.
+    SynSent,
+    /// Passive open: SYN seen, SYN-ACK sent, waiting for the final ACK.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// Our FIN is out, not yet acknowledged.
+    FinWait1,
+    /// Our FIN is acknowledged; waiting for the peer's FIN.
+    FinWait2,
+    /// Both sides sent FINs, ours not yet acknowledged (simultaneous close).
+    Closing,
+    /// Peer's FIN consumed; our side has not closed yet.
+    CloseWait,
+    /// Our FIN is out after the peer's; waiting for its ACK.
+    LastAck,
+    /// Fully closed, draining stray segments for 2MSL.
+    TimeWait,
+    /// CLOSED after teardown completed.
+    Closed,
+}
+
+impl TcpState {
+    /// Stable one-byte code for state digests and checkpoint codecs.
+    pub fn code(self) -> u8 {
+        match self {
+            TcpState::Idle => 0,
+            TcpState::Listen => 1,
+            TcpState::SynSent => 2,
+            TcpState::SynRcvd => 3,
+            TcpState::Established => 4,
+            TcpState::FinWait1 => 5,
+            TcpState::FinWait2 => 6,
+            TcpState::Closing => 7,
+            TcpState::CloseWait => 8,
+            TcpState::LastAck => 9,
+            TcpState::TimeWait => 10,
+            TcpState::Closed => 11,
+        }
+    }
+
+    /// Inverse of [`TcpState::code`].
+    pub fn from_code(c: u8) -> Option<TcpState> {
+        Some(match c {
+            0 => TcpState::Idle,
+            1 => TcpState::Listen,
+            2 => TcpState::SynSent,
+            3 => TcpState::SynRcvd,
+            4 => TcpState::Established,
+            5 => TcpState::FinWait1,
+            6 => TcpState::FinWait2,
+            7 => TcpState::Closing,
+            8 => TcpState::CloseWait,
+            9 => TcpState::LastAck,
+            10 => TcpState::TimeWait,
+            11 => TcpState::Closed,
+            _ => return None,
+        })
+    }
 }
 
 /// Sender configuration.
@@ -36,6 +127,12 @@ pub struct TcpSenderConfig {
     pub app_rate: Option<u64>,
     /// Initial congestion window (segments).
     pub initial_cwnd: f64,
+    /// Run the full RFC 9293 lifecycle (SYN handshake, FIN/FIN teardown,
+    /// TIME-WAIT). `false` preserves the original handshake-less model.
+    pub handshake: bool,
+    /// TIME-WAIT (2MSL) linger before the connection is fully CLOSED.
+    /// Only consulted when `handshake` is set.
+    pub time_wait: SimDuration,
 }
 
 impl Default for TcpSenderConfig {
@@ -45,6 +142,8 @@ impl Default for TcpSenderConfig {
             total_bytes: None,
             app_rate: None,
             initial_cwnd: 10.0,
+            handshake: false,
+            time_wait: SimDuration::from_secs(60),
         }
     }
 }
@@ -54,7 +153,7 @@ impl Default for TcpSenderConfig {
 pub struct SenderStats {
     /// Application bytes acknowledged.
     pub bytes_acked: u64,
-    /// Data segments sent (including retransmissions).
+    /// Data segments sent (including retransmissions and SYN/FIN).
     pub segments_sent: u64,
     /// Retransmitted segments (fast retransmit + RTO).
     pub retransmissions: u64,
@@ -66,220 +165,383 @@ pub struct SenderStats {
     pub completed_at: Option<SimTime>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SenderState {
-    Idle,
-    Established,
-    FinSent,
-    Closed,
-}
-
+/// One outstanding segment awaiting acknowledgement.
 #[derive(Debug, Clone, Copy)]
-struct SegmentRecord {
-    sent_at: SimTime,
-    retransmitted: bool,
-    len: u32,
+pub(crate) struct SegmentRecord {
+    pub(crate) sent_at: SimTime,
+    pub(crate) retransmitted: bool,
+    pub(crate) len: u32,
 }
 
-/// The TCP sender: Reno + RFC 6298 timers + fast retransmit.
-#[derive(Debug)]
-pub struct TcpSender {
-    key: FlowKey,
-    cfg: TcpSenderConfig,
-    cc: Reno,
-    rtt: RttEstimator,
-    isn: u32,
-    snd_una: u32,
-    snd_nxt: u32,
-    app_sent: u64,
-    started_at: SimTime,
-    segments: HashMap<u32, SegmentRecord>,
-    dupacks: u32,
-    rto_deadline: Option<SimTime>,
-    pace_deadline: Option<SimTime>,
-    peer_rwnd: u32,
-    fin_seq: Option<u32>,
+/// The retransmission queue: outstanding segments in send order.
+///
+/// Send order *is* sequence order (`snd_nxt` only grows; retransmissions
+/// update records in place), so the queue replaces the old
+/// `HashMap<u32, SegmentRecord>` with a layout whose iteration order is
+/// already canonical — digests walk the queue front-to-back with no
+/// sort-before-iterate dance, and cumulative ACKs pop from the front.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RtxQueue {
+    q: VecDeque<(u32, SegmentRecord)>,
+}
+
+impl RtxQueue {
+    pub(crate) fn push(&mut self, seq: u32, rec: SegmentRecord) {
+        self.q.push_back((seq, rec));
+    }
+
+    pub(crate) fn front(&self) -> Option<(u32, &SegmentRecord)> {
+        self.q.front().map(|(s, r)| (*s, r))
+    }
+
+    pub(crate) fn front_mut(&mut self) -> Option<(u32, &mut SegmentRecord)> {
+        self.q.front_mut().map(|(s, r)| (*s, r))
+    }
+
+    pub(crate) fn pop_front(&mut self) -> Option<(u32, SegmentRecord)> {
+        self.q.pop_front()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u32, &SegmentRecord)> {
+        self.q.iter().map(|(s, r)| (*s, r))
+    }
+
+    /// Queue-order digest (send order is the canonical order).
+    pub(crate) fn state_digest(&self, d: &mut StateDigest) {
+        d.write_len(self.q.len());
+        for (seq, rec) in &self.q {
+            d.write_u32(*seq);
+            d.write_u64(rec.sent_at.0);
+            d.write_bool(rec.retransmitted);
+            d.write_u32(rec.len);
+        }
+    }
+}
+
+/// Sequence-space column: ISN, send cursor and the phantom-byte markers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SeqState {
+    pub(crate) isn: u32,
+    pub(crate) snd_una: u32,
+    pub(crate) snd_nxt: u32,
+    pub(crate) app_sent: u64,
+    pub(crate) fin_seq: Option<u32>,
+    pub(crate) syn_seq: Option<u32>,
     /// NewReno-style recovery: while `Some(r)`, every partial ACK below `r`
     /// immediately retransmits the new head instead of waiting an RTO.
-    recovery_until: Option<u32>,
-    state: SenderState,
-    out: Vec<Packet>,
-    /// Statistics.
-    pub stats: SenderStats,
+    pub(crate) recovery_until: Option<u32>,
 }
 
-impl TcpSender {
-    /// Create a sender for the forward-direction flow `key`.
-    pub fn new(key: FlowKey, cfg: TcpSenderConfig, isn: u32) -> Self {
-        let cc = Reno::new(cfg.initial_cwnd);
-        TcpSender {
-            key,
-            cfg,
-            cc,
-            rtt: RttEstimator::default(),
+impl SeqState {
+    pub(crate) fn new(isn: u32) -> Self {
+        SeqState {
             isn,
             snd_una: isn,
             snd_nxt: isn,
             app_sent: 0,
+            fin_seq: None,
+            syn_seq: None,
+            recovery_until: None,
+        }
+    }
+}
+
+impl Default for SeqState {
+    fn default() -> Self {
+        SeqState::new(0)
+    }
+}
+
+/// Timer/window column: everything the sender consults between segments.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SenderMeta {
+    pub(crate) started_at: SimTime,
+    pub(crate) dupacks: u32,
+    pub(crate) rto_deadline: Option<SimTime>,
+    pub(crate) pace_deadline: Option<SimTime>,
+    pub(crate) timewait_deadline: Option<SimTime>,
+    pub(crate) peer_rwnd: u32,
+    pub(crate) state: TcpState,
+}
+
+impl Default for SenderMeta {
+    fn default() -> Self {
+        SenderMeta {
             started_at: SimTime::ZERO,
-            segments: HashMap::new(),
             dupacks: 0,
             rto_deadline: None,
             pace_deadline: None,
+            timewait_deadline: None,
             peer_rwnd: u32::MAX,
-            fin_seq: None,
-            recovery_until: None,
-            state: SenderState::Idle,
-            out: Vec::new(),
-            stats: SenderStats::default(),
+            state: TcpState::Idle,
+        }
+    }
+}
+
+/// Borrowed view over one sender's columns. The protocol implementation
+/// lives here; [`TcpSender`] and [`crate::pool::FlowPool`] both construct
+/// this view from their own storage.
+pub(crate) struct SenderCols<'a> {
+    pub(crate) key: FlowKey,
+    pub(crate) cfg: &'a TcpSenderConfig,
+    pub(crate) cc: &'a mut Reno,
+    pub(crate) rtt: &'a mut RttEstimator,
+    pub(crate) seq: &'a mut SeqState,
+    pub(crate) rtx: &'a mut RtxQueue,
+    pub(crate) meta: &'a mut SenderMeta,
+    pub(crate) out: &'a mut Vec<Packet>,
+    pub(crate) stats: &'a mut SenderStats,
+}
+
+impl SenderCols<'_> {
+    /// Begin transmitting: straight to ESTABLISHED without a handshake,
+    /// or emit a SYN and wait in SYN-SENT with one.
+    pub(crate) fn on_start(&mut self, now: SimTime) {
+        assert_eq!(self.meta.state, TcpState::Idle, "already started");
+        self.meta.started_at = now;
+        if self.cfg.handshake {
+            self.meta.state = TcpState::SynSent;
+            let syn = self.seq.isn;
+            self.seq.syn_seq = Some(syn);
+            self.rtx.push(
+                syn,
+                SegmentRecord {
+                    sent_at: now,
+                    retransmitted: false,
+                    len: 1, // SYN occupies one sequence number
+                },
+            );
+            self.seq.snd_nxt = syn.wrapping_add(1);
+            self.stats.segments_sent += 1;
+            self.out.push(Packet::tcp(
+                self.key,
+                syn,
+                0,
+                TcpFlags {
+                    syn: true,
+                    ..TcpFlags::default()
+                },
+                0,
+            ));
+            self.rearm_rto(now);
+        } else {
+            self.meta.state = TcpState::Established;
+            self.try_send(now);
         }
     }
 
-    /// Flow key (forward direction).
-    pub fn key(&self) -> FlowKey {
-        self.key
+    pub(crate) fn in_flight(&self) -> u32 {
+        seq_dist(self.seq.snd_una, self.seq.snd_nxt)
     }
 
-    /// Begin transmitting.
-    pub fn on_start(&mut self, now: SimTime) {
-        assert_eq!(self.state, SenderState::Idle, "already started");
-        self.state = SenderState::Established;
-        self.started_at = now;
-        self.try_send(now);
-    }
-
-    /// Flow finished (FIN acknowledged)?
-    pub fn is_done(&self) -> bool {
-        self.state == SenderState::Closed
-    }
-
-    /// Bytes currently in flight.
-    pub fn in_flight(&self) -> u32 {
-        seq_dist(self.snd_una, self.snd_nxt)
-    }
-
-    /// Current congestion window in segments.
-    pub fn cwnd_segments(&self) -> u32 {
-        self.cc.cwnd_segments()
-    }
-
-    /// Smoothed RTT, if measured.
-    pub fn srtt(&self) -> Option<SimDuration> {
-        self.rtt.srtt()
-    }
-
-    /// Drain outgoing packets.
-    pub fn take_out(&mut self) -> Vec<Packet> {
-        std::mem::take(&mut self.out)
-    }
-
-    /// Earliest time this sender needs a tick (RTO or pacing wake).
-    pub fn next_event_time(&self) -> Option<SimTime> {
-        match (self.rto_deadline, self.pace_deadline) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
-    }
-
-    /// A segment for this connection arrived (we only care about ACKs).
-    pub fn on_segment(&mut self, now: SimTime, pkt: &Packet) {
+    /// A segment for this connection arrived (ACKs, and — in handshake
+    /// mode — the peer's FIN).
+    pub(crate) fn on_segment(&mut self, now: SimTime, pkt: &Packet) {
         let Header::Tcp {
-            ack, flags, window, ..
+            seq: pkt_seq,
+            ack,
+            flags,
+            window,
         } = pkt.header
         else {
             return;
         };
-        if !flags.ack || self.state == SenderState::Idle || self.state == SenderState::Closed {
+        if !flags.ack
+            || self.meta.state == TcpState::Idle
+            || self.meta.state == TcpState::Closed
+        {
             return;
         }
-        self.peer_rwnd = window;
-        if seq_gt(ack, self.snd_una) {
+        self.meta.peer_rwnd = window;
+        if seq_gt(ack, self.seq.snd_una) {
+            let prev_una = self.seq.snd_una;
             // New data acknowledged.
-            let advanced = seq_dist(self.snd_una, ack);
+            let advanced = seq_dist(self.seq.snd_una, ack);
             // RTT sample from the segment that started at old snd_una,
             // if it was never retransmitted (Karn's rule).
-            if let Some(rec) = self.segments.get(&self.snd_una) {
-                if !rec.retransmitted {
+            if let Some((head, rec)) = self.rtx.front() {
+                if head == self.seq.snd_una && !rec.retransmitted {
                     self.rtt.sample(now.since(rec.sent_at));
                 }
             }
-            // ACK counting: one on_ack per fully-acked segment.
-            let mut cursor = self.snd_una;
+            // ACK counting: one on_ack per fully-acked segment. The queue
+            // is in send order, so acked records sit at the front.
+            let mut cursor = self.seq.snd_una;
             while seq_lt(cursor, ack) {
-                let len = self
-                    .segments
-                    .get(&cursor)
-                    .map(|r| r.len)
-                    .unwrap_or(self.cfg.mss);
-                self.segments.remove(&cursor);
+                let len = match self.rtx.front() {
+                    Some((head, rec)) if head == cursor => {
+                        let len = rec.len;
+                        self.rtx.pop_front();
+                        len
+                    }
+                    _ => self.cfg.mss,
+                };
                 self.cc.on_ack();
                 cursor = cursor.wrapping_add(len.max(1));
             }
-            self.snd_una = ack;
-            self.dupacks = 0;
-            // Don't count the FIN's phantom byte as application data.
-            let fin_bytes = match self.fin_seq {
-                Some(f) if seq_ge(ack, f.wrapping_add(1)) => 1,
-                _ => 0,
-            };
+            self.seq.snd_una = ack;
+            self.meta.dupacks = 0;
+            // Don't count the SYN/FIN phantom bytes as application data.
+            let mut phantom = 0u64;
+            if let Some(f) = self.seq.fin_seq {
+                if seq_ge(ack, f.wrapping_add(1)) {
+                    phantom += 1;
+                }
+            }
+            if let Some(s) = self.seq.syn_seq {
+                let after_syn = s.wrapping_add(1);
+                if seq_ge(ack, after_syn) && seq_lt(prev_una, after_syn) {
+                    phantom += 1;
+                }
+            }
             self.stats.bytes_acked = self
                 .stats
                 .bytes_acked
                 .saturating_add(advanced as u64)
-                .saturating_sub(fin_bytes);
-            if let Some(fin) = self.fin_seq {
-                if seq_ge(ack, fin.wrapping_add(1)) {
-                    self.state = SenderState::Closed;
+                .saturating_sub(phantom);
+            // SYN acknowledged: the handshake is complete — ACK it and
+            // start pushing data.
+            if self.meta.state == TcpState::SynSent {
+                if let Some(s) = self.seq.syn_seq {
+                    if seq_ge(self.seq.snd_una, s.wrapping_add(1)) {
+                        self.meta.state = TcpState::Established;
+                        // Third leg of the handshake: the peer's SYN
+                        // occupies its sequence 0, so we acknowledge 1.
+                        self.out.push(Packet::tcp(
+                            self.key,
+                            self.seq.snd_nxt,
+                            1,
+                            TcpFlags {
+                                ack: true,
+                                ..TcpFlags::default()
+                            },
+                            0,
+                        ));
+                    }
+                }
+            }
+            let fin_acked = self
+                .seq
+                .fin_seq
+                .is_some_and(|f| seq_ge(ack, f.wrapping_add(1)));
+            if fin_acked {
+                if self.stats.completed_at.is_none() {
                     self.stats.completed_at = Some(now);
-                    self.rto_deadline = None;
-                    self.pace_deadline = None;
+                }
+                self.meta.rto_deadline = None;
+                self.meta.pace_deadline = None;
+                if !self.cfg.handshake {
+                    self.meta.state = TcpState::Closed;
                     return;
                 }
-            }
-            // NewReno partial-ACK handling: if we are recovering from loss
-            // and this ACK does not cover the recovery point, the next hole
-            // starts at the new head — retransmit it immediately.
-            match self.recovery_until {
-                Some(r) if seq_lt(ack, r) => {
-                    self.retransmit_head(now);
+                match self.meta.state {
+                    TcpState::FinWait1 => self.meta.state = TcpState::FinWait2,
+                    TcpState::Closing => self.enter_time_wait(now),
+                    _ => {}
                 }
-                Some(_) => self.recovery_until = None,
-                None => {}
+            } else {
+                // NewReno partial-ACK handling: if we are recovering from
+                // loss and this ACK does not cover the recovery point, the
+                // next hole starts at the new head — retransmit it
+                // immediately.
+                match self.seq.recovery_until {
+                    Some(r) if seq_lt(ack, r) => {
+                        self.retransmit_head(now);
+                    }
+                    Some(_) => self.seq.recovery_until = None,
+                    None => {}
+                }
+                self.rearm_rto(now);
+                self.try_send(now);
             }
-            self.rearm_rto(now);
-            self.try_send(now);
-        } else if ack == self.snd_una && self.in_flight() > 0 {
-            self.dupacks += 1;
-            if self.dupacks == 3 {
+        } else if ack == self.seq.snd_una && self.in_flight() > 0 {
+            self.meta.dupacks += 1;
+            if self.meta.dupacks == 3 {
                 self.fast_retransmit(now);
             }
         }
+        // Teardown: the peer's FIN rides on its ACKs.
+        if self.cfg.handshake && flags.fin {
+            self.on_peer_fin(now, pkt_seq);
+        }
     }
 
-    /// Clock tick: check RTO and pacing deadlines.
-    pub fn on_tick(&mut self, now: SimTime) {
-        if self.state == SenderState::Closed || self.state == SenderState::Idle {
+    /// Clock tick: check RTO, pacing and TIME-WAIT deadlines.
+    pub(crate) fn on_tick(&mut self, now: SimTime) {
+        if self.meta.state == TcpState::TimeWait {
+            if let Some(d) = self.meta.timewait_deadline {
+                if now >= d {
+                    self.meta.timewait_deadline = None;
+                    self.meta.state = TcpState::Closed;
+                }
+            }
             return;
         }
-        if let Some(d) = self.rto_deadline {
+        if self.meta.state == TcpState::Closed || self.meta.state == TcpState::Idle {
+            return;
+        }
+        if let Some(d) = self.meta.rto_deadline {
             if now >= d && self.in_flight() > 0 {
                 self.on_rto(now);
             }
         }
-        if let Some(d) = self.pace_deadline {
+        if let Some(d) = self.meta.pace_deadline {
             if now >= d {
-                self.pace_deadline = None;
+                self.meta.pace_deadline = None;
                 self.try_send(now);
             }
         }
+    }
+
+    fn on_peer_fin(&mut self, now: SimTime, fin_seq: u32) {
+        let ack_of_fin = fin_seq.wrapping_add(1);
+        match self.meta.state {
+            TcpState::FinWait1 => {
+                // Simultaneous close: both FINs in flight.
+                self.ack_peer_fin(ack_of_fin);
+                self.meta.state = TcpState::Closing;
+            }
+            TcpState::FinWait2 => {
+                self.ack_peer_fin(ack_of_fin);
+                self.enter_time_wait(now);
+            }
+            TcpState::TimeWait => {
+                // Retransmitted peer FIN: re-ACK and restart 2MSL.
+                self.ack_peer_fin(ack_of_fin);
+                self.meta.timewait_deadline = Some(now + self.cfg.time_wait);
+            }
+            _ => {}
+        }
+    }
+
+    fn ack_peer_fin(&mut self, ack: u32) {
+        self.out.push(Packet::tcp(
+            self.key,
+            self.seq.snd_nxt,
+            ack,
+            TcpFlags {
+                ack: true,
+                ..TcpFlags::default()
+            },
+            0,
+        ));
+    }
+
+    fn enter_time_wait(&mut self, now: SimTime) {
+        self.meta.state = TcpState::TimeWait;
+        self.meta.timewait_deadline = Some(now + self.cfg.time_wait);
     }
 
     fn on_rto(&mut self, now: SimTime) {
         self.stats.timeouts += 1;
         self.cc.on_timeout();
         self.rtt.on_timeout();
-        self.dupacks = 0;
-        self.recovery_until = Some(self.snd_nxt);
+        self.meta.dupacks = 0;
+        self.seq.recovery_until = Some(self.seq.snd_nxt);
         self.retransmit_head(now);
         self.rearm_rto(now);
     }
@@ -287,33 +549,38 @@ impl TcpSender {
     fn fast_retransmit(&mut self, now: SimTime) {
         self.stats.fast_retransmits += 1;
         self.cc.on_fast_retransmit();
-        self.recovery_until = Some(self.snd_nxt);
+        self.seq.recovery_until = Some(self.seq.snd_nxt);
         self.retransmit_head(now);
         self.rearm_rto(now);
     }
 
     fn retransmit_head(&mut self, now: SimTime) {
-        let head = self.snd_una;
-        let Some(rec) = self.segments.get_mut(&head) else {
+        let head = self.seq.snd_una;
+        let Some((seq, rec)) = self.rtx.front_mut() else {
             return;
         };
+        if seq != head {
+            return;
+        }
         rec.retransmitted = true;
         rec.sent_at = now;
         let len = rec.len;
         self.stats.retransmissions += 1;
         self.stats.segments_sent += 1;
-        let is_fin = self.fin_seq == Some(head);
+        let is_fin = self.seq.fin_seq == Some(head);
+        let is_syn = self.seq.syn_seq == Some(head);
         let flags = TcpFlags {
             fin: is_fin,
+            syn: is_syn,
             ..TcpFlags::default()
         };
-        let payload = if is_fin { 0 } else { len };
+        let payload = if is_fin || is_syn { 0 } else { len };
         self.out
             .push(Packet::tcp(self.key, head, 0, flags, payload));
     }
 
     fn rearm_rto(&mut self, now: SimTime) {
-        self.rto_deadline = if self.in_flight() > 0 {
+        self.meta.rto_deadline = if self.in_flight() > 0 {
             Some(now + self.rtt.rto())
         } else {
             None
@@ -325,7 +592,7 @@ impl TcpSender {
         let offered = match self.cfg.app_rate {
             None => u64::MAX,
             Some(rate) => {
-                let elapsed = now.since(self.started_at).as_secs_f64();
+                let elapsed = now.since(self.meta.started_at).as_secs_f64();
                 (rate as f64 * elapsed) as u64
             }
         };
@@ -336,29 +603,29 @@ impl TcpSender {
     }
 
     fn try_send(&mut self, now: SimTime) {
-        if self.state != SenderState::Established {
+        if self.meta.state != TcpState::Established {
             return;
         }
         let win_bytes =
-            (self.cc.cwnd_segments() as u64 * self.cfg.mss as u64).min(self.peer_rwnd as u64);
+            (self.cc.cwnd_segments() as u64 * self.cfg.mss as u64).min(self.meta.peer_rwnd as u64);
         let available = self.app_available(now);
         loop {
             let in_flight = self.in_flight() as u64;
             if in_flight + self.cfg.mss as u64 > win_bytes {
                 break; // window-limited
             }
-            let remaining_now = available.saturating_sub(self.app_sent);
+            let remaining_now = available.saturating_sub(self.seq.app_sent);
             let total_remaining = self
                 .cfg
                 .total_bytes
-                .map(|t| t.saturating_sub(self.app_sent))
+                .map(|t| t.saturating_sub(self.seq.app_sent))
                 .unwrap_or(u64::MAX);
             if total_remaining == 0 {
                 // All data queued; send FIN once.
-                if self.fin_seq.is_none() {
-                    let fin = self.snd_nxt;
-                    self.fin_seq = Some(fin);
-                    self.segments.insert(
+                if self.seq.fin_seq.is_none() {
+                    let fin = self.seq.snd_nxt;
+                    self.seq.fin_seq = Some(fin);
+                    self.rtx.push(
                         fin,
                         SegmentRecord {
                             sent_at: now,
@@ -366,8 +633,8 @@ impl TcpSender {
                             len: 1, // FIN occupies one sequence number
                         },
                     );
-                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
-                    self.state = SenderState::FinSent;
+                    self.seq.snd_nxt = self.seq.snd_nxt.wrapping_add(1);
+                    self.meta.state = TcpState::FinWait1;
                     self.stats.segments_sent += 1;
                     self.out.push(Packet::tcp(
                         self.key,
@@ -391,15 +658,15 @@ impl TcpSender {
             if remaining_now < len as u64 {
                 // App-limited: schedule a pacing wake for this segment.
                 if let Some(rate) = self.cfg.app_rate {
-                    let next_bytes = self.app_sent + len as u64;
-                    let at = self.started_at
+                    let next_bytes = self.seq.app_sent + len as u64;
+                    let at = self.meta.started_at
                         + SimDuration::from_secs_f64(next_bytes as f64 / rate as f64);
-                    self.pace_deadline = Some(at.max(now + SimDuration::from_nanos(1)));
+                    self.meta.pace_deadline = Some(at.max(now + SimDuration::from_nanos(1)));
                 }
                 break;
             }
-            let seq = self.snd_nxt;
-            self.segments.insert(
+            let seq = self.seq.snd_nxt;
+            self.rtx.push(
                 seq,
                 SegmentRecord {
                     sent_at: now,
@@ -407,72 +674,195 @@ impl TcpSender {
                     len,
                 },
             );
-            self.snd_nxt = self.snd_nxt.wrapping_add(len);
-            self.app_sent += len as u64;
+            self.seq.snd_nxt = self.seq.snd_nxt.wrapping_add(len);
+            self.seq.app_sent += len as u64;
             self.stats.segments_sent += 1;
             self.out
                 .push(Packet::tcp(self.key, seq, 0, TcpFlags::default(), len));
         }
-        if self.in_flight() > 0 && self.rto_deadline.is_none() {
+        if self.in_flight() > 0 && self.meta.rto_deadline.is_none() {
             self.rearm_rto(now);
         }
+    }
+}
+
+/// Earliest deadline among the sender's RTO, pacing and TIME-WAIT timers.
+pub(crate) fn sender_next_event_time(meta: &SenderMeta) -> Option<SimTime> {
+    [
+        meta.rto_deadline,
+        meta.pace_deadline,
+        meta.timewait_deadline,
+    ]
+    .into_iter()
+    .flatten()
+    .min()
+}
+
+/// Fold one sender's complete column set into `d`: configuration,
+/// congestion control, RTT estimator, sequence space, the retransmission
+/// queue (send order — already canonical, no sorting) and statistics.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn digest_sender_cols(
+    d: &mut StateDigest,
+    key: &FlowKey,
+    cfg: &TcpSenderConfig,
+    cc: &Reno,
+    rtt: &RttEstimator,
+    seq: &SeqState,
+    rtx: &RtxQueue,
+    meta: &SenderMeta,
+    out: &[Packet],
+    stats: &SenderStats,
+) {
+    digest_flow_key(d, key);
+    d.write_u32(cfg.mss);
+    d.write_opt_u64(cfg.total_bytes);
+    d.write_opt_u64(cfg.app_rate);
+    d.write_f64(cfg.initial_cwnd);
+    d.write_bool(cfg.handshake);
+    d.write_u64(cfg.time_wait.as_nanos());
+    cc.state_digest(d);
+    rtt.state_digest(d);
+    d.write_u32(seq.isn);
+    d.write_u32(seq.snd_una);
+    d.write_u32(seq.snd_nxt);
+    d.write_u64(seq.app_sent);
+    d.write_u64(meta.started_at.0);
+    rtx.state_digest(d);
+    d.write_u32(meta.dupacks);
+    d.write_opt_u64(meta.rto_deadline.map(|t| t.0));
+    d.write_opt_u64(meta.pace_deadline.map(|t| t.0));
+    d.write_opt_u64(meta.timewait_deadline.map(|t| t.0));
+    d.write_u32(meta.peer_rwnd);
+    d.write_opt_u64(seq.fin_seq.map(u64::from));
+    d.write_opt_u64(seq.syn_seq.map(u64::from));
+    d.write_opt_u64(seq.recovery_until.map(u64::from));
+    d.write_u8(meta.state.code());
+    d.write_len(out.len());
+    for p in out {
+        p.state_digest(d);
+    }
+    d.write_u64(stats.bytes_acked);
+    d.write_u64(stats.segments_sent);
+    d.write_u64(stats.retransmissions);
+    d.write_u64(stats.fast_retransmits);
+    d.write_u64(stats.timeouts);
+    d.write_opt_u64(stats.completed_at.map(|t| t.0));
+}
+
+/// The TCP sender: Reno + RFC 6298 timers + fast retransmit, owning one
+/// column set. The event handlers delegate to `SenderCols`.
+#[derive(Debug)]
+pub struct TcpSender {
+    key: FlowKey,
+    cfg: TcpSenderConfig,
+    cc: Reno,
+    rtt: RttEstimator,
+    seq: SeqState,
+    rtx: RtxQueue,
+    meta: SenderMeta,
+    out: Vec<Packet>,
+    /// Statistics.
+    pub stats: SenderStats,
+}
+
+impl TcpSender {
+    /// Create a sender for the forward-direction flow `key`.
+    pub fn new(key: FlowKey, cfg: TcpSenderConfig, isn: u32) -> Self {
+        let cc = Reno::new(cfg.initial_cwnd);
+        TcpSender {
+            key,
+            cfg,
+            cc,
+            rtt: RttEstimator::default(),
+            seq: SeqState::new(isn),
+            rtx: RtxQueue::default(),
+            meta: SenderMeta::default(),
+            out: Vec::new(),
+            stats: SenderStats::default(),
+        }
+    }
+
+    fn cols(&mut self) -> SenderCols<'_> {
+        SenderCols {
+            key: self.key,
+            cfg: &self.cfg,
+            cc: &mut self.cc,
+            rtt: &mut self.rtt,
+            seq: &mut self.seq,
+            rtx: &mut self.rtx,
+            meta: &mut self.meta,
+            out: &mut self.out,
+            stats: &mut self.stats,
+        }
+    }
+
+    /// Flow key (forward direction).
+    pub fn key(&self) -> FlowKey {
+        self.key
+    }
+
+    /// Begin transmitting.
+    pub fn on_start(&mut self, now: SimTime) {
+        self.cols().on_start(now);
+    }
+
+    /// Flow finished (teardown complete)?
+    pub fn is_done(&self) -> bool {
+        self.meta.state == TcpState::Closed
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TcpState {
+        self.meta.state
+    }
+
+    /// Bytes currently in flight.
+    pub fn in_flight(&self) -> u32 {
+        seq_dist(self.seq.snd_una, self.seq.snd_nxt)
+    }
+
+    /// Current congestion window in segments.
+    pub fn cwnd_segments(&self) -> u32 {
+        self.cc.cwnd_segments()
+    }
+
+    /// Smoothed RTT, if measured.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.rtt.srtt()
+    }
+
+    /// Drain outgoing packets.
+    pub fn take_out(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Earliest time this sender needs a tick (RTO, pacing or TIME-WAIT).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        sender_next_event_time(&self.meta)
+    }
+
+    /// A segment for this connection arrived (ACKs and the peer's FIN).
+    pub fn on_segment(&mut self, now: SimTime, pkt: &Packet) {
+        self.cols().on_segment(now, pkt);
+    }
+
+    /// Clock tick: check RTO, pacing and TIME-WAIT deadlines.
+    pub fn on_tick(&mut self, now: SimTime) {
+        self.cols().on_tick(now);
     }
 
     /// Initial sequence number.
     pub fn isn(&self) -> u32 {
-        self.isn
+        self.seq.isn
     }
 
-    /// Fold the sender's complete state into `d`: configuration,
-    /// congestion control, RTT estimator, sequence space, the
-    /// outstanding-segment map (iterated in sorted key order) and
-    /// statistics.
+    /// Fold the sender's complete state into `d`.
     pub fn state_digest(&self, d: &mut StateDigest) {
-        digest_flow_key(d, &self.key);
-        d.write_u32(self.cfg.mss);
-        d.write_opt_u64(self.cfg.total_bytes);
-        d.write_opt_u64(self.cfg.app_rate);
-        d.write_f64(self.cfg.initial_cwnd);
-        self.cc.state_digest(d);
-        self.rtt.state_digest(d);
-        d.write_u32(self.isn);
-        d.write_u32(self.snd_una);
-        d.write_u32(self.snd_nxt);
-        d.write_u64(self.app_sent);
-        d.write_u64(self.started_at.0);
-        // HashMap iteration order is arbitrary: sort keys first (sorted).
-        let mut seqs: Vec<u32> = self.segments.keys().copied().collect();
-        seqs.sort_unstable();
-        d.write_len(seqs.len());
-        for seq in seqs {
-            let rec = &self.segments[&seq];
-            d.write_u32(seq);
-            d.write_u64(rec.sent_at.0);
-            d.write_bool(rec.retransmitted);
-            d.write_u32(rec.len);
-        }
-        d.write_u32(self.dupacks);
-        d.write_opt_u64(self.rto_deadline.map(|t| t.0));
-        d.write_opt_u64(self.pace_deadline.map(|t| t.0));
-        d.write_u32(self.peer_rwnd);
-        d.write_opt_u64(self.fin_seq.map(u64::from));
-        d.write_opt_u64(self.recovery_until.map(u64::from));
-        d.write_u8(match self.state {
-            SenderState::Idle => 0,
-            SenderState::Established => 1,
-            SenderState::FinSent => 2,
-            SenderState::Closed => 3,
-        });
-        d.write_len(self.out.len());
-        for p in &self.out {
-            p.state_digest(d);
-        }
-        d.write_u64(self.stats.bytes_acked);
-        d.write_u64(self.stats.segments_sent);
-        d.write_u64(self.stats.retransmissions);
-        d.write_u64(self.stats.fast_retransmits);
-        d.write_u64(self.stats.timeouts);
-        d.write_opt_u64(self.stats.completed_at.map(|t| t.0));
+        digest_sender_cols(
+            d, &self.key, &self.cfg, &self.cc, &self.rtt, &self.seq, &self.rtx, &self.meta,
+            &self.out, &self.stats,
+        );
     }
 }
 
@@ -490,49 +880,281 @@ pub struct ReceiverStats {
     pub finished_at: Option<SimTime>,
 }
 
-/// The TCP receiver: cumulative ACKs + out-of-order reassembly buffer.
+/// Receiver-side column: cumulative-ACK cursor, reassembly buffer and the
+/// passive-open lifecycle state.
+#[derive(Debug, Clone)]
+pub(crate) struct RcvState {
+    pub(crate) rcv_nxt: u32,
+    /// Out-of-order segments keyed by absolute sequence number. Segment
+    /// boundaries from a single sender are stable, so exact-key lookup at
+    /// `rcv_nxt` drains the buffer without wrap-sensitive ordering.
+    pub(crate) ooo: BTreeMap<u32, u32>,
+    pub(crate) fin_seq: Option<u32>,
+    pub(crate) done: bool,
+    pub(crate) advertised_window: u32,
+    pub(crate) state: TcpState,
+    /// Passive-open (SYN-driven) connection walking the full lifecycle?
+    pub(crate) handshake: bool,
+    pub(crate) our_fin_sent: bool,
+}
+
+impl RcvState {
+    /// Handshake-less receiver expecting first byte `isn` (the original
+    /// model: it is born ESTABLISHED).
+    pub(crate) fn new(isn: u32) -> Self {
+        RcvState {
+            rcv_nxt: isn,
+            ooo: BTreeMap::new(),
+            fin_seq: None,
+            done: false,
+            advertised_window: 1 << 20,
+            state: TcpState::Established,
+            handshake: false,
+            our_fin_sent: false,
+        }
+    }
+
+    /// Passive-open receiver: waits in LISTEN for a SYN.
+    pub(crate) fn listen() -> Self {
+        RcvState {
+            state: TcpState::Listen,
+            handshake: true,
+            ..RcvState::new(0)
+        }
+    }
+}
+
+impl Default for RcvState {
+    fn default() -> Self {
+        RcvState::new(0)
+    }
+}
+
+/// Borrowed view over one receiver's columns (see `SenderCols`).
+pub(crate) struct RecvCols<'a> {
+    pub(crate) key: FlowKey,
+    pub(crate) rcv: &'a mut RcvState,
+    pub(crate) out: &'a mut Vec<Packet>,
+    pub(crate) stats: &'a mut ReceiverStats,
+}
+
+impl RecvCols<'_> {
+    /// A segment arrived.
+    pub(crate) fn on_segment(&mut self, now: SimTime, pkt: &Packet) {
+        let Header::Tcp {
+            seq,
+            ack: ack_no,
+            flags,
+            ..
+        } = pkt.header
+        else {
+            return;
+        };
+        // Passive open: SYN (or a retransmitted duplicate) → SYN-RCVD.
+        if flags.syn {
+            if matches!(self.rcv.state, TcpState::Listen | TcpState::SynRcvd) {
+                if self.rcv.state == TcpState::SynRcvd {
+                    self.stats.duplicate_segments += 1;
+                }
+                self.rcv.rcv_nxt = seq.wrapping_add(1);
+                self.rcv.state = TcpState::SynRcvd;
+                // SYN-ACK: our ISN is 0 by convention (we never send data).
+                self.push_flagged(
+                    0,
+                    TcpFlags {
+                        syn: true,
+                        ack: true,
+                        ..TcpFlags::default()
+                    },
+                );
+            }
+            return;
+        }
+        // Any non-SYN segment completes the passive handshake.
+        if self.rcv.state == TcpState::SynRcvd {
+            self.rcv.state = TcpState::Established;
+        }
+        if flags.ack && pkt.payload == 0 && !flags.fin {
+            // Pure ACK. In LAST-ACK it acknowledges our FIN (which sits at
+            // our sequence 0); otherwise receivers ignore it.
+            if self.rcv.state == TcpState::LastAck && seq_ge(ack_no, 1) {
+                self.rcv.state = TcpState::Closed;
+            }
+            return;
+        }
+        let len = if flags.fin { 1 } else { pkt.payload };
+        if flags.fin {
+            self.rcv.fin_seq = Some(seq);
+        }
+        if len == 0 {
+            self.emit_ack();
+            return;
+        }
+        if seq_lt(seq, self.rcv.rcv_nxt) {
+            // Entirely old segment: duplicate.
+            self.stats.duplicate_segments += 1;
+            self.emit_ack();
+            return;
+        }
+        if seq == self.rcv.rcv_nxt {
+            let fin_here = flags.fin;
+            self.advance(len, fin_here, now);
+            // Drain buffered segments that are now contiguous.
+            while let Some(blen) = self.rcv.ooo.remove(&self.rcv.rcv_nxt) {
+                let fin_here = self.rcv.fin_seq == Some(self.rcv.rcv_nxt);
+                self.advance(blen, fin_here, now);
+            }
+        } else {
+            // Future segment: buffer by absolute sequence.
+            if self.rcv.ooo.insert(seq, len).is_none() {
+                self.stats.out_of_order_segments += 1;
+            } else {
+                self.stats.duplicate_segments += 1;
+            }
+        }
+        self.emit_ack();
+        // Teardown: consuming the peer's FIN moves a handshake connection
+        // through CLOSE-WAIT; we have nothing more to send, so the FIN
+        // follows immediately and we wait in LAST-ACK for its ACK.
+        if self.rcv.done && self.rcv.handshake && !self.rcv.our_fin_sent {
+            self.rcv.our_fin_sent = true;
+            self.rcv.state = TcpState::CloseWait;
+            self.push_flagged(
+                0, // our FIN occupies our sequence 0
+                TcpFlags {
+                    fin: true,
+                    ack: true,
+                    ..TcpFlags::default()
+                },
+            );
+            self.rcv.state = TcpState::LastAck;
+        }
+    }
+
+    fn advance(&mut self, len: u32, fin: bool, now: SimTime) {
+        self.rcv.rcv_nxt = self.rcv.rcv_nxt.wrapping_add(len);
+        if fin {
+            self.rcv.done = true;
+            if self.rcv.handshake {
+                self.rcv.state = TcpState::CloseWait;
+            }
+            self.stats.finished_at = Some(now);
+        } else {
+            self.stats.bytes_delivered += len as u64;
+        }
+    }
+
+    fn emit_ack(&mut self) {
+        self.push_flagged(
+            0,
+            TcpFlags {
+                ack: true,
+                ..TcpFlags::default()
+            },
+        );
+    }
+
+    /// Emit a reverse-direction segment carrying our advertised window.
+    fn push_flagged(&mut self, seq: u32, flags: TcpFlags) {
+        let mut p = Packet::tcp(self.key.reversed(), seq, self.rcv.rcv_nxt, flags, 0);
+        if let Header::Tcp { window, .. } = &mut p.header {
+            *window = self.rcv.advertised_window;
+        }
+        self.out.push(p);
+    }
+}
+
+/// Fold one receiver's complete column set into `d` (the reassembly
+/// buffer is a `BTreeMap`, so iteration order is already stable).
+pub(crate) fn digest_recv_cols(
+    d: &mut StateDigest,
+    key: &FlowKey,
+    rcv: &RcvState,
+    out: &[Packet],
+    stats: &ReceiverStats,
+) {
+    digest_flow_key(d, key);
+    d.write_u32(rcv.rcv_nxt);
+    d.write_len(rcv.ooo.len());
+    for (seq, len) in &rcv.ooo {
+        d.write_u32(*seq);
+        d.write_u32(*len);
+    }
+    d.write_opt_u64(rcv.fin_seq.map(u64::from));
+    d.write_bool(rcv.done);
+    d.write_u32(rcv.advertised_window);
+    d.write_u8(rcv.state.code());
+    d.write_bool(rcv.handshake);
+    d.write_bool(rcv.our_fin_sent);
+    d.write_len(out.len());
+    for p in out {
+        p.state_digest(d);
+    }
+    d.write_u64(stats.bytes_delivered);
+    d.write_u64(stats.duplicate_segments);
+    d.write_u64(stats.out_of_order_segments);
+    d.write_opt_u64(stats.finished_at.map(|t| t.0));
+}
+
+/// The TCP receiver: cumulative ACKs + out-of-order reassembly buffer,
+/// owning one column set.
 #[derive(Debug)]
 pub struct TcpReceiver {
     /// Forward-direction flow key (data flows along `key`, ACKs along
     /// `key.reversed()`).
     key: FlowKey,
-    rcv_nxt: u32,
-    /// Out-of-order segments keyed by absolute sequence number. Segment
-    /// boundaries from a single sender are stable, so exact-key lookup at
-    /// `rcv_nxt` drains the buffer without wrap-sensitive ordering.
-    ooo: BTreeMap<u32, u32>,
-    fin_seq: Option<u32>,
-    done: bool,
-    advertised_window: u32,
+    rcv: RcvState,
     out: Vec<Packet>,
     /// Statistics.
     pub stats: ReceiverStats,
 }
 
 impl TcpReceiver {
-    /// Create a receiver expecting first byte `isn`.
+    /// Create a receiver expecting first byte `isn` (handshake-less: born
+    /// ESTABLISHED).
     pub fn new(key: FlowKey, isn: u32) -> Self {
         TcpReceiver {
             key,
-            rcv_nxt: isn,
-            ooo: BTreeMap::new(),
-            fin_seq: None,
-            done: false,
-            advertised_window: 1 << 20,
+            rcv: RcvState::new(isn),
             out: Vec::new(),
             stats: ReceiverStats::default(),
+        }
+    }
+
+    /// Create a passive-open receiver in LISTEN: the first SYN drives it
+    /// through SYN-RCVD and the full RFC 9293 teardown.
+    pub fn listen(key: FlowKey) -> Self {
+        TcpReceiver {
+            key,
+            rcv: RcvState::listen(),
+            out: Vec::new(),
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    fn cols(&mut self) -> RecvCols<'_> {
+        RecvCols {
+            key: self.key,
+            rcv: &mut self.rcv,
+            out: &mut self.out,
+            stats: &mut self.stats,
         }
     }
 
     /// Override the advertised receive window (used by the endpoint-attack
     /// experiments: a MitM shrinking the window throttles the sender).
     pub fn set_advertised_window(&mut self, w: u32) {
-        self.advertised_window = w;
+        self.rcv.advertised_window = w;
     }
 
     /// FIN consumed?
     pub fn is_done(&self) -> bool {
-        self.done
+        self.rcv.done
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TcpState {
+        self.rcv.state
     }
 
     /// Drain outgoing (ACK) packets.
@@ -542,99 +1164,17 @@ impl TcpReceiver {
 
     /// A data segment arrived.
     pub fn on_segment(&mut self, now: SimTime, pkt: &Packet) {
-        let Header::Tcp { seq, flags, .. } = pkt.header else {
-            return;
-        };
-        if flags.ack && pkt.payload == 0 && !flags.fin {
-            return; // pure ACK (e.g. misdelivered); receivers ignore
-        }
-        let len = if flags.fin { 1 } else { pkt.payload };
-        if flags.fin {
-            self.fin_seq = Some(seq);
-        }
-        if len == 0 {
-            self.emit_ack();
-            return;
-        }
-        if seq_lt(seq, self.rcv_nxt) {
-            // Entirely old segment: duplicate.
-            self.stats.duplicate_segments += 1;
-            self.emit_ack();
-            return;
-        }
-        if seq == self.rcv_nxt {
-            let fin_here = flags.fin;
-            self.advance(len, fin_here, now);
-            // Drain buffered segments that are now contiguous.
-            while let Some(blen) = self.ooo.remove(&self.rcv_nxt) {
-                let fin_here = self.fin_seq == Some(self.rcv_nxt);
-                self.advance(blen, fin_here, now);
-            }
-        } else {
-            // Future segment: buffer by absolute sequence.
-            if self.ooo.insert(seq, len).is_none() {
-                self.stats.out_of_order_segments += 1;
-            } else {
-                self.stats.duplicate_segments += 1;
-            }
-        }
-        self.emit_ack();
-    }
-
-    fn advance(&mut self, len: u32, fin: bool, now: SimTime) {
-        self.rcv_nxt = self.rcv_nxt.wrapping_add(len);
-        if fin {
-            self.done = true;
-            self.stats.finished_at = Some(now);
-        } else {
-            self.stats.bytes_delivered += len as u64;
-        }
-    }
-
-    fn emit_ack(&mut self) {
-        let ack_pkt = Packet::tcp(
-            self.key.reversed(),
-            0,
-            self.rcv_nxt,
-            TcpFlags {
-                ack: true,
-                ..TcpFlags::default()
-            },
-            0,
-        );
-        let mut p = ack_pkt;
-        if let Header::Tcp { window, .. } = &mut p.header {
-            *window = self.advertised_window;
-        }
-        self.out.push(p);
+        self.cols().on_segment(now, pkt);
     }
 
     /// Next expected sequence number.
     pub fn rcv_nxt(&self) -> u32 {
-        self.rcv_nxt
+        self.rcv.rcv_nxt
     }
 
-    /// Fold the receiver's complete state into `d` (the reassembly
-    /// buffer is a `BTreeMap`, so iteration order is already stable).
+    /// Fold the receiver's complete state into `d`.
     pub fn state_digest(&self, d: &mut StateDigest) {
-        digest_flow_key(d, &self.key);
-        d.write_u32(self.rcv_nxt);
-        d.write_len(self.ooo.len());
-        for (seq, len) in &self.ooo {
-            d.write_u32(*seq);
-            d.write_u32(*len);
-        }
-        d.write_opt_u64(self.fin_seq.map(u64::from));
-        d.write_bool(self.done);
-        d.write_u32(self.advertised_window);
-        d.write_len(self.out.len());
-        for p in &self.out {
-            p.state_digest(d);
-        }
-        d.write_u64(self.stats.bytes_delivered);
-        d.write_u64(self.stats.duplicate_segments);
-        d.write_u64(self.stats.out_of_order_segments);
-        d.write_opt_u64(self.stats.finished_at.map(|t| t.0));
+        digest_recv_cols(d, &self.key, &self.rcv, &self.out, &self.stats);
     }
 }
 
@@ -916,5 +1456,147 @@ mod tests {
         assert!(r.is_done());
         assert_eq!(s.stats.bytes_acked, 100);
         assert_eq!(r.stats.bytes_delivered, 100);
+    }
+
+    /// Drive a handshake sender/receiver pair until both settle or `steps`
+    /// run out, ticking the sender's deadlines along the way.
+    fn run_handshake_pair(
+        s: &mut TcpSender,
+        r: &mut TcpReceiver,
+        steps: u64,
+    ) -> (Vec<TcpState>, Vec<TcpState>) {
+        let mut s_states = vec![s.state()];
+        let mut r_states = vec![r.state()];
+        for step in 1..=steps {
+            let now = t(step * 10);
+            s.on_tick(now);
+            for pkt in s.take_out() {
+                r.on_segment(now, &pkt);
+                if *r_states.last().unwrap() != r.state() {
+                    r_states.push(r.state());
+                }
+            }
+            for ack in r.take_out() {
+                s.on_segment(now, &ack);
+                if *s_states.last().unwrap() != s.state() {
+                    s_states.push(s.state());
+                }
+            }
+            if *r_states.last().unwrap() != r.state() {
+                r_states.push(r.state());
+            }
+            if *s_states.last().unwrap() != s.state() {
+                s_states.push(s.state());
+            }
+        }
+        (s_states, r_states)
+    }
+
+    #[test]
+    fn handshake_walks_full_lifecycle() {
+        let cfg = TcpSenderConfig {
+            total_bytes: Some(2920),
+            handshake: true,
+            time_wait: SimDuration::from_millis(50),
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(key(), cfg, 1);
+        let mut r = TcpReceiver::listen(key());
+        assert_eq!(r.state(), TcpState::Listen);
+        s.on_start(t(0));
+        assert_eq!(s.state(), TcpState::SynSent);
+        let (s_states, r_states) = run_handshake_pair(&mut s, &mut r, 60);
+        assert!(s.is_done(), "sender states: {s_states:?}");
+        assert_eq!(r.state(), TcpState::Closed, "receiver states: {r_states:?}");
+        // The harness samples state between packets, so ESTABLISHED is not
+        // observable on the sender: the SYN-ACK completes the handshake AND
+        // drains the whole 2-segment flow (plus FIN) in one call.
+        assert_eq!(
+            s_states,
+            vec![
+                TcpState::SynSent,
+                TcpState::FinWait1,
+                TcpState::FinWait2,
+                TcpState::TimeWait,
+                TcpState::Closed,
+            ]
+        );
+        assert_eq!(
+            r_states,
+            vec![
+                TcpState::Listen,
+                TcpState::SynRcvd,
+                TcpState::Established,
+                TcpState::LastAck,
+                TcpState::Closed,
+            ]
+        );
+        // Phantom SYN/FIN bytes are not application data.
+        assert_eq!(s.stats.bytes_acked, 2920);
+        assert_eq!(r.stats.bytes_delivered, 2920);
+    }
+
+    #[test]
+    fn lost_syn_is_retransmitted_with_syn_flag() {
+        let cfg = TcpSenderConfig {
+            total_bytes: Some(1460),
+            handshake: true,
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(key(), cfg, 1);
+        s.on_start(t(0));
+        let syn = s.take_out();
+        assert_eq!(syn.len(), 1);
+        assert!(syn[0].tcp_flags().unwrap().syn);
+        // SYN lost: RTO fires, the retransmission still carries SYN.
+        s.on_tick(t(1000));
+        assert_eq!(s.stats.timeouts, 1);
+        let rtx = s.take_out();
+        assert_eq!(rtx.len(), 1);
+        assert!(rtx[0].tcp_flags().unwrap().syn);
+        assert_eq!(rtx[0].tcp_seq(), Some(1));
+    }
+
+    #[test]
+    fn duplicate_syn_draws_duplicate_synack() {
+        let mut r = TcpReceiver::listen(key());
+        let syn = Packet::tcp(
+            key(),
+            7,
+            0,
+            TcpFlags {
+                syn: true,
+                ..TcpFlags::default()
+            },
+            0,
+        );
+        r.on_segment(t(0), &syn);
+        let first = r.take_out();
+        assert_eq!(first.len(), 1);
+        let f = first[0].tcp_flags().unwrap();
+        assert!(f.syn && f.ack);
+        r.on_segment(t(5), &syn);
+        let second = r.take_out();
+        assert_eq!(second.len(), 1, "duplicate SYN re-draws the SYN-ACK");
+        assert_eq!(r.stats.duplicate_segments, 1);
+        assert_eq!(r.state(), TcpState::SynRcvd);
+    }
+
+    #[test]
+    fn time_wait_expires_via_tick() {
+        let cfg = TcpSenderConfig {
+            total_bytes: Some(100),
+            handshake: true,
+            time_wait: SimDuration::from_millis(200),
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(key(), cfg, 1);
+        let mut r = TcpReceiver::listen(key());
+        s.on_start(t(0));
+        let _ = run_handshake_pair(&mut s, &mut r, 40);
+        // run_handshake_pair ticks in 10 ms steps, so TIME-WAIT (200 ms)
+        // has expired within 20 steps and the sender is fully closed.
+        assert!(s.is_done());
+        assert!(s.next_event_time().is_none());
     }
 }

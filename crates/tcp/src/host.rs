@@ -1,22 +1,24 @@
 //! [`TcpHost`]: adapts the sans-I/O TCP machines to the `dui-netsim`
-//! event loop. One host can source and sink many connections (the Blink
-//! packet-level experiment runs thousands of flows across a handful of
-//! hosts).
+//! event loop. One host can source and sink many connections — per-flow
+//! state lives in a generational [`FlowPool`], so a host scales to
+//! millions of concurrent flows (the `flow-scale` bench stage) with
+//! handle-indexed columns instead of a `HashMap` of by-value endpoints.
+//!
+//! Flow arrivals stream in through a [`FlowSource`]: the host admits the
+//! next due flow and re-arms one wake timer for the one after, so a
+//! million-flow workload never materializes a million `FlowSpec`s up
+//! front. Per-flow timers carry the flow's [`FlowRef`] in the token; a
+//! timer that outlives its flow fails the pool's generation check and is
+//! dropped (counted, never misdelivered).
 
-use crate::conn::{
-    digest_flow_key, ReceiverStats, SenderStats, TcpReceiver, TcpSender, TcpSenderConfig,
-};
+use crate::conn::{digest_flow_key, ReceiverStats, SenderStats, TcpSenderConfig, TcpState};
+use crate::pool::{FlowKind, FlowPool, FlowRef, StaleFlowRef};
 use dui_netsim::packet::{FlowKey, Header, Packet};
 use dui_netsim::prelude::{Ctx, NodeLogic};
 use dui_netsim::time::{SimDuration, SimTime};
 use dui_stats::digest::StateDigest;
 use std::any::Any;
-use std::collections::HashMap;
-
-/// Sort key for deterministic flow-key iteration.
-fn key_rank(k: &FlowKey) -> (u32, u32, u16, u16, u8) {
-    (k.src.0, k.dst.0, k.sport, k.dport, k.proto.code())
-}
+use std::collections::{HashMap, VecDeque};
 
 /// Declarative description of a flow a host should source.
 #[derive(Debug, Clone)]
@@ -29,142 +31,398 @@ pub struct FlowSpec {
     pub config: TcpSenderConfig,
 }
 
-enum Endpoint {
-    // Boxed: a sender (congestion state, segment map, timers) is ~3x the
-    // size of a receiver, and hosts hold thousands of endpoints.
-    Sender(Box<TcpSender>),
-    Receiver(TcpReceiver),
+/// A stream of flow arrivals, consumed in nondecreasing start order.
+///
+/// The host pulls one due flow at a time ([`FlowSource::pop_due`]) and
+/// arms a single wake timer for the next arrival, so sources can generate
+/// flows lazily — `dui-flowgen`'s `FlowStream` derives each arrival from
+/// the seeded RNG on demand instead of materializing the whole workload.
+pub trait FlowSource: Send {
+    /// Remove and return the next flow if it starts at or before `now`.
+    /// Implementations must yield flows in nondecreasing `start` order.
+    fn pop_due(&mut self, now: SimTime) -> Option<FlowSpec>;
+
+    /// Start time of the next (not yet admitted) flow, if any.
+    fn peek_start(&self) -> Option<SimTime>;
+
+    /// Add a flow (used by harnesses that script arrivals). Sources that
+    /// derive arrivals generatively may refuse.
+    fn inject(&mut self, _spec: FlowSpec) -> Result<(), String> {
+        Err("this flow source does not support injection".into())
+    }
+
+    /// Fold the source's remaining-arrivals state into `d`.
+    fn state_digest(&self, d: &mut StateDigest);
+
+    /// Materialize every not-yet-admitted flow for checkpointing.
+    /// `None` (the default) marks the source — and thus the host — as
+    /// not restorable.
+    fn remaining(&self) -> Option<Vec<FlowSpec>> {
+        None
+    }
 }
 
-/// A host that runs TCP senders (from [`FlowSpec`]s) and spawns receivers
-/// on demand for incoming flows.
+fn digest_flow_spec(d: &mut StateDigest, spec: &FlowSpec) {
+    digest_flow_key(d, &spec.key);
+    d.write_u64(spec.start.0);
+    d.write_u32(spec.config.mss);
+    d.write_opt_u64(spec.config.total_bytes);
+    d.write_opt_u64(spec.config.app_rate);
+    d.write_f64(spec.config.initial_cwnd);
+    d.write_bool(spec.config.handshake);
+    d.write_u64(spec.config.time_wait.as_nanos());
+}
+
+/// The materialized [`FlowSource`]: a start-sorted queue of specs.
+#[derive(Default)]
+pub struct VecSource {
+    pending: VecDeque<FlowSpec>,
+}
+
+impl VecSource {
+    /// Source that will yield `flows` (sorted by start time here).
+    pub fn new(mut flows: Vec<FlowSpec>) -> Self {
+        flows.sort_by_key(|f| f.start);
+        VecSource {
+            pending: flows.into(),
+        }
+    }
+}
+
+impl FlowSource for VecSource {
+    fn pop_due(&mut self, now: SimTime) -> Option<FlowSpec> {
+        if self.pending.front()?.start <= now {
+            self.pending.pop_front()
+        } else {
+            None
+        }
+    }
+
+    fn peek_start(&self) -> Option<SimTime> {
+        self.pending.front().map(|f| f.start)
+    }
+
+    fn inject(&mut self, spec: FlowSpec) -> Result<(), String> {
+        // Insert after every earlier-or-equal start so ties keep insertion
+        // order, matching the old stable sort_by_key behavior.
+        let at = self.pending.partition_point(|f| f.start <= spec.start);
+        self.pending.insert(at, spec);
+        Ok(())
+    }
+
+    fn state_digest(&self, d: &mut StateDigest) {
+        d.write_len(self.pending.len());
+        for spec in &self.pending {
+            digest_flow_spec(d, spec);
+        }
+    }
+
+    fn remaining(&self) -> Option<Vec<FlowSpec>> {
+        Some(self.pending.iter().cloned().collect())
+    }
+}
+
+/// Host policy knobs. The default reproduces the original host exactly:
+/// no backlog cap, no eviction, no half-open reaper.
+#[derive(Debug, Clone, Default)]
+pub struct TcpHostConfig {
+    /// Maximum simultaneous half-open (SYN-RCVD) connections; further
+    /// SYNs are dropped (counted in `syn_dropped`). `None` = unbounded.
+    pub listen_backlog: Option<usize>,
+    /// Free a flow's pool slot as soon as it reaches CLOSED, folding its
+    /// stats into the host aggregates. Required for long churn runs —
+    /// without it every flow that ever existed keeps its slot.
+    pub evict_closed: bool,
+    /// Evict receivers still in SYN-RCVD after this long (SYN-flood
+    /// defense / realism knob). `None` = half-open connections persist.
+    pub syn_rcvd_timeout: Option<SimDuration>,
+}
+
+/// Aggregate host counters: lifecycle transitions observed across all
+/// flows plus the stats of evicted (no longer pooled) flows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostCounters {
+    /// Flows admitted from the source (senders created).
+    pub admitted: u64,
+    /// Pool slots freed by eviction (closed flows + reaped half-opens).
+    pub evictions: u64,
+    /// Timer tokens that arrived after their flow was evicted.
+    pub stale_wakes: u64,
+    /// SYNs dropped by the `listen_backlog` cap.
+    pub syn_dropped: u64,
+    /// Half-open connections reaped by `syn_rcvd_timeout`.
+    pub syn_timeouts: u64,
+    /// Current half-open (SYN-RCVD) connections.
+    pub synrcvd_live: u64,
+    /// Peak simultaneous half-open connections.
+    pub synrcvd_peak: u64,
+    /// Total connections that ever entered SYN-RCVD.
+    pub synrcvd_total: u64,
+    /// Connections that entered TIME-WAIT.
+    pub timewait_entered: u64,
+    /// Passive-open handshakes completed (SYN-RCVD → ESTABLISHED).
+    pub handshakes_completed: u64,
+    /// Evicted senders that had completed their transfer.
+    pub evicted_completed_senders: u64,
+    /// `bytes_acked` carried by evicted senders.
+    pub evicted_bytes_acked: u64,
+    /// `bytes_delivered` carried by evicted receivers.
+    pub evicted_bytes_received: u64,
+    /// Evicted receivers that had consumed their FIN.
+    pub evicted_done_receivers: u64,
+}
+
+impl HostCounters {
+    fn state_digest(&self, d: &mut StateDigest) {
+        for v in [
+            self.admitted,
+            self.evictions,
+            self.stale_wakes,
+            self.syn_dropped,
+            self.syn_timeouts,
+            self.synrcvd_live,
+            self.synrcvd_peak,
+            self.synrcvd_total,
+            self.timewait_entered,
+            self.handshakes_completed,
+            self.evicted_completed_senders,
+            self.evicted_bytes_acked,
+            self.evicted_bytes_received,
+            self.evicted_done_receivers,
+        ] {
+            d.write_u64(v);
+        }
+    }
+}
+
+/// A host that runs TCP senders (from a [`FlowSource`]) and spawns
+/// receivers on demand for incoming flows. All per-flow state lives in a
+/// [`FlowPool`]; `by_key` is a lookup index only and is never iterated
+/// (pool slot order is the canonical iteration order).
 pub struct TcpHost {
-    /// Flows to source, sorted by start time at `on_start`.
-    pending: Vec<FlowSpec>,
-    endpoints: HashMap<FlowKey, Endpoint>,
-    /// Order senders were created, for stable iteration in stats.
+    source: Box<dyn FlowSource>,
+    pool: FlowPool,
+    /// Forward key -> live pool handle. Lookup only — never iterated.
+    by_key: HashMap<FlowKey, FlowRef>,
+    /// Sender creation order, for stable stats iteration.
     order: Vec<FlowKey>,
-    /// Sender key -> index in `order` (timer token routing).
-    sender_index: HashMap<FlowKey, usize>,
+    cfg: TcpHostConfig,
+    agg: HostCounters,
     /// Initial sequence number assigned to each new sender.
     next_isn: u32,
 }
 
+/// Unwrap a pool call made through a handle the host owns.
+///
+/// Host handles are live by construction — they come out of `by_key`
+/// (whose entries are removed before any `free`) or were inserted in
+/// the same event — so a stale ref here is a host logic bug, not an
+/// input condition.
+fn live<T>(res: Result<T, StaleFlowRef>) -> T {
+    // lint: allow(panic): host-owned handles are live by construction
+    res.expect("host-owned flow handle is live")
+}
+
 /// Timer token asking the host to start newly-due flows.
 const TOKEN_WAKE: u64 = 1;
-/// Sender-specific tokens are `TOKEN_SENDER_BASE + index` into `order`, so
-/// a timer wake only ticks the one sender that asked for it.
-const TOKEN_SENDER_BASE: u64 = 2;
+/// Per-flow tokens are `TOKEN_FLOW_BASE + FlowRef::as_u64()`: the token
+/// carries the slot *and its generation*, so a wake for an evicted flow
+/// fails the pool's generation check instead of ticking a recycled slot.
+const TOKEN_FLOW_BASE: u64 = 2;
 
 impl TcpHost {
     /// A host with no outgoing flows (pure receiver).
     pub fn new() -> Self {
-        TcpHost {
-            pending: Vec::new(),
-            endpoints: HashMap::new(),
-            order: Vec::new(),
-            sender_index: HashMap::new(),
-            next_isn: 1,
-        }
+        Self::with_source(Box::new(VecSource::default()))
     }
 
     /// A host that will source the given flows.
-    pub fn with_flows(mut flows: Vec<FlowSpec>) -> Self {
-        flows.sort_by_key(|f| f.start);
+    pub fn with_flows(flows: Vec<FlowSpec>) -> Self {
+        Self::with_source(Box::new(VecSource::new(flows)))
+    }
+
+    /// A host fed by a streaming flow source.
+    pub fn with_source(source: Box<dyn FlowSource>) -> Self {
         TcpHost {
-            pending: flows,
-            endpoints: HashMap::new(),
+            source,
+            pool: FlowPool::new(),
+            by_key: HashMap::new(),
             order: Vec::new(),
-            sender_index: HashMap::new(),
+            cfg: TcpHostConfig::default(),
+            agg: HostCounters::default(),
             next_isn: 1,
         }
     }
 
-    /// Queue another outgoing flow (must be called before the simulation
-    /// reaches `spec.start`).
-    pub fn add_flow(&mut self, spec: FlowSpec) {
-        self.pending.push(spec);
-        self.pending.sort_by_key(|f| f.start);
+    /// Set host policy (backlog, eviction, half-open reaper). Call before
+    /// the simulation starts.
+    pub fn set_config(&mut self, cfg: TcpHostConfig) {
+        self.cfg = cfg;
     }
 
-    /// Sender statistics for a flow sourced by this host.
+    /// Queue another outgoing flow (must be called before the simulation
+    /// reaches `spec.start`, and the source must support injection —
+    /// [`VecSource`] does).
+    pub fn add_flow(&mut self, spec: FlowSpec) {
+        self.source
+            .inject(spec)
+            // lint: allow(panic): documented contract — add_flow requires an injectable source
+            .expect("flow source refused injection");
+    }
+
+    /// Sender statistics for a flow sourced by this host (`None` if the
+    /// flow never existed or was evicted).
     pub fn sender_stats(&self, key: &FlowKey) -> Option<SenderStats> {
-        match self.endpoints.get(key) {
-            Some(Endpoint::Sender(s)) => Some(s.stats),
-            _ => None,
+        let r = *self.by_key.get(key)?;
+        match self.pool.kind(r).ok()? {
+            FlowKind::Sender => self.pool.sender_stats(r).ok(),
+            FlowKind::Receiver => None,
         }
     }
 
     /// Receiver statistics for a flow sunk by this host.
     pub fn receiver_stats(&self, key: &FlowKey) -> Option<ReceiverStats> {
-        match self.endpoints.get(key) {
-            Some(Endpoint::Receiver(r)) => Some(r.stats),
-            _ => None,
+        let r = *self.by_key.get(key)?;
+        match self.pool.kind(r).ok()? {
+            FlowKind::Receiver => self.pool.receiver_stats(r).ok(),
+            FlowKind::Sender => None,
         }
     }
 
-    /// All sender stats, in flow creation order.
+    /// All live sender stats, in flow creation order (evicted flows are
+    /// in the [`TcpHost::counters`] aggregates instead).
     pub fn all_sender_stats(&self) -> Vec<(FlowKey, SenderStats)> {
         self.order
             .iter()
-            .filter_map(|k| match self.endpoints.get(k) {
-                Some(Endpoint::Sender(s)) => Some((*k, s.stats)),
-                _ => None,
-            })
+            .filter_map(|k| Some((*k, self.sender_stats(k)?)))
             .collect()
     }
 
-    /// Total bytes delivered across all receivers on this host.
+    /// Total bytes delivered across all receivers on this host,
+    /// including evicted ones.
     pub fn total_bytes_received(&self) -> u64 {
-        self.endpoints
-            .values()
-            .filter_map(|e| match e {
-                Endpoint::Receiver(r) => Some(r.stats.bytes_delivered),
-                _ => None,
-            })
-            .sum()
+        let live: u64 = self
+            .pool
+            .iter_refs()
+            .filter_map(|r| self.pool.receiver_stats(r).ok())
+            .map(|s| s.bytes_delivered)
+            .sum();
+        live + self.agg.evicted_bytes_received
     }
 
-    /// Number of sourced flows that have completed.
+    /// Number of sourced flows that have completed (including evicted).
     pub fn completed_senders(&self) -> usize {
-        self.endpoints
-            .values()
-            .filter(|e| matches!(e, Endpoint::Sender(s) if s.is_done()))
-            .count()
+        let live = self
+            .pool
+            .iter_refs()
+            .filter(|&r| {
+                self.pool.kind(r) == Ok(FlowKind::Sender)
+                    && self.pool.state(r) == Ok(TcpState::Closed)
+            })
+            .count();
+        live + self.agg.evicted_completed_senders as usize
+    }
+
+    /// Aggregate lifecycle counters.
+    pub fn counters(&self) -> &HostCounters {
+        &self.agg
+    }
+
+    /// The flow pool (occupancy/high-water inspection).
+    pub fn pool(&self) -> &FlowPool {
+        &self.pool
+    }
+
+    fn flow_token(r: FlowRef) -> u64 {
+        TOKEN_FLOW_BASE.wrapping_add(r.as_u64())
     }
 
     fn start_due_flows(&mut self, ctx: &mut Ctx) {
         let now = ctx.now();
-        while let Some(spec) = self.pending.first() {
-            if spec.start > now {
-                break;
-            }
-            let spec = self.pending.remove(0);
+        while let Some(spec) = self.source.pop_due(now) {
             let isn = self.next_isn;
             // Spread ISNs so sequence numbers do not collide across flows.
             self.next_isn = self.next_isn.wrapping_add(0x0100_0000).wrapping_add(1);
-            let mut sender = TcpSender::new(spec.key, spec.config, isn);
-            sender.on_start(now);
-            for pkt in sender.take_out() {
+            let r = self.pool.insert_sender(spec.key, spec.config, isn);
+            self.agg.admitted += 1;
+            live(self.pool.on_start(r, now));
+            for pkt in live(self.pool.take_out(r)) {
                 ctx.send(pkt);
             }
-            let idx = self.order.len();
-            Self::arm_for(idx, &sender, ctx);
+            self.arm_for(r, ctx);
             self.order.push(spec.key);
-            self.sender_index.insert(spec.key, idx);
-            self.endpoints.insert(spec.key, Endpoint::Sender(Box::new(sender)));
+            self.by_key.insert(spec.key, r);
         }
-        if let Some(next) = self.pending.first() {
-            let delay = next.start.since(now).max(SimDuration::from_nanos(1));
+        if let Some(next) = self.source.peek_start() {
+            let delay = next.since(now).max(SimDuration::from_nanos(1));
             ctx.set_timer(delay, TOKEN_WAKE);
         }
     }
 
-    fn arm_for(idx: usize, sender: &TcpSender, ctx: &mut Ctx) {
-        if let Some(at) = sender.next_event_time() {
+    fn arm_for(&self, r: FlowRef, ctx: &mut Ctx) {
+        if let Ok(Some(at)) = self.pool.next_event_time(r) {
             let delay = at.since(ctx.now()).max(SimDuration::from_nanos(1));
-            ctx.set_timer(delay, TOKEN_SENDER_BASE + idx as u64);
+            ctx.set_timer(delay, Self::flow_token(r));
         }
+    }
+
+    /// Update handshake counters for an observed state transition.
+    fn note_transition(&mut self, pre: TcpState, post: TcpState) {
+        if pre == post {
+            return;
+        }
+        if post == TcpState::SynRcvd {
+            self.agg.synrcvd_total += 1;
+            self.agg.synrcvd_live += 1;
+            self.agg.synrcvd_peak = self.agg.synrcvd_peak.max(self.agg.synrcvd_live);
+        }
+        if pre == TcpState::SynRcvd {
+            self.agg.synrcvd_live = self.agg.synrcvd_live.saturating_sub(1);
+            if post != TcpState::Closed {
+                self.agg.handshakes_completed += 1;
+            }
+        }
+        if post == TcpState::TimeWait {
+            self.agg.timewait_entered += 1;
+        }
+    }
+
+    /// Evict `r` if policy says so and it is fully CLOSED, folding its
+    /// stats into the aggregates and recycling the slot.
+    fn maybe_evict(&mut self, r: FlowRef) {
+        if !self.cfg.evict_closed || self.pool.state(r) != Ok(TcpState::Closed) {
+            return;
+        }
+        let key = live(self.pool.key(r));
+        match live(self.pool.kind(r)) {
+            FlowKind::Sender => {
+                let stats = live(self.pool.sender_stats(r));
+                if stats.completed_at.is_some() {
+                    self.agg.evicted_completed_senders += 1;
+                }
+                self.agg.evicted_bytes_acked += stats.bytes_acked;
+            }
+            FlowKind::Receiver => {
+                let stats = live(self.pool.receiver_stats(r));
+                self.agg.evicted_bytes_received += stats.bytes_delivered;
+                self.agg.evicted_done_receivers += 1;
+            }
+        }
+        self.by_key.remove(&key);
+        live(self.pool.free(r));
+        self.agg.evictions += 1;
+    }
+
+    /// Deliver one event-side effect bundle for `r`: pump its output,
+    /// re-arm its timer, account the state transition, maybe evict.
+    fn finish_event(&mut self, r: FlowRef, pre: TcpState, ctx: &mut Ctx) {
+        for p in live(self.pool.take_out(r)) {
+            ctx.send(p);
+        }
+        self.arm_for(r, ctx);
+        let post = live(self.pool.state(r));
+        self.note_transition(pre, post);
+        self.maybe_evict(r);
     }
 }
 
@@ -189,95 +447,326 @@ impl NodeLogic for TcpHost {
         // receiver keyed by the forward direction.
         let fwd = pkt.key;
         let rev = pkt.key.reversed();
-        if let Some(Endpoint::Sender(s)) = self.endpoints.get_mut(&rev) {
-            s.on_segment(now, &pkt);
-            let out = s.take_out();
-            let rearm = s.next_event_time();
-            let idx = self.sender_index[&rev];
-            for p in out {
-                ctx.send(p);
+        if let Some(&r) = self.by_key.get(&rev) {
+            if self.pool.kind(r) == Ok(FlowKind::Sender) {
+                let pre = live(self.pool.state(r));
+                live(self.pool.on_segment(r, now, &pkt));
+                self.finish_event(r, pre, ctx);
+                return;
             }
-            if let Some(at) = rearm {
-                let delay = at.since(now).max(SimDuration::from_nanos(1));
-                ctx.set_timer(delay, TOKEN_SENDER_BASE + idx as u64);
+        }
+        let r = match self.by_key.get(&fwd) {
+            Some(&r) => r,
+            None => {
+                let r = if flags.syn {
+                    // Passive open: a SYN creates a listener walking the
+                    // full lifecycle — subject to the backlog cap.
+                    if let Some(backlog) = self.cfg.listen_backlog {
+                        if self.agg.synrcvd_live as usize >= backlog {
+                            self.agg.syn_dropped += 1;
+                            return;
+                        }
+                    }
+                    let r = self.pool.insert_listener(fwd);
+                    if let Some(timeout) = self.cfg.syn_rcvd_timeout {
+                        ctx.set_timer(timeout, Self::flow_token(r));
+                    }
+                    r
+                } else {
+                    // Data (or a stray pure ACK) with no matching sender:
+                    // spawn a handshake-less receiver expecting `seq`.
+                    self.pool.insert_receiver(fwd, seq)
+                };
+                self.by_key.insert(fwd, r);
+                r
             }
+        };
+        if self.pool.kind(r) != Ok(FlowKind::Receiver) {
             return;
         }
-        let recv = self.endpoints.entry(fwd).or_insert_with(|| {
-            if flags.ack && pkt.payload == 0 && !flags.fin {
-                // Stray pure ACK with no matching sender: make a receiver
-                // anyway; it will ignore the segment.
-                Endpoint::Receiver(TcpReceiver::new(fwd, seq))
-            } else {
-                Endpoint::Receiver(TcpReceiver::new(fwd, seq))
-            }
-        });
-        if let Endpoint::Receiver(r) = recv {
-            r.on_segment(now, &pkt);
-            for p in r.take_out() {
-                ctx.send(p);
-            }
-        }
+        let pre = live(self.pool.state(r));
+        live(self.pool.on_segment(r, now, &pkt));
+        self.finish_event(r, pre, ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        let now = ctx.now();
         if token == TOKEN_WAKE {
             self.start_due_flows(ctx);
             return;
         }
-        let idx = (token - TOKEN_SENDER_BASE) as usize;
-        let Some(key) = self.order.get(idx).copied() else {
-            return;
-        };
-        if let Some(Endpoint::Sender(s)) = self.endpoints.get_mut(&key) {
-            s.on_tick(now);
-            let out = s.take_out();
-            let rearm = s.next_event_time();
-            for p in out {
-                ctx.send(p);
+        let now = ctx.now();
+        let r = FlowRef::from_u64(token.wrapping_sub(TOKEN_FLOW_BASE));
+        match self.pool.kind(r) {
+            Err(_) => {
+                // The flow this timer belonged to was evicted; the
+                // generation mismatch proves the wake is stale.
+                self.agg.stale_wakes += 1;
             }
-            if let Some(at) = rearm {
-                let delay = at.since(now).max(SimDuration::from_nanos(1));
-                ctx.set_timer(delay, TOKEN_SENDER_BASE + idx as u64);
+            Ok(FlowKind::Sender) => {
+                let pre = live(self.pool.state(r));
+                live(self.pool.on_tick(r, now));
+                self.finish_event(r, pre, ctx);
+            }
+            Ok(FlowKind::Receiver) => {
+                // The only receiver timer is the SYN-RCVD reaper.
+                if self.pool.state(r) == Ok(TcpState::SynRcvd) {
+                    let key = live(self.pool.key(r));
+                    self.by_key.remove(&key);
+                    live(self.pool.free(r));
+                    self.agg.synrcvd_live = self.agg.synrcvd_live.saturating_sub(1);
+                    self.agg.syn_timeouts += 1;
+                    self.agg.evictions += 1;
+                }
             }
         }
     }
 
     fn state_digest(&self, d: &mut StateDigest) {
-        d.write_len(self.pending.len());
-        for spec in &self.pending {
-            digest_flow_key(d, &spec.key);
-            d.write_u64(spec.start.0);
-            d.write_u32(spec.config.mss);
-            d.write_opt_u64(spec.config.total_bytes);
-            d.write_opt_u64(spec.config.app_rate);
-            d.write_f64(spec.config.initial_cwnd);
-        }
-        // HashMap iteration order is arbitrary: sort keys first (sorted).
-        let mut keys: Vec<FlowKey> = self.endpoints.keys().copied().collect();
-        keys.sort_unstable_by_key(key_rank);
-        d.write_len(keys.len());
-        for k in keys {
-            match &self.endpoints[&k] {
-                Endpoint::Sender(s) => {
-                    d.write_u8(0);
-                    s.state_digest(d);
-                }
-                Endpoint::Receiver(r) => {
-                    d.write_u8(1);
-                    r.state_digest(d);
-                }
-            }
-        }
+        self.source.state_digest(d);
+        // Pool digest walks slots in handle order — already canonical, no
+        // key sorting.
+        self.pool.state_digest(d);
         d.write_len(self.order.len());
         for k in &self.order {
             digest_flow_key(d, k);
         }
         d.write_u32(self.next_isn);
+        self.agg.state_digest(d);
+        d.write_opt_u64(self.cfg.listen_backlog.map(|v| v as u64));
+        d.write_bool(self.cfg.evict_closed);
+        d.write_opt_u64(self.cfg.syn_rcvd_timeout.map(|t| t.as_nanos()));
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // Restorable only when the source can materialize its remainder
+        // (VecSource can; generative streams opt out) and every output
+        // queue is drained (always true between events).
+        let remaining = self.source.remaining()?;
+        let pool = self.pool.to_bytes().ok()?;
+        let mut b = Vec::new();
+        b.extend_from_slice(&(remaining.len() as u32).to_le_bytes());
+        for spec in &remaining {
+            push_spec(&mut b, spec);
+        }
+        b.extend_from_slice(&(pool.len() as u64).to_le_bytes());
+        b.extend_from_slice(&pool);
+        b.extend_from_slice(&(self.order.len() as u32).to_le_bytes());
+        for k in &self.order {
+            push_key(&mut b, k);
+        }
+        b.extend_from_slice(&self.next_isn.to_le_bytes());
+        for v in [
+            self.agg.admitted,
+            self.agg.evictions,
+            self.agg.stale_wakes,
+            self.agg.syn_dropped,
+            self.agg.syn_timeouts,
+            self.agg.synrcvd_live,
+            self.agg.synrcvd_peak,
+            self.agg.synrcvd_total,
+            self.agg.timewait_entered,
+            self.agg.handshakes_completed,
+            self.agg.evicted_completed_senders,
+            self.agg.evicted_bytes_acked,
+            self.agg.evicted_bytes_received,
+            self.agg.evicted_done_receivers,
+        ] {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        push_opt_u64(&mut b, self.cfg.listen_backlog.map(|v| v as u64));
+        b.push(u8::from(self.cfg.evict_closed));
+        push_opt_u64(&mut b, self.cfg.syn_rcvd_timeout.map(|t| t.as_nanos()));
+        Some(b)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut at = 0usize;
+        let nspec = read_u32(bytes, &mut at)? as usize;
+        let mut specs = Vec::with_capacity(nspec);
+        for _ in 0..nspec {
+            specs.push(read_spec(bytes, &mut at)?);
+        }
+        let plen = read_u64(bytes, &mut at)? as usize;
+        let pslice = bytes
+            .get(at..at + plen)
+            .ok_or("truncated tcp host state")?;
+        at += plen;
+        let pool = FlowPool::from_bytes(pslice)?;
+        let norder = read_u32(bytes, &mut at)? as usize;
+        let mut order = Vec::with_capacity(norder);
+        for _ in 0..norder {
+            order.push(read_key(bytes, &mut at)?);
+        }
+        let next_isn = read_u32(bytes, &mut at)?;
+        let mut agg = HostCounters::default();
+        for slot in [
+            &mut agg.admitted,
+            &mut agg.evictions,
+            &mut agg.stale_wakes,
+            &mut agg.syn_dropped,
+            &mut agg.syn_timeouts,
+            &mut agg.synrcvd_live,
+            &mut agg.synrcvd_peak,
+            &mut agg.synrcvd_total,
+            &mut agg.timewait_entered,
+            &mut agg.handshakes_completed,
+            &mut agg.evicted_completed_senders,
+            &mut agg.evicted_bytes_acked,
+            &mut agg.evicted_bytes_received,
+            &mut agg.evicted_done_receivers,
+        ] {
+            *slot = read_u64(bytes, &mut at)?;
+        }
+        let listen_backlog = read_opt_u64(bytes, &mut at)?.map(|v| v as usize);
+        let evict_closed = read_u8(bytes, &mut at)? != 0;
+        let syn_rcvd_timeout = read_opt_u64(bytes, &mut at)?.map(SimDuration);
+        if at != bytes.len() {
+            return Err("trailing bytes in tcp host state".into());
+        }
+        // Rebuild the lookup index from the restored pool.
+        let mut by_key = HashMap::new();
+        for r in pool.iter_refs() {
+            by_key.insert(live(pool.key(r)), r);
+        }
+        self.source = Box::new(VecSource::new(specs));
+        self.pool = pool;
+        self.by_key = by_key;
+        self.order = order;
+        self.next_isn = next_isn;
+        self.agg = agg;
+        self.cfg = TcpHostConfig {
+            listen_backlog,
+            evict_closed,
+            syn_rcvd_timeout,
+        };
+        Ok(())
+    }
+
+    fn export_metrics(&self, reg: &mut dui_telemetry::registry::Registry) {
+        let g = reg.gauge("tcp.pool.occupancy");
+        reg.observe(g, self.pool.live() as f64);
+        let g = reg.gauge("tcp.pool.high_water");
+        reg.observe(g, self.pool.high_water() as f64);
+        let c = reg.counter("tcp.pool.evictions");
+        reg.add(c, self.agg.evictions);
+        let c = reg.counter("tcp.pool.stale_refs");
+        reg.add(c, self.agg.stale_wakes);
+        let c = reg.counter("tcp.pool.recycled");
+        reg.add(c, self.pool.recycled());
+        let g = reg.gauge("tcp.handshake.synrcvd_live");
+        reg.observe(g, self.agg.synrcvd_live as f64);
+        let g = reg.gauge("tcp.handshake.synrcvd_peak");
+        reg.observe(g, self.agg.synrcvd_peak as f64);
+        let c = reg.counter("tcp.handshake.synrcvd");
+        reg.add(c, self.agg.synrcvd_total);
+        let c = reg.counter("tcp.handshake.timewait");
+        reg.add(c, self.agg.timewait_entered);
+        let c = reg.counter("tcp.handshake.completed");
+        reg.add(c, self.agg.handshakes_completed);
+        let c = reg.counter("tcp.handshake.syn_dropped");
+        reg.add(c, self.agg.syn_dropped);
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+}
+
+fn push_key(b: &mut Vec<u8>, k: &FlowKey) {
+    b.extend_from_slice(&k.src.0.to_le_bytes());
+    b.extend_from_slice(&k.dst.0.to_le_bytes());
+    b.extend_from_slice(&k.sport.to_le_bytes());
+    b.extend_from_slice(&k.dport.to_le_bytes());
+    b.push(k.proto.code());
+}
+
+fn push_opt_u64(b: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => b.push(0),
+        Some(v) => {
+            b.push(1);
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+fn push_spec(b: &mut Vec<u8>, spec: &FlowSpec) {
+    push_key(b, &spec.key);
+    b.extend_from_slice(&spec.start.0.to_le_bytes());
+    b.extend_from_slice(&spec.config.mss.to_le_bytes());
+    push_opt_u64(b, spec.config.total_bytes);
+    push_opt_u64(b, spec.config.app_rate);
+    b.extend_from_slice(&spec.config.initial_cwnd.to_bits().to_le_bytes());
+    b.push(u8::from(spec.config.handshake));
+    b.extend_from_slice(&spec.config.time_wait.as_nanos().to_le_bytes());
+}
+
+fn read_u8(b: &[u8], at: &mut usize) -> Result<u8, String> {
+    let v = *b.get(*at).ok_or("truncated tcp host state")?;
+    *at += 1;
+    Ok(v)
+}
+
+fn read_u16(b: &[u8], at: &mut usize) -> Result<u16, String> {
+    let s = b.get(*at..*at + 2).ok_or("truncated tcp host state")?;
+    *at += 2;
+    Ok(u16::from_le_bytes([s[0], s[1]]))
+}
+
+fn read_u32(b: &[u8], at: &mut usize) -> Result<u32, String> {
+    let s = b.get(*at..*at + 4).ok_or("truncated tcp host state")?;
+    *at += 4;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+fn read_u64(b: &[u8], at: &mut usize) -> Result<u64, String> {
+    let s = b.get(*at..*at + 8).ok_or("truncated tcp host state")?;
+    *at += 8;
+    let mut a = [0u8; 8];
+    a.copy_from_slice(s);
+    Ok(u64::from_le_bytes(a))
+}
+
+fn read_opt_u64(b: &[u8], at: &mut usize) -> Result<Option<u64>, String> {
+    match read_u8(b, at)? {
+        0 => Ok(None),
+        1 => Ok(Some(read_u64(b, at)?)),
+        t => Err(format!("bad option tag {t}")),
+    }
+}
+
+fn read_key(b: &[u8], at: &mut usize) -> Result<FlowKey, String> {
+    use dui_netsim::packet::{Addr, Proto};
+    let src = Addr(read_u32(b, at)?);
+    let dst = Addr(read_u32(b, at)?);
+    let sport = read_u16(b, at)?;
+    let dport = read_u16(b, at)?;
+    let proto = Proto::from_code(read_u8(b, at)?).ok_or("bad proto code")?;
+    if proto != Proto::Tcp {
+        return Err("tcp host key is not TCP".into());
+    }
+    Ok(FlowKey::tcp(src, sport, dst, dport))
+}
+
+fn read_spec(b: &[u8], at: &mut usize) -> Result<FlowSpec, String> {
+    let key = read_key(b, at)?;
+    let start = SimTime(read_u64(b, at)?);
+    let mss = read_u32(b, at)?;
+    let total_bytes = read_opt_u64(b, at)?;
+    let app_rate = read_opt_u64(b, at)?;
+    let initial_cwnd = f64::from_bits(read_u64(b, at)?);
+    let handshake = read_u8(b, at)? != 0;
+    let time_wait = SimDuration(read_u64(b, at)?);
+    Ok(FlowSpec {
+        key,
+        start,
+        config: TcpSenderConfig {
+            mss,
+            total_bytes,
+            app_rate,
+            initial_cwnd,
+            handshake,
+            time_wait,
+        },
+    })
 }

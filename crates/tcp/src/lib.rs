@@ -19,21 +19,34 @@
 //! `dui-netsim` event loop. This keeps the protocol logic directly
 //! unit-testable.
 //!
-//! Simplifications (documented per DESIGN.md): no three-way handshake (the
-//! systems under study act on data segments), segment-granularity windows
-//! (MSS-sized), no SACK/Nagle/delayed-ACK. None of these affect the
-//! retransmission *timing* signals the paper's attacks target.
+//! Per-flow state is stored column-wise in a generational
+//! [`pool::FlowPool`] (same handle contract as `dui-netsim`'s
+//! `PacketArena`): 8-byte [`pool::FlowRef`] handles, an intrusive free
+//! list, and typed stale-handle errors. The protocol cores are written
+//! once against column *views*, so the standalone [`TcpSender`] /
+//! [`TcpReceiver`] and the million-flow pool run byte-identical logic.
+//!
+//! Connections walk the full RFC 9293 lifecycle when
+//! [`TcpSenderConfig::handshake`] is set — LISTEN/SYN-RCVD passive open,
+//! FIN/TIME-WAIT teardown — which unlocks SYN-flood and churn workloads.
+//! With `handshake` off (the default) flows behave exactly as the
+//! original handshake-less model: the systems under study act on data
+//! segments, and retransmission *timing* signals are unaffected.
+//! Remaining simplifications (documented per DESIGN.md):
+//! segment-granularity windows (MSS-sized), no SACK/Nagle/delayed-ACK.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod conn;
 pub mod host;
+pub mod pool;
 pub mod reno;
 pub mod rtt;
 pub mod seq;
 
-pub use conn::{TcpReceiver, TcpSender, TcpSenderConfig};
-pub use host::{FlowSpec, TcpHost};
+pub use conn::{TcpReceiver, TcpSender, TcpSenderConfig, TcpState};
+pub use host::{FlowSource, FlowSpec, HostCounters, TcpHost, TcpHostConfig, VecSource};
+pub use pool::{FlowKind, FlowPool, FlowRef, StaleFlowRef};
 pub use reno::Reno;
 pub use rtt::RttEstimator;

@@ -1,0 +1,998 @@
+//! Generational struct-of-arrays storage for per-flow TCP state.
+//!
+//! [`crate::host::TcpHost`] used to hold a `HashMap<FlowKey, Endpoint>` of
+//! by-value connection structs: every lookup hashed a 13-byte key, every
+//! digest sorted the keys, and a million flows meant a million scattered
+//! heap boxes. The pool applies the `PacketArena` pattern (dui-netsim) to
+//! flows instead of packets: each column of connection state — congestion
+//! window, RTT estimator, sequence space, retransmission queue, lifecycle
+//! metadata — lives in its own `Vec`, and an 8-byte generational
+//! [`FlowRef`] handle addresses one flow across all columns.
+//!
+//! Slots are recycled through an intrusive free list, so connection churn
+//! (SYN floods, short flows) allocates nothing in steady state. Generations
+//! make recycling safe: freeing a slot bumps its generation, and every
+//! accessor checks the handle's generation first — a stale [`FlowRef`]
+//! (e.g. a timer that fires after its flow was evicted) is a typed
+//! [`StaleFlowRef`] error, never a silent read of whichever flow now
+//! occupies the slot.
+//!
+//! The protocol logic itself is *not* duplicated here: the pool assembles
+//! borrowed `SenderCols`/`RecvCols` views over its columns and calls
+//! the same `conn.rs` implementation the standalone [`crate::TcpSender`] /
+//! [`crate::TcpReceiver`] use.
+
+use crate::conn::{
+    digest_recv_cols, digest_sender_cols, RcvState, RecvCols, RtxQueue, SegmentRecord, SenderCols,
+    SenderMeta, SenderStats, SeqState, ReceiverStats, TcpSenderConfig, TcpState,
+};
+use crate::reno::Reno;
+use crate::rtt::RttEstimator;
+use dui_netsim::packet::{Addr, FlowKey, Packet, Proto};
+use dui_netsim::time::{SimDuration, SimTime};
+use dui_stats::digest::StateDigest;
+use std::fmt;
+
+/// Sentinel for "no next free slot" in the intrusive free list.
+const NIL: u32 = u32::MAX;
+
+/// An 8-byte generational handle to a flow stored in a [`FlowPool`].
+///
+/// Handles are created by the `insert_*` constructors and become invalid
+/// (stale) when the flow is freed with [`FlowPool::free`]. All accessors
+/// verify the generation, so a stale handle can be *detected* but never
+/// dereferenced to the wrong flow. Handles round-trip through a `u64`
+/// ([`FlowRef::as_u64`]) so hosts can encode them into timer tokens; a
+/// token that outlives its flow fails the generation check on decode,
+/// which is exactly how stale timer wakes are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowRef {
+    idx: u32,
+    gen: u32,
+}
+
+impl FlowRef {
+    /// Slot index (diagnostics and digests only).
+    pub fn index(&self) -> u32 {
+        self.idx
+    }
+
+    /// Slot generation this handle was issued under.
+    pub fn generation(&self) -> u32 {
+        self.gen
+    }
+
+    /// Pack into a `u64` (`gen << 32 | idx`) for timer tokens.
+    pub fn as_u64(&self) -> u64 {
+        (u64::from(self.gen) << 32) | u64::from(self.idx)
+    }
+
+    /// Inverse of [`FlowRef::as_u64`]. The result is only as trustworthy
+    /// as its source — every pool accessor re-checks the generation.
+    pub fn from_u64(v: u64) -> FlowRef {
+        FlowRef {
+            idx: v as u32,
+            gen: (v >> 32) as u32,
+        }
+    }
+}
+
+impl fmt::Display for FlowRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow#{}g{}", self.idx, self.gen)
+    }
+}
+
+/// Typed error for an access through an out-of-date [`FlowRef`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleFlowRef {
+    /// Slot index the handle pointed at.
+    pub idx: u32,
+    /// Generation the handle was issued under.
+    pub expected_gen: u32,
+    /// Generation the slot is at now.
+    pub current_gen: u32,
+    /// True if the slot is currently vacant (false: recycled and occupied
+    /// by a different flow).
+    pub vacant: bool,
+}
+
+impl fmt::Display for StaleFlowRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stale flow ref: slot {} gen {} is {} at gen {}",
+            self.idx,
+            self.expected_gen,
+            if self.vacant { "vacant" } else { "recycled" },
+            self.current_gen
+        )
+    }
+}
+
+impl std::error::Error for StaleFlowRef {}
+
+/// What occupies a pool slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// Active-open data sender.
+    Sender,
+    /// Passive data receiver (with or without the handshake lifecycle).
+    Receiver,
+}
+
+/// Slot occupancy column: a live endpoint or a link in the free list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotKind {
+    Free { next_free: u32 },
+    Sender,
+    Receiver,
+}
+
+/// Generational struct-of-arrays pool of TCP connection state.
+///
+/// Every column is indexed by slot; a slot holds either a sender (its
+/// sender columns are meaningful) or a receiver (its `rcv` column is).
+/// The unused columns of a slot sit at their cheap `Default` values.
+#[derive(Debug, Default)]
+pub struct FlowPool {
+    gens: Vec<u32>,
+    kind: Vec<SlotKind>,
+    keys: Vec<FlowKey>,
+    // Sender columns.
+    cfgs: Vec<TcpSenderConfig>,
+    cc: Vec<Reno>,
+    rtt: Vec<RttEstimator>,
+    seq: Vec<SeqState>,
+    rtx: Vec<RtxQueue>,
+    meta: Vec<SenderMeta>,
+    sstats: Vec<SenderStats>,
+    // Receiver column.
+    rcv: Vec<RcvState>,
+    rstats: Vec<ReceiverStats>,
+    // Shared.
+    out: Vec<Vec<Packet>>,
+    free_head: u32,
+    live: usize,
+    high_water: usize,
+    recycled: u64,
+}
+
+impl FlowPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        FlowPool {
+            free_head: NIL,
+            ..FlowPool::default()
+        }
+    }
+
+    fn placeholder_key() -> FlowKey {
+        FlowKey::tcp(Addr(0), 0, Addr(0), 0)
+    }
+
+    /// Claim a slot (recycling LIFO) and return `(idx, gen)`.
+    fn claim(&mut self) -> (u32, u32) {
+        self.live += 1;
+        if self.live > self.high_water {
+            self.high_water = self.live;
+        }
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let next_free = match self.kind[idx as usize] {
+                SlotKind::Free { next_free } => next_free,
+                _ => unreachable!("free list points at occupied slot"),
+            };
+            self.free_head = next_free;
+            self.recycled += 1;
+            (idx, self.gens[idx as usize])
+        } else {
+            let idx = self.gens.len() as u32;
+            assert!(idx != NIL, "flow pool exhausted u32 index space");
+            self.gens.push(0);
+            self.kind.push(SlotKind::Free { next_free: NIL });
+            self.keys.push(Self::placeholder_key());
+            self.cfgs.push(TcpSenderConfig::default());
+            self.cc.push(Reno::default());
+            self.rtt.push(RttEstimator::default());
+            self.seq.push(SeqState::default());
+            self.rtx.push(RtxQueue::default());
+            self.meta.push(SenderMeta::default());
+            self.sstats.push(SenderStats::default());
+            self.rcv.push(RcvState::default());
+            self.rstats.push(ReceiverStats::default());
+            self.out.push(Vec::new());
+            (idx, 0)
+        }
+    }
+
+    /// Store a new sender for `key` (ISN `isn`), returning its handle.
+    pub fn insert_sender(&mut self, key: FlowKey, cfg: TcpSenderConfig, isn: u32) -> FlowRef {
+        let (idx, gen) = self.claim();
+        let i = idx as usize;
+        self.kind[i] = SlotKind::Sender;
+        self.keys[i] = key;
+        self.cc[i] = Reno::new(cfg.initial_cwnd);
+        self.cfgs[i] = cfg;
+        self.rtt[i] = RttEstimator::default();
+        self.seq[i] = SeqState::new(isn);
+        self.meta[i] = SenderMeta::default();
+        self.sstats[i] = SenderStats::default();
+        FlowRef { idx, gen }
+    }
+
+    /// Store a new handshake-less receiver expecting first byte `isn`.
+    pub fn insert_receiver(&mut self, key: FlowKey, isn: u32) -> FlowRef {
+        let (idx, gen) = self.claim();
+        let i = idx as usize;
+        self.kind[i] = SlotKind::Receiver;
+        self.keys[i] = key;
+        self.rcv[i] = RcvState::new(isn);
+        self.rstats[i] = ReceiverStats::default();
+        FlowRef { idx, gen }
+    }
+
+    /// Store a new passive-open (LISTEN) receiver for `key`.
+    pub fn insert_listener(&mut self, key: FlowKey) -> FlowRef {
+        let (idx, gen) = self.claim();
+        let i = idx as usize;
+        self.kind[i] = SlotKind::Receiver;
+        self.keys[i] = key;
+        self.rcv[i] = RcvState::listen();
+        self.rstats[i] = ReceiverStats::default();
+        FlowRef { idx, gen }
+    }
+
+    fn stale(&self, r: FlowRef) -> StaleFlowRef {
+        match (self.gens.get(r.idx as usize), self.kind.get(r.idx as usize)) {
+            (Some(gen), Some(kind)) => StaleFlowRef {
+                idx: r.idx,
+                expected_gen: r.gen,
+                current_gen: *gen,
+                vacant: matches!(kind, SlotKind::Free { .. }),
+            },
+            _ => StaleFlowRef {
+                idx: r.idx,
+                expected_gen: r.gen,
+                current_gen: 0,
+                vacant: true,
+            },
+        }
+    }
+
+    /// Generation-check `r`; `Ok(idx)` only for a live, matching slot.
+    fn check(&self, r: FlowRef) -> Result<usize, StaleFlowRef> {
+        let i = r.idx as usize;
+        match (self.gens.get(i), self.kind.get(i)) {
+            (Some(gen), Some(kind))
+                if *gen == r.gen && !matches!(kind, SlotKind::Free { .. }) =>
+            {
+                Ok(i)
+            }
+            _ => Err(self.stale(r)),
+        }
+    }
+
+    /// What kind of endpoint `r` addresses.
+    pub fn kind(&self, r: FlowRef) -> Result<FlowKind, StaleFlowRef> {
+        let i = self.check(r)?;
+        Ok(match self.kind[i] {
+            SlotKind::Sender => FlowKind::Sender,
+            SlotKind::Receiver => FlowKind::Receiver,
+            SlotKind::Free { .. } => unreachable!("check() rejects free slots"),
+        })
+    }
+
+    /// Forward-direction flow key of `r`.
+    pub fn key(&self, r: FlowRef) -> Result<FlowKey, StaleFlowRef> {
+        let i = self.check(r)?;
+        Ok(self.keys[i])
+    }
+
+    fn check_kind(&self, r: FlowRef, want: SlotKind) -> Result<usize, StaleFlowRef> {
+        let i = self.check(r)?;
+        assert_eq!(
+            self.kind[i], want,
+            "flow {r} is not a {want:?} (host dispatch bug)"
+        );
+        Ok(i)
+    }
+
+    /// Borrowed sender view over slot `r` (panics if `r` is a receiver —
+    /// the host's by-key dispatch guarantees the kind).
+    pub(crate) fn sender_cols(&mut self, r: FlowRef) -> Result<SenderCols<'_>, StaleFlowRef> {
+        let i = self.check_kind(r, SlotKind::Sender)?;
+        Ok(SenderCols {
+            key: self.keys[i],
+            cfg: &self.cfgs[i],
+            cc: &mut self.cc[i],
+            rtt: &mut self.rtt[i],
+            seq: &mut self.seq[i],
+            rtx: &mut self.rtx[i],
+            meta: &mut self.meta[i],
+            out: &mut self.out[i],
+            stats: &mut self.sstats[i],
+        })
+    }
+
+    /// Borrowed receiver view over slot `r`.
+    pub(crate) fn recv_cols(&mut self, r: FlowRef) -> Result<RecvCols<'_>, StaleFlowRef> {
+        let i = self.check_kind(r, SlotKind::Receiver)?;
+        Ok(RecvCols {
+            key: self.keys[i],
+            rcv: &mut self.rcv[i],
+            out: &mut self.out[i],
+            stats: &mut self.rstats[i],
+        })
+    }
+
+    /// Begin transmitting on sender `r`.
+    pub fn on_start(&mut self, r: FlowRef, now: SimTime) -> Result<(), StaleFlowRef> {
+        self.sender_cols(r)?.on_start(now);
+        Ok(())
+    }
+
+    /// Deliver a segment to the endpoint behind `r`.
+    pub fn on_segment(&mut self, r: FlowRef, now: SimTime, pkt: &Packet) -> Result<(), StaleFlowRef> {
+        match self.kind(r)? {
+            FlowKind::Sender => self.sender_cols(r)?.on_segment(now, pkt),
+            FlowKind::Receiver => self.recv_cols(r)?.on_segment(now, pkt),
+        }
+        Ok(())
+    }
+
+    /// Clock tick for sender `r` (receivers are purely reactive).
+    pub fn on_tick(&mut self, r: FlowRef, now: SimTime) -> Result<(), StaleFlowRef> {
+        if self.kind(r)? == FlowKind::Sender {
+            self.sender_cols(r)?.on_tick(now);
+        }
+        Ok(())
+    }
+
+    /// Drain outgoing packets of `r`.
+    pub fn take_out(&mut self, r: FlowRef) -> Result<Vec<Packet>, StaleFlowRef> {
+        let i = self.check(r)?;
+        Ok(std::mem::take(&mut self.out[i]))
+    }
+
+    /// Earliest time sender `r` needs a tick (`None` for receivers).
+    pub fn next_event_time(&self, r: FlowRef) -> Result<Option<SimTime>, StaleFlowRef> {
+        let i = self.check(r)?;
+        Ok(match self.kind[i] {
+            SlotKind::Sender => crate::conn::sender_next_event_time(&self.meta[i]),
+            _ => None,
+        })
+    }
+
+    /// Lifecycle state of `r`.
+    pub fn state(&self, r: FlowRef) -> Result<TcpState, StaleFlowRef> {
+        let i = self.check(r)?;
+        Ok(match self.kind[i] {
+            SlotKind::Sender => self.meta[i].state,
+            SlotKind::Receiver => self.rcv[i].state,
+            SlotKind::Free { .. } => unreachable!("check() rejects free slots"),
+        })
+    }
+
+    /// Did the endpoint behind `r` finish (sender fully closed, receiver
+    /// consumed the FIN)?
+    pub fn is_done(&self, r: FlowRef) -> Result<bool, StaleFlowRef> {
+        let i = self.check(r)?;
+        Ok(match self.kind[i] {
+            SlotKind::Sender => self.meta[i].state == TcpState::Closed,
+            SlotKind::Receiver => self.rcv[i].done,
+            SlotKind::Free { .. } => unreachable!("check() rejects free slots"),
+        })
+    }
+
+    /// Sender statistics of `r`.
+    pub fn sender_stats(&self, r: FlowRef) -> Result<SenderStats, StaleFlowRef> {
+        let i = self.check_kind(r, SlotKind::Sender)?;
+        Ok(self.sstats[i])
+    }
+
+    /// Receiver statistics of `r`.
+    pub fn receiver_stats(&self, r: FlowRef) -> Result<ReceiverStats, StaleFlowRef> {
+        let i = self.check_kind(r, SlotKind::Receiver)?;
+        Ok(self.rstats[i])
+    }
+
+    /// Override receiver `r`'s advertised window.
+    pub fn set_advertised_window(&mut self, r: FlowRef, w: u32) -> Result<(), StaleFlowRef> {
+        let i = self.check_kind(r, SlotKind::Receiver)?;
+        self.rcv[i].advertised_window = w;
+        Ok(())
+    }
+
+    /// Free the flow behind `r`, recycling its slot (LIFO). The handle
+    /// (and any copy of it, e.g. inside a pending timer token) is stale
+    /// afterwards. Buffered allocations (retransmission queue, reassembly
+    /// map, output queue) are cleared in place so churn reuses them.
+    pub fn free(&mut self, r: FlowRef) -> Result<(), StaleFlowRef> {
+        let i = self.check(r)?;
+        self.gens[i] = self.gens[i].wrapping_add(1);
+        self.kind[i] = SlotKind::Free {
+            next_free: self.free_head,
+        };
+        self.free_head = r.idx;
+        self.live -= 1;
+        self.keys[i] = Self::placeholder_key();
+        self.cfgs[i] = TcpSenderConfig::default();
+        self.cc[i] = Reno::default();
+        self.rtt[i] = RttEstimator::default();
+        self.seq[i] = SeqState::default();
+        self.rtx[i] = RtxQueue::default();
+        self.meta[i] = SenderMeta::default();
+        self.sstats[i] = SenderStats::default();
+        self.rcv[i] = RcvState::default();
+        self.rstats[i] = ReceiverStats::default();
+        self.out[i].clear();
+        Ok(())
+    }
+
+    /// Live handles in slot order — the canonical iteration order for
+    /// digests and aggregate accounting (no key sorting required).
+    pub fn iter_refs(&self) -> impl Iterator<Item = FlowRef> + '_ {
+        self.kind
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| !matches!(k, SlotKind::Free { .. }))
+            .map(|(i, _)| FlowRef {
+                idx: i as u32,
+                gen: self.gens[i],
+            })
+    }
+
+    /// Number of live flows.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// True if no flows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots allocated (live + vacant).
+    pub fn capacity(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Highest simultaneous live count seen.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Number of inserts served by recycling a vacant slot.
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    /// Fold every live flow into `d` in slot order (handle order *is* the
+    /// canonical order — this is what retired the sort-keys-then-iterate
+    /// dance the HashMap layout forced on `TcpHost::state_digest`).
+    pub fn state_digest(&self, d: &mut StateDigest) {
+        d.write_len(self.live);
+        for (i, kind) in self.kind.iter().enumerate() {
+            match kind {
+                SlotKind::Free { .. } => continue,
+                SlotKind::Sender => {
+                    d.write_u32(i as u32);
+                    d.write_u32(self.gens[i]);
+                    d.write_u8(0);
+                    digest_sender_cols(
+                        d,
+                        &self.keys[i],
+                        &self.cfgs[i],
+                        &self.cc[i],
+                        &self.rtt[i],
+                        &self.seq[i],
+                        &self.rtx[i],
+                        &self.meta[i],
+                        &self.out[i],
+                        &self.sstats[i],
+                    );
+                }
+                SlotKind::Receiver => {
+                    d.write_u32(i as u32);
+                    d.write_u32(self.gens[i]);
+                    d.write_u8(1);
+                    digest_recv_cols(d, &self.keys[i], &self.rcv[i], &self.out[i], &self.rstats[i]);
+                }
+            }
+        }
+        d.write_u64(self.recycled);
+        d.write_usize(self.high_water);
+    }
+
+    /// Serialize the whole pool for checkpointing. Fails if any output
+    /// queue is undrained (hosts drain after every event, so a checkpoint
+    /// boundary never sees buffered packets — serializing them would drag
+    /// the full packet codec in here for a case that cannot occur).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, String> {
+        let mut b = Vec::new();
+        put_u32(&mut b, self.gens.len() as u32);
+        for i in 0..self.gens.len() {
+            if !self.out[i].is_empty() {
+                return Err(format!("flow slot {i} has undrained output"));
+            }
+            put_u32(&mut b, self.gens[i]);
+            match self.kind[i] {
+                SlotKind::Free { next_free } => {
+                    b.push(0);
+                    put_u32(&mut b, next_free);
+                }
+                SlotKind::Sender => {
+                    b.push(1);
+                    put_key(&mut b, &self.keys[i]);
+                    put_cfg(&mut b, &self.cfgs[i]);
+                    let (cwnd, ssthresh) = self.cc[i].to_parts();
+                    put_u64(&mut b, cwnd.to_bits());
+                    put_u64(&mut b, ssthresh.to_bits());
+                    let (srtt, rttvar, rto, backoff, min_rto, max_rto) = self.rtt[i].to_parts();
+                    put_opt_u64(&mut b, srtt);
+                    put_u64(&mut b, rttvar);
+                    put_u64(&mut b, rto);
+                    put_u32(&mut b, backoff);
+                    put_u64(&mut b, min_rto);
+                    put_u64(&mut b, max_rto);
+                    let s = &self.seq[i];
+                    put_u32(&mut b, s.isn);
+                    put_u32(&mut b, s.snd_una);
+                    put_u32(&mut b, s.snd_nxt);
+                    put_u64(&mut b, s.app_sent);
+                    put_opt_u32(&mut b, s.fin_seq);
+                    put_opt_u32(&mut b, s.syn_seq);
+                    put_opt_u32(&mut b, s.recovery_until);
+                    let q = &self.rtx[i];
+                    put_u32(&mut b, q.len() as u32);
+                    for (seq, rec) in q.iter() {
+                        put_u32(&mut b, seq);
+                        put_u64(&mut b, rec.sent_at.0);
+                        b.push(u8::from(rec.retransmitted));
+                        put_u32(&mut b, rec.len);
+                    }
+                    let m = &self.meta[i];
+                    put_u64(&mut b, m.started_at.0);
+                    put_u32(&mut b, m.dupacks);
+                    put_opt_u64(&mut b, m.rto_deadline.map(|t| t.0));
+                    put_opt_u64(&mut b, m.pace_deadline.map(|t| t.0));
+                    put_opt_u64(&mut b, m.timewait_deadline.map(|t| t.0));
+                    put_u32(&mut b, m.peer_rwnd);
+                    b.push(m.state.code());
+                    let st = &self.sstats[i];
+                    put_u64(&mut b, st.bytes_acked);
+                    put_u64(&mut b, st.segments_sent);
+                    put_u64(&mut b, st.retransmissions);
+                    put_u64(&mut b, st.fast_retransmits);
+                    put_u64(&mut b, st.timeouts);
+                    put_opt_u64(&mut b, st.completed_at.map(|t| t.0));
+                }
+                SlotKind::Receiver => {
+                    b.push(2);
+                    put_key(&mut b, &self.keys[i]);
+                    let rv = &self.rcv[i];
+                    put_u32(&mut b, rv.rcv_nxt);
+                    put_u32(&mut b, rv.ooo.len() as u32);
+                    for (seq, len) in &rv.ooo {
+                        put_u32(&mut b, *seq);
+                        put_u32(&mut b, *len);
+                    }
+                    put_opt_u32(&mut b, rv.fin_seq);
+                    b.push(u8::from(rv.done));
+                    put_u32(&mut b, rv.advertised_window);
+                    b.push(rv.state.code());
+                    b.push(u8::from(rv.handshake));
+                    b.push(u8::from(rv.our_fin_sent));
+                    let st = &self.rstats[i];
+                    put_u64(&mut b, st.bytes_delivered);
+                    put_u64(&mut b, st.duplicate_segments);
+                    put_u64(&mut b, st.out_of_order_segments);
+                    put_opt_u64(&mut b, st.finished_at.map(|t| t.0));
+                }
+            }
+        }
+        put_u32(&mut b, self.free_head);
+        put_u64(&mut b, self.live as u64);
+        put_u64(&mut b, self.high_water as u64);
+        put_u64(&mut b, self.recycled);
+        Ok(b)
+    }
+
+    /// Restore a pool serialized with [`FlowPool::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<FlowPool, String> {
+        let mut at = 0usize;
+        let cap = get_u32(bytes, &mut at)? as usize;
+        let mut p = FlowPool::new();
+        for _ in 0..cap {
+            let gen = get_u32(bytes, &mut at)?;
+            let tag = get_u8(bytes, &mut at)?;
+            p.gens.push(gen);
+            p.keys.push(Self::placeholder_key());
+            p.cfgs.push(TcpSenderConfig::default());
+            p.cc.push(Reno::default());
+            p.rtt.push(RttEstimator::default());
+            p.seq.push(SeqState::default());
+            p.rtx.push(RtxQueue::default());
+            p.meta.push(SenderMeta::default());
+            p.sstats.push(SenderStats::default());
+            p.rcv.push(RcvState::default());
+            p.rstats.push(ReceiverStats::default());
+            p.out.push(Vec::new());
+            let i = p.gens.len() - 1;
+            match tag {
+                0 => {
+                    let next_free = get_u32(bytes, &mut at)?;
+                    p.kind.push(SlotKind::Free { next_free });
+                }
+                1 => {
+                    p.kind.push(SlotKind::Sender);
+                    p.keys[i] = get_key(bytes, &mut at)?;
+                    p.cfgs[i] = get_cfg(bytes, &mut at)?;
+                    let cwnd = f64::from_bits(get_u64(bytes, &mut at)?);
+                    let ssthresh = f64::from_bits(get_u64(bytes, &mut at)?);
+                    p.cc[i] = Reno::from_parts(cwnd, ssthresh);
+                    let srtt = get_opt_u64(bytes, &mut at)?;
+                    let rttvar = get_u64(bytes, &mut at)?;
+                    let rto = get_u64(bytes, &mut at)?;
+                    let backoff = get_u32(bytes, &mut at)?;
+                    let min_rto = get_u64(bytes, &mut at)?;
+                    let max_rto = get_u64(bytes, &mut at)?;
+                    p.rtt[i] = RttEstimator::from_parts(srtt, rttvar, rto, backoff, min_rto, max_rto);
+                    let s = &mut p.seq[i];
+                    s.isn = get_u32(bytes, &mut at)?;
+                    s.snd_una = get_u32(bytes, &mut at)?;
+                    s.snd_nxt = get_u32(bytes, &mut at)?;
+                    s.app_sent = get_u64(bytes, &mut at)?;
+                    s.fin_seq = get_opt_u32(bytes, &mut at)?;
+                    s.syn_seq = get_opt_u32(bytes, &mut at)?;
+                    s.recovery_until = get_opt_u32(bytes, &mut at)?;
+                    let qlen = get_u32(bytes, &mut at)?;
+                    for _ in 0..qlen {
+                        let seq = get_u32(bytes, &mut at)?;
+                        let sent_at = SimTime(get_u64(bytes, &mut at)?);
+                        let retransmitted = get_u8(bytes, &mut at)? != 0;
+                        let len = get_u32(bytes, &mut at)?;
+                        p.rtx[i].push(
+                            seq,
+                            SegmentRecord {
+                                sent_at,
+                                retransmitted,
+                                len,
+                            },
+                        );
+                    }
+                    let m = &mut p.meta[i];
+                    m.started_at = SimTime(get_u64(bytes, &mut at)?);
+                    m.dupacks = get_u32(bytes, &mut at)?;
+                    m.rto_deadline = get_opt_u64(bytes, &mut at)?.map(SimTime);
+                    m.pace_deadline = get_opt_u64(bytes, &mut at)?.map(SimTime);
+                    m.timewait_deadline = get_opt_u64(bytes, &mut at)?.map(SimTime);
+                    m.peer_rwnd = get_u32(bytes, &mut at)?;
+                    m.state = TcpState::from_code(get_u8(bytes, &mut at)?)
+                        .ok_or_else(|| "bad sender state code".to_string())?;
+                    let st = &mut p.sstats[i];
+                    st.bytes_acked = get_u64(bytes, &mut at)?;
+                    st.segments_sent = get_u64(bytes, &mut at)?;
+                    st.retransmissions = get_u64(bytes, &mut at)?;
+                    st.fast_retransmits = get_u64(bytes, &mut at)?;
+                    st.timeouts = get_u64(bytes, &mut at)?;
+                    st.completed_at = get_opt_u64(bytes, &mut at)?.map(SimTime);
+                }
+                2 => {
+                    p.kind.push(SlotKind::Receiver);
+                    p.keys[i] = get_key(bytes, &mut at)?;
+                    let rv = &mut p.rcv[i];
+                    rv.rcv_nxt = get_u32(bytes, &mut at)?;
+                    let olen = get_u32(bytes, &mut at)?;
+                    for _ in 0..olen {
+                        let seq = get_u32(bytes, &mut at)?;
+                        let len = get_u32(bytes, &mut at)?;
+                        rv.ooo.insert(seq, len);
+                    }
+                    rv.fin_seq = get_opt_u32(bytes, &mut at)?;
+                    rv.done = get_u8(bytes, &mut at)? != 0;
+                    rv.advertised_window = get_u32(bytes, &mut at)?;
+                    rv.state = TcpState::from_code(get_u8(bytes, &mut at)?)
+                        .ok_or_else(|| "bad receiver state code".to_string())?;
+                    rv.handshake = get_u8(bytes, &mut at)? != 0;
+                    rv.our_fin_sent = get_u8(bytes, &mut at)? != 0;
+                    let st = &mut p.rstats[i];
+                    st.bytes_delivered = get_u64(bytes, &mut at)?;
+                    st.duplicate_segments = get_u64(bytes, &mut at)?;
+                    st.out_of_order_segments = get_u64(bytes, &mut at)?;
+                    st.finished_at = get_opt_u64(bytes, &mut at)?.map(SimTime);
+                }
+                t => return Err(format!("bad flow slot tag {t}")),
+            }
+        }
+        p.free_head = get_u32(bytes, &mut at)?;
+        p.live = get_u64(bytes, &mut at)? as usize;
+        p.high_water = get_u64(bytes, &mut at)? as usize;
+        p.recycled = get_u64(bytes, &mut at)?;
+        if at != bytes.len() {
+            return Err(format!(
+                "trailing bytes in flow pool state: {} of {}",
+                at,
+                bytes.len()
+            ));
+        }
+        Ok(p)
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+    }
+}
+
+fn put_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_u32(out, v);
+        }
+    }
+}
+
+fn put_key(out: &mut Vec<u8>, key: &FlowKey) {
+    put_u32(out, key.src.0);
+    put_u32(out, key.dst.0);
+    out.extend_from_slice(&key.sport.to_le_bytes());
+    out.extend_from_slice(&key.dport.to_le_bytes());
+    out.push(key.proto.code());
+}
+
+fn put_cfg(out: &mut Vec<u8>, cfg: &TcpSenderConfig) {
+    put_u32(out, cfg.mss);
+    put_opt_u64(out, cfg.total_bytes);
+    put_opt_u64(out, cfg.app_rate);
+    put_u64(out, cfg.initial_cwnd.to_bits());
+    out.push(u8::from(cfg.handshake));
+    put_u64(out, cfg.time_wait.as_nanos());
+}
+
+fn get_u8(b: &[u8], at: &mut usize) -> Result<u8, String> {
+    let v = *b.get(*at).ok_or("truncated flow pool state")?;
+    *at += 1;
+    Ok(v)
+}
+
+fn get_u16(b: &[u8], at: &mut usize) -> Result<u16, String> {
+    let s = b
+        .get(*at..*at + 2)
+        .ok_or("truncated flow pool state")?;
+    *at += 2;
+    Ok(u16::from_le_bytes([s[0], s[1]]))
+}
+
+fn get_u32(b: &[u8], at: &mut usize) -> Result<u32, String> {
+    let s = b
+        .get(*at..*at + 4)
+        .ok_or("truncated flow pool state")?;
+    *at += 4;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+fn get_u64(b: &[u8], at: &mut usize) -> Result<u64, String> {
+    let s = b
+        .get(*at..*at + 8)
+        .ok_or("truncated flow pool state")?;
+    *at += 8;
+    let mut a = [0u8; 8];
+    a.copy_from_slice(s);
+    Ok(u64::from_le_bytes(a))
+}
+
+fn get_opt_u64(b: &[u8], at: &mut usize) -> Result<Option<u64>, String> {
+    match get_u8(b, at)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_u64(b, at)?)),
+        t => Err(format!("bad option tag {t}")),
+    }
+}
+
+fn get_opt_u32(b: &[u8], at: &mut usize) -> Result<Option<u32>, String> {
+    match get_u8(b, at)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_u32(b, at)?)),
+        t => Err(format!("bad option tag {t}")),
+    }
+}
+
+fn get_key(b: &[u8], at: &mut usize) -> Result<FlowKey, String> {
+    let src = Addr(get_u32(b, at)?);
+    let dst = Addr(get_u32(b, at)?);
+    let sport = get_u16(b, at)?;
+    let dport = get_u16(b, at)?;
+    let proto = Proto::from_code(get_u8(b, at)?).ok_or("bad proto code")?;
+    if proto != Proto::Tcp {
+        return Err("flow pool key is not TCP".to_string());
+    }
+    Ok(FlowKey::tcp(src, sport, dst, dport))
+}
+
+fn get_cfg(b: &[u8], at: &mut usize) -> Result<TcpSenderConfig, String> {
+    Ok(TcpSenderConfig {
+        mss: get_u32(b, at)?,
+        total_bytes: get_opt_u64(b, at)?,
+        app_rate: get_opt_u64(b, at)?,
+        initial_cwnd: f64::from_bits(get_u64(b, at)?),
+        handshake: get_u8(b, at)? != 0,
+        time_wait: SimDuration::from_nanos(get_u64(b, at)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(sport: u16) -> FlowKey {
+        FlowKey::tcp(Addr::new(10, 0, 0, 1), sport, Addr::new(10, 0, 0, 2), 80)
+    }
+
+    fn cfg(total: u64) -> TcpSenderConfig {
+        TcpSenderConfig {
+            total_bytes: Some(total),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn insert_start_take_free_round_trip() {
+        let mut p = FlowPool::new();
+        let r = p.insert_sender(key(1000), cfg(1460), 1);
+        assert_eq!(p.live(), 1);
+        assert_eq!(p.kind(r).unwrap(), FlowKind::Sender);
+        p.on_start(r, SimTime::ZERO).unwrap();
+        // Bounded flows emit their data followed by a FIN.
+        let pkts = p.take_out(r).unwrap();
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(pkts[0].payload, 1460);
+        assert!(pkts[1].tcp_flags().unwrap().fin);
+        p.free(r).unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn stale_after_free_is_typed_error() {
+        let mut p = FlowPool::new();
+        let r = p.insert_sender(key(1000), cfg(100), 1);
+        p.free(r).unwrap();
+        let err = p.on_tick(r, SimTime::ZERO).unwrap_err();
+        assert_eq!(err.idx, r.index());
+        assert_eq!(err.expected_gen, 0);
+        assert_eq!(err.current_gen, 1);
+        assert!(err.vacant);
+        assert!(p.take_out(r).is_err());
+        assert!(p.state(r).is_err());
+        assert!(p.free(r).is_err());
+    }
+
+    #[test]
+    fn recycled_slot_never_serves_old_handle() {
+        let mut p = FlowPool::new();
+        let r1 = p.insert_sender(key(1000), cfg(100), 1);
+        p.free(r1).unwrap();
+        let r2 = p.insert_receiver(key(2000), 1);
+        assert_eq!(r1.index(), r2.index());
+        assert_ne!(r1.generation(), r2.generation());
+        let err = p.key(r1).unwrap_err();
+        assert!(!err.vacant, "slot is occupied by a different flow");
+        assert_eq!(err.current_gen, r2.generation());
+        assert_eq!(p.key(r2).unwrap(), key(2000));
+    }
+
+    #[test]
+    fn free_list_is_lifo_and_pool_does_not_grow() {
+        let mut p = FlowPool::new();
+        let refs: Vec<_> = (0..8)
+            .map(|i| p.insert_sender(key(1000 + i), cfg(100), 1))
+            .collect();
+        assert_eq!(p.capacity(), 8);
+        assert_eq!(p.high_water(), 8);
+        for r in refs.iter().rev() {
+            p.free(*r).unwrap();
+        }
+        for i in 0..8u32 {
+            let r = p.insert_listener(key(5000 + i as u16));
+            assert_eq!(r.index(), i, "LIFO recycling");
+        }
+        assert_eq!(p.capacity(), 8, "no growth under churn");
+        assert_eq!(p.recycled(), 8);
+    }
+
+    #[test]
+    fn ref_round_trips_through_u64() {
+        let mut p = FlowPool::new();
+        p.insert_sender(key(1), cfg(1), 1);
+        p.free(FlowRef { idx: 0, gen: 0 }).unwrap();
+        let r = p.insert_sender(key(2), cfg(1), 1);
+        assert_eq!(FlowRef::from_u64(r.as_u64()), r);
+        // A forged/stale token decodes, but every access rejects it.
+        let stale = FlowRef::from_u64(FlowRef { idx: 0, gen: 0 }.as_u64());
+        assert!(p.state(stale).is_err());
+    }
+
+    #[test]
+    fn pool_runs_same_protocol_as_standalone() {
+        // One lossless transfer driven through the pool must finish with
+        // identical stats to the standalone TcpSender/TcpReceiver pair.
+        let mut p = FlowPool::new();
+        let s = p.insert_sender(key(1000), cfg(10_000), 1);
+        let r = p.insert_receiver(key(1000), 1);
+        p.on_start(s, SimTime::ZERO).unwrap();
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            now = now + SimDuration::from_millis(10);
+            let pkts = p.take_out(s).unwrap();
+            for pkt in pkts {
+                p.on_segment(r, now, &pkt).unwrap();
+            }
+            let acks = p.take_out(r).unwrap();
+            for a in acks {
+                p.on_segment(s, now, &a).unwrap();
+            }
+            if p.is_done(s).unwrap() {
+                break;
+            }
+        }
+        assert!(p.is_done(s).unwrap());
+        assert_eq!(p.sender_stats(s).unwrap().bytes_acked, 10_000);
+        assert_eq!(p.receiver_stats(r).unwrap().bytes_delivered, 10_000);
+    }
+
+    #[test]
+    fn codec_round_trips_mid_transfer() {
+        let mut p = FlowPool::new();
+        let s = p.insert_sender(key(1000), cfg(100_000), 7);
+        let l = p.insert_listener(key(2000));
+        let dead = p.insert_receiver(key(3000), 1);
+        p.free(dead).unwrap();
+        p.on_start(s, SimTime::ZERO).unwrap();
+        let _ = p.take_out(s).unwrap(); // drain before checkpoint
+        let bytes = p.to_bytes().unwrap();
+        let q = FlowPool::from_bytes(&bytes).unwrap();
+        assert_eq!(q.live(), p.live());
+        assert_eq!(q.capacity(), p.capacity());
+        assert_eq!(q.recycled(), p.recycled());
+        let mut d1 = StateDigest::new();
+        let mut d2 = StateDigest::new();
+        p.state_digest(&mut d1);
+        q.state_digest(&mut d2);
+        assert_eq!(d1.finish(), d2.finish(), "digest survives codec");
+        assert_eq!(q.state(l).unwrap(), TcpState::Listen);
+    }
+
+    #[test]
+    fn undrained_output_refuses_checkpoint() {
+        let mut p = FlowPool::new();
+        let s = p.insert_sender(key(1000), cfg(1460), 1);
+        p.on_start(s, SimTime::ZERO).unwrap();
+        assert!(p.to_bytes().is_err(), "output queue not drained");
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut p = FlowPool::new();
+        let r = p.insert_sender(key(1), cfg(1), 1);
+        assert_eq!(format!("{r}"), "flow#0g0");
+        p.free(r).unwrap();
+        let err = p.state(r).unwrap_err();
+        assert!(format!("{err}").contains("vacant"));
+    }
+}

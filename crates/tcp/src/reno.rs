@@ -68,6 +68,17 @@ impl Reno {
         d.write_f64(self.cwnd);
         d.write_f64(self.ssthresh);
     }
+
+    /// Raw state for checkpoint codecs (paired with
+    /// [`Reno::from_parts`]). `ssthresh` may be infinite.
+    pub fn to_parts(&self) -> (f64, f64) {
+        (self.cwnd, self.ssthresh)
+    }
+
+    /// Restore from [`Reno::to_parts`] output.
+    pub fn from_parts(cwnd: f64, ssthresh: f64) -> Self {
+        Reno { cwnd, ssthresh }
+    }
 }
 
 impl Default for Reno {

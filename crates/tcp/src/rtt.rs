@@ -88,6 +88,39 @@ impl RttEstimator {
         self.srtt
     }
 
+    /// Raw state for checkpoint codecs (paired with
+    /// [`RttEstimator::from_parts`]): `(srtt, rttvar, rto, backoff_exp,
+    /// min_rto, max_rto)`, durations in nanoseconds.
+    pub fn to_parts(&self) -> (Option<u64>, u64, u64, u32, u64, u64) {
+        (
+            self.srtt.map(|s| s.as_nanos()),
+            self.rttvar.as_nanos(),
+            self.rto.as_nanos(),
+            self.backoff_exp,
+            self.min_rto.as_nanos(),
+            self.max_rto.as_nanos(),
+        )
+    }
+
+    /// Restore from [`RttEstimator::to_parts`] output.
+    pub fn from_parts(
+        srtt: Option<u64>,
+        rttvar: u64,
+        rto: u64,
+        backoff_exp: u32,
+        min_rto: u64,
+        max_rto: u64,
+    ) -> Self {
+        RttEstimator {
+            srtt: srtt.map(SimDuration::from_nanos),
+            rttvar: SimDuration::from_nanos(rttvar),
+            rto: SimDuration::from_nanos(rto),
+            backoff_exp,
+            min_rto: SimDuration::from_nanos(min_rto),
+            max_rto: SimDuration::from_nanos(max_rto),
+        }
+    }
+
     /// Fold the estimator state into `d`.
     pub fn state_digest(&self, d: &mut dui_stats::digest::StateDigest) {
         d.write_opt_u64(self.srtt.map(|s| s.as_nanos()));

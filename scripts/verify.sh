@@ -120,6 +120,24 @@ SCDIR="$(mktemp -d)"
 rm -rf "$SCDIR"
 echo "scenario corpus all-pass and CSV byte-identical at --jobs 1 vs 4: OK"
 
+echo "== flow-scale smoke (10k flows, --jobs byte-identity) =="
+# The deterministic columns of flow_scale.csv (flows..digest, fields
+# 1-9) must not depend on --jobs; the wall-clock/RSS columns vary by
+# nature and are cut off before comparing. DUI_FLOW_SCALE_MAX truncates
+# the sweep to its 10k row so the gate stays fast — the recorded
+# results/flow_scale.csv always comes from the full 10k→1M sweep.
+FSDIR="$(mktemp -d)"
+(
+  cd "$FSDIR"
+  DUI_FLOW_SCALE_MAX=10000 "$EXP" flow-scale --jobs 1
+  cut -d, -f1-9 results/flow_scale.csv > flow_scale.j1.cols
+  DUI_FLOW_SCALE_MAX=10000 "$EXP" flow-scale --jobs 4
+  cut -d, -f1-9 results/flow_scale.csv > flow_scale.j4.cols
+  cmp flow_scale.j1.cols flow_scale.j4.cols
+) >/dev/null
+rm -rf "$FSDIR"
+echo "flow-scale deterministic columns byte-identical at --jobs 1 vs 4: OK"
+
 echo "== docs (intra-repo links) =="
 bash scripts/check_docs.sh
 echo "docs links: OK"
